@@ -1,0 +1,254 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hb"
+	"repro/internal/predict"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// This file regenerates the paper's evaluation artifacts as Go benchmarks:
+//
+//   - BenchmarkTable1: columns 6–7 and 12–13 of Table 1 — WCP and HB
+//     analysis over each benchmark's whole trace (races are asserted, time
+//     and memory are the measurements; events/s is reported as a metric).
+//   - BenchmarkTable1Predict: columns 8–9 and 14–15 — the RVPredict
+//     substitute at the two reported window/budget points.
+//   - BenchmarkFigure7: the window×budget sweep for eclipse/ftpserver/derby.
+//   - BenchmarkScalingWCP/HB: Theorem 3 — linear time in trace length
+//     (compare events/s across sizes).
+//   - BenchmarkLowerBoundSpace: Theorems 4–5 — queue growth on the Figure-8
+//     family (queue entries reported as a metric).
+//   - BenchmarkAblation*: design-choice ablations called out in DESIGN.md
+//     (windowed vs whole-trace WCP; epoch vs vector-clock HB).
+//
+// Absolute numbers differ from the paper's (scaled synthetic workloads on
+// different hardware); EXPERIMENTS.md records the shape comparison.
+
+// table1Scale keeps the per-iteration cost of the full table benchmarks
+// moderate; cmd/experiments runs the full-scale version.
+const table1Scale = 0.25
+
+var traceCache = map[string]*trace.Trace{}
+
+func benchTrace(b *testing.B, name string, scale float64) *trace.Trace {
+	b.Helper()
+	key := fmt.Sprintf("%s@%g", name, scale)
+	if tr, ok := traceCache[key]; ok {
+		return tr
+	}
+	bench, ok := gen.ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %s", name)
+	}
+	tr := bench.Generate(scale)
+	traceCache[key] = tr
+	return tr
+}
+
+func reportEventsPerSec(b *testing.B, events int) {
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTable1 measures whole-trace WCP and HB analysis per benchmark
+// (Table 1 columns 6–7, 12–13) and asserts the distinct-race-pair counts.
+func BenchmarkTable1(b *testing.B) {
+	for _, bench := range gen.Benchmarks {
+		bench := bench
+		tr := benchTrace(b, bench.Name, table1Scale)
+		b.Run(bench.Name+"/WCP", func(b *testing.B) {
+			var races int
+			for i := 0; i < b.N; i++ {
+				races = core.Detect(tr).Report.Distinct()
+			}
+			if races != bench.WCPRaces() {
+				b.Fatalf("WCP races = %d, want %d", races, bench.WCPRaces())
+			}
+			reportEventsPerSec(b, tr.Len())
+		})
+		b.Run(bench.Name+"/HB", func(b *testing.B) {
+			var races int
+			for i := 0; i < b.N; i++ {
+				races = hb.Detect(tr).Report.Distinct()
+			}
+			if races != bench.HBRaces {
+				b.Fatalf("HB races = %d, want %d", races, bench.HBRaces)
+			}
+			reportEventsPerSec(b, tr.Len())
+		})
+	}
+}
+
+// BenchmarkTable1Predict measures the windowed predictive engine at the
+// paper's two reported parameter points (Table 1 columns 8–9, 14–15), on
+// the three benchmarks Figure 7 highlights.
+func BenchmarkTable1Predict(b *testing.B) {
+	points := []struct {
+		window, budget int
+		label          string
+	}{
+		{1000, 60 * NodesPerSolverSecond, "w1K_b60"},
+		{10000, 240 * NodesPerSolverSecond, "w10K_b240"},
+	}
+	for _, name := range []string{"derby", "ftpserver", "eclipse"} {
+		tr := benchTrace(b, name, 0.1)
+		for _, pt := range points {
+			pt := pt
+			b.Run(name+"/"+pt.label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					predict.Detect(tr, predict.Options{WindowSize: pt.window, WindowBudget: pt.budget})
+				}
+				reportEventsPerSec(b, tr.Len())
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7 sweeps the predictive engine over the full window×budget
+// grid for one benchmark, reporting races found per configuration as a
+// metric (the bars of Figure 7).
+func BenchmarkFigure7(b *testing.B) {
+	tr := benchTrace(b, "ftpserver", 0.2)
+	for _, w := range Figure7Windows {
+		for _, s := range Figure7Budgets {
+			w, s := w, s
+			b.Run(fmt.Sprintf("w%d/s%d", w, s), func(b *testing.B) {
+				races := 0
+				for i := 0; i < b.N; i++ {
+					res := predict.Detect(tr, predict.Options{WindowSize: w, WindowBudget: s * NodesPerSolverSecond})
+					races = res.Report.Distinct()
+				}
+				b.ReportMetric(float64(races), "races")
+			})
+		}
+	}
+}
+
+// BenchmarkScalingWCP demonstrates Theorem 3: WCP analysis time is linear
+// in the number of events (events/s should be roughly flat across sizes).
+func BenchmarkScalingWCP(b *testing.B) {
+	for _, scale := range []float64{0.25, 0.5, 1.0, 2.0} {
+		tr := benchTrace(b, "montecarlo", scale)
+		b.Run(fmt.Sprintf("events_%d", tr.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.DetectOpts(tr, core.Options{})
+			}
+			reportEventsPerSec(b, tr.Len())
+		})
+	}
+}
+
+// BenchmarkScalingHB is the HB counterpart of BenchmarkScalingWCP, the
+// paper's scalability baseline.
+func BenchmarkScalingHB(b *testing.B) {
+	for _, scale := range []float64{0.25, 0.5, 1.0, 2.0} {
+		tr := benchTrace(b, "montecarlo", scale)
+		b.Run(fmt.Sprintf("events_%d", tr.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hb.DetectOpts(tr, hb.Options{})
+			}
+			reportEventsPerSec(b, tr.Len())
+		})
+	}
+}
+
+// BenchmarkLowerBoundSpace measures Algorithm 1 on the Figure-8 family
+// (Theorems 4–5): the queue high-water mark, reported as a metric, grows
+// linearly with n while throughput stays linear.
+func BenchmarkLowerBoundSpace(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		n := n
+		u := gen.BitsFromUint(0, n)
+		tr := gen.LowerBound(u, u)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var q int
+			for i := 0; i < b.N; i++ {
+				q = core.DetectOpts(tr, core.Options{}).QueueMaxTotal
+			}
+			b.ReportMetric(float64(q), "queue-entries")
+			b.ReportMetric(float64(q)/float64(tr.Len()), "queue-frac")
+		})
+	}
+}
+
+// BenchmarkAblationWindowedWCP quantifies what the paper's core argument —
+// no windowing needed — buys: WCP run per window finds fewer races than
+// WCP run whole-trace on the same workload.
+func BenchmarkAblationWindowedWCP(b *testing.B) {
+	tr := benchTrace(b, "derby", table1Scale)
+	b.Run("whole", func(b *testing.B) {
+		races := 0
+		for i := 0; i < b.N; i++ {
+			races = core.Detect(tr).Report.Distinct()
+		}
+		b.ReportMetric(float64(races), "races")
+	})
+	b.Run("w1K", func(b *testing.B) {
+		races := 0
+		for i := 0; i < b.N; i++ {
+			total := NewReport()
+			for _, w := range window.Split(tr, 1000) {
+				total.Merge(core.Detect(w).Report)
+			}
+			races = total.Distinct()
+		}
+		b.ReportMetric(float64(races), "races")
+	})
+}
+
+// BenchmarkAblationEpochHB compares the epoch-optimized HB detector with
+// the full-vector-clock one (the §6 future-work optimization, applied to
+// the baseline).
+func BenchmarkAblationEpochHB(b *testing.B) {
+	tr := benchTrace(b, "lusearch", table1Scale)
+	b.Run("vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hb.DetectOpts(tr, hb.Options{})
+		}
+		reportEventsPerSec(b, tr.Len())
+	})
+	b.Run("epoch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hb.DetectEpoch(tr)
+		}
+		reportEventsPerSec(b, tr.Len())
+	})
+}
+
+// BenchmarkAblationEpochWCP compares the epoch-optimized WCP race check
+// (§6 future work) with the vector-clock one on the same clock machinery;
+// -benchmem shows the per-variable memory reduction.
+func BenchmarkAblationEpochWCP(b *testing.B) {
+	tr := benchTrace(b, "lusearch", table1Scale)
+	b.Run("vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DetectOpts(tr, core.Options{})
+		}
+		reportEventsPerSec(b, tr.Len())
+	})
+	b.Run("epoch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.DetectEpoch(tr)
+		}
+		reportEventsPerSec(b, tr.Len())
+	})
+}
+
+// BenchmarkStreamingWCP measures the per-event cost of the streaming
+// detector without whole-trace materialization overheads.
+func BenchmarkStreamingWCP(b *testing.B) {
+	tr := benchTrace(b, "xalan", table1Scale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := core.NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), core.Options{})
+		for _, e := range tr.Events {
+			d.Process(e)
+		}
+	}
+	reportEventsPerSec(b, tr.Len())
+}

@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's evaluation artifacts on the
+// synthetic workloads:
+//
+//	experiments -table1                # Table 1 (all 18 benchmarks)
+//	experiments -table1 -bench derby   # a single row
+//	experiments -table1 -skip-predict  # fast: omit the RVPredict columns
+//	experiments -figure7               # Figure 7 (eclipse, ftpserver, derby)
+//	experiments -csv out.csv -table1   # machine-readable output too
+//
+// See EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro"
+)
+
+var (
+	table1      = flag.Bool("table1", false, "regenerate Table 1")
+	figure7     = flag.Bool("figure7", false, "regenerate Figure 7's sweep")
+	bench       = flag.String("bench", "", "restrict to one benchmark")
+	scale       = flag.Float64("scale", 1.0, "workload scale factor")
+	skipPredict = flag.Bool("skip-predict", false, "omit the predictive (RVPredict) columns")
+	fullGrid    = flag.Bool("full-grid", false, "compute the Max column over the full window×budget grid")
+	csvPath     = flag.String("csv", "", "also write results as CSV")
+)
+
+func main() {
+	flag.Parse()
+	if !*table1 && !*figure7 {
+		fmt.Fprintln(os.Stderr, "experiments: pass -table1 and/or -figure7")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *table1 {
+		runTable1()
+	}
+	if *figure7 {
+		runFigure7()
+	}
+}
+
+func runTable1() {
+	opts := repro.Table1Options{Scale: *scale, SkipPredict: *skipPredict, FullGrid: *fullGrid}
+	if *bench != "" {
+		opts.Benchmarks = []string{*bench}
+	}
+	start := time.Now()
+	rows := repro.RunTable1(opts)
+	fmt.Println("=== Table 1 (synthetic workloads; see EXPERIMENTS.md for the paper comparison) ===")
+	fmt.Print(repro.FormatTable1(rows))
+	fmt.Printf("expected race counts: ")
+	ok := true
+	for _, r := range rows {
+		if r.WCPRaces != r.WantWCP || r.HBRaces != r.WantHB {
+			ok = false
+			fmt.Printf("\n  %s: got WCP=%d HB=%d, paper says WCP=%d HB=%d", r.Name, r.WCPRaces, r.HBRaces, r.WantWCP, r.WantHB)
+		}
+	}
+	if ok {
+		fmt.Printf("all match Table 1 columns 6-7\n")
+	} else {
+		fmt.Println()
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	if *csvPath != "" {
+		writeTable1CSV(rows)
+	}
+}
+
+func runFigure7() {
+	names := []string{"eclipse", "ftpserver", "derby"}
+	if *bench != "" {
+		names = []string{*bench}
+	}
+	start := time.Now()
+	points := repro.RunFigure7(names, *scale)
+	fmt.Println("=== Figure 7: predictive races vs (window size × solver budget) ===")
+	fmt.Print(repro.FormatFigure7(points))
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func writeTable1CSV(rows []repro.Table1Row) {
+	f, err := os.Create(*csvPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	w.Write([]string{"bench", "events", "threads", "locks", "wcp", "hb",
+		"predict1k", "predict10k", "predictmax", "queue_frac",
+		"wcp_ms", "hb_ms", "predict1k_ms", "predict10k_ms"})
+	for _, r := range rows {
+		w.Write([]string{
+			r.Name,
+			strconv.Itoa(r.Events), strconv.Itoa(r.Threads), strconv.Itoa(r.Locks),
+			strconv.Itoa(r.WCPRaces), strconv.Itoa(r.HBRaces),
+			strconv.Itoa(r.Predict1K), strconv.Itoa(r.Predict10K), strconv.Itoa(r.PredictMax),
+			fmt.Sprintf("%.4f", r.QueueFraction),
+			fmt.Sprintf("%.2f", float64(r.WCPTime.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(r.HBTime.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(r.Predict1KTime.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(r.Predict10KTime.Microseconds())/1000),
+		})
+	}
+}

@@ -1,0 +1,121 @@
+// Command tracegen generates the synthetic benchmark traces (and random or
+// lower-bound traces) to files in the text or binary trace format, for use
+// with cmd/rapid or any external consumer.
+//
+// Usage:
+//
+//	tracegen -bench eclipse -scale 0.5 -o eclipse.log
+//	tracegen -bench all -format binary -dir traces/
+//	tracegen -random -threads 4 -locks 2 -vars 3 -events 10000 -o random.log
+//	tracegen -lowerbound 0110,0111 -o lb.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+)
+
+var (
+	benchName = flag.String("bench", "", "benchmark name from Table 1, or 'all'")
+	scale     = flag.Float64("scale", 1.0, "benchmark scale factor")
+	random    = flag.Bool("random", false, "generate a random well-formed trace")
+	threads   = flag.Int("threads", 4, "random: thread count")
+	locks     = flag.Int("locks", 2, "random: lock pool size")
+	vars      = flag.Int("vars", 3, "random: variable pool size")
+	events    = flag.Int("events", 10000, "random: approximate event count")
+	seed      = flag.Int64("seed", 1, "random: seed")
+	lower     = flag.String("lowerbound", "", "Figure-8 trace: two comma-separated bit strings u,v")
+	format    = flag.String("format", "text", "output format: text or binary")
+	out       = flag.String("o", "", "output file (default stdout)")
+	dir       = flag.String("dir", ".", "output directory for -bench all")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	switch {
+	case *benchName == "all":
+		for _, b := range repro.Benchmarks() {
+			ext := ".log"
+			if *format == "binary" {
+				ext = ".bin"
+			}
+			path := filepath.Join(*dir, b.Name+ext)
+			if err := writeTo(path, b.Generate(*scale)); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		return nil
+	case *benchName != "":
+		b, ok := repro.BenchmarkByName(*benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (see Table 1 names)", *benchName)
+		}
+		return writeTo(*out, b.Generate(*scale))
+	case *random:
+		tr := repro.RandomTrace(repro.RandomTraceConfig{
+			Threads: *threads, Locks: *locks, Vars: *vars,
+			Events: *events, Seed: *seed, ForkJoin: true,
+		})
+		return writeTo(*out, tr)
+	case *lower != "":
+		parts := strings.Split(*lower, ",")
+		if len(parts) != 2 || len(parts[0]) != len(parts[1]) {
+			return fmt.Errorf("-lowerbound wants u,v with equal lengths, got %q", *lower)
+		}
+		u, err := parseBits(parts[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseBits(parts[1])
+		if err != nil {
+			return err
+		}
+		return writeTo(*out, repro.LowerBoundTrace(u, v))
+	default:
+		return fmt.Errorf("one of -bench, -random, -lowerbound is required")
+	}
+}
+
+func parseBits(s string) ([]bool, error) {
+	bits := make([]bool, len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+		case '1':
+			bits[i] = true
+		default:
+			return nil, fmt.Errorf("bit string %q contains %q", s, c)
+		}
+	}
+	return bits, nil
+}
+
+func writeTo(path string, tr *repro.Trace) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "binary" {
+		return repro.WriteTraceBinary(w, tr)
+	}
+	return repro.WriteTraceText(w, tr)
+}

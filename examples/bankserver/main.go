@@ -1,0 +1,165 @@
+// Bankserver is an end-to-end scenario modeled on the workloads the paper's
+// introduction motivates: a multi-threaded server whose threads mostly lock
+// correctly, with two bugs hidden in rarely-exercised paths:
+//
+//  1. an audit thread reads an account balance without taking the account
+//     lock (a classic forgotten-lock race), and
+//  2. a shutdown path writes a statistics counter that the worker threads
+//     update under a lock, but the shutdown write happens lock-free —
+//     *after* a lock-ordered handshake, so the observed schedule hides it
+//     from happens-before and only WCP-style reasoning predicts it.
+//
+// The example synthesizes the server's execution trace, logs it to disk in
+// the text format (as RVPredict's logger would), reads it back, and
+// analyzes it with every engine — showing WCP find both bugs, HB find one,
+// and the lockset baseline drown the signal in a false alarm.
+//
+// Run with: go run ./examples/bankserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	tr := synthesizeServerTrace()
+
+	// Log the trace to disk and read it back, exercising the same pipeline
+	// an external tool would use.
+	path := filepath.Join(os.TempDir(), "bankserver.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.WriteTraceText(f, tr); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	defer os.Remove(path)
+
+	loaded, err := repro.ReadTraceFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("logged %s to %s\n\n", repro.TraceStats(loaded), path)
+
+	wcp := repro.DetectWCP(loaded)
+	fmt.Printf("WCP     : %d race pair(s), queue high-water %.2f%% of events\n",
+		wcp.Report.Distinct(), 100*wcp.QueueMaxFraction())
+	fmt.Println(wcp.Report.Format(loaded.Symbols))
+
+	hbRes := repro.DetectHB(loaded)
+	fmt.Printf("\nHB      : %d race pair(s) (misses the shutdown-counter bug)\n", hbRes.Report.Distinct())
+	fmt.Println(hbRes.Report.Format(loaded.Symbols))
+
+	ls := repro.DetectLockset(loaded)
+	fmt.Printf("\nlockset : %d warning(s) (unsound; includes the dual-lock false alarm)\n", ls.Warnings)
+
+	// Windowed analysis loses the audit race: the unlocked read happens
+	// thousands of events after the write it races with.
+	windowed := repro.DetectPredictive(loaded, repro.PredictOptions{WindowSize: 500, WindowBudget: 20000})
+	fmt.Printf("\npredict (500-event windows): %d race pair(s) — the audit race spans windows and disappears\n",
+		windowed.Report.Distinct())
+}
+
+// synthesizeServerTrace builds the server's execution: four tellers moving
+// money between locked accounts, an audit thread with the forgotten-lock
+// read, and a shutdown path with the WCP-only counter race.
+func synthesizeServerTrace() *repro.Trace {
+	b := repro.NewTraceBuilder()
+	tellers := []string{"teller1", "teller2", "teller3", "teller4"}
+	for _, t := range tellers {
+		b.Fork("main", t)
+	}
+	b.Fork("main", "audit")
+
+	account := func(i int) (lock, balance string) {
+		return fmt.Sprintf("account%d.lock", i), fmt.Sprintf("account%d.balance", i)
+	}
+
+	// The bug the audit thread will trip over: teller1 writes account 0's
+	// balance (correctly locked) early on...
+	l0, bal0 := account(0)
+	b.Acquire("teller1", l0)
+	b.At("teller.go:deposit").Write("teller1", bal0)
+	b.Release("teller1", l0)
+
+	// ...then a long stretch of correct banking: tellers transfer between
+	// accounts under per-account locks, and bump a stats counter under the
+	// stats lock.
+	for round := 0; round < 400; round++ {
+		t := tellers[round%len(tellers)]
+		src := round % 8
+		dst := (round + 3) % 8
+		if src == dst {
+			dst = (dst + 1) % 8
+		}
+		sl, sb := account(src)
+		dl, db := account(dst)
+		b.Acquire(t, sl)
+		b.At("teller.go:readSrc").Read(t, sb)
+		b.At("teller.go:debit").Write(t, sb)
+		b.Release(t, sl)
+		b.Acquire(t, dl)
+		b.At("teller.go:credit").Write(t, db)
+		b.Release(t, dl)
+		b.Acquire(t, "stats.lock")
+		b.At("stats.go:bump").Read(t, "stats.ops")
+		b.At("stats.go:bump2").Write(t, "stats.ops")
+		b.Release(t, "stats.lock")
+	}
+
+	// Bug 1: the audit thread reads account 0's balance WITHOUT the lock —
+	// thousands of events after teller1's write, unordered with it.
+	b.At("audit.go:snapshot").Read("audit", bal0)
+
+	// Bug 2 (the WCP-only one, Figure-2(b) shape): the shutdown path in
+	// teller2 writes a drain flag, then publishes under the stats lock;
+	// main reads the flag inside its own stats critical section *before*
+	// touching what teller2 published. HB orders flag-write before
+	// flag-read through the lock, but the critical sections could legally
+	// run in the other order: a predictable race WCP reports.
+	b.At("shutdown.go:setFlag").Write("teller2", "drain.flag")
+	b.Acquire("teller2", "stats.lock")
+	b.At("shutdown.go:publish").Write("teller2", "stats.final")
+	b.Release("teller2", "stats.lock")
+	b.Acquire("main", "stats.lock")
+	b.At("main.go:checkFlag").Read("main", "drain.flag")
+	b.At("main.go:readFinal").Read("main", "stats.final")
+	b.Release("main", "stats.lock")
+
+	// Lockset false alarm: a handoff-protected config value guarded by
+	// different locks in different phases (race free under HB).
+	b.Acquire("teller3", "cfg.lockA")
+	b.At("cfg.go:writeA").Write("teller3", "cfg.value")
+	b.Release("teller3", "cfg.lockA")
+	b.Acquire("teller3", "handoff")
+	b.Write("teller3", "handoff.token")
+	b.Release("teller3", "handoff")
+	b.Acquire("teller4", "handoff")
+	b.Read("teller4", "handoff.token")
+	b.Release("teller4", "handoff")
+	b.Acquire("teller4", "cfg.lockB")
+	b.At("cfg.go:writeB").Write("teller4", "cfg.value")
+	b.Release("teller4", "cfg.lockB")
+	b.Acquire("teller4", "handoff")
+	b.Write("teller4", "handoff.token")
+	b.Release("teller4", "handoff")
+	b.Acquire("teller3", "handoff")
+	b.Read("teller3", "handoff.token")
+	b.Release("teller3", "handoff")
+	b.Acquire("teller3", "cfg.lockA")
+	b.At("cfg.go:writeA2").Write("teller3", "cfg.value")
+	b.Release("teller3", "cfg.lockA")
+
+	for _, t := range tellers {
+		b.Join("main", t)
+	}
+	b.Join("main", "audit")
+	return b.Build()
+}

@@ -1,0 +1,248 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hb"
+	"repro/internal/predict"
+)
+
+// NodesPerSolverSecond converts the paper's SMT solver timeouts (60s, 120s,
+// 240s) into exploration budgets for the predictive engine: one "solver
+// second" buys this many DFS nodes. The constant is calibrated so the
+// engine's success/failure mix on the scaled-down workloads resembles
+// RVPredict's on the originals (see DESIGN.md §4, Substitutions).
+const NodesPerSolverSecond = 500
+
+// Table1Row is one row of the paper's Table 1, reproduced on the synthetic
+// workloads.
+type Table1Row struct {
+	Name    string
+	Events  int
+	Threads int
+	Locks   int
+	// WCPRaces and HBRaces are distinct race pairs (columns 6–7).
+	WCPRaces int
+	HBRaces  int
+	// Predict1K and Predict10K are the RVPredict-substitute's distinct
+	// pairs at window 1K/solver 60s and window 10K/solver 240s
+	// (columns 8–9); PredictMax is the max over the full parameter grid
+	// (column 10).
+	Predict1K  int
+	Predict10K int
+	PredictMax int
+	// QueueFraction is Algorithm 1's queue high-water mark as a fraction
+	// of events (column 11).
+	QueueFraction float64
+	// WCPTime, HBTime, Predict1KTime, Predict10KTime are analysis times
+	// (columns 12–15).
+	WCPTime        time.Duration
+	HBTime         time.Duration
+	Predict1KTime  time.Duration
+	Predict10KTime time.Duration
+	// Expected race counts from the paper, for the report.
+	WantWCP int
+	WantHB  int
+}
+
+// Table1Options configures RunTable1.
+type Table1Options struct {
+	// Scale multiplies every benchmark's default event count (1.0 if 0).
+	Scale float64
+	// Benchmarks restricts the run to the named benchmarks (all if empty).
+	Benchmarks []string
+	// SkipPredict skips the predictive columns (they dominate run time).
+	SkipPredict bool
+	// FullGrid sweeps the whole window×budget grid for the PredictMax
+	// column; otherwise the max is taken over the two reported configs.
+	FullGrid bool
+}
+
+// RunTable1 regenerates Table 1: for each benchmark it generates the
+// synthetic trace, runs WCP and HB over the whole trace, and the windowed
+// predictive engine at the paper's two reported parameter points.
+func RunTable1(opts Table1Options) []Table1Row {
+	scale := opts.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	want := func(name string) bool {
+		if len(opts.Benchmarks) == 0 {
+			return true
+		}
+		for _, n := range opts.Benchmarks {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	var rows []Table1Row
+	for _, b := range gen.Benchmarks {
+		if !want(b.Name) {
+			continue
+		}
+		tr := b.Generate(scale)
+		row := Table1Row{
+			Name:    b.Name,
+			Events:  tr.Len(),
+			Threads: tr.NumThreads(),
+			Locks:   tr.NumLocks(),
+			WantWCP: b.WCPRaces(),
+			WantHB:  b.HBRaces,
+		}
+
+		start := time.Now()
+		wcpRes := core.Detect(tr)
+		row.WCPTime = time.Since(start)
+		row.WCPRaces = wcpRes.Report.Distinct()
+		row.QueueFraction = wcpRes.QueueMaxFraction()
+
+		start = time.Now()
+		hbRes := hb.Detect(tr)
+		row.HBTime = time.Since(start)
+		row.HBRaces = hbRes.Report.Distinct()
+
+		if !opts.SkipPredict {
+			start = time.Now()
+			p1 := predict.Detect(tr, predict.Options{WindowSize: 1000, WindowBudget: 60 * NodesPerSolverSecond})
+			row.Predict1KTime = time.Since(start)
+			row.Predict1K = p1.Report.Distinct()
+
+			start = time.Now()
+			p10 := predict.Detect(tr, predict.Options{WindowSize: 10000, WindowBudget: 240 * NodesPerSolverSecond})
+			row.Predict10KTime = time.Since(start)
+			row.Predict10K = p10.Report.Distinct()
+
+			row.PredictMax = row.Predict1K
+			if row.Predict10K > row.PredictMax {
+				row.PredictMax = row.Predict10K
+			}
+			if opts.FullGrid {
+				for _, pt := range RunFigure7([]string{b.Name}, scale) {
+					if pt.Races > row.PredictMax {
+						row.PredictMax = pt.Races
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable1 renders rows in the layout of the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %9s %4s %6s | %4s %4s %6s %7s %4s | %6s | %9s %9s %9s %9s\n",
+		"Program", "#Events", "Thr", "Locks",
+		"WCP", "HB", "RV(1K)", "RV(10K)", "Max",
+		"Q(%)", "WCP-t", "HB-t", "RV1K-t", "RV10K-t")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 132))
+	for _, r := range rows {
+		mark := " "
+		if r.WCPRaces > r.HBRaces {
+			mark = "*" // the paper boldfaces WCP > HB rows
+		}
+		fmt.Fprintf(&b, "%-14s %9d %4d %6d | %3d%s %4d %6d %7d %4d | %6.2f | %9s %9s %9s %9s\n",
+			r.Name, r.Events, r.Threads, r.Locks,
+			r.WCPRaces, mark, r.HBRaces, r.Predict1K, r.Predict10K, r.PredictMax,
+			100*r.QueueFraction,
+			round(r.WCPTime), round(r.HBTime), round(r.Predict1KTime), round(r.Predict10KTime))
+	}
+	fmt.Fprintf(&b, "%s\n* = WCP detects more races than HB (paper boldface)\n", strings.Repeat("-", 132))
+	return b.String()
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(time.Millisecond).String()
+	default:
+		return d.Round(10 * time.Millisecond).String()
+	}
+}
+
+// Figure7Point is one bar of Figure 7: races detected by the windowed
+// predictive engine at one (window size, solver budget) combination.
+type Figure7Point struct {
+	Bench   string
+	Window  int
+	Seconds int // nominal solver seconds (budget = Seconds × NodesPerSolverSecond)
+	Races   int
+}
+
+// Figure7Windows and Figure7Budgets are the paper's parameter grids.
+var (
+	Figure7Windows = []int{1000, 2000, 5000, 10000}
+	Figure7Budgets = []int{60, 120, 240}
+)
+
+// RunFigure7 sweeps the predictive engine over the paper's window-size ×
+// solver-timeout grid for the named benchmarks (the paper uses eclipse,
+// ftpserver and derby).
+func RunFigure7(names []string, scale float64) []Figure7Point {
+	if scale == 0 {
+		scale = 1.0
+	}
+	var out []Figure7Point
+	for _, name := range names {
+		b, ok := gen.ByName(name)
+		if !ok {
+			continue
+		}
+		tr := b.Generate(scale)
+		for _, w := range Figure7Windows {
+			for _, s := range Figure7Budgets {
+				res := predict.Detect(tr, predict.Options{
+					WindowSize:   w,
+					WindowBudget: s * NodesPerSolverSecond,
+				})
+				out = append(out, Figure7Point{Bench: name, Window: w, Seconds: s, Races: res.Report.Distinct()})
+			}
+		}
+	}
+	return out
+}
+
+// FormatFigure7 renders the sweep as the grid underlying Figure 7.
+func FormatFigure7(points []Figure7Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "bench")
+	for _, w := range Figure7Windows {
+		for _, s := range Figure7Budgets {
+			fmt.Fprintf(&b, " %4dK/%3ds", w/1000, s)
+		}
+	}
+	b.WriteByte('\n')
+	byBench := map[string][]Figure7Point{}
+	var order []string
+	for _, p := range points {
+		if _, ok := byBench[p.Bench]; !ok {
+			order = append(order, p.Bench)
+		}
+		byBench[p.Bench] = append(byBench[p.Bench], p)
+	}
+	for _, name := range order {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, w := range Figure7Windows {
+			for _, s := range Figure7Budgets {
+				for _, p := range byBench[name] {
+					if p.Window == w && p.Seconds == s {
+						fmt.Fprintf(&b, " %9d", p.Races)
+					}
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

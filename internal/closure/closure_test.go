@@ -1,0 +1,150 @@
+package closure
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRelBasics(t *testing.T) {
+	r := NewRel(130) // cross the word boundary
+	if r.N() != 130 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if r.Has(0, 129) {
+		t.Error("empty relation has pairs")
+	}
+	if !r.Add(0, 129) {
+		t.Error("Add should report change")
+	}
+	if r.Add(0, 129) {
+		t.Error("second Add should report no change")
+	}
+	if !r.Has(0, 129) || r.Has(129, 0) {
+		t.Error("Has wrong after Add")
+	}
+	if r.Size() != 1 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	c := r.Clone()
+	c.Add(5, 6)
+	if r.Has(5, 6) {
+		t.Error("Clone aliased")
+	}
+	if !r.SubsetOf(c) || c.SubsetOf(r) {
+		t.Error("SubsetOf wrong")
+	}
+}
+
+func TestTransitiveClose(t *testing.T) {
+	r := NewRel(5)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	r.TransitiveClose()
+	for _, p := range [][2]int{{0, 2}, {0, 3}, {1, 3}} {
+		if !r.Has(p[0], p[1]) {
+			t.Errorf("missing transitive pair %v", p)
+		}
+	}
+	if r.Has(3, 0) {
+		t.Error("closure invented a backward edge")
+	}
+}
+
+func TestComputeHBSimple(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("t1", "x")   // 0
+	b.Acquire("t1", "l") // 1
+	b.Release("t1", "l") // 2
+	b.Acquire("t2", "l") // 3
+	b.Write("t2", "x")   // 4
+	b.Write("t3", "x")   // 5
+	tr := b.MustBuild()
+	hb := ComputeHB(tr)
+	if !hb.Has(0, 4) {
+		t.Error("w(x)@0 ≤HB w(x)@4 via lock l")
+	}
+	if hb.Has(0, 5) || hb.Has(5, 0) {
+		t.Error("t3 is unordered with everyone")
+	}
+	if !hb.Has(2, 3) {
+		t.Error("rel ≤HB later acq on same lock")
+	}
+	if !hb.Has(1, 1) {
+		t.Error("HB should be reflexive")
+	}
+	races := RacyPairs(tr, hb)
+	// (0,5), (4,5) race; (0,4) does not.
+	if len(races) != 2 {
+		t.Errorf("races = %v", races)
+	}
+}
+
+func TestComputeHBForkJoin(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("t0", "x") // 0
+	b.Fork("t0", "t1") // 1
+	b.Write("t1", "x") // 2
+	b.Write("t0", "y") // 3
+	b.Join("t0", "t1") // 4
+	b.Write("t0", "x") // 5
+	tr := b.MustBuild()
+	hb := ComputeHB(tr)
+	if !hb.Has(0, 2) {
+		t.Error("pre-fork write ≤HB child write")
+	}
+	if hb.Has(3, 2) || hb.Has(2, 3) {
+		t.Error("post-fork parent write unordered with child")
+	}
+	if !hb.Has(2, 5) {
+		t.Error("child write ≤HB post-join write")
+	}
+	if races := RacyPairs(tr, hb); len(races) != 0 {
+		t.Errorf("fork/join trace should be race free, got %v", races)
+	}
+}
+
+func TestOrderedHelper(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("t1", "x") // 0
+	b.Write("t1", "x") // 1
+	b.Write("t2", "x") // 2
+	tr := b.MustBuild()
+	wcp := ComputeWCP(tr)
+	if !Ordered(tr, wcp, 0, 1) {
+		t.Error("thread order must order same-thread events")
+	}
+	if Ordered(tr, wcp, 0, 2) {
+		t.Error("nothing orders cross-thread writes here")
+	}
+}
+
+// TestCPRuleA checks CP's rule (a) on the canonical conflicting critical
+// sections of Figure 1(a): the whole sections become ordered.
+func TestCPRuleA(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Acquire("t1", "l") // 0
+	b.Write("t1", "x")   // 1
+	b.Release("t1", "l") // 2
+	b.Acquire("t2", "l") // 3
+	b.Write("t2", "x")   // 4
+	b.Release("t2", "l") // 5
+	tr := b.MustBuild()
+	cp := ComputeCP(tr)
+	if !cp.Has(2, 3) {
+		t.Error("rule (a): rel ≺CP acq for conflicting critical sections")
+	}
+	if !Ordered(tr, cp, 1, 4) {
+		t.Error("the conflicting writes should be CP ordered")
+	}
+	// WCP rule (a) is weaker: it orders the release before the conflicting
+	// access, not before the acquire.
+	wcp := ComputeWCP(tr)
+	if wcp.Has(2, 3) {
+		t.Error("WCP must not order rel ≺ acq")
+	}
+	if !wcp.Has(2, 4) {
+		t.Error("WCP rule (a): rel ≺WCP conflicting access")
+	}
+}

@@ -1,0 +1,412 @@
+package closure
+
+import (
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// csInfo describes one critical section of a trace.
+type csInfo struct {
+	lock   event.LID
+	acq    int // acquire event index
+	rel    int // release event index, or -1 if the CS runs to end of trace
+	events []int
+	mask   []uint64 // bitset over event indices, for fast ∃-pair checks
+}
+
+// csAnalysis gathers the critical-section structure a trace's WCP/CP rules
+// need: every CS with its member events, plus for each event the list of
+// enclosing critical sections.
+type csAnalysis struct {
+	n    int
+	cs   []csInfo
+	encl [][]int // event index -> indices into cs of enclosing sections
+	// byRel maps a release event index to its csInfo index, -1 otherwise.
+	byRel []int
+	// byAcq maps an acquire event index to its csInfo index, -1 otherwise.
+	byAcq []int
+}
+
+func analyzeCS(tr *trace.Trace) *csAnalysis {
+	n := tr.Len()
+	a := &csAnalysis{
+		n:     n,
+		encl:  make([][]int, n),
+		byRel: make([]int, n),
+		byAcq: make([]int, n),
+	}
+	for i := range a.byRel {
+		a.byRel[i] = -1
+		a.byAcq[i] = -1
+	}
+	words := (n + 63) / 64
+	// Per-thread stack of open csInfo indices.
+	open := make(map[event.TID][]int)
+	for i, e := range tr.Events {
+		if e.Kind == event.Acquire {
+			ci := len(a.cs)
+			a.cs = append(a.cs, csInfo{lock: e.Lock(), acq: i, rel: -1, mask: make([]uint64, words)})
+			a.byAcq[i] = ci
+			open[e.Thread] = append(open[e.Thread], ci)
+		}
+		// The event belongs to every open CS of its thread (acquires were
+		// just pushed, so an acquire is in its own CS; a release is popped
+		// after recording, so it is in its own CS too).
+		for _, ci := range open[e.Thread] {
+			a.cs[ci].events = append(a.cs[ci].events, i)
+			a.cs[ci].mask[i/64] |= 1 << (uint(i) % 64)
+			a.encl[i] = append(a.encl[i], ci)
+		}
+		if e.Kind == event.Release {
+			stack := open[e.Thread]
+			if len(stack) > 0 {
+				ci := stack[len(stack)-1]
+				// Well-nested traces release the innermost lock; tolerate
+				// anything else by popping the innermost matching section.
+				k := len(stack) - 1
+				for k >= 0 && a.cs[stack[k]].lock != e.Lock() {
+					k--
+				}
+				if k >= 0 {
+					ci = stack[k]
+					open[e.Thread] = append(stack[:k:k], stack[k+1:]...)
+					a.cs[ci].rel = i
+					a.byRel[i] = ci
+				}
+			}
+		}
+	}
+	return a
+}
+
+// ComputeMHB returns the reflexive program order: thread order plus
+// fork/join edges, closed under transitivity. A child's events cannot
+// precede its fork and a join cannot precede the child's last event in any
+// execution, so pairs ordered by this relation are never races — but the
+// ordering is not WCP knowledge either (it composes like thread order, not
+// like a rule-(a)/(b) edge).
+func ComputeMHB(tr *trace.Trace) *Rel {
+	n := tr.Len()
+	po := NewRel(n)
+	for i := 0; i < n; i++ {
+		po.Add(i, i)
+	}
+	lastOf := make(map[event.TID]int)
+	firstOf := make(map[event.TID]int)
+	for i, e := range tr.Events {
+		if p, ok := lastOf[e.Thread]; ok {
+			po.Add(p, i)
+		}
+		lastOf[e.Thread] = i
+		if _, ok := firstOf[e.Thread]; !ok {
+			firstOf[e.Thread] = i
+		}
+	}
+	for i, e := range tr.Events {
+		switch e.Kind {
+		case event.Fork:
+			for j := i + 1; j < n; j++ {
+				if tr.Events[j].Thread == e.Target() {
+					po.Add(i, j)
+					break
+				}
+			}
+		case event.Join:
+			last := -1
+			for j := 0; j < i; j++ {
+				if tr.Events[j].Thread == e.Target() {
+					last = j
+				}
+			}
+			if last >= 0 {
+				po.Add(last, i)
+			}
+		}
+	}
+	po.TransitiveClose()
+	return po
+}
+
+// ComputeHB returns the reflexive ≤HB relation of Definition 1 extended with
+// fork/join edges: thread order, release-to-later-acquire on the same lock,
+// fork-to-first-child-event, and last-child-event-to-join, closed under
+// transitivity.
+func ComputeHB(tr *trace.Trace) *Rel {
+	n := tr.Len()
+	hb := NewRel(n)
+	for i := 0; i < n; i++ {
+		hb.Add(i, i)
+	}
+	// Thread order: successive events of the same thread.
+	lastOf := make(map[event.TID]int)
+	firstAfter := func(t event.TID, from int) int {
+		for j := from + 1; j < n; j++ {
+			if tr.Events[j].Thread == t {
+				return j
+			}
+		}
+		return -1
+	}
+	for i, e := range tr.Events {
+		if p, ok := lastOf[e.Thread]; ok {
+			hb.Add(p, i)
+		}
+		lastOf[e.Thread] = i
+	}
+	// Release to every later acquire of the same lock.
+	for i, e := range tr.Events {
+		if e.Kind != event.Release {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			f := tr.Events[j]
+			if f.Kind == event.Acquire && f.Lock() == e.Lock() {
+				hb.Add(i, j)
+			}
+		}
+	}
+	// Fork and join edges.
+	for i, e := range tr.Events {
+		switch e.Kind {
+		case event.Fork:
+			if j := firstAfter(e.Target(), i); j >= 0 {
+				hb.Add(i, j)
+			}
+		case event.Join:
+			last := -1
+			for j := 0; j < i; j++ {
+				if tr.Events[j].Thread == e.Target() {
+					last = j
+				}
+			}
+			if last >= 0 {
+				hb.Add(last, i)
+			}
+		}
+	}
+	hb.TransitiveClose()
+	return hb
+}
+
+// anyPairRelated reports whether some e1 in cs1 and e2 in cs2 satisfy
+// rel(e1, e2), using cs2's bitmask against rel's rows.
+func anyPairRelated(rel *Rel, cs1, cs2 *csInfo) bool {
+	for _, e1 := range cs1.events {
+		row := rel.row(e1)
+		for w, m := range cs2.mask {
+			if row[w]&m != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func anyConflict(tr *trace.Trace, cs1 *csInfo, e event.Event) bool {
+	for _, i := range cs1.events {
+		if tr.Events[i].Conflicts(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// composeWithHB closes rel under rule (c): rel = (rel ∘ hb) = (hb ∘ rel),
+// reporting whether anything was added.
+func composeWithHB(rel, hb *Rel) bool {
+	n := rel.N()
+	changed := false
+	for i := 0; i < n; i++ {
+		// rel ∘ hb: i rel j, j hb k ⇒ i rel k.
+		for j := 0; j < n; j++ {
+			if i != j && rel.Has(i, j) {
+				if rel.OrRow(i, hb, j) {
+					changed = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		// hb ∘ rel: i hb j, j rel k ⇒ i rel k.
+		for j := 0; j < n; j++ {
+			if i != j && hb.Has(i, j) {
+				if rel.OrRow(i, rel, j) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// ComputeWCP returns the irreflexive ≺WCP relation of Definition 3, computed
+// as the least fixpoint of rules (a), (b), (c). The returned relation does
+// NOT include thread order; use Ordered for the ≤WCP partial order.
+func ComputeWCP(tr *trace.Trace) *Rel {
+	n := tr.Len()
+	a := analyzeCS(tr)
+	hb := ComputeHB(tr)
+	wcp := NewRel(n)
+
+	// Rule (a): rel(ℓ) event r, access e with e ∈ ℓ and r <tr e, and CS(r)
+	// contains an event conflicting with e ⇒ r ≺WCP e. Static: seed once.
+	for ci := range a.cs {
+		cs := &a.cs[ci]
+		if cs.rel < 0 {
+			continue // not a completed critical section; no release event
+		}
+		for j := cs.rel + 1; j < n; j++ {
+			e := tr.Events[j]
+			if !e.Kind.IsAccess() {
+				continue
+			}
+			inL := false
+			for _, cj := range a.encl[j] {
+				if a.cs[cj].lock == cs.lock {
+					inL = true
+					break
+				}
+			}
+			if inL && anyConflict(tr, cs, e) {
+				wcp.Add(cs.rel, j)
+			}
+		}
+	}
+
+	// Fixpoint of rules (b) and (c).
+	for changed := true; changed; {
+		changed = false
+		// Rule (b): releases r1 <tr r2 on the same lock with WCP-ordered
+		// events inside their critical sections ⇒ r1 ≺WCP r2.
+		for i := range a.cs {
+			cs1 := &a.cs[i]
+			if cs1.rel < 0 {
+				continue
+			}
+			for j := range a.cs {
+				cs2 := &a.cs[j]
+				if cs2.rel < 0 || cs2.rel <= cs1.rel || cs1.lock != cs2.lock {
+					continue
+				}
+				if wcp.Has(cs1.rel, cs2.rel) {
+					continue
+				}
+				if anyPairRelated(wcp, cs1, cs2) {
+					wcp.Add(cs1.rel, cs2.rel)
+					changed = true
+				}
+			}
+		}
+		if composeWithHB(wcp, hb) {
+			changed = true
+		}
+	}
+	// Fold in program order (fork/join ancestry): it orders events like
+	// thread order does, so it belongs in the returned ordering used for
+	// race checks — but it never participated in the fixpoint above, where
+	// rules (a)/(b) demand strict ≺WCP evidence. Compositions of MHB with
+	// ≺WCP are already present: MHB ⊆ ≤HB and the fixpoint closed under
+	// HB composition on both sides.
+	mhb := ComputeMHB(tr)
+	for i := 0; i < n; i++ {
+		wcp.OrRow(i, mhb, i)
+	}
+	return wcp
+}
+
+// ComputeCP returns the irreflexive ≺CP relation of Definition 2, computed
+// as the least fixpoint of its rules (a), (b), (c).
+func ComputeCP(tr *trace.Trace) *Rel {
+	n := tr.Len()
+	a := analyzeCS(tr)
+	hb := ComputeHB(tr)
+	cp := NewRel(n)
+
+	// Rule (a): rel r and acq a on the same lock, r <tr a, with conflicting
+	// events in their critical sections ⇒ r ≺CP a. Static.
+	for i := range a.cs {
+		cs1 := &a.cs[i]
+		if cs1.rel < 0 {
+			continue
+		}
+		for j := range a.cs {
+			cs2 := &a.cs[j]
+			if cs2.acq <= cs1.rel || cs1.lock != cs2.lock {
+				continue
+			}
+			conflict := false
+			for _, e2 := range cs2.events {
+				if anyConflict(tr, cs1, tr.Events[e2]) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				cp.Add(cs1.rel, cs2.acq)
+			}
+		}
+	}
+
+	// Fixpoint of rules (b) and (c).
+	for changed := true; changed; {
+		changed = false
+		for i := range a.cs {
+			cs1 := &a.cs[i]
+			if cs1.rel < 0 {
+				continue
+			}
+			for j := range a.cs {
+				cs2 := &a.cs[j]
+				if cs2.acq <= cs1.rel || cs1.lock != cs2.lock {
+					continue
+				}
+				if cp.Has(cs1.rel, cs2.acq) {
+					continue
+				}
+				if anyPairRelated(cp, cs1, cs2) {
+					cp.Add(cs1.rel, cs2.acq)
+					changed = true
+				}
+			}
+		}
+		if composeWithHB(cp, hb) {
+			changed = true
+		}
+	}
+	// Fold in program order, as in ComputeWCP.
+	mhb := ComputeMHB(tr)
+	for i := 0; i < n; i++ {
+		cp.OrRow(i, mhb, i)
+	}
+	return cp
+}
+
+// Ordered lifts an irreflexive cross-thread relation (≺WCP or ≺CP) to the
+// corresponding partial order (≤WCP or ≤CP) question: it reports whether
+// event i is ordered before j by rel ∪ thread order, for i <tr j.
+func Ordered(tr *trace.Trace, rel *Rel, i, j int) bool {
+	if tr.Events[i].Thread == tr.Events[j].Thread {
+		return i <= j
+	}
+	return rel.Has(i, j)
+}
+
+// RacyPairs returns all conflicting pairs (i, j) with i <tr j that are
+// unordered by rel ∪ thread order. For the HB relation pass ComputeHB's
+// result directly (it already contains thread order); for WCP/CP pass the
+// ≺ relation.
+func RacyPairs(tr *trace.Trace, rel *Rel) [][2]int {
+	var out [][2]int
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !tr.Events[i].Conflicts(tr.Events[j]) {
+				continue
+			}
+			if !rel.Has(i, j) && !rel.Has(j, i) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}

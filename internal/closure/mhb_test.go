@@ -1,0 +1,66 @@
+package closure
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestComputeMHB checks the program order relation directly: thread order,
+// fork and join edges, and nothing else (no lock edges).
+func TestComputeMHB(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("t0", "a")   // 0
+	b.Fork("t0", "t1")   // 1
+	b.Write("t1", "b")   // 2
+	b.Release("t0", "l") // 3 (mismatched on purpose: MHB ignores locks)
+	b.Acquire("t1", "l") // 4
+	b.Join("t0", "t1")   // 5
+	b.Write("t0", "c")   // 6
+	tr := b.Build()
+	mhb := ComputeMHB(tr)
+
+	mustHave := [][2]int{
+		{0, 1}, {0, 2}, // thread order, fork edge (transitively from 0)
+		{1, 2},         // fork edge
+		{2, 4},         // child thread order
+		{4, 5}, {2, 5}, // join edge
+		{0, 6}, {2, 6}, // transitive through join
+		{3, 3}, // reflexive
+	}
+	for _, p := range mustHave {
+		if !mhb.Has(p[0], p[1]) {
+			t.Errorf("MHB missing %v", p)
+		}
+	}
+	// Lock hand-off must NOT be in MHB: t0's release (3) and t1's acquire
+	// (4) are unrelated threads' events outside fork/join.
+	if mhb.Has(3, 4) {
+		t.Error("MHB must not contain lock edges")
+	}
+	// Parent events after the fork are unordered with child events.
+	if mhb.Has(3, 2) || mhb.Has(2, 3) {
+		t.Error("post-fork parent event should be MHB-unordered with child")
+	}
+}
+
+// TestMHBInsideWCPAndCP checks the fold: the returned WCP/CP relations
+// contain the program order.
+func TestMHBInsideWCPAndCP(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("t0", "a")
+	b.Fork("t0", "t1")
+	b.Write("t1", "a")
+	tr := b.MustBuild()
+	mhb := ComputeMHB(tr)
+	if !mhb.SubsetOf(ComputeWCP(tr)) {
+		t.Error("MHB ⊄ returned WCP relation")
+	}
+	if !mhb.SubsetOf(ComputeCP(tr)) {
+		t.Error("MHB ⊄ returned CP relation")
+	}
+	// Consequently the fork-ordered conflicting writes are not racy.
+	if races := RacyPairs(tr, ComputeWCP(tr)); len(races) != 0 {
+		t.Errorf("fork-ordered writes reported racy: %v", races)
+	}
+}

@@ -1,0 +1,107 @@
+// Package closure computes the paper's orderings ≤HB (Definition 1),
+// ≺CP (Definition 2) and ≺WCP (Definition 3) *explicitly*, by fixpoint
+// iteration over boolean relation matrices.
+//
+// This is the O(n³)-ish reference implementation: it is only usable on small
+// traces, but it follows the definitions rule by rule, which makes it the
+// ground truth against which the streaming linear-time detectors are
+// property-tested (Theorem 2 states the streaming WCP algorithm agrees with
+// the definition; our tests check exactly that). It also powers the windowed
+// CP baseline, mirroring how the paper frames CP as only usable on bounded
+// fragments.
+package closure
+
+import "math/bits"
+
+// Rel is a binary relation over n events, stored as a bitset matrix:
+// row i holds the set {j : i R j}.
+type Rel struct {
+	n     int
+	words int
+	rows  []uint64
+}
+
+// NewRel returns the empty relation over n events.
+func NewRel(n int) *Rel {
+	words := (n + 63) / 64
+	return &Rel{n: n, words: words, rows: make([]uint64, n*words)}
+}
+
+// N returns the number of events the relation ranges over.
+func (r *Rel) N() int { return r.n }
+
+func (r *Rel) row(i int) []uint64 { return r.rows[i*r.words : (i+1)*r.words] }
+
+// Has reports i R j.
+func (r *Rel) Has(i, j int) bool {
+	return r.rows[i*r.words+j/64]&(1<<(uint(j)%64)) != 0
+}
+
+// Add inserts (i, j) and reports whether the relation changed.
+func (r *Rel) Add(i, j int) bool {
+	w := &r.rows[i*r.words+j/64]
+	bit := uint64(1) << (uint(j) % 64)
+	if *w&bit != 0 {
+		return false
+	}
+	*w |= bit
+	return true
+}
+
+// OrRow sets row i to row i ∪ row j of s (which must have the same width),
+// reporting whether row i changed. It is the workhorse of transitive
+// closure: if i R j then everything j reaches, i reaches.
+func (r *Rel) OrRow(i int, s *Rel, j int) bool {
+	dst, src := r.row(i), s.row(j)
+	changed := false
+	for w := range dst {
+		if nv := dst[w] | src[w]; nv != dst[w] {
+			dst[w] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone returns a deep copy of r.
+func (r *Rel) Clone() *Rel {
+	c := NewRel(r.n)
+	copy(c.rows, r.rows)
+	return c
+}
+
+// Size returns the number of related pairs.
+func (r *Rel) Size() int {
+	total := 0
+	for _, w := range r.rows {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// SubsetOf reports whether every pair of r is in s.
+func (r *Rel) SubsetOf(s *Rel) bool {
+	for i, w := range r.rows {
+		if w&^s.rows[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TransitiveClose closes r under transitivity in place using iterated row
+// unions (repeat until fixpoint; adequate at reference-scale n).
+func (r *Rel) TransitiveClose() {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < r.n; i++ {
+			for j := 0; j < r.n; j++ {
+				if i != j && r.Has(i, j) {
+					if r.OrRow(i, r, j) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,634 @@
+// Package core implements the paper's primary contribution: the streaming,
+// linear-time vector-clock algorithm for the Weak-Causally-Precedes (WCP)
+// relation (Definition 3) and WCP race detection — Algorithm 1 of the paper.
+//
+// The detector processes a trace event by event, maintaining per Algorithm 1:
+//
+//   - a scalar local clock Nt per thread, incremented just before an event
+//     iff the thread's previous event was a release (or fork, which we
+//     segment identically so the HB clocks stay exact);
+//   - a WCP-predecessor clock Pt and an HB clock Ht per thread, with the
+//     derived WCP time Ct = Pt[t := Nt] and the invariant Ht(t) = Nt;
+//   - per lock ℓ: Pℓ and Hℓ, the P/H times of the last rel(ℓ);
+//   - per lock ℓ and variable x: Lr(ℓ,x) and Lw(ℓ,x), the join of the HB
+//     times of releases of ℓ whose critical sections read/wrote x
+//     (rule (a));
+//   - per lock ℓ and thread t: FIFO queues Acqℓ(t) and Relℓ(t) of the
+//     C-times of acquires and H-times of releases of ℓ by other threads,
+//     drained at t's releases of ℓ while the front acquire is ⊑ Ct
+//     (rule (b));
+//   - per variable: read/write timestamp joins Rx and Wx for race checking
+//     (§3.2 end), refined per program location so distinct race *pairs* of
+//     locations are reported exactly (Table 1 metric).
+//
+// Reentrant (same-lock nested) acquisitions are accepted and treated as
+// no-ops for synchronization, matching JVM lock semantics; the paper's trace
+// model has no same-lock nesting.
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/race"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// Options configures the WCP detector.
+type Options struct {
+	// TrackPairs enables exact distinct race-pair reporting per
+	// program-location pair.
+	TrackPairs bool
+	// CollectTimestamps stores the WCP time Ce and HB time He of every
+	// event in the Result, enabling the Theorem 2 cross-check against the
+	// closure-based reference. Memory is O(N·T); only for small traces.
+	CollectTimestamps bool
+	// EpochCheck replaces the vector-clock race check with the
+	// FastTrack-style epoch state machine (§6 future work; see epoch.go).
+	// Incompatible with TrackPairs.
+	EpochCheck bool
+}
+
+// Result is the outcome of a WCP analysis.
+type Result struct {
+	// Report holds the distinct race pairs (nil unless Options.TrackPairs).
+	Report *race.Report
+	// RacyEvents counts events flagged as WCP-racing with an earlier
+	// conflicting access.
+	RacyEvents int
+	// FirstRace is the trace index of the first racy event, or -1. By
+	// Theorem 1 the first WCP race is a predictable race or deadlock.
+	FirstRace int
+	// Events is the number of events processed.
+	Events int
+	// QueueMaxTotal is the high-water mark of the total number of entries
+	// across all Acqℓ(t) and Relℓ(t) queues (Table 1 column 11 numerator).
+	QueueMaxTotal int
+	// Times and HBTimes hold Ce and He per event when
+	// Options.CollectTimestamps is set.
+	Times   []vc.VC
+	HBTimes []vc.VC
+}
+
+// QueueMaxFraction returns QueueMaxTotal as a fraction of events processed
+// (Table 1 column 11), or 0 for an empty trace.
+func (r *Result) QueueMaxFraction() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.QueueMaxTotal) / float64(r.Events)
+}
+
+// varSet is a small deduplicated set of variables, optimized for the
+// critical sections real traces have: few distinct variables, with repeated
+// accesses usually hitting the most recent one.
+type varSet []event.VID
+
+func (s *varSet) add(x event.VID) {
+	if n := len(*s); n > 0 && (*s)[n-1] == x {
+		return
+	}
+	for _, v := range *s {
+		if v == x {
+			return
+		}
+	}
+	*s = append(*s, x)
+}
+
+func (s *varSet) addAll(other varSet) {
+	for _, x := range other {
+		s.add(x)
+	}
+}
+
+// csEntry is one open critical section of a thread: the lock, the local
+// clock at its acquire, and the sets of variables read/written inside it so
+// far (the R and W parameters of the release procedure in Algorithm 1).
+type csEntry struct {
+	lock   event.LID
+	nAcq   vc.Clock
+	reads  varSet
+	writes varSet
+}
+
+// threadState is the per-thread component of the detector state.
+type threadState struct {
+	n       vc.Clock // Nt, the local clock
+	incNext bool     // previous event was a release (or fork): bump Nt first
+	p       vc.VC    // Pt, the WCP-predecessor clock
+	h       vc.VC    // Ht, the HB clock; h[t] mirrors n
+	// o is the program-order ancestry clock: what this thread inherited
+	// through fork/join edges. Fork and join order events like thread
+	// order does — a child cannot run before its fork — but that ordering
+	// is NOT ≺WCP knowledge: it must reach the race check (through the
+	// effective time Pt ⊔ Ot [t := Nt]) without ever entering Pt, exactly
+	// as a thread's own Nt reaches Ct without entering Pt. Letting it into
+	// Pt would leak pure program-order ancestry to other threads through
+	// Pℓ and the queues as if it were WCP ordering.
+	o     vc.VC
+	stack []csEntry
+	depth map[event.LID]int // reentrancy depth per lock
+}
+
+// relTimes records the HB times of the rel(ℓ) events whose critical
+// sections accessed a variable. Rule (a) only orders a release before a
+// *conflicting* access — conflicting events are by different threads — so an
+// access by thread t must join the contributions of every thread except t;
+// a single aggregate clock would smuggle t's own HB knowledge into its WCP
+// clock. (The paper's pseudocode elides this by writing Lr/Lw as plain
+// clocks; the definition's conflict condition forces the per-thread split.)
+//
+// The exclusion is stored pre-computed: others[u] = ⊔ of the contributions
+// of every thread except u. That makes the hot path (an access joining its
+// view) a single vector join, at the cost of T−1 joins per contributing
+// release.
+type relTimes struct {
+	others []vc.VC
+}
+
+func (rt *relTimes) add(t int, h vc.VC, width int) {
+	if rt.others == nil {
+		rt.others = make([]vc.VC, width)
+		flat := make(vc.VC, width*width)
+		for u := range rt.others {
+			rt.others[u] = flat[u*width : (u+1)*width]
+		}
+	}
+	for u := range rt.others {
+		if u != t {
+			rt.others[u].Join(h)
+		}
+	}
+}
+
+// joinInto joins every thread's contribution except reader's into dst.
+func (rt *relTimes) joinInto(dst vc.VC, reader int) {
+	if rt == nil || rt.others == nil {
+		return
+	}
+	dst.Join(rt.others[reader])
+}
+
+// ownCS is an entry of a thread's same-thread rule-(b) queue: one of its own
+// completed critical sections on a lock, as (acquire local time, release HB
+// time).
+type ownCS struct {
+	nAcq vc.Clock
+	h    vc.VC
+}
+
+// lockState is the per-lock component of the detector state, allocated on
+// first use of the lock.
+type lockState struct {
+	pl   vc.VC // Pℓ
+	hl   vc.VC // Hℓ
+	lr   map[event.VID]*relTimes
+	lw   map[event.VID]*relTimes
+	acqQ []fifo // Acqℓ(t), indexed by thread
+	relQ []fifo // Relℓ(t)
+	// ownQ[t] holds t's own earlier critical sections on ℓ, for the
+	// same-thread instance of rule (b): releases r1 <TO r2 on ℓ with
+	// e1 ∈ CS(r1), e2 ∈ CS(r2), e1 ≺WCP e2 order r1 ≺WCP r2, which must
+	// flow H(r1) into P(r2). By the P-invariant (Lemma C.8 applied to
+	// t's own component), such an e1 exists iff Pt(t) has reached the
+	// acquire time of CS(r1).
+	ownQ []fifo2
+}
+
+// fifo2 is a FIFO of ownCS entries (same shape as fifo).
+type fifo2 struct {
+	buf  []ownCS
+	head int
+}
+
+func (q *fifo2) len() int { return len(q.buf) - q.head }
+
+func (q *fifo2) push(e ownCS) { q.buf = append(q.buf, e) }
+
+func (q *fifo2) front() ownCS { return q.buf[q.head] }
+
+func (q *fifo2) pop() ownCS {
+	e := q.buf[q.head]
+	q.buf[q.head].h = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return e
+}
+
+// accessCell tracks accesses at one (variable, location, kind).
+type accessCell struct {
+	time vc.VC
+	last int
+}
+
+// varState is the per-variable race-checking state. Vector-clock mode uses
+// the first four fields; epoch mode (Options.EpochCheck) uses the last
+// three.
+type varState struct {
+	readAll  vc.VC
+	writeAll vc.VC
+	reads    map[event.Loc]*accessCell
+	writes   map[event.Loc]*accessCell
+
+	wEpoch  vc.Epoch
+	rEpoch  vc.Epoch
+	rShared vc.VC
+}
+
+// Detector is the streaming WCP race detector. Create it with NewDetector,
+// feed events in trace order with Process, then read the Result.
+type Detector struct {
+	opts    Options
+	threads []threadState
+	locks   []*lockState
+	vars    []varState
+	res     Result
+	queued  int   // current total queue entries
+	scratch vc.VC // reusable Ce materialization
+}
+
+// NewDetector returns a detector for traces with the given numbers of
+// threads, locks and variables (known up front, e.g. from a binary trace
+// header or a prior counting pass).
+func NewDetector(threads, locks, vars int, opts Options) *Detector {
+	d := &Detector{
+		opts:    opts,
+		threads: make([]threadState, threads),
+		locks:   make([]*lockState, locks),
+		vars:    make([]varState, vars),
+		scratch: vc.New(threads),
+	}
+	d.res.FirstRace = -1
+	if opts.TrackPairs {
+		d.res.Report = race.NewReport()
+	}
+	for t := range d.threads {
+		ts := &d.threads[t]
+		ts.n = 1
+		ts.p = vc.New(threads)
+		ts.h = vc.New(threads)
+		ts.h.Set(t, 1)
+		ts.o = vc.New(threads)
+		ts.depth = make(map[event.LID]int)
+	}
+	return d
+}
+
+func (d *Detector) lock(l event.LID) *lockState {
+	ls := d.locks[l]
+	if ls == nil {
+		n := len(d.threads)
+		ls = &lockState{
+			lr:   make(map[event.VID]*relTimes),
+			lw:   make(map[event.VID]*relTimes),
+			acqQ: make([]fifo, n),
+			relQ: make([]fifo, n),
+			ownQ: make([]fifo2, n),
+		}
+		d.locks[l] = ls
+	}
+	return ls
+}
+
+// ct materializes Ct = Pt[t := Nt] into the detector's scratch clock. The
+// returned VC is valid until the next call to ct or effectiveTime.
+func (d *Detector) ct(t int) vc.VC {
+	ts := &d.threads[t]
+	d.scratch.Copy(ts.p)
+	d.scratch.Set(t, ts.n)
+	return d.scratch
+}
+
+// effectiveTime materializes (Pt ⊔ Ot)[t := Nt]: the WCP time extended with
+// fork/join ancestry, used for race checking and reported timestamps. The
+// returned VC is valid until the next call to ct or effectiveTime.
+func (d *Detector) effectiveTime(t int) vc.VC {
+	ts := &d.threads[t]
+	d.scratch.Copy(ts.p)
+	d.scratch.Join(ts.o)
+	d.scratch.Set(t, ts.n)
+	return d.scratch
+}
+
+// leqCt reports v ⊑ Ct without materializing Ct.
+func (d *Detector) leqCt(v vc.VC, t int) bool {
+	ts := &d.threads[t]
+	for i, c := range v {
+		limit := ts.p.Get(i)
+		if i == t {
+			limit = ts.n
+		}
+		if c > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// Process feeds the next event of the trace to the detector.
+func (d *Detector) Process(e event.Event) {
+	i := d.res.Events
+	d.res.Events++
+	t := int(e.Thread)
+	ts := &d.threads[t]
+	if ts.incNext {
+		ts.incNext = false
+		ts.n++
+		ts.h.Set(t, ts.n)
+	}
+
+	switch e.Kind {
+	case event.Acquire:
+		d.acquire(t, e.Lock())
+	case event.Release:
+		d.release(t, e.Lock())
+	case event.Read:
+		d.read(t, e.Var())
+		if d.opts.EpochCheck {
+			d.checkEpoch(i, e, false)
+		} else {
+			d.check(i, e, false)
+		}
+	case event.Write:
+		d.write(t, e.Var())
+		if d.opts.EpochCheck {
+			d.checkEpoch(i, e, true)
+		} else {
+			d.check(i, e, true)
+		}
+	case event.Fork:
+		u := int(e.Target())
+		us := &d.threads[u]
+		// Fork is an HB edge: H and P flow to the child (P must stay
+		// monotone along HB for rule (c) to compose through the fork).
+		us.h.Join(ts.h)
+		us.h.Set(u, us.n)
+		us.p.Join(ts.p)
+		// The parent's own local time is program-order ancestry, not WCP
+		// knowledge: it goes to the child's O clock, never into P.
+		us.o.Join(ts.o)
+		if ts.n > us.o.Get(t) {
+			us.o.Set(t, ts.n)
+		}
+		// Segment the parent exactly as after a release so post-fork parent
+		// events are not conflated with pre-fork ones in H.
+		ts.incNext = true
+	case event.Join:
+		u := int(e.Target())
+		us := &d.threads[u]
+		ts.h.Join(us.h)
+		ts.h.Set(t, ts.n)
+		ts.p.Join(us.p)
+		ts.o.Join(us.o)
+		if us.n > ts.o.Get(u) {
+			ts.o.Set(u, us.n)
+		}
+	}
+
+	if d.queued > d.res.QueueMaxTotal {
+		d.res.QueueMaxTotal = d.queued
+	}
+	if d.opts.CollectTimestamps {
+		d.res.Times = append(d.res.Times, d.effectiveTime(t).Clone())
+		d.res.HBTimes = append(d.res.HBTimes, ts.h.Clone())
+	}
+}
+
+// acquire implements procedure acquire(t, ℓ) of Algorithm 1.
+func (d *Detector) acquire(t int, l event.LID) {
+	ts := &d.threads[t]
+	ts.stack = append(ts.stack, csEntry{lock: l, nAcq: ts.n})
+	if ts.depth[l]++; ts.depth[l] > 1 {
+		return // reentrant: no synchronization effect
+	}
+	ls := d.lock(l)
+	if ls.hl != nil {
+		ts.h.Join(ls.hl) // Line 1
+		ts.p.Join(ls.pl) // Line 2
+	}
+	// Line 3: enqueue Ct into Acqℓ(t') for every other thread. The time is
+	// immutable, so one clone is shared by all queues.
+	if len(d.threads) > 1 {
+		ct := d.ct(t).Clone()
+		for u := range d.threads {
+			if u != t {
+				ls.acqQ[u].push(ct)
+				d.queued++
+			}
+		}
+	}
+}
+
+// release implements procedure release(t, ℓ, R, W) of Algorithm 1.
+func (d *Detector) release(t int, l event.LID) {
+	ts := &d.threads[t]
+	// Pop the innermost open critical section; tolerate (and ignore)
+	// mismatched releases on traces that were not validated.
+	var entry csEntry
+	if n := len(ts.stack); n > 0 && ts.stack[n-1].lock == l {
+		entry = ts.stack[n-1]
+		ts.stack = ts.stack[:n-1]
+	}
+	if dep := ts.depth[l]; dep > 1 {
+		ts.depth[l] = dep - 1
+		d.mergeCS(ts, entry)
+		return // reentrant inner release: no synchronization effect
+	} else if dep == 1 {
+		delete(ts.depth, l)
+	}
+	ls := d.lock(l)
+
+	// Lines 4–6: rule (b). Drain critical sections of other threads whose
+	// acquire time has become ⊑ Ct, absorbing the matching release's H time
+	// into Pt (cross-thread queues advance in lockstep: entries are
+	// appended in temporal order and critical sections on one lock never
+	// interleave). Interleaved with that, drain the same-thread rule-(b)
+	// queue: an own critical section CS(r1) applies once Pt(t) has reached
+	// its acquire time, i.e. some event of CS(r1) WCP-precedes an event of
+	// the current section. Each pop grows Pt, which can enable further
+	// pops from either queue, so iterate to a fixpoint.
+	myAcq, myRel, myOwn := &ls.acqQ[t], &ls.relQ[t], &ls.ownQ[t]
+	for progress := true; progress; {
+		progress = false
+		for myAcq.len() > 0 && myRel.len() > 0 && d.leqCt(myAcq.front(), t) {
+			myAcq.pop()
+			ts.p.Join(myRel.pop())
+			d.queued -= 2
+			progress = true
+		}
+		for myOwn.len() > 0 && myOwn.front().nAcq <= ts.p.Get(t) {
+			ts.p.Join(myOwn.pop().h)
+			d.queued--
+			progress = true
+		}
+	}
+
+	// Lines 7–8: publish the HB time of this release for every variable
+	// accessed inside the critical section (rule (a) state), keyed by the
+	// releasing thread so readers can exclude their own contributions.
+	width := len(d.threads)
+	for _, x := range entry.reads {
+		lr := ls.lr[x]
+		if lr == nil {
+			lr = &relTimes{}
+			ls.lr[x] = lr
+		}
+		lr.add(t, ts.h, width)
+	}
+	for _, x := range entry.writes {
+		lw := ls.lw[x]
+		if lw == nil {
+			lw = &relTimes{}
+			ls.lw[x] = lw
+		}
+		lw.add(t, ts.h, width)
+	}
+	// Accesses inside this critical section also happened inside every
+	// still-open enclosing critical section.
+	d.mergeCS(ts, entry)
+
+	// Line 9: remember this release's H and P times for later acquires.
+	if ls.hl == nil {
+		ls.hl = vc.New(len(d.threads))
+		ls.pl = vc.New(len(d.threads))
+	}
+	ls.hl.Copy(ts.h)
+	ls.pl.Copy(ts.p)
+
+	// Line 10: enqueue Ht into Relℓ(t') for every other thread, and this
+	// critical section into the thread's own same-thread rule-(b) queue.
+	ht := ts.h.Clone()
+	for u := range d.threads {
+		if u != t {
+			ls.relQ[u].push(ht)
+			d.queued++
+		}
+	}
+	myOwn.push(ownCS{nAcq: entry.nAcq, h: ht})
+	d.queued++
+	ts.incNext = true
+}
+
+// mergeCS folds a closed critical section's access sets into the enclosing
+// open critical section, if any.
+func (d *Detector) mergeCS(ts *threadState, entry csEntry) {
+	if len(ts.stack) == 0 {
+		return
+	}
+	top := &ts.stack[len(ts.stack)-1]
+	top.reads.addAll(entry.reads)
+	top.writes.addAll(entry.writes)
+}
+
+// read implements procedure read(t, x, L) of Algorithm 1 (Line 11).
+func (d *Detector) read(t int, x event.VID) {
+	ts := &d.threads[t]
+	for k := range ts.stack {
+		entry := &ts.stack[k]
+		if ls := d.locks[entry.lock]; ls != nil {
+			ls.lw[x].joinInto(ts.p, t)
+		}
+	}
+	if n := len(ts.stack); n > 0 {
+		ts.stack[n-1].reads.add(x)
+	}
+}
+
+// write implements procedure write(t, x, L) of Algorithm 1 (Line 12).
+func (d *Detector) write(t int, x event.VID) {
+	ts := &d.threads[t]
+	for k := range ts.stack {
+		entry := &ts.stack[k]
+		if ls := d.locks[entry.lock]; ls != nil {
+			ls.lr[x].joinInto(ts.p, t)
+			ls.lw[x].joinInto(ts.p, t)
+		}
+	}
+	if n := len(ts.stack); n > 0 {
+		ts.stack[n-1].writes.add(x)
+	}
+}
+
+// check performs the race check of §3.2: for a read, Wx ⊑ Ce must hold; for
+// a write, Rx ⊔ Wx ⊑ Ce must hold. With pair tracking, the per-location
+// cells identify the partner location(s) exactly.
+func (d *Detector) check(i int, e event.Event, isWrite bool) {
+	vs := &d.vars[e.Var()]
+	now := d.effectiveTime(int(e.Thread))
+	racy := false
+	scan := func(cells map[event.Loc]*accessCell) {
+		for ploc, c := range cells {
+			if !c.time.Leq(now) {
+				racy = true
+				if d.res.Report != nil {
+					d.res.Report.Record(ploc, e.Loc, i, i-c.last)
+				}
+			}
+		}
+	}
+	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
+		if d.res.Report != nil {
+			scan(vs.writes)
+		} else {
+			racy = true
+		}
+	}
+	if isWrite && vs.readAll != nil && !vs.readAll.Leq(now) {
+		if d.res.Report != nil {
+			scan(vs.reads)
+		} else {
+			racy = true
+		}
+	}
+	if racy {
+		d.res.RacyEvents++
+		if d.res.FirstRace < 0 {
+			d.res.FirstRace = i
+		}
+	}
+	// Record this access.
+	n := len(d.threads)
+	var all *vc.VC
+	var cells *map[event.Loc]*accessCell
+	if isWrite {
+		all, cells = &vs.writeAll, &vs.writes
+	} else {
+		all, cells = &vs.readAll, &vs.reads
+	}
+	if *all == nil {
+		*all = vc.New(n)
+		*cells = make(map[event.Loc]*accessCell)
+	}
+	(*all).Join(now)
+	if d.res.Report != nil {
+		c, ok := (*cells)[e.Loc]
+		if !ok {
+			c = &accessCell{time: vc.New(n)}
+			(*cells)[e.Loc] = c
+		}
+		c.time.Join(now)
+		c.last = i
+	}
+}
+
+// Result returns the analysis outcome accumulated so far. The returned
+// value shares state with the detector; read it after the last Process.
+func (d *Detector) Result() *Result { return &d.res }
+
+// Detect runs the WCP detector over a whole trace with pair tracking.
+func Detect(tr *trace.Trace) *Result {
+	return DetectOpts(tr, Options{TrackPairs: true})
+}
+
+// DetectOpts runs the WCP detector over a whole trace.
+func DetectOpts(tr *trace.Trace, opts Options) *Result {
+	d := NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), opts)
+	for _, e := range tr.Events {
+		d.Process(e)
+	}
+	return d.Result()
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// This file implements the epoch-optimized WCP race check, the first item
+// of the paper's future work (§6: "use of epoch based optimizations for
+// improving memory requirements of the implementation"). The clock
+// machinery of Algorithm 1 is untouched; only the per-variable race-check
+// state shrinks from vector clocks (plus per-location cells) to
+// FastTrack-style epochs: the last write as one clock@thread word, reads as
+// one epoch while they stay totally ordered, inflating to a read vector
+// only under concurrent readers.
+//
+// Epochs are as precise for WCP as they are for HB: by Lemma C.8 (and its
+// corollary), for cross-thread events a <tr b, a ≤WCP b holds iff
+// N(a) ≤ Cb(t(a)) — a single-component comparison — and thread order covers
+// the rest. The same-epoch fast paths can suppress re-reports within a
+// segment but never affect whether a race exists or which event races
+// first; the property tests pin both.
+
+// checkEpoch is the epoch-mode replacement for check.
+func (d *Detector) checkEpoch(i int, e event.Event, isWrite bool) {
+	vs := &d.vars[e.Var()]
+	t := int(e.Thread)
+	ts := &d.threads[t]
+	now := d.effectiveTime(t)
+	self := vc.MakeEpoch(t, ts.n)
+
+	flag := func() {
+		d.res.RacyEvents++
+		if d.res.FirstRace < 0 {
+			d.res.FirstRace = i
+		}
+	}
+
+	if isWrite {
+		if vs.rShared == nil && vs.wEpoch == self {
+			return // same-epoch write fast path
+		}
+		racy := !vs.wEpoch.LeqVC(now)
+		if vs.rShared != nil {
+			if !vs.rShared.Leq(now) {
+				racy = true
+			}
+			vs.rShared = nil // a write resets read sharing
+		} else if !vs.rEpoch.LeqVC(now) {
+			racy = true
+		}
+		if racy {
+			flag()
+		}
+		vs.wEpoch = self
+		vs.rEpoch = vc.NoEpoch
+		return
+	}
+
+	if vs.rShared == nil && vs.rEpoch == self {
+		return // same-epoch read fast path
+	}
+	if !vs.wEpoch.LeqVC(now) {
+		flag()
+	}
+	switch {
+	case vs.rShared != nil:
+		vs.rShared.Set(t, now.Get(t))
+	case vs.rEpoch.LeqVC(now):
+		vs.rEpoch = self // reads still totally ordered
+	default:
+		// Concurrent readers: inflate to a read vector.
+		vs.rShared = vc.New(len(d.threads))
+		vs.rShared.Set(vs.rEpoch.TID(), vs.rEpoch.Clock())
+		vs.rShared.Set(t, now.Get(t))
+	}
+}
+
+// DetectEpoch runs the WCP detector with the epoch-optimized race check.
+// It reports race existence, the first racy event and the queue statistics
+// exactly like Detect, but no pair report, and possibly fewer flagged
+// events (fast-path suppression within an epoch).
+func DetectEpoch(tr *trace.Trace) *Result {
+	return DetectOpts(tr, Options{EpochCheck: true})
+}

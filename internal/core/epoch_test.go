@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestEpochMatchesVectorWCP compares the epoch-optimized WCP detector with
+// the vector-clock one across random traces: same race existence, same
+// first racy event, flagged count never larger (fast-path suppression
+// only), identical queue statistics (the clock machinery is shared).
+func TestEpochMatchesVectorWCP(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		cfg := gen.RandomConfig{
+			Threads:  int(2 + seed%4),
+			Locks:    int(1 + seed%3),
+			Vars:     int(1 + seed%4),
+			Events:   80,
+			Seed:     seed + 9000,
+			ForkJoin: seed%2 == 0,
+		}
+		tr := gen.Random(cfg)
+		full := core.DetectOpts(tr, core.Options{})
+		ep := core.DetectEpoch(tr)
+		if (full.RacyEvents > 0) != (ep.RacyEvents > 0) {
+			t.Fatalf("seed %d: existence: full=%d epoch=%d", seed, full.RacyEvents, ep.RacyEvents)
+		}
+		if full.FirstRace != ep.FirstRace {
+			t.Fatalf("seed %d: first race: full=%d epoch=%d", seed, full.FirstRace, ep.FirstRace)
+		}
+		if ep.RacyEvents > full.RacyEvents {
+			t.Fatalf("seed %d: epoch flagged more (%d) than full (%d)", seed, ep.RacyEvents, full.RacyEvents)
+		}
+		if full.QueueMaxTotal != ep.QueueMaxTotal {
+			t.Fatalf("seed %d: queue stats diverge: %d vs %d", seed, full.QueueMaxTotal, ep.QueueMaxTotal)
+		}
+	}
+}
+
+// TestEpochOnBenchmarks checks the epoch detector agrees on race existence
+// and first race for every Table-1 workload.
+func TestEpochOnBenchmarks(t *testing.T) {
+	for _, b := range gen.Benchmarks {
+		scale := 1.0
+		if b.Events > 50_000 {
+			scale = 0.2
+		}
+		tr := b.Generate(scale)
+		full := core.DetectOpts(tr, core.Options{})
+		ep := core.DetectEpoch(tr)
+		if (full.RacyEvents > 0) != (ep.RacyEvents > 0) || full.FirstRace != ep.FirstRace {
+			t.Errorf("%s: full(%d,%d) vs epoch(%d,%d)", b.Name,
+				full.RacyEvents, full.FirstRace, ep.RacyEvents, ep.FirstRace)
+		}
+	}
+}
+
+// TestEpochFigures checks the epoch detector on the paper figures.
+func TestEpochFigures(t *testing.T) {
+	for _, tc := range figureCases() {
+		res := core.DetectEpoch(tc.trace)
+		if got := res.RacyEvents > 0; got != tc.wcpRace {
+			t.Errorf("%s: epoch WCP race = %v, want %v", tc.name, got, tc.wcpRace)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/closure"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+// figureCase records a paper figure's stated verdicts: whether HB, CP and
+// WCP report any race on the trace.
+type figureCase struct {
+	name    string
+	trace   *trace.Trace
+	hbRace  bool
+	cpRace  bool
+	wcpRace bool
+}
+
+func figureCases() []figureCase {
+	return []figureCase{
+		{"Figure1a", gen.Figure1a(), false, false, false},
+		{"Figure1b", gen.Figure1b(), false, true, true},
+		{"Figure2a", gen.Figure2a(), false, false, false},
+		{"Figure2b", gen.Figure2b(), false, false, true},
+		{"Figure3", gen.Figure3(), false, false, true},
+		{"Figure4", gen.Figure4(), false, false, true},
+		{"Figure5", gen.Figure5(), false, false, true},
+	}
+}
+
+// TestFigures checks each paper figure's verdict under all three relations,
+// computing CP and WCP by reference closure and WCP additionally by the
+// streaming Algorithm 1.
+func TestFigures(t *testing.T) {
+	for _, tc := range figureCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			hbRel := closure.ComputeHB(tc.trace)
+			if got := len(closure.RacyPairs(tc.trace, hbRel)) > 0; got != tc.hbRace {
+				t.Errorf("closure HB race = %v, want %v", got, tc.hbRace)
+			}
+			cpRel := closure.ComputeCP(tc.trace)
+			if got := len(closure.RacyPairs(tc.trace, cpRel)) > 0; got != tc.cpRace {
+				t.Errorf("closure CP race = %v, want %v", got, tc.cpRace)
+			}
+			wcpRel := closure.ComputeWCP(tc.trace)
+			if got := len(closure.RacyPairs(tc.trace, wcpRel)) > 0; got != tc.wcpRace {
+				t.Errorf("closure WCP race = %v, want %v", got, tc.wcpRace)
+			}
+
+			stream := core.Detect(tc.trace)
+			if got := stream.RacyEvents > 0; got != tc.wcpRace {
+				t.Errorf("streaming WCP race = %v, want %v", got, tc.wcpRace)
+			}
+			hbres := hb.Detect(tc.trace)
+			if got := hbres.RacyEvents > 0; got != tc.hbRace {
+				t.Errorf("vector-clock HB race = %v, want %v", got, tc.hbRace)
+			}
+		})
+	}
+}
+
+// TestFigureRaceLocations checks that WCP reports exactly the racing
+// location pairs the paper identifies.
+func TestFigureRaceLocations(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace *trace.Trace
+		a, b  string // expected racy location names
+	}{
+		{"Figure1b", gen.Figure1b(), "f1b.1", "f1b.8"},
+		{"Figure2b", gen.Figure2b(), "f2b.1", "f2b.6"},
+		{"Figure3", gen.Figure3(), "f3.3", "f3.12"},
+		{"Figure4", gen.Figure4(), "f4.4", "f4.15"},
+		{"Figure5", gen.Figure5(), "f5.4", "f5.14"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := core.Detect(tc.trace)
+			if res.Report.Distinct() != 1 {
+				t.Fatalf("distinct WCP race pairs = %d, want 1\n%s",
+					res.Report.Distinct(), res.Report.Format(tc.trace.Symbols))
+			}
+			la := tc.trace.Symbols.Location(tc.a)
+			lb := tc.trace.Symbols.Location(tc.b)
+			if !res.Report.Has(la, lb) {
+				t.Errorf("expected race pair (%s, %s), got\n%s",
+					tc.a, tc.b, res.Report.Format(tc.trace.Symbols))
+			}
+		})
+	}
+}
+
+// TestFigure6Orderings verifies the specific WCP orderings the paper
+// derives on Figure 6: the two w(x) events (lines 2 and 17) are ordered by
+// rule (a), and the two rel(m) events (lines 10 and 20) become ordered by
+// rule (b); the trace has no WCP race.
+func TestFigure6Orderings(t *testing.T) {
+	tr := gen.Figure6()
+	wcp := closure.ComputeWCP(tr)
+
+	find := func(loc string) int {
+		id := tr.Symbols.Location(loc)
+		for i, e := range tr.Events {
+			if e.Loc == id {
+				return i
+			}
+		}
+		t.Fatalf("location %s not found", loc)
+		return -1
+	}
+	wx1, wx2 := find("f6.2"), find("f6.17")
+	relL0 := find("f6.6")
+	relM1, relM2 := find("f6.10"), find("f6.20")
+
+	if !wcp.Has(relL0, wx2) {
+		t.Errorf("rule (a): rel(l0)@6 ≺WCP w(x)@17 missing")
+	}
+	if !closure.Ordered(tr, wcp, wx1, wx2) {
+		t.Errorf("w(x)@2 and w(x)@17 should be WCP ordered")
+	}
+	if !wcp.Has(relM1, relM2) {
+		t.Errorf("rule (b): rel(m)@10 ≺WCP rel(m)@20 missing")
+	}
+	if pairs := closure.RacyPairs(tr, wcp); len(pairs) != 0 {
+		t.Errorf("Figure 6 should have no WCP race, got %v", pairs)
+	}
+	if res := core.Detect(tr); res.RacyEvents != 0 {
+		t.Errorf("streaming WCP flagged %d racy events on Figure 6, want 0", res.RacyEvents)
+	}
+}

@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/closure"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// TestFindRacePairsMatchesClosure checks the §3.2 two-pass event-pair
+// extraction against the reference closure: the extracted (e1, e2) pairs
+// must be exactly the conflicting WCP-unordered pairs.
+func TestFindRacePairsMatchesClosure(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		cfg := gen.RandomConfig{
+			Threads:  int(2 + seed%4),
+			Locks:    int(1 + seed%3),
+			Vars:     int(1 + seed%3),
+			Events:   64,
+			Seed:     seed + 4000,
+			ForkJoin: seed%2 == 0,
+		}
+		tr := gen.Random(cfg)
+		want := closure.RacyPairs(tr, closure.ComputeWCP(tr))
+		got := core.FindRacePairs(tr)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d pairs, closure has %d\ngot %v\nwant %v",
+				seed, len(got), len(want), got, want)
+		}
+		wantSet := make(map[core.EventPair]bool, len(want))
+		for _, p := range want {
+			wantSet[core.EventPair{First: p[0], Second: p[1]}] = true
+		}
+		for _, p := range got {
+			if !wantSet[p] {
+				t.Fatalf("seed %d: extra pair %v", seed, p)
+			}
+		}
+	}
+}
+
+// TestFindRacePairsFigures checks the extraction on the paper figures: each
+// racy figure yields exactly its one event pair.
+func TestFindRacePairsFigures(t *testing.T) {
+	cases := []struct {
+		name  string
+		tr    *trace.Trace
+		pairs int
+	}{
+		{"Figure1a", gen.Figure1a(), 0},
+		{"Figure1b", gen.Figure1b(), 1},
+		{"Figure2a", gen.Figure2a(), 0},
+		{"Figure2b", gen.Figure2b(), 1},
+		{"Figure3", gen.Figure3(), 1},
+		{"Figure4", gen.Figure4(), 1},
+		{"Figure6", gen.Figure6(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := core.FindRacePairs(tc.tr)
+			if len(got) != tc.pairs {
+				t.Fatalf("pairs = %v, want %d", got, tc.pairs)
+			}
+			for _, p := range got {
+				if !tc.tr.Events[p.First].Conflicts(tc.tr.Events[p.Second]) {
+					t.Errorf("pair %v does not conflict", p)
+				}
+			}
+		})
+	}
+}
+
+// TestFindRacePairsOrdering checks the output ordering contract.
+func TestFindRacePairsOrdering(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Write("t1", "x") // 0
+	b.Write("t2", "x") // 1: races with 0
+	b.Write("t3", "x") // 2: races with 0 and 1
+	pairs := core.FindRacePairs(b.MustBuild())
+	want := []core.EventPair{{First: 0, Second: 1}, {First: 0, Second: 2}, {First: 1, Second: 2}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", pairs, want)
+		}
+	}
+}

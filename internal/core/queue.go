@@ -1,0 +1,33 @@
+package core
+
+import "repro/internal/vc"
+
+// fifo is the FIFO queue of vector times used for the Acqℓ(t) and Relℓ(t)
+// queues of Algorithm 1. Enqueued times are immutable and may be shared
+// across the queues of all threads (one acquire enqueues the same time into
+// T−1 queues), so the queue stores references.
+//
+// The backing slice uses a moving head with periodic compaction, keeping
+// amortized O(1) operations without unbounded growth of dead prefix.
+type fifo struct {
+	buf  []vc.VC
+	head int
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) push(v vc.VC) { q.buf = append(q.buf, v) }
+
+func (q *fifo) front() vc.VC { return q.buf[q.head] }
+
+func (q *fifo) pop() vc.VC {
+	v := q.buf[q.head]
+	q.buf[q.head] = nil // allow the VC to be collected
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}

@@ -1,0 +1,56 @@
+// Package cp implements the Causally-Precedes baseline of Smaragdakis et
+// al. (Definition 2 in the paper). CP has no known linear-time algorithm
+// (the paper conjectures a quadratic lower bound, §1), so — exactly as the
+// paper describes for real CP implementations — the detector here is
+// *windowed*: the trace is split into bounded fragments and the CP relation
+// is computed inside each fragment by explicit fixpoint closure
+// (internal/closure). Races spanning fragments are invisible, which is the
+// drawback WCP removes.
+package cp
+
+import (
+	"repro/internal/closure"
+	"repro/internal/race"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// Options configures the CP baseline.
+type Options struct {
+	// WindowSize bounds each analyzed fragment. <= 0 analyzes the whole
+	// trace in one closure (only feasible for small traces).
+	WindowSize int
+}
+
+// Result is the outcome of a CP analysis.
+type Result struct {
+	// Report holds the distinct race pairs found within fragments.
+	Report *race.Report
+	// Windows is the number of fragments analyzed.
+	Windows int
+	// RacyEventPairs counts the event-level racy pairs found.
+	RacyEventPairs int
+}
+
+// Detect runs the windowed CP race detector over tr.
+func Detect(tr *trace.Trace, opts Options) *Result {
+	res := &Result{Report: race.NewReport()}
+	offsets := window.Offsets(tr.Len(), opts.WindowSize)
+	for wi, w := range window.Split(tr, opts.WindowSize) {
+		res.Windows++
+		rel := closure.ComputeCP(w)
+		for _, pair := range closure.RacyPairs(w, rel) {
+			i, j := pair[0], pair[1]
+			res.RacyEventPairs++
+			res.Report.Record(w.Events[i].Loc, w.Events[j].Loc, offsets[wi]+j, j-i)
+		}
+	}
+	return res
+}
+
+// DetectWhole runs CP over the entire trace in a single closure. Only
+// feasible at reference scale; used by the property tests that check
+// races(HB) ⊆ races(CP) ⊆ races(WCP).
+func DetectWhole(tr *trace.Trace) *Result {
+	return Detect(tr, Options{WindowSize: 0})
+}

@@ -1,0 +1,86 @@
+package cp_test
+
+import (
+	"testing"
+
+	"repro/internal/cp"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// TestFigureVerdicts checks CP's published verdicts on the paper's example
+// traces: CP catches Figure 1b (like WCP) but misses 2b, 3, 4 and 5.
+func TestFigureVerdicts(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+		race bool
+	}{
+		{"Figure1a", gen.Figure1a(), false},
+		{"Figure1b", gen.Figure1b(), true},
+		{"Figure2a", gen.Figure2a(), false},
+		{"Figure2b", gen.Figure2b(), false},
+		{"Figure3", gen.Figure3(), false},
+		{"Figure4", gen.Figure4(), false},
+		{"Figure5", gen.Figure5(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := cp.DetectWhole(tc.tr)
+			if got := res.Report.Distinct() > 0; got != tc.race {
+				t.Errorf("CP race = %v, want %v\n%s", got, tc.race, res.Report.Format(tc.tr.Symbols))
+			}
+		})
+	}
+}
+
+// TestWindowingLosesFarRaces shows the drawback the paper attributes to CP:
+// with windows, far-apart races disappear; analyzing a small trace whole
+// finds them.
+func TestWindowingLosesFarRaces(t *testing.T) {
+	// Build a small trace with one adjacent racy pair and one pair
+	// separated by filler beyond the window size.
+	b := trace.NewBuilder()
+	b.At("far.a").Write("t1", "far")
+	b.At("near.a").Write("t1", "near")
+	b.At("near.b").Write("t2", "near")
+	for i := 0; i < 50; i++ {
+		b.Write("t3", "pad")
+		b.Read("t3", "pad")
+	}
+	b.At("far.b").Write("t2", "far")
+	tr := b.MustBuild()
+
+	whole := cp.DetectWhole(tr)
+	if whole.Windows != 1 {
+		t.Errorf("whole analysis windows = %d", whole.Windows)
+	}
+	if !whole.Report.Has(tr.Symbols.Location("far.a"), tr.Symbols.Location("far.b")) {
+		t.Error("whole-trace CP should see the far race")
+	}
+	if !whole.Report.Has(tr.Symbols.Location("near.a"), tr.Symbols.Location("near.b")) {
+		t.Error("whole-trace CP should see the near race")
+	}
+
+	windowed := cp.Detect(tr, cp.Options{WindowSize: 20})
+	if windowed.Windows < 5 {
+		t.Errorf("windowed analysis windows = %d", windowed.Windows)
+	}
+	if windowed.Report.Has(tr.Symbols.Location("far.a"), tr.Symbols.Location("far.b")) {
+		t.Error("windowed CP must lose the far race")
+	}
+	if !windowed.Report.Has(tr.Symbols.Location("near.a"), tr.Symbols.Location("near.b")) {
+		t.Error("windowed CP should keep the near race")
+	}
+}
+
+// TestRacyEventPairsCounted checks bookkeeping fields.
+func TestRacyEventPairsCounted(t *testing.T) {
+	b := trace.NewBuilder()
+	b.At("a").Write("t1", "x")
+	b.At("b").Write("t2", "x")
+	res := cp.DetectWhole(b.MustBuild())
+	if res.RacyEventPairs != 1 || res.Report.Distinct() != 1 {
+		t.Errorf("pairs=%d distinct=%d", res.RacyEventPairs, res.Report.Distinct())
+	}
+}

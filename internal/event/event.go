@@ -1,0 +1,119 @@
+// Package event defines the event model shared by every analysis in this
+// repository: lock acquire/release, variable read/write, and thread
+// fork/join events, together with interned symbol tables for thread, lock,
+// variable and program-location names.
+//
+// Events are deliberately small value types: a detector processing hundreds
+// of millions of events must not allocate per event. All names are interned
+// to dense int32 indices by a Symbols table; detectors index arrays by these
+// indices directly.
+package event
+
+import "fmt"
+
+// Kind identifies the operation an event performs.
+type Kind uint8
+
+// The event kinds understood by every detector. The paper's core model
+// (§2.1) has acquire/release/read/write; Fork and Join are the additional
+// events RAPID consumes (§4) and are treated as HB edges.
+const (
+	Acquire Kind = iota // acq(l): Obj is a lock
+	Release             // rel(l): Obj is a lock
+	Read                // r(x): Obj is a variable
+	Write               // w(x): Obj is a variable
+	Fork                // fork(u): Obj is the forked thread
+	Join                // join(u): Obj is the joined thread
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	Acquire: "acq",
+	Release: "rel",
+	Read:    "r",
+	Write:   "w",
+	Fork:    "fork",
+	Join:    "join",
+}
+
+// String returns the short mnemonic used by the text trace format.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// IsAccess reports whether k is a variable access (read or write).
+func (k Kind) IsAccess() bool { return k == Read || k == Write }
+
+// IsSync reports whether k is a lock operation.
+func (k Kind) IsSync() bool { return k == Acquire || k == Release }
+
+// TID is a dense thread index assigned by a Symbols table.
+type TID int32
+
+// LID is a dense lock index assigned by a Symbols table.
+type LID int32
+
+// VID is a dense variable index assigned by a Symbols table.
+type VID int32
+
+// Loc is a dense program-location index assigned by a Symbols table.
+// Location pairs are what Table 1 counts as "distinct race pairs".
+type Loc int32
+
+// NoLoc marks an event with no recorded source location.
+const NoLoc Loc = -1
+
+// Event is a single operation in a trace. Exactly one of the typed accessors
+// (Lock, Var, Target) is meaningful, selected by Kind.
+type Event struct {
+	// Kind is the operation performed.
+	Kind Kind
+	// Thread is the thread performing the event (t(e) in the paper).
+	Thread TID
+	// Obj is the operand: lock index for Acquire/Release, variable index
+	// for Read/Write, target thread index for Fork/Join.
+	Obj int32
+	// Loc is the program location that issued the event, or NoLoc.
+	Loc Loc
+}
+
+// Lock returns the lock operated on by an Acquire or Release event.
+func (e Event) Lock() LID { return LID(e.Obj) }
+
+// Var returns the variable accessed by a Read or Write event.
+func (e Event) Var() VID { return VID(e.Obj) }
+
+// Target returns the thread forked or joined by a Fork or Join event.
+func (e Event) Target() TID { return TID(e.Obj) }
+
+// Conflicts reports whether e and f are conflicting accesses: same variable,
+// different threads, at least one write (e1 ≍ e2 in the paper).
+func (e Event) Conflicts(f Event) bool {
+	if !e.Kind.IsAccess() || !f.Kind.IsAccess() {
+		return false
+	}
+	if e.Kind == Read && f.Kind == Read {
+		return false
+	}
+	return e.Obj == f.Obj && e.Thread != f.Thread
+}
+
+// String renders the event in the text trace mnemonic form, using raw
+// indices (the Symbols table renders names).
+func (e Event) String() string {
+	switch e.Kind {
+	case Acquire, Release:
+		return fmt.Sprintf("T%d:%s(L%d)", e.Thread, e.Kind, e.Obj)
+	case Read, Write:
+		return fmt.Sprintf("T%d:%s(V%d)", e.Thread, e.Kind, e.Obj)
+	case Fork, Join:
+		return fmt.Sprintf("T%d:%s(T%d)", e.Thread, e.Kind, e.Obj)
+	}
+	return fmt.Sprintf("T%d:%s(%d)", e.Thread, e.Kind, e.Obj)
+}

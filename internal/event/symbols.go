@@ -1,0 +1,115 @@
+package event
+
+import "fmt"
+
+// Symbols interns thread, lock, variable and location names to dense
+// indices. The zero value is ready to use. Symbols is not safe for
+// concurrent mutation; detectors only read it.
+type Symbols struct {
+	threads intern
+	locks   intern
+	vars    intern
+	locs    intern
+}
+
+type intern struct {
+	byName map[string]int32
+	names  []string
+}
+
+func (in *intern) id(name string) int32 {
+	if id, ok := in.byName[name]; ok {
+		return id
+	}
+	if in.byName == nil {
+		in.byName = make(map[string]int32)
+	}
+	id := int32(len(in.names))
+	in.byName[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+func (in *intern) name(id int32, prefix string) string {
+	if id >= 0 && int(id) < len(in.names) {
+		return in.names[id]
+	}
+	return fmt.Sprintf("%s%d?", prefix, id)
+}
+
+// Thread interns a thread name and returns its dense index.
+func (s *Symbols) Thread(name string) TID { return TID(s.threads.id(name)) }
+
+// Lock interns a lock name and returns its dense index.
+func (s *Symbols) Lock(name string) LID { return LID(s.locks.id(name)) }
+
+// Var interns a variable name and returns its dense index.
+func (s *Symbols) Var(name string) VID { return VID(s.vars.id(name)) }
+
+// Location interns a program-location name and returns its dense index.
+func (s *Symbols) Location(name string) Loc { return Loc(s.locs.id(name)) }
+
+// ThreadName returns the name of thread t.
+func (s *Symbols) ThreadName(t TID) string { return s.threads.name(int32(t), "T") }
+
+// LockName returns the name of lock l.
+func (s *Symbols) LockName(l LID) string { return s.locks.name(int32(l), "L") }
+
+// VarName returns the name of variable v.
+func (s *Symbols) VarName(v VID) string { return s.vars.name(int32(v), "V") }
+
+// LocationName returns the name of location p, or "?" for NoLoc.
+func (s *Symbols) LocationName(p Loc) string {
+	if p == NoLoc {
+		return "?"
+	}
+	return s.locs.name(int32(p), "pc")
+}
+
+// NumThreads returns the number of interned threads.
+func (s *Symbols) NumThreads() int { return len(s.threads.names) }
+
+// NumLocks returns the number of interned locks.
+func (s *Symbols) NumLocks() int { return len(s.locks.names) }
+
+// NumVars returns the number of interned variables.
+func (s *Symbols) NumVars() int { return len(s.vars.names) }
+
+// NumLocations returns the number of interned locations.
+func (s *Symbols) NumLocations() int { return len(s.locs.names) }
+
+// ThreadNames returns the interned thread names in index order.
+// The returned slice must not be modified.
+func (s *Symbols) ThreadNames() []string { return s.threads.names }
+
+// LockNames returns the interned lock names in index order.
+// The returned slice must not be modified.
+func (s *Symbols) LockNames() []string { return s.locks.names }
+
+// VarNames returns the interned variable names in index order.
+// The returned slice must not be modified.
+func (s *Symbols) VarNames() []string { return s.vars.names }
+
+// LocationNames returns the interned location names in index order.
+// The returned slice must not be modified.
+func (s *Symbols) LocationNames() []string { return s.locs.names }
+
+// Describe renders an event with symbolic names, e.g. "main:acq(lock1)@pc3".
+func (s *Symbols) Describe(e Event) string {
+	t := s.ThreadName(e.Thread)
+	var obj string
+	switch e.Kind {
+	case Acquire, Release:
+		obj = s.LockName(e.Lock())
+	case Read, Write:
+		obj = s.VarName(e.Var())
+	case Fork, Join:
+		obj = s.ThreadName(e.Target())
+	default:
+		obj = fmt.Sprint(e.Obj)
+	}
+	if e.Loc == NoLoc {
+		return fmt.Sprintf("%s:%s(%s)", t, e.Kind, obj)
+	}
+	return fmt.Sprintf("%s:%s(%s)@%s", t, e.Kind, obj, s.LocationName(e.Loc))
+}

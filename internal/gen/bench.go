@@ -1,0 +1,406 @@
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Benchmark describes one synthetic equivalent of a Table-1 benchmark.
+// Generate produces a deterministic trace whose structure reproduces the
+// benchmark's measured shape:
+//
+//   - exactly Threads threads;
+//   - HBRaces distinct race pairs detectable by HB (all of them also by
+//     WCP), of which FarRaces have their two accesses separated by a quiet
+//     gap longer than the largest windowing configuration (the §4.3
+//     far-apart races that windowing loses: the paper measures distances of
+//     millions of events against 1K–10K windows; we scale both down);
+//   - WCPOnlyRaces additional distinct race pairs in the Figure-2(b)
+//     pattern: detectable by WCP, invisible to HB (and CP);
+//   - filler critical sections: contended sections create WCP
+//     rule-(a) edges that keep Algorithm 1's queues drained; independent
+//     single-thread sections on fresh locks leak ~2(T−1) queue entries per
+//     lock (the per-lock cost underlying Table 1 column 11), emitted in
+//     bursts to shape the queue high-water mark.
+//
+// Lock counts: the paper's lock counts (column 5) are recorded in Locks,
+// but a scaled-down trace can only *touch* a number of locks proportional
+// to its length without distorting the queue-fraction column, so Generate
+// uses min(Locks, ~events/1500) pool locks; see EXPERIMENTS.md.
+type Benchmark struct {
+	Name string
+	// Threads and Locks are Table 1 columns 4 and 5 (Locks as reported by
+	// the paper; see note above on scaling).
+	Threads int
+	Locks   int
+	// HBRaces and WCPOnlyRaces split Table 1's columns 6–7: column 7 (HB)
+	// equals HBRaces and column 6 (WCP) equals HBRaces + WCPOnlyRaces.
+	HBRaces      int
+	WCPOnlyRaces int
+	// FarRaces of the HBRaces are separated by a quiet gap wider than any
+	// window: two threads fall silent, write the first halves, wait out
+	// the gap (lock-free filler by the other threads), then write the
+	// second halves and rejoin the filler. No synchronization can cross
+	// the gap between them, so the pairs stay HB- and WCP-unordered while
+	// every thread keeps draining Algorithm 1's queues outside the gap.
+	FarRaces int
+	// Events is the default generated trace length (the paper's event
+	// counts scaled down; Generate's scale multiplies it).
+	Events int
+	// QueueMix in [0,1] is the fraction of filler units that are
+	// independent (queue-growing); QueueBurst groups them into consecutive
+	// runs to shape the queue high-water mark.
+	QueueMix   float64
+	QueueBurst int
+	// PaperEvents records the paper's reported event count (column 3).
+	PaperEvents int
+}
+
+// Benchmarks lists the synthetic equivalents of the paper's 18 benchmarks
+// in Table 1 order. Race counts match Table 1 columns 6–7 exactly; event
+// counts are scaled-down defaults.
+var Benchmarks = []Benchmark{
+	{Name: "account", Threads: 4, Locks: 3, HBRaces: 4, Events: 130, PaperEvents: 130},
+	{Name: "airline", Threads: 2, Locks: 0, HBRaces: 4, Events: 128, PaperEvents: 128},
+	{Name: "array", Threads: 3, Locks: 2, HBRaces: 0, Events: 47, PaperEvents: 47},
+	{Name: "boundedbuffer", Threads: 2, Locks: 2, HBRaces: 2, Events: 333, PaperEvents: 333},
+	{Name: "bubblesort", Threads: 10, Locks: 2, HBRaces: 6, Events: 4_000, PaperEvents: 4_000},
+	{Name: "bufwriter", Threads: 6, Locks: 1, HBRaces: 2, Events: 100_000, QueueMix: 0.5, QueueBurst: 1000, PaperEvents: 11_700_000},
+	{Name: "critical", Threads: 4, Locks: 0, HBRaces: 8, Events: 55, PaperEvents: 55},
+	{Name: "mergesort", Threads: 5, Locks: 3, HBRaces: 3, Events: 3_000, PaperEvents: 3_000},
+	{Name: "pingpong", Threads: 4, Locks: 0, HBRaces: 7, Events: 146, PaperEvents: 146},
+	{Name: "moldyn", Threads: 3, Locks: 2, HBRaces: 44, Events: 40_000, PaperEvents: 164_000},
+	{Name: "montecarlo", Threads: 3, Locks: 3, HBRaces: 5, Events: 80_000, QueueMix: 0.002, QueueBurst: 10, PaperEvents: 7_200_000},
+	{Name: "raytracer", Threads: 3, Locks: 8, HBRaces: 3, Events: 16_000, PaperEvents: 16_000},
+	{Name: "derby", Threads: 4, Locks: 1112, HBRaces: 23, FarRaces: 9, Events: 60_000, QueueMix: 0.02, QueueBurst: 10, PaperEvents: 1_300_000},
+	{Name: "eclipse", Threads: 14, Locks: 8263, HBRaces: 64, WCPOnlyRaces: 2, FarRaces: 25, Events: 150_000, QueueMix: 0.02, QueueBurst: 10, PaperEvents: 87_000_000},
+	{Name: "ftpserver", Threads: 11, Locks: 304, HBRaces: 36, FarRaces: 12, Events: 30_000, QueueMix: 0.02, QueueBurst: 10, PaperEvents: 49_000},
+	{Name: "jigsaw", Threads: 13, Locks: 280, HBRaces: 11, WCPOnlyRaces: 3, FarRaces: 4, Events: 60_000, QueueMix: 0.01, QueueBurst: 10, PaperEvents: 3_000_000},
+	{Name: "lusearch", Threads: 7, Locks: 118, HBRaces: 160, FarRaces: 60, Events: 200_000, QueueMix: 0.005, QueueBurst: 10, PaperEvents: 216_000_000},
+	{Name: "xalan", Threads: 6, Locks: 2494, HBRaces: 15, WCPOnlyRaces: 3, FarRaces: 6, Events: 150_000, QueueMix: 0.02, QueueBurst: 10, PaperEvents: 122_000_000},
+}
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// WCPRaces returns the expected WCP distinct-race-pair count (Table 1
+// column 6).
+func (b Benchmark) WCPRaces() int { return b.HBRaces + b.WCPOnlyRaces }
+
+// sharedVars is the number of contended filler variables, each bound to its
+// own fixed lock so protected accesses stay ordered across filler units.
+const sharedVars = 4
+
+// FarGap is the minimum quiet-gap width for far races: wider than the
+// largest windowing configuration the experiments use (10K). MidGap is the
+// width for mid-distance races: they fit in a 10K window but not a 1K one,
+// which is what separates Table 1's RV(1K) and RV(10K) columns.
+const (
+	FarGap = 11_000
+	MidGap = 3_000
+)
+
+// synth is the emission state of one Generate run.
+type synth struct {
+	b     *trace.Builder
+	rng   *rand.Rand
+	bench Benchmark
+	// fillerThreads take part in the current filler units; during the far
+	// gap the two racer threads are excluded so no synchronization can
+	// order the far pairs.
+	threads       []string
+	fillerThreads []string
+	lockPool      int // cursor locks available to independent units
+	lockCursor    int
+	fillerVar     int
+	burstLeft     int
+	units         int
+}
+
+// Generate produces the benchmark's trace at the given scale (1.0 = the
+// Events default). Generation is deterministic in the benchmark name.
+func (b Benchmark) Generate(scale float64) *trace.Trace {
+	h := fnv.New64a()
+	h.Write([]byte(b.Name))
+	target := int(float64(b.Events) * scale)
+	if target < b.Events/10 && target < 50 {
+		target = 50
+	}
+	s := &synth{
+		b:     trace.NewBuilder(),
+		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
+		bench: b,
+	}
+	s.threads = make([]string, b.Threads)
+	for i := range s.threads {
+		s.threads[i] = fmt.Sprintf("t%d", i)
+	}
+	s.fillerThreads = s.threads
+	s.lockPool = target / 1500
+	if s.lockPool > b.Locks {
+		s.lockPool = b.Locks
+	}
+
+	// Main forks the workers.
+	for i := 1; i < b.Threads; i++ {
+		s.b.Fork(s.threads[0], s.threads[i])
+	}
+
+	// Near races and WCP-only races are spread through the filler at
+	// deterministic intervals; each race block is contiguous, so no foreign
+	// synchronization can land between its two accesses. The far-race gap,
+	// if any, is emitted once half of the filler has run.
+	midRaces := 0
+	bigGap, midGap := 0, 0
+	if b.FarRaces > 0 {
+		midRaces = b.FarRaces / 3
+		bigGap = FarGap
+		if g := target / 10; g > bigGap {
+			bigGap = g
+		}
+		if midRaces > 0 {
+			midGap = MidGap
+		}
+	}
+	gap := bigGap + midGap
+	fillTarget := target - gap
+	if fillTarget < target/4 {
+		fillTarget = target / 4
+	}
+	nearRaces := b.HBRaces - b.FarRaces
+	blocks := nearRaces + b.WCPOnlyRaces
+	spacing := fillTarget
+	if blocks > 0 {
+		spacing = fillTarget / (blocks + 1)
+		if spacing < 1 {
+			spacing = 1
+		}
+	}
+	emitted := 0
+	gapsEmitted := 0
+	filled := func() int {
+		// Filler emitted so far, not counting the gap blocks.
+		switch gapsEmitted {
+		case 0:
+			return s.b.Len()
+		case 1:
+			return s.b.Len() - bigGap
+		default:
+			return s.b.Len() - gap
+		}
+	}
+	gapsWanted := 0
+	if bigGap > 0 {
+		gapsWanted++
+	}
+	if midGap > 0 {
+		gapsWanted++
+	}
+	for filled() < fillTarget || emitted < blocks || gapsEmitted < gapsWanted {
+		if gapsEmitted == 0 && bigGap > 0 && filled() >= fillTarget/2 {
+			// Far races span the big gap.
+			s.quietGap(bigGap, 0, b.FarRaces-midRaces)
+			gapsEmitted++
+			continue
+		}
+		if gapsEmitted == 1 && midGap > 0 && filled() >= fillTarget*3/4 {
+			// Mid races span the small gap: lost at 1K windows, found at
+			// 10K windows.
+			s.quietGap(midGap, b.FarRaces-midRaces, b.FarRaces)
+			gapsEmitted++
+			continue
+		}
+		if emitted < blocks && (filled() >= (emitted+1)*spacing || filled() >= fillTarget) {
+			if emitted < nearRaces {
+				s.nearRace(b.FarRaces + emitted)
+			} else {
+				s.wcpOnlyRace(emitted - nearRaces)
+			}
+			emitted++
+			continue
+		}
+		s.filler()
+	}
+
+	for i := 1; i < b.Threads; i++ {
+		s.b.Join(s.threads[0], s.threads[i])
+	}
+	return s.b.MustBuild()
+}
+
+// racers returns the two threads carrying the far races: the last two
+// (distinct from the main thread when possible).
+func (s *synth) racers() (string, string) {
+	n := len(s.threads)
+	if n >= 2 {
+		return s.threads[n-2], s.threads[n-1]
+	}
+	return s.threads[0], s.threads[0]
+}
+
+// quietGap emits race sites [siteLo, siteHi) across one quiet gap: racer r1
+// writes all the first halves, the non-racer threads run lock-free filler
+// for the gap length while r1 and r2 stay completely silent (so no
+// synchronization can order the pairs), then r2 writes the second halves.
+// Both racers take part in the ordinary filler before and after the gap, so
+// every thread keeps draining Algorithm 1's queues.
+func (s *synth) quietGap(gap, siteLo, siteHi int) {
+	b := s.bench
+	r1, r2 := s.racers()
+	for k := siteLo; k < siteHi; k++ {
+		s.b.At(raceLoc(b.Name, k, "a")).Write(r1, raceVar(b.Name, k))
+	}
+	quiet := make([]string, 0, len(s.threads))
+	for _, t := range s.threads {
+		if t != r1 && t != r2 {
+			quiet = append(quiet, t)
+		}
+	}
+	if len(quiet) == 0 {
+		quiet = []string{r1} // degenerate tiny-thread case; unused by the table
+	}
+	for i := 0; i < gap; i += 2 {
+		t := quiet[i/2%len(quiet)]
+		v := "gaplocal_" + t
+		s.b.At("pc."+v+".w").Write(t, v)
+		s.b.At("pc."+v+".r").Read(t, v)
+	}
+	for k := siteLo; k < siteHi; k++ {
+		s.b.At(raceLoc(b.Name, k, "b")).Write(r2, raceVar(b.Name, k))
+	}
+}
+
+// racePair picks two distinct filler threads for race site k.
+func (s *synth) racePair(k int) (string, string) {
+	n := len(s.fillerThreads)
+	if n < 2 {
+		// 2-thread benchmarks reserve nothing; fall back to all threads.
+		return s.threads[0], s.threads[len(s.threads)-1]
+	}
+	i := k % n
+	j := (i + 1 + k/n%(n-1)) % n
+	if j == i {
+		j = (i + 1) % n
+	}
+	return s.fillerThreads[i], s.fillerThreads[j]
+}
+
+func raceVar(bench string, k int) string { return fmt.Sprintf("race_%s_%d", bench, k) }
+
+func raceLoc(bench string, k int, side string) string {
+	return fmt.Sprintf("%s.race%d.%s", bench, k, side)
+}
+
+// nearRace emits one contiguous unprotected write-write race block: a
+// distinct HB (and WCP) race pair at stable locations.
+func (s *synth) nearRace(k int) {
+	t1, t2 := s.racePair(k)
+	v := raceVar(s.bench.Name, k)
+	s.b.At(raceLoc(s.bench.Name, k, "a")).Write(t1, v)
+	s.b.At(raceLoc(s.bench.Name, k, "b")).Write(t2, v)
+}
+
+// wcpOnlyRace emits the Figure-2(b) pattern on a dedicated lock: the w(y)
+// in t1 races with the r(y) in t2 under WCP, but HB (and CP) order them
+// through the critical sections. One distinct WCP-only pair per call.
+func (s *synth) wcpOnlyRace(k int) {
+	t1, t2 := s.racePair(k + s.bench.HBRaces)
+	lock := fmt.Sprintf("wcplock_%d", k)
+	x := fmt.Sprintf("wcpx_%d", k)
+	y := fmt.Sprintf("wcpy_%d", k)
+	s.b.At(fmt.Sprintf("%s.wcprace%d.a", s.bench.Name, k)).Write(t1, y)
+	s.b.Acquire(t1, lock)
+	s.b.Write(t1, x)
+	s.b.Release(t1, lock)
+	s.b.Acquire(t2, lock)
+	s.b.At(fmt.Sprintf("%s.wcprace%d.b", s.bench.Name, k)).Read(t2, y)
+	s.b.Read(t2, x)
+	s.b.Release(t2, lock)
+}
+
+// filler emits one race-free filler unit.
+func (s *synth) filler() {
+	b := s.bench
+	s.units++
+	if b.Locks == 0 {
+		// Lock-free benchmark: thread-local computation only.
+		t := s.fillerThreads[s.units%len(s.fillerThreads)]
+		v := "local_" + t
+		s.b.At("pc."+v+".w").Write(t, v)
+		s.b.At("pc."+v+".r").Read(t, v)
+		return
+	}
+	// Decide contended vs independent; independent units come in bursts.
+	if s.burstLeft == 0 && b.QueueMix > 0 && b.QueueBurst > 0 {
+		if s.rng.Float64() < b.QueueMix/float64(b.QueueBurst) {
+			s.burstLeft = b.QueueBurst
+		}
+	}
+	if s.burstLeft > 0 {
+		s.burstLeft--
+		s.independentUnit()
+		return
+	}
+	s.contendedUnit()
+}
+
+// contendedUnit cycles every filler thread through a critical section on a
+// fixed (variable, lock) pair: protected, race-free, and each section's
+// conflicting accesses create the WCP rule-(a) edges that let releases
+// drain the rule-(b) queues.
+func (s *synth) contendedUnit() {
+	v := s.fillerVar % sharedVars
+	s.fillerVar++
+	lock := fmt.Sprintf("sh%d", v%maxInt(1, minInt(sharedVars, s.bench.Locks)))
+	vname := fmt.Sprintf("shared_%d", v)
+	for _, t := range s.fillerThreads {
+		s.b.Acquire(t, lock)
+		s.b.At(fmt.Sprintf("pc.%s.%s.r", vname, t)).Read(t, vname)
+		s.b.At(fmt.Sprintf("pc.%s.%s.w", vname, t)).Write(t, vname)
+		s.b.Release(t, lock)
+	}
+}
+
+// independentUnit has one thread take a critical section around its own
+// variable. On a fresh cursor lock this leaks 2(T−1) queue entries that no
+// later release can drain (no other thread ever releases that lock); on a
+// shared lock (pool exhausted or absent) the entries persist only until the
+// next contended unit on that lock — either way the queue high-water rises.
+func (s *synth) independentUnit() {
+	t := s.fillerThreads[s.units%len(s.fillerThreads)]
+	var lock string
+	if s.lockPool > sharedVars {
+		lock = fmt.Sprintf("pool%d", s.lockCursor%(s.lockPool-sharedVars))
+		s.lockCursor++
+	} else {
+		lock = "sh0"
+	}
+	v := "own_" + t
+	s.b.Acquire(t, lock)
+	s.b.At("pc."+v).Write(t, v)
+	s.b.Release(t, lock)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

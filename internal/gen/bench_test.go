@@ -1,0 +1,122 @@
+package gen_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+// TestBenchmarkShapes is the Table-1 integration check: every synthetic
+// benchmark must be well formed, have the declared thread count, and
+// produce exactly the paper's distinct race-pair counts under both HB
+// (column 7) and WCP (column 6).
+func TestBenchmarkShapes(t *testing.T) {
+	for _, b := range gen.Benchmarks {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := b.Generate(1.0)
+			if err := trace.Validate(tr); err != nil {
+				t.Fatalf("trace not well formed: %v", err)
+			}
+			if got := tr.NumThreads(); got != b.Threads {
+				t.Errorf("threads = %d, want %d", got, b.Threads)
+			}
+			hbRes := hb.Detect(tr)
+			if got := hbRes.Report.Distinct(); got != b.HBRaces {
+				t.Errorf("HB distinct race pairs = %d, want %d\n%s",
+					got, b.HBRaces, hbRes.Report.Format(tr.Symbols))
+			}
+			wcpRes := core.Detect(tr)
+			if got := wcpRes.Report.Distinct(); got != b.WCPRaces() {
+				t.Errorf("WCP distinct race pairs = %d, want %d\n%s",
+					got, b.WCPRaces(), wcpRes.Report.Format(tr.Symbols))
+			}
+			// Every HB pair must also be a WCP pair (≤WCP ⊆ ≤HB).
+			for _, p := range hbRes.Report.Pairs() {
+				if !wcpRes.Report.Has(p.A, p.B) {
+					t.Errorf("HB race pair (%s, %s) not reported by WCP",
+						tr.Symbols.LocationName(p.A), tr.Symbols.LocationName(p.B))
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarkScaling checks that scale stretches traces without changing
+// the race counts (races are structural, filler scales).
+func TestBenchmarkScaling(t *testing.T) {
+	b, ok := gen.ByName("ftpserver")
+	if !ok {
+		t.Fatal("ftpserver benchmark missing")
+	}
+	small := b.Generate(0.5)
+	large := b.Generate(2.0)
+	if small.Len() >= large.Len() {
+		t.Errorf("scaling failed: 0.5x has %d events, 2x has %d", small.Len(), large.Len())
+	}
+	for _, tr := range []*trace.Trace{small, large} {
+		res := core.Detect(tr)
+		if got := res.Report.Distinct(); got != b.WCPRaces() {
+			t.Errorf("scaled trace (%d events): WCP races = %d, want %d", tr.Len(), got, b.WCPRaces())
+		}
+	}
+}
+
+// TestBenchmarkDeterminism checks Generate is reproducible.
+func TestBenchmarkDeterminism(t *testing.T) {
+	b, _ := gen.ByName("derby")
+	t1 := b.Generate(0.2)
+	t2 := b.Generate(0.2)
+	if t1.Len() != t2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", t1.Len(), t2.Len())
+	}
+	for i := range t1.Events {
+		if t1.Events[i] != t2.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, t1.Events[i], t2.Events[i])
+		}
+	}
+}
+
+// TestFarRaceDistance checks that far races really span more than the
+// largest windowing configuration (10K events), the §4.3 property that
+// defeats windowed analyses.
+func TestFarRaceDistance(t *testing.T) {
+	for _, name := range []string{"derby", "eclipse", "lusearch"} {
+		b, _ := gen.ByName(name)
+		tr := b.Generate(1.0)
+		res := core.Detect(tr)
+		mid := b.FarRaces / 3
+		if got := res.Report.PairsOverDistance(10_000); got < b.FarRaces-mid {
+			t.Errorf("%s: races at distance ≥ 10K = %d, want ≥ %d", name, got, b.FarRaces-mid)
+		}
+		if got := res.Report.PairsOverDistance(gen.MidGap - 500); got < b.FarRaces {
+			t.Errorf("%s: races at distance ≥ %d = %d, want ≥ %d", name, gen.MidGap-500, got, b.FarRaces)
+		}
+		if res.Report.MaxDistance() < gen.FarGap {
+			t.Errorf("%s: max race distance = %d, want ≥ %d", name, res.Report.MaxDistance(), gen.FarGap)
+		}
+	}
+}
+
+// TestRandomWellFormed checks the random generator's well-formedness
+// guarantee across many seeds and shapes.
+func TestRandomWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := gen.RandomConfig{
+			Threads:  int(2 + seed%5),
+			Locks:    int(seed % 4),
+			Vars:     int(1 + seed%3),
+			Events:   100,
+			Seed:     seed,
+			ForkJoin: seed%2 == 0,
+		}
+		tr := gen.Random(cfg)
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package gen
+
+import "repro/internal/trace"
+
+// This file transcribes the paper's example traces (Figures 1–6) exactly,
+// with one program location per line so race pairs map back to figure line
+// numbers. Tests assert the paper's stated verdict for each figure against
+// HB, CP (closure), WCP (closure and streaming), and — where the paper
+// claims a predictable race or deadlock — the predictive search engine.
+
+// Figure1a is the trace of Figure 1(a): two write-containing critical
+// sections on one lock. No predictable race; HB and WCP agree.
+func Figure1a() *trace.Trace {
+	b := trace.NewBuilder()
+	b.At("f1a.1").Acquire("t1", "l")
+	b.At("f1a.2").Read("t1", "x")
+	b.At("f1a.3").Write("t1", "x")
+	b.At("f1a.4").Release("t1", "l")
+	b.At("f1a.5").Acquire("t2", "l")
+	b.At("f1a.6").Read("t2", "x")
+	b.At("f1a.7").Write("t2", "x")
+	b.At("f1a.8").Release("t2", "l")
+	return b.MustBuild()
+}
+
+// Figure1b is the trace of Figure 1(b): the critical sections can be
+// swapped, exposing a predictable race on y that HB misses and WCP finds.
+func Figure1b() *trace.Trace {
+	b := trace.NewBuilder()
+	b.At("f1b.1").Write("t1", "y")
+	b.At("f1b.2").Acquire("t1", "l")
+	b.At("f1b.3").Read("t1", "x")
+	b.At("f1b.4").Release("t1", "l")
+	b.At("f1b.5").Acquire("t2", "l")
+	b.At("f1b.6").Read("t2", "x")
+	b.At("f1b.7").Release("t2", "l")
+	b.At("f1b.8").Read("t2", "y")
+	return b.MustBuild()
+}
+
+// Figure2a is the trace of Figure 2(a): no predictable race (the r(x) must
+// follow the w(x)); CP and WCP both stay silent.
+func Figure2a() *trace.Trace {
+	b := trace.NewBuilder()
+	b.At("f2a.1").Write("t1", "y")
+	b.At("f2a.2").Acquire("t1", "l")
+	b.At("f2a.3").Write("t1", "x")
+	b.At("f2a.4").Release("t1", "l")
+	b.At("f2a.5").Acquire("t2", "l")
+	b.At("f2a.6").Read("t2", "x")
+	b.At("f2a.7").Read("t2", "y")
+	b.At("f2a.8").Release("t2", "l")
+	return b.MustBuild()
+}
+
+// Figure2b is the trace of Figure 2(b): lines 6 and 7 of Figure 2(a)
+// swapped. There is a predictable race on y (witness e5, e6, e1); CP misses
+// it because it ignores in-critical-section event order, WCP finds it.
+func Figure2b() *trace.Trace {
+	b := trace.NewBuilder()
+	b.At("f2b.1").Write("t1", "y")
+	b.At("f2b.2").Acquire("t1", "l")
+	b.At("f2b.3").Write("t1", "x")
+	b.At("f2b.4").Release("t1", "l")
+	b.At("f2b.5").Acquire("t2", "l")
+	b.At("f2b.6").Read("t2", "y")
+	b.At("f2b.7").Read("t2", "x")
+	b.At("f2b.8").Release("t2", "l")
+	return b.MustBuild()
+}
+
+// Figure3 is the trace of Figure 3, demonstrating the weakening of rule
+// (b): CP reports no race; WCP reports the race between r(z) (line 3) and
+// w(z) (line 12), witnessed by e1 e2 e10 e11 e3 e12.
+func Figure3() *trace.Trace {
+	b := trace.NewBuilder()
+	b.At("f3.1").Acquire("t1", "l")
+	b.Sync("t1", "x") // line 2
+	b.At("f3.3").Read("t1", "z")
+	b.At("f3.4").Release("t1", "l")
+	b.Sync("t2", "x") // line 5
+	b.At("f3.6").Acquire("t2", "l")
+	b.At("f3.7").Acquire("t2", "n")
+	b.At("f3.8").Release("t2", "n")
+	b.At("f3.9").Release("t2", "l")
+	b.At("f3.10").Acquire("t3", "n")
+	b.At("f3.11").Release("t3", "n")
+	b.At("f3.12").Write("t3", "z")
+	return b.MustBuild()
+}
+
+// Figure4 is the trace of Figure 4: a 3-thread predictable race on z that
+// WCP detects and CP does not.
+func Figure4() *trace.Trace {
+	b := trace.NewBuilder()
+	b.At("f4.1").Acquire("t1", "l")
+	b.At("f4.2").Acquire("t1", "m")
+	b.At("f4.3").Release("t1", "m")
+	b.At("f4.4").Read("t1", "z")
+	b.At("f4.5").Release("t1", "l")
+	b.At("f4.6").Acquire("t2", "m")
+	b.At("f4.7").Acquire("t2", "n")
+	b.Sync("t2", "x") // line 8
+	b.At("f4.9").Release("t2", "n")
+	b.At("f4.10").Release("t2", "m")
+	b.At("f4.11").Acquire("t3", "n")
+	b.At("f4.12").Acquire("t3", "l")
+	b.At("f4.13").Release("t3", "l")
+	b.Sync("t3", "x") // line 14
+	b.At("f4.15").Write("t3", "z")
+	b.At("f4.16").Release("t3", "n")
+	return b.MustBuild()
+}
+
+// Figure5 is the trace of Figure 5: WCP flags r(z)/w(z), and soundly so —
+// there is no predictable race, but there is a predictable deadlock
+// involving all three threads (reordering e1, e6, e10).
+func Figure5() *trace.Trace {
+	b := trace.NewBuilder()
+	b.At("f5.1").Acquire("t1", "l")
+	b.At("f5.2").Acquire("t1", "m")
+	b.At("f5.3").Release("t1", "m")
+	b.At("f5.4").Read("t1", "z")
+	b.At("f5.5").Release("t1", "l")
+	b.At("f5.6").Acquire("t2", "m")
+	b.At("f5.7").Acquire("t2", "n")
+	b.Sync("t2", "x") // line 8
+	b.At("f5.9").Release("t2", "n")
+	b.At("f5.10").Acquire("t3", "n")
+	b.At("f5.11").Acquire("t3", "l")
+	b.At("f5.12").Release("t3", "l")
+	b.Sync("t3", "x") // line 13
+	b.At("f5.14").Write("t3", "z")
+	b.At("f5.15").Release("t3", "n")
+	b.Sync("t3", "y") // line 16
+	b.Sync("t2", "y") // line 17
+	b.At("f5.18").Release("t2", "m")
+	return b.MustBuild()
+}
+
+// Figure6 is the trace of Figure 6, the example motivating Algorithm 1's
+// release-time clocks and FIFO queues. The two w(x) events (lines 2 and 17)
+// are WCP-ordered by rule (a); the rel(m) events (lines 10 and 20) become
+// ordered by rule (b).
+func Figure6() *trace.Trace {
+	b := trace.NewBuilder()
+	b.At("f6.1").Acquire("t1", "l0")
+	b.At("f6.2").Write("t1", "x")
+	b.At("f6.3").Acquire("t2", "m")
+	b.AcRel("t2", "y") // line 4
+	b.AcRel("t1", "y") // line 5
+	b.At("f6.6").Release("t1", "l0")
+	b.At("f6.7").Acquire("t1", "l1")
+	b.AcRel("t1", "y") // line 8
+	b.AcRel("t2", "y") // line 9
+	b.At("f6.10").Release("t2", "m")
+	b.At("f6.11").Acquire("t2", "m")
+	b.AcRel("t2", "y") // line 12
+	b.AcRel("t1", "y") // line 13
+	b.At("f6.14").Release("t1", "l1")
+	b.At("f6.15").Release("t2", "m")
+	b.At("f6.16").Acquire("t3", "l0")
+	b.At("f6.17").Write("t3", "x")
+	b.At("f6.18").Release("t3", "l0")
+	b.At("f6.19").Acquire("t3", "m")
+	b.At("f6.20").Release("t3", "m")
+	b.At("f6.21").Acquire("t3", "l1")
+	b.At("f6.22").Release("t3", "l1")
+	b.At("f6.23").Acquire("t3", "m")
+	b.At("f6.24").Release("t3", "m")
+	return b.MustBuild()
+}

@@ -1,0 +1,120 @@
+package gen_test
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// TestFiguresWellFormed validates every transcribed paper figure and checks
+// its event count against the figure's line count (sync(x) is 4 events,
+// acrl(y) is 2).
+func TestFiguresWellFormed(t *testing.T) {
+	cases := []struct {
+		name   string
+		tr     *trace.Trace
+		events int
+	}{
+		{"Figure1a", gen.Figure1a(), 8},
+		{"Figure1b", gen.Figure1b(), 8},
+		{"Figure2a", gen.Figure2a(), 8},
+		{"Figure2b", gen.Figure2b(), 8},
+		{"Figure3", gen.Figure3(), 10 + 2*4}, // 10 plain lines + 2 sync(x) at 4 events each
+		{"Figure4", gen.Figure4(), 14 + 2*4}, // 14 plain + 2 sync
+		{"Figure5", gen.Figure5(), 14 + 4*4}, // 14 plain + 4 sync
+		{"Figure6", gen.Figure6(), 18 + 6*2}, // 18 plain + 6 acrl at 2 events each
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := trace.Validate(tc.tr); err != nil {
+				t.Fatalf("figure trace invalid: %v", err)
+			}
+			if tc.tr.Len() != tc.events {
+				t.Errorf("events = %d, want %d", tc.tr.Len(), tc.events)
+			}
+		})
+	}
+}
+
+// TestFigureThreadCounts pins the thread structure of the multi-thread
+// figures.
+func TestFigureThreadCounts(t *testing.T) {
+	if got := gen.Figure3().NumThreads(); got != 3 {
+		t.Errorf("Figure3 threads = %d", got)
+	}
+	if got := gen.Figure4().NumThreads(); got != 3 {
+		t.Errorf("Figure4 threads = %d", got)
+	}
+	if got := gen.Figure6().NumThreads(); got != 3 {
+		t.Errorf("Figure6 threads = %d", got)
+	}
+}
+
+// TestSyncShorthand checks that Sync produced the lock-associated variable
+// accesses the paper's notation implies, within Figure 3.
+func TestSyncShorthand(t *testing.T) {
+	tr := gen.Figure3()
+	sawXVar := false
+	for _, e := range tr.Events {
+		if e.Kind.IsAccess() && tr.Symbols.VarName(e.Var()) == "xVar" {
+			sawXVar = true
+		}
+	}
+	if !sawXVar {
+		t.Error("sync(x) should access xVar")
+	}
+}
+
+// TestLowerBoundStructure checks the Figure-8 trace family's basic shape:
+// 3 threads, locks {L0, L1, m, y}, and event count linear in n.
+func TestLowerBoundStructure(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		u := gen.BitsFromUint(0b10110101, n)
+		tr := gen.LowerBound(u, u)
+		if err := trace.Validate(tr); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := tr.NumThreads(); got != 3 {
+			t.Errorf("n=%d: threads = %d", n, got)
+		}
+		// Phase 0 is 6+2 events, later phases 12, t3's part 5n+1ish; just
+		// check linearity coarsely.
+		if tr.Len() < 10*n || tr.Len() > 30*n+20 {
+			t.Errorf("n=%d: %d events, outside linear envelope", n, tr.Len())
+		}
+		// Exactly two w(z) events, one by t2 and one by t3.
+		var writers []string
+		for _, e := range tr.Events {
+			if e.Kind == event.Write && tr.Symbols.VarName(e.Var()) == "z" {
+				writers = append(writers, tr.Symbols.ThreadName(e.Thread))
+			}
+		}
+		if len(writers) != 2 || writers[0] != "t2" || writers[1] != "t3" {
+			t.Errorf("n=%d: z writers = %v", n, writers)
+		}
+	}
+}
+
+func TestBitsFromUint(t *testing.T) {
+	bits := gen.BitsFromUint(0b101, 3)
+	want := []bool{true, false, true}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+	if got := gen.BitsFromUint(0, 2); got[0] || got[1] {
+		t.Errorf("zero bits = %v", got)
+	}
+}
+
+func TestLowerBoundPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched lengths")
+		}
+	}()
+	gen.LowerBound([]bool{true}, []bool{true, false})
+}

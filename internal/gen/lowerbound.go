@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// LowerBound builds the Figure-8 trace family behind Theorems 4 and 5 (the
+// linear space lower bound): the membership problem for
+// Ln = {uv : u, v ∈ {0,1}ⁿ, u = v} reduced to WCP race detection.
+//
+// Thread t1 runs n critical sections over locks b_i = ℓ_{u[i]}, handshaking
+// with t2's chain of critical sections on lock m via the acrl(y) pattern of
+// Figure 6; t2 writes z inside its final m section. Thread t3 then runs n
+// critical sections over locks c_j = ℓ_{v[j]} interleaved with m sections,
+// and writes z at the end.
+//
+// The two w(z) events are WCP-ordered iff u = v: each matching bit extends
+// the rule-(a)/rule-(b) chain one link further, and any mismatched bit
+// breaks it. Consequently any one-pass WCP algorithm must effectively
+// remember u, and Algorithm 1's queues on lock m grow linearly in n
+// (asserted by the lower-bound tests and measured by the space bench).
+//
+// u and v must have equal, positive length.
+func LowerBound(u, v []bool) *trace.Trace {
+	if len(u) == 0 || len(u) != len(v) {
+		panic(fmt.Sprintf("gen.LowerBound: need equal positive lengths, got %d and %d", len(u), len(v)))
+	}
+	n := len(u)
+	bit := func(x bool) string {
+		if x {
+			return "L1"
+		}
+		return "L0"
+	}
+	b := trace.NewBuilder()
+
+	// Phase 0 (lines 1–6 of Figure 8).
+	b.At("f8.t1.acq.0").Acquire("t1", bit(u[0]))
+	b.At("f8.t1.wx").Write("t1", "x")
+	b.Acquire("t2", "m")
+	b.AcRel("t2", "y")
+	b.AcRel("t1", "y")
+	b.At("f8.t1.rel.0").Release("t1", bit(u[0]))
+
+	// Phases 1..n-1 (lines 7–14, 15–22, ... of Figure 8).
+	for i := 1; i < n; i++ {
+		b.At(fmt.Sprintf("f8.t1.acq.%d", i)).Acquire("t1", bit(u[i]))
+		b.AcRel("t1", "y")
+		b.AcRel("t2", "y")
+		b.Release("t2", "m")
+		b.Acquire("t2", "m")
+		b.AcRel("t2", "y")
+		b.AcRel("t1", "y")
+		b.At(fmt.Sprintf("f8.t1.rel.%d", i)).Release("t1", bit(u[i]))
+	}
+
+	// Lines 23–24: t2 writes z inside its final critical section on m, so
+	// the rule-(b) chain over the m releases carries the write's time.
+	b.At("f8.t2.wz").Write("t2", "z")
+	b.Release("t2", "m")
+
+	// Thread t3 (lines 25–38).
+	for j := 0; j < n; j++ {
+		b.At(fmt.Sprintf("f8.t3.acq.%d", j)).Acquire("t3", bit(v[j]))
+		if j == 0 {
+			b.At("f8.t3.wx").Write("t3", "x")
+		}
+		b.At(fmt.Sprintf("f8.t3.rel.%d", j)).Release("t3", bit(v[j]))
+		b.Acquire("t3", "m")
+		b.Release("t3", "m")
+	}
+	b.At("f8.t3.wz").Write("t3", "z")
+	return b.MustBuild()
+}
+
+// BitsFromUint packs the low n bits of x (most significant first) into a
+// bool slice, for enumerating LowerBound inputs in tests.
+func BitsFromUint(x uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = x&(1<<uint(n-1-i)) != 0
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package gen_test
+
+import (
+	"testing"
+
+	"repro/internal/closure"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// TestLowerBoundEquality exhaustively checks the Theorem 4 reduction for
+// n = 1..4: the Figure-8 trace has a WCP race between the two w(z) events
+// iff u ≠ v.
+func TestLowerBoundEquality(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		for uu := uint64(0); uu < 1<<uint(n); uu++ {
+			for vv := uint64(0); vv < 1<<uint(n); vv++ {
+				u := gen.BitsFromUint(uu, n)
+				v := gen.BitsFromUint(vv, n)
+				tr := gen.LowerBound(u, v)
+				if err := trace.Validate(tr); err != nil {
+					t.Fatalf("n=%d u=%b v=%b: invalid trace: %v", n, uu, vv, err)
+				}
+				res := core.Detect(tr)
+				locA := tr.Symbols.Location("f8.t2.wz")
+				locB := tr.Symbols.Location("f8.t3.wz")
+				gotRace := res.Report.Has(locA, locB)
+				wantRace := uu != vv
+				if gotRace != wantRace {
+					t.Errorf("n=%d u=%b v=%b: w(z)/w(z) race = %v, want %v", n, uu, vv, gotRace, wantRace)
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundMatchesClosure cross-checks the streaming detector against
+// the reference closure on the Figure-8 family (it exercises long rule-(b)
+// chains that random traces rarely produce).
+func TestLowerBoundMatchesClosure(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		for uu := uint64(0); uu < 1<<uint(n); uu++ {
+			for vv := uint64(0); vv < 1<<uint(n); vv++ {
+				tr := gen.LowerBound(gen.BitsFromUint(uu, n), gen.BitsFromUint(vv, n))
+				res := core.DetectOpts(tr, core.Options{CollectTimestamps: true})
+				wcp := closure.ComputeWCP(tr)
+				for i := 0; i < tr.Len(); i++ {
+					for j := i + 1; j < tr.Len(); j++ {
+						want := closure.Ordered(tr, wcp, i, j)
+						got := res.Times[i].Leq(res.Times[j])
+						if got != want {
+							t.Fatalf("n=%d u=%b v=%b: %s vs %s: stream=%v closure=%v",
+								n, uu, vv, tr.Describe(i), tr.Describe(j), got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundQueueGrowth checks the space lower bound's practical face:
+// Algorithm 1's queue high-water mark on the Figure-8 family grows
+// (at least) linearly with n, as Theorem 4 says any one-pass WCP algorithm
+// must.
+func TestLowerBoundQueueGrowth(t *testing.T) {
+	prev := 0
+	for _, n := range []int{4, 8, 16, 32} {
+		u := gen.BitsFromUint(0, n) // all zeros: u = v, hardest case
+		tr := gen.LowerBound(u, u)
+		res := core.Detect(tr)
+		if res.QueueMaxTotal <= prev {
+			t.Errorf("n=%d: queue max %d did not grow past %d", n, res.QueueMaxTotal, prev)
+		}
+		if res.QueueMaxTotal < n {
+			t.Errorf("n=%d: queue max %d, want ≥ n", n, res.QueueMaxTotal)
+		}
+		prev = res.QueueMaxTotal
+	}
+}

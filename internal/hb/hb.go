@@ -1,0 +1,179 @@
+// Package hb implements happens-before race detection (Definition 1): the
+// classical linear-time vector-clock algorithm (Djit+ style), which the
+// paper uses as its scalability baseline (§4, "HB is the simplest sound
+// technique, and admits a fast linear time algorithm"), plus a
+// FastTrack-style epoch-optimized variant.
+//
+// Like the paper's RAPID implementation, the HB analysis here is NOT
+// windowed: it sees the whole trace and therefore catches the far-apart
+// event pairs that windowed tools miss (§4.3).
+package hb
+
+import (
+	"repro/internal/event"
+	"repro/internal/race"
+	"repro/internal/trace"
+	"repro/internal/vc"
+)
+
+// Options configures the detector.
+type Options struct {
+	// TrackPairs enables distinct race-pair accounting per program-location
+	// pair (Table 1 metric). When false the detector only counts racy
+	// events, which is cheaper.
+	TrackPairs bool
+}
+
+// Result is the outcome of an HB analysis.
+type Result struct {
+	// Report holds the distinct race pairs (nil unless Options.TrackPairs).
+	Report *race.Report
+	// RacyEvents counts events flagged as racing with an earlier access.
+	RacyEvents int
+	// FirstRace is the trace index of the first racy event, or -1.
+	FirstRace int
+}
+
+// cell tracks the accesses at one (variable, location, kind): the join of
+// their HB times plus the most recent event index for distance accounting.
+type cell struct {
+	time vc.VC
+	last int
+}
+
+// varState is the per-variable detector state.
+type varState struct {
+	readAll  vc.VC // join of all read times (Rx in §3.2)
+	writeAll vc.VC // join of all write times (Wx)
+	reads    map[event.Loc]*cell
+	writes   map[event.Loc]*cell
+}
+
+// Detect runs the full-vector-clock HB race detector over tr with race-pair
+// tracking enabled.
+func Detect(tr *trace.Trace) *Result {
+	return DetectOpts(tr, Options{TrackPairs: true})
+}
+
+// DetectOpts runs the full-vector-clock HB race detector over tr.
+func DetectOpts(tr *trace.Trace, opts Options) *Result {
+	n := tr.NumThreads()
+	res := &Result{FirstRace: -1}
+	if opts.TrackPairs {
+		res.Report = race.NewReport()
+	}
+
+	ct := make([]vc.VC, n) // C_t: current HB time of thread t
+	for t := range ct {
+		ct[t] = vc.New(n)
+		ct[t].Set(t, 1)
+	}
+	locks := make([]vc.VC, tr.NumLocks()) // L_ℓ: time of last release of ℓ
+	vars := make([]varState, tr.NumVars())
+
+	flag := func(i int) {
+		res.RacyEvents++
+		if res.FirstRace < 0 {
+			res.FirstRace = i
+		}
+	}
+
+	// checkAgainst flags races between event i (location loc, time now) and
+	// every prior access recorded in cells whose time is not ⊑ now.
+	checkAgainst := func(cells map[event.Loc]*cell, now vc.VC, i int, loc event.Loc) bool {
+		racy := false
+		for ploc, c := range cells {
+			if !c.time.Leq(now) {
+				racy = true
+				if res.Report != nil {
+					res.Report.Record(ploc, loc, i, i-c.last)
+				}
+			}
+		}
+		return racy
+	}
+
+	record := func(cells map[event.Loc]*cell, loc event.Loc, now vc.VC, i int) {
+		c, ok := cells[loc]
+		if !ok {
+			c = &cell{time: vc.New(n)}
+			cells[loc] = c
+		}
+		c.time.Join(now)
+		c.last = i
+	}
+
+	for i, e := range tr.Events {
+		t := int(e.Thread)
+		switch e.Kind {
+		case event.Acquire:
+			if lv := locks[e.Lock()]; lv != nil {
+				ct[t].Join(lv)
+			}
+		case event.Release:
+			l := e.Lock()
+			if locks[l] == nil {
+				locks[l] = vc.New(n)
+			}
+			locks[l].Copy(ct[t])
+			ct[t].Set(t, ct[t].Get(t)+1)
+		case event.Fork:
+			u := int(e.Target())
+			ct[u].Join(ct[t])
+			ct[t].Set(t, ct[t].Get(t)+1)
+		case event.Join:
+			u := int(e.Target())
+			ct[t].Join(ct[u])
+		case event.Read:
+			vs := &vars[e.Var()]
+			now := ct[t]
+			if vs.writeAll != nil && !vs.writeAll.Leq(now) {
+				if res.Report != nil {
+					if checkAgainst(vs.writes, now, i, e.Loc) {
+						flag(i)
+					}
+				} else {
+					flag(i)
+				}
+			}
+			if vs.readAll == nil {
+				vs.readAll = vc.New(n)
+				vs.reads = make(map[event.Loc]*cell)
+			}
+			vs.readAll.Join(now)
+			if res.Report != nil {
+				record(vs.reads, e.Loc, now, i)
+			}
+		case event.Write:
+			vs := &vars[e.Var()]
+			now := ct[t]
+			racy := false
+			if vs.writeAll != nil && !vs.writeAll.Leq(now) {
+				if res.Report != nil {
+					racy = checkAgainst(vs.writes, now, i, e.Loc) || racy
+				} else {
+					racy = true
+				}
+			}
+			if vs.readAll != nil && !vs.readAll.Leq(now) {
+				if res.Report != nil {
+					racy = checkAgainst(vs.reads, now, i, e.Loc) || racy
+				} else {
+					racy = true
+				}
+			}
+			if racy {
+				flag(i)
+			}
+			if vs.writeAll == nil {
+				vs.writeAll = vc.New(n)
+				vs.writes = make(map[event.Loc]*cell)
+			}
+			vs.writeAll.Join(now)
+			if res.Report != nil {
+				record(vs.writes, e.Loc, now, i)
+			}
+		}
+	}
+	return res
+}

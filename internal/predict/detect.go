@@ -1,0 +1,191 @@
+package predict
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/hb"
+	"repro/internal/race"
+	"repro/internal/trace"
+	"repro/internal/window"
+)
+
+// Options configures the windowed predictive detector, mirroring
+// RVPredict's two tunables (§4): the window size and the per-window solver
+// budget (our exploration-node analog of the SMT timeout).
+type Options struct {
+	// WindowSize bounds each analyzed fragment; <= 0 analyzes the whole
+	// trace as one window.
+	WindowSize int
+	// WindowBudget is the total exploration budget (DFS nodes) per window.
+	// <= 0 uses DefaultNodes.
+	WindowBudget int
+	// PairAttempts caps how many candidate event pairs are tried per
+	// location pair per window; 0 uses a default of 3.
+	PairAttempts int
+}
+
+// Result is the outcome of a predictive analysis.
+type Result struct {
+	// Report holds the distinct race pairs witnessed (or HB-detected)
+	// within windows.
+	Report *race.Report
+	// Windows is the number of fragments analyzed.
+	Windows int
+	// Searches counts witness searches performed.
+	Searches int
+	// ExhaustedSearches counts searches that hit the budget, the analog of
+	// RVPredict's windows lost to solver timeouts.
+	ExhaustedSearches int
+	// InvalidWitnesses counts witnesses rejected by the correct-reordering
+	// checker; always 0 unless the engine has a bug.
+	InvalidWitnesses int
+}
+
+// accessGroup is the list of events at one (location, kind) of a variable
+// within a window.
+type accessGroup struct {
+	loc     event.Loc
+	isWrite bool
+	events  []int
+}
+
+// candidatePairs returns, for each conflicting (location, kind) group pair
+// of variable groups, up to k event pairs ordered by increasing separation —
+// close pairs are the cheapest to witness, which is also how bounded SMT
+// encodings behave.
+func candidatePairs(a, b *accessGroup, k int) [][2]int {
+	type cand struct {
+		i, j, dist int
+	}
+	var cands []cand
+	for _, i := range a.events {
+		for _, j := range b.events {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo != hi {
+				cands = append(cands, cand{lo, hi, hi - lo})
+			}
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool { return cands[x].dist < cands[y].dist })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([][2]int, len(cands))
+	for i, c := range cands {
+		out[i] = [2]int{c.i, c.j}
+	}
+	return out
+}
+
+// Detect runs the windowed predictive race detector over tr.
+func Detect(tr *trace.Trace, opts Options) *Result {
+	res := &Result{Report: race.NewReport()}
+	budget := opts.WindowBudget
+	if budget <= 0 {
+		budget = DefaultNodes
+	}
+	attempts := opts.PairAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	offsets := window.Offsets(tr.Len(), opts.WindowSize)
+	for wi, w := range window.Split(tr, opts.WindowSize) {
+		res.Windows++
+		detectWindow(w, offsets[wi], budget, attempts, res)
+	}
+	return res
+}
+
+func detectWindow(w *trace.Trace, offset, budget, attempts int, res *Result) {
+	// Seed with the window's HB races: any sound maximal technique finds at
+	// least these, and they need no search.
+	hbRes := hb.Detect(w)
+	if hbRes.Report != nil {
+		res.Report.Merge(hbRes.Report)
+	}
+
+	// Group the window's accesses per variable by (location, kind).
+	groups := make(map[event.VID][]*accessGroup)
+	index := make(map[[3]int32]*accessGroup)
+	for i, e := range w.Events {
+		if !e.Kind.IsAccess() {
+			continue
+		}
+		isW := int32(0)
+		if e.Kind == event.Write {
+			isW = 1
+		}
+		key := [3]int32{int32(e.Var()), int32(e.Loc), isW}
+		g := index[key]
+		if g == nil {
+			g = &accessGroup{loc: e.Loc, isWrite: isW == 1}
+			index[key] = g
+			groups[e.Var()] = append(groups[e.Var()], g)
+		}
+		g.events = append(g.events, i)
+	}
+
+	// Enumerate candidate location pairs first, then share the window
+	// budget across them: each candidate's searches get a slice of what
+	// remains, the way an SMT backend divides its per-window solver time
+	// across queries. A candidate whose cheapest witness exceeds its slice
+	// is lost at this budget — which is exactly the budget axis of
+	// Figure 7.
+	type candidate struct{ a, b *accessGroup }
+	var cands []candidate
+	for x := event.VID(0); int(x) < w.NumVars(); x++ {
+		gs := groups[x]
+		for ai := 0; ai < len(gs); ai++ {
+			for bi := ai; bi < len(gs); bi++ {
+				a, b := gs[ai], gs[bi]
+				if !a.isWrite && !b.isWrite {
+					continue // read-read never conflicts
+				}
+				if res.Report.Has(a.loc, b.loc) {
+					continue // already found (HB seed or earlier window)
+				}
+				cands = append(cands, candidate{a, b})
+			}
+		}
+	}
+	remaining := budget
+	for ci, c := range cands {
+		if remaining <= 0 {
+			return
+		}
+		slice := remaining / (len(cands) - ci)
+		if min := 50; slice < min {
+			slice = min
+		}
+		for _, pair := range candidatePairs(c.a, c.b, attempts) {
+			i, j := pair[0], pair[1]
+			if !w.Events[i].Conflicts(w.Events[j]) {
+				continue // same-thread pair
+			}
+			if slice <= 0 {
+				break
+			}
+			res.Searches++
+			wit, ok := FindRaceWitness(w, i, j, Budget{Nodes: slice})
+			slice -= wit.Nodes
+			remaining -= wit.Nodes
+			if wit.Exhausted {
+				res.ExhaustedSearches++
+			}
+			if !ok {
+				continue
+			}
+			if err := trace.CheckReordering(w, wit.Reordering); err != nil ||
+				!trace.RevealsRace(w, wit.Reordering, i, j) {
+				res.InvalidWitnesses++
+				continue
+			}
+			res.Report.Record(c.a.loc, c.b.loc, offset+j, j-i)
+			break
+		}
+	}
+}

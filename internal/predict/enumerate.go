@@ -1,0 +1,90 @@
+package predict
+
+import (
+	"repro/internal/trace"
+)
+
+// EnumeratePredictableRaces computes, by exhaustive exploration of every
+// correct reordering, the complete set of predictable race pairs of a
+// trace: conflicting event pairs that some correct reordering schedules
+// back to back. This is the "maximal causal model" ground truth that
+// RVPredict approximates (§5 of the paper: such complete explorations "are
+// known to be intractable") — the state space is exponential, so this is
+// usable only on tiny traces. The property tests use it as the oracle for
+// the witness engine's completeness and for WCP's soundness.
+//
+// The returned pairs are (i, j) with i <tr j, sorted by (i, j). The budget
+// bounds exploration; ok reports whether the enumeration completed within
+// it (if false, the result is a lower bound).
+func EnumeratePredictableRaces(tr *trace.Trace, b Budget) (pairs [][2]int, ok bool) {
+	s := newSearcher(tr, b)
+	st := s.initialState()
+	found := make(map[[2]int]bool)
+	s.enumerate(st, found)
+	out := make([][2]int, 0, len(found))
+	for p := range found {
+		out = append(out, p)
+	}
+	sortPairSlice(out)
+	return out, !s.exhausted
+}
+
+// enumerate visits every reachable scheduling state once, recording all
+// conflicting pairs that can be scheduled consecutively from the state.
+func (s *searcher) enumerate(st *state, found map[[2]int]bool) {
+	if s.nodes++; s.nodes > s.budget {
+		s.exhausted = true
+		return
+	}
+	k := s.key(st)
+	if s.memo[k] {
+		return
+	}
+	s.memo[k] = true
+
+	// Collect the enabled next events.
+	var enabled []int
+	for _, t := range s.threads {
+		if i := s.next(st, t); i >= 0 && s.enabled(st, i) {
+			enabled = append(enabled, i)
+		}
+	}
+	// Any two enabled conflicting events that can run consecutively (in
+	// either order) are a revealed race from this state.
+	for _, i := range enabled {
+		undo := s.apply(st, i)
+		for _, t := range s.threads {
+			j := s.next(st, t)
+			if j < 0 || j == i || !s.tr.Events[i].Conflicts(s.tr.Events[j]) {
+				continue
+			}
+			if s.enabled(st, j) {
+				lo, hi := i, j
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				found[[2]int{lo, hi}] = true
+			}
+		}
+		// Continue the exhaustive exploration through i.
+		s.enumerate(st, found)
+		undo()
+		if s.exhausted {
+			return
+		}
+	}
+}
+
+// sortPairSlice orders pairs lexicographically (insertion sort: oracle
+// outputs are tiny).
+func sortPairSlice(ps [][2]int) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && (ps[j][0] > p[0] || (ps[j][0] == p[0] && ps[j][1] > p[1])) {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}

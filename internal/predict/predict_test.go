@@ -1,0 +1,210 @@
+package predict_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/predict"
+	"repro/internal/trace"
+)
+
+// findLoc returns the index of the event at the named location.
+func findLoc(t *testing.T, tr *trace.Trace, loc string) int {
+	t.Helper()
+	id := tr.Symbols.Location(loc)
+	for i, e := range tr.Events {
+		if e.Loc == id {
+			return i
+		}
+	}
+	t.Fatalf("location %q not found", loc)
+	return -1
+}
+
+func TestWitnessFigure1b(t *testing.T) {
+	tr := gen.Figure1b()
+	e1 := findLoc(t, tr, "f1b.1") // w(y)
+	e2 := findLoc(t, tr, "f1b.8") // r(y)
+	wit, ok := predict.FindRaceWitness(tr, e1, e2, predict.Budget{})
+	if !ok {
+		t.Fatalf("Figure 1b race witness not found (exhausted=%v)", wit.Exhausted)
+	}
+	if err := trace.CheckReordering(tr, wit.Reordering); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+	if !trace.RevealsRace(tr, wit.Reordering, e1, e2) {
+		t.Error("witness does not reveal the race")
+	}
+}
+
+func TestWitnessFigure2b(t *testing.T) {
+	tr := gen.Figure2b()
+	e1 := findLoc(t, tr, "f2b.1") // w(y)
+	e2 := findLoc(t, tr, "f2b.6") // r(y)
+	wit, ok := predict.FindRaceWitness(tr, e1, e2, predict.Budget{})
+	if !ok {
+		t.Fatal("Figure 2b race witness not found")
+	}
+	if err := trace.CheckReordering(tr, wit.Reordering); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+}
+
+func TestNoWitnessFigure2a(t *testing.T) {
+	tr := gen.Figure2a()
+	e1 := findLoc(t, tr, "f2a.1") // w(y)
+	e2 := findLoc(t, tr, "f2a.7") // r(y)
+	wit, ok := predict.FindRaceWitness(tr, e1, e2, predict.Budget{Nodes: 1_000_000})
+	if ok {
+		t.Fatalf("Figure 2a has no predictable race; got witness %v", wit.Reordering)
+	}
+	if wit.Exhausted {
+		t.Error("search should terminate exhaustively on this tiny trace")
+	}
+}
+
+func TestWitnessFigures3And4(t *testing.T) {
+	cases := []struct {
+		name   string
+		tr     *trace.Trace
+		l1, l2 string
+	}{
+		{"Figure3", gen.Figure3(), "f3.3", "f3.12"},
+		{"Figure4", gen.Figure4(), "f4.4", "f4.15"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e1 := findLoc(t, tc.tr, tc.l1)
+			e2 := findLoc(t, tc.tr, tc.l2)
+			wit, ok := predict.FindRaceWitness(tc.tr, e1, e2, predict.Budget{Nodes: 2_000_000})
+			if !ok {
+				t.Fatalf("witness not found (exhausted=%v)", wit.Exhausted)
+			}
+			if err := trace.CheckReordering(tc.tr, wit.Reordering); err != nil {
+				t.Fatalf("witness invalid: %v", err)
+			}
+			if !trace.RevealsRace(tc.tr, wit.Reordering, e1, e2) {
+				t.Error("witness does not reveal the race")
+			}
+		})
+	}
+}
+
+func TestNonConflictingPairRejected(t *testing.T) {
+	tr := gen.Figure1b()
+	// Two reads of x never conflict.
+	e1 := findLoc(t, tr, "f1b.3")
+	e2 := findLoc(t, tr, "f1b.6")
+	if _, ok := predict.FindRaceWitness(tr, e1, e2, predict.Budget{}); ok {
+		t.Error("read-read pair must not get a witness")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A trace with two far-apart conflicting writes separated by a wall of
+	// independent work in many threads: the search space is big enough that
+	// a tiny budget must give up.
+	b := trace.NewBuilder()
+	b.At("p1").Write("tA", "goal")
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			b.Write("tA", "fillA")
+			b.Write("tB", "fillB")
+			b.Write("tC", "fillC")
+			b.Write("tD", "fillD")
+		}
+	}
+	b.At("p2").Write("tE", "goal")
+	tr := b.MustBuild()
+	e1 := findLoc(t, tr, "p1")
+	e2 := findLoc(t, tr, "p2")
+	wit, ok := predict.FindRaceWitness(tr, e1, e2, predict.Budget{Nodes: 5})
+	if ok {
+		t.Skip("trivially found despite budget; pattern too easy")
+	}
+	if !wit.Exhausted {
+		t.Error("tiny budget should report exhaustion")
+	}
+	// With an adequate budget the witness exists.
+	if _, ok := predict.FindRaceWitness(tr, e1, e2, predict.Budget{Nodes: 500_000}); !ok {
+		t.Error("witness should be found with a real budget")
+	}
+}
+
+func TestDeadlockSearchNegative(t *testing.T) {
+	// A single lock cannot deadlock.
+	b := trace.NewBuilder()
+	b.CriticalSection("t1", "l", func(b *trace.Builder) { b.Write("t1", "x") })
+	b.CriticalSection("t2", "l", func(b *trace.Builder) { b.Write("t2", "x") })
+	wit, ok := predict.FindDeadlock(b.MustBuild(), predict.Budget{Nodes: 100_000})
+	if ok {
+		t.Fatalf("single-lock trace reported deadlock: %v", wit.Reordering)
+	}
+	if wit.Exhausted {
+		t.Error("search should terminate on this tiny trace")
+	}
+}
+
+func TestDeadlockSearchPositive(t *testing.T) {
+	// Classic AB-BA deadlock pattern.
+	b := trace.NewBuilder()
+	b.Acquire("t1", "a")
+	b.Acquire("t1", "b")
+	b.Release("t1", "b")
+	b.Release("t1", "a")
+	b.Acquire("t2", "b")
+	b.Acquire("t2", "a")
+	b.Release("t2", "a")
+	b.Release("t2", "b")
+	tr := b.MustBuild()
+	wit, ok := predict.FindDeadlock(tr, predict.Budget{})
+	if !ok {
+		t.Fatal("AB-BA deadlock not found")
+	}
+	if err := trace.CheckReordering(tr, wit.Reordering); err != nil {
+		t.Fatalf("deadlock witness invalid: %v", err)
+	}
+	if d := trace.RevealsDeadlock(tr, wit.Reordering); len(d) != 2 {
+		t.Errorf("deadlocked threads = %v", d)
+	}
+}
+
+// TestForkJoinConstraints checks the searcher never schedules child events
+// before their fork or joins before the child finishes.
+func TestForkJoinConstraints(t *testing.T) {
+	b := trace.NewBuilder()
+	b.At("w0").Write("t0", "x") // 0
+	b.Fork("t0", "t1")          // 1
+	b.At("w1").Write("t1", "x") // 2: ordered after 0 via fork — no race
+	tr := b.MustBuild()
+	e1 := findLoc(t, tr, "w0")
+	e2 := findLoc(t, tr, "w1")
+	wit, ok := predict.FindRaceWitness(tr, e1, e2, predict.Budget{Nodes: 1_000_000})
+	if ok {
+		t.Fatalf("fork-ordered accesses got a witness: %v", wit.Reordering)
+	}
+	if wit.Exhausted {
+		t.Error("search should terminate")
+	}
+}
+
+func TestDetectWindowed(t *testing.T) {
+	bench, _ := gen.ByName("ftpserver")
+	tr := bench.Generate(0.3)
+	whole := predict.Detect(tr, predict.Options{WindowSize: 0, WindowBudget: 50_000})
+	windowed := predict.Detect(tr, predict.Options{WindowSize: 500, WindowBudget: 50_000})
+	if whole.Windows != 1 {
+		t.Errorf("whole-trace analysis used %d windows", whole.Windows)
+	}
+	if windowed.Windows < 2 {
+		t.Errorf("windowed analysis used %d windows", windowed.Windows)
+	}
+	if windowed.InvalidWitnesses != 0 || whole.InvalidWitnesses != 0 {
+		t.Errorf("invalid witnesses: %d/%d", windowed.InvalidWitnesses, whole.InvalidWitnesses)
+	}
+	// Far races must be lost to windowing: the benchmark has FarRaces pairs
+	// spanning the trace.
+	if got, want := windowed.Report.Distinct(), bench.HBRaces-bench.FarRaces; got > want {
+		t.Errorf("windowed predict found %d pairs, expected ≤ %d (far races must be invisible)", got, want)
+	}
+}

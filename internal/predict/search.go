@@ -1,0 +1,354 @@
+// Package predict implements a maximal-style predictive race detector in
+// the spirit of RVPredict (Huang et al., PLDI 2014): it searches the space
+// of *correct reorderings* of a trace fragment for a witness that schedules
+// two conflicting events next to each other, or for a deadlock.
+//
+// RVPredict encodes this search as SMT formulae solved per window under a
+// solver timeout. We have no SMT solver; instead the search is an explicit
+// memoized DFS over scheduling states with an exploration budget playing the
+// role of the solver timeout (see DESIGN.md §4, Substitutions). The
+// *behaviour* the paper measures is preserved: windows hide far-apart races,
+// budgets make complex windows fail, and their interplay is non-monotone
+// (Figure 7).
+//
+// Every witness returned is certified by trace.CheckReordering, so the
+// engine is sound by construction; it is precise up to budget exhaustion.
+package predict
+
+import (
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// Budget bounds a search. Exploration cost is counted in scheduling steps.
+type Budget struct {
+	// Nodes is the maximum number of DFS states to explore. <= 0 means a
+	// small default.
+	Nodes int
+}
+
+// DefaultNodes is the default exploration budget per search.
+const DefaultNodes = 100_000
+
+// searcher holds the immutable trace structure shared by the DFS.
+type searcher struct {
+	tr         *trace.Trace
+	proj       map[event.TID][]int // per-thread event indices
+	threads    []event.TID         // deterministic thread iteration order
+	origWriter []int               // per read event, its original writer or -1
+	forkOf     map[event.TID]int   // thread -> fork event index, if any
+	nodes      int
+	budget     int
+	exhausted  bool
+	memo       map[string]bool
+}
+
+func newSearcher(tr *trace.Trace, b Budget) *searcher {
+	s := &searcher{
+		tr:         tr,
+		proj:       make(map[event.TID][]int),
+		origWriter: trace.LastWriters(tr),
+		forkOf:     make(map[event.TID]int),
+		budget:     b.Nodes,
+		memo:       make(map[string]bool),
+	}
+	if s.budget <= 0 {
+		s.budget = DefaultNodes
+	}
+	for i, e := range tr.Events {
+		if _, ok := s.proj[e.Thread]; !ok {
+			s.threads = append(s.threads, e.Thread)
+		}
+		s.proj[e.Thread] = append(s.proj[e.Thread], i)
+		if e.Kind == event.Fork {
+			s.forkOf[e.Target()] = i
+		}
+	}
+	return s
+}
+
+// state is a mutable scheduling state: how far each thread has progressed,
+// which locks are held, and the last writer per variable.
+type state struct {
+	pos        map[event.TID]int       // next unscheduled index into proj[t]
+	lockHolder map[event.LID]event.TID // lock -> holding thread
+	lockDepth  map[event.LID]int       // reentrancy depth
+	lastWriter map[event.VID]int       // variable -> last scheduled write
+	scheduled  map[int]bool            // event index -> scheduled
+	order      []int                   // the schedule so far
+}
+
+func (s *searcher) initialState() *state {
+	return &state{
+		pos:        make(map[event.TID]int),
+		lockHolder: make(map[event.LID]event.TID),
+		lockDepth:  make(map[event.LID]int),
+		lastWriter: make(map[event.VID]int),
+		scheduled:  make(map[int]bool),
+	}
+}
+
+// key serializes the decision-relevant parts of a state for memoization.
+// Per-thread positions determine the scheduled set (prefix closure) and
+// therefore the lock state; the last-writer map is the only order-dependent
+// component, so it is part of the key.
+func (s *searcher) key(st *state) string {
+	buf := make([]byte, 0, 4*(len(s.threads)+len(st.lastWriter)))
+	for _, t := range s.threads {
+		p := st.pos[t]
+		buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	buf = append(buf, 0xff)
+	for x := 0; x < s.tr.NumVars(); x++ {
+		w, ok := st.lastWriter[event.VID(x)]
+		if !ok {
+			w = -1
+		}
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return string(buf)
+}
+
+// next returns thread t's next unscheduled event index, or -1.
+func (s *searcher) next(st *state, t event.TID) int {
+	p := st.pos[t]
+	if p >= len(s.proj[t]) {
+		return -1
+	}
+	return s.proj[t][p]
+}
+
+// enabled reports whether event i (thread t's next event) can be scheduled
+// now without violating the correct-reordering conditions.
+func (s *searcher) enabled(st *state, i int) bool {
+	e := s.tr.Events[i]
+	// A thread's events cannot precede its fork event.
+	if f, ok := s.forkOf[e.Thread]; ok && !st.scheduled[f] {
+		return false
+	}
+	switch e.Kind {
+	case event.Acquire:
+		if h, ok := st.lockHolder[e.Lock()]; ok && h != e.Thread {
+			return false
+		}
+	case event.Read:
+		w := -1
+		if lw, ok := st.lastWriter[e.Var()]; ok {
+			w = lw
+		}
+		if w != s.origWriter[i] {
+			return false
+		}
+	case event.Join:
+		// A join can only fire when the target has nothing left to run.
+		if st.pos[e.Target()] < len(s.proj[e.Target()]) {
+			return false
+		}
+	}
+	return true
+}
+
+// apply schedules event i, mutating st. The caller must have checked
+// enabled. It returns an undo closure.
+func (s *searcher) apply(st *state, i int) func() {
+	e := s.tr.Events[i]
+	st.pos[e.Thread]++
+	st.scheduled[i] = true
+	st.order = append(st.order, i)
+	var undoExtra func()
+	switch e.Kind {
+	case event.Acquire:
+		st.lockHolder[e.Lock()] = e.Thread
+		st.lockDepth[e.Lock()]++
+		undoExtra = func() {
+			st.lockDepth[e.Lock()]--
+			if st.lockDepth[e.Lock()] == 0 {
+				delete(st.lockHolder, e.Lock())
+			}
+		}
+	case event.Release:
+		prevHolder, held := st.lockHolder[e.Lock()]
+		prevDepth := st.lockDepth[e.Lock()]
+		st.lockDepth[e.Lock()]--
+		if st.lockDepth[e.Lock()] <= 0 {
+			delete(st.lockHolder, e.Lock())
+			st.lockDepth[e.Lock()] = 0
+		}
+		undoExtra = func() {
+			st.lockDepth[e.Lock()] = prevDepth
+			if held {
+				st.lockHolder[e.Lock()] = prevHolder
+			}
+		}
+	case event.Write:
+		prev, had := st.lastWriter[e.Var()]
+		st.lastWriter[e.Var()] = i
+		undoExtra = func() {
+			if had {
+				st.lastWriter[e.Var()] = prev
+			} else {
+				delete(st.lastWriter, e.Var())
+			}
+		}
+	}
+	return func() {
+		st.pos[e.Thread]--
+		delete(st.scheduled, i)
+		st.order = st.order[:len(st.order)-1]
+		if undoExtra != nil {
+			undoExtra()
+		}
+	}
+}
+
+// Witness is a successful search outcome: a correct reordering (indices
+// into the searched trace) revealing the race or deadlock.
+type Witness struct {
+	Reordering trace.Reordering
+	// Exhausted reports that the budget ran out before the search space
+	// was covered (a negative answer is then inconclusive).
+	Exhausted bool
+	// Nodes is the number of DFS states the search explored.
+	Nodes int
+}
+
+// FindRaceWitness searches for a correct reordering of tr that schedules
+// conflicting events e1 and e2 (trace indices, e1 < e2) next to each other.
+// It returns the witness and true on success. On failure, Witness.Exhausted
+// distinguishes "no witness exists" from "budget exceeded".
+func FindRaceWitness(tr *trace.Trace, e1, e2 int, b Budget) (Witness, bool) {
+	if !tr.Events[e1].Conflicts(tr.Events[e2]) {
+		return Witness{}, false
+	}
+	s := newSearcher(tr, b)
+	st := s.initialState()
+	if s.raceDFS(st, e1, e2) {
+		ro := append(trace.Reordering(nil), st.order...)
+		return Witness{Reordering: ro, Nodes: s.nodes}, true
+	}
+	return Witness{Exhausted: s.exhausted, Nodes: s.nodes}, false
+}
+
+// tryGoal attempts to finish the schedule with e1 then e2 (both must be
+// their threads' next events). It leaves st untouched on failure.
+func (s *searcher) tryGoal(st *state, e1, e2 int) bool {
+	t1, t2 := s.tr.Events[e1].Thread, s.tr.Events[e2].Thread
+	if s.next(st, t1) != e1 || s.next(st, t2) != e2 {
+		return false
+	}
+	if !s.enabled(st, e1) {
+		return false
+	}
+	undo1 := s.apply(st, e1)
+	if s.enabled(st, e2) {
+		s.apply(st, e2)
+		return true
+	}
+	undo1()
+	return false
+}
+
+// raceDFS explores schedules; it succeeds when e1 and e2 (in either order)
+// can be appended consecutively. On success st.order holds the witness.
+func (s *searcher) raceDFS(st *state, e1, e2 int) bool {
+	if s.tryGoal(st, e1, e2) || s.tryGoal(st, e2, e1) {
+		return true
+	}
+	if s.nodes++; s.nodes > s.budget {
+		s.exhausted = true
+		return false
+	}
+	k := s.key(st)
+	if s.memo[k] {
+		return false
+	}
+	s.memo[k] = true
+	for _, t := range s.threads {
+		i := s.next(st, t)
+		if i < 0 || i == e1 || i == e2 || !s.enabled(st, i) {
+			continue
+		}
+		// Never schedule past the goal events in their own threads.
+		undo := s.apply(st, i)
+		if s.raceDFS(st, e1, e2) {
+			return true
+		}
+		undo()
+		if s.exhausted {
+			return false
+		}
+	}
+	return false
+}
+
+// FindDeadlock searches for a correct reordering of tr whose final state
+// deadlocks a set of threads (each one's next event acquires a lock held by
+// another member, §2.1). It returns the witness reordering on success.
+func FindDeadlock(tr *trace.Trace, b Budget) (Witness, bool) {
+	s := newSearcher(tr, b)
+	st := s.initialState()
+	if s.deadlockDFS(st) {
+		ro := append(trace.Reordering(nil), st.order...)
+		return Witness{Reordering: ro, Nodes: s.nodes}, true
+	}
+	return Witness{Exhausted: s.exhausted, Nodes: s.nodes}, false
+}
+
+// isDeadlocked reports whether st's current configuration mutually blocks a
+// nonempty thread set.
+func (s *searcher) isDeadlocked(st *state) bool {
+	blockedOn := make(map[event.TID]event.TID)
+	for _, t := range s.threads {
+		i := s.next(st, t)
+		if i < 0 {
+			continue
+		}
+		e := s.tr.Events[i]
+		if e.Kind != event.Acquire {
+			continue
+		}
+		if h, ok := st.lockHolder[e.Lock()]; ok && h != t {
+			blockedOn[t] = h
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for t, h := range blockedOn {
+			if _, ok := blockedOn[h]; !ok {
+				delete(blockedOn, t)
+				changed = true
+			}
+		}
+	}
+	return len(blockedOn) > 0
+}
+
+func (s *searcher) deadlockDFS(st *state) bool {
+	if s.isDeadlocked(st) {
+		return true
+	}
+	if s.nodes++; s.nodes > s.budget {
+		s.exhausted = true
+		return false
+	}
+	k := s.key(st)
+	if s.memo[k] {
+		return false
+	}
+	s.memo[k] = true
+	for _, t := range s.threads {
+		i := s.next(st, t)
+		if i < 0 || !s.enabled(st, i) {
+			continue
+		}
+		undo := s.apply(st, i)
+		if s.deadlockDFS(st) {
+			return true
+		}
+		undo()
+		if s.exhausted {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package race
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestMakePairNormalizes(t *testing.T) {
+	p := MakePair(5, 2)
+	if p.A != 2 || p.B != 5 {
+		t.Errorf("pair = %+v", p)
+	}
+	if MakePair(2, 5) != p {
+		t.Error("pairs should be order independent")
+	}
+}
+
+func TestRecordAndDistinct(t *testing.T) {
+	r := NewReport()
+	r.Record(1, 2, 100, 50)
+	r.Record(2, 1, 200, 10) // same pair, reversed order
+	r.Record(3, 4, 300, 5)
+	if r.Distinct() != 2 {
+		t.Fatalf("distinct = %d", r.Distinct())
+	}
+	info := r.Info(MakePair(1, 2))
+	if info == nil {
+		t.Fatal("pair (1,2) missing")
+	}
+	if info.Count != 2 || info.FirstEvent != 100 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.MinDistance != 10 || info.MaxDistance != 50 {
+		t.Errorf("distances = %d..%d", info.MinDistance, info.MaxDistance)
+	}
+	if !r.Has(2, 1) || r.Has(1, 3) {
+		t.Error("Has wrong")
+	}
+	if len(r.Pairs()) != 2 || r.Pairs()[0] != MakePair(1, 2) {
+		t.Errorf("pairs order = %v", r.Pairs())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewReport()
+	a.Record(1, 2, 10, 3)
+	b := NewReport()
+	b.Record(1, 2, 20, 9)
+	b.Record(5, 6, 30, 1)
+	a.Merge(b)
+	if a.Distinct() != 2 {
+		t.Fatalf("distinct after merge = %d", a.Distinct())
+	}
+	info := a.Info(MakePair(1, 2))
+	if info.Count != 2 || info.MaxDistance != 9 || info.MinDistance != 3 {
+		t.Errorf("merged info = %+v", info)
+	}
+	if a.Info(MakePair(5, 6)).Count != 1 {
+		t.Error("new pair not merged")
+	}
+	// Merging must not alias the source report's infos.
+	b.Record(5, 6, 40, 2)
+	if a.Info(MakePair(5, 6)).Count != 1 {
+		t.Error("merge aliased source info")
+	}
+}
+
+func TestDistanceStats(t *testing.T) {
+	r := NewReport()
+	r.Record(1, 2, 10, 5)
+	r.Record(3, 4, 20, 1000)
+	r.Record(5, 6, 30, 80)
+	if r.MaxDistance() != 1000 {
+		t.Errorf("max = %d", r.MaxDistance())
+	}
+	if got := r.PairsOverDistance(50); got != 2 {
+		t.Errorf("pairs over 50 = %d", got)
+	}
+	if got := r.PairsOverDistance(5000); got != 0 {
+		t.Errorf("pairs over 5000 = %d", got)
+	}
+	empty := NewReport()
+	if empty.MaxDistance() != 0 {
+		t.Error("empty max should be 0")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	var syms event.Symbols
+	a := syms.Location("Main.java:10")
+	b := syms.Location("Main.java:20")
+	r := NewReport()
+	r.Record(a, b, 7, 3)
+	out := r.Format(&syms)
+	if !strings.Contains(out, "Main.java:10") || !strings.Contains(out, "Main.java:20") {
+		t.Errorf("format = %q", out)
+	}
+	if !strings.Contains(out, "count=1") {
+		t.Errorf("format = %q", out)
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Builder constructs traces programmatically with symbolic names. It is the
+// API the examples, tests and workload generators use to transcribe traces
+// such as the paper's Figures 1–6 and 8.
+//
+// Each appending method returns the Builder so traces read as a chain:
+//
+//	b := trace.NewBuilder()
+//	b.Acquire("t1", "l").Read("t1", "x").Release("t1", "l")
+//
+// Locations default to "<thread>.<seq>" (one location per event) unless set
+// with At; Table-1-style distinct race-pair counting needs stable locations,
+// which the workload generators assign explicitly.
+type Builder struct {
+	syms   event.Symbols
+	events []event.Event
+	loc    string // pending location for the next event, "" for default
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// At sets the program location of the next appended event.
+func (b *Builder) At(loc string) *Builder {
+	b.loc = loc
+	return b
+}
+
+func (b *Builder) add(k event.Kind, thread string, obj int32) *Builder {
+	t := b.syms.Thread(thread)
+	loc := b.loc
+	b.loc = ""
+	if loc == "" {
+		loc = fmt.Sprintf("%s.%d", thread, len(b.events))
+	}
+	b.events = append(b.events, event.Event{
+		Kind:   k,
+		Thread: t,
+		Obj:    obj,
+		Loc:    b.syms.Location(loc),
+	})
+	return b
+}
+
+// Acquire appends acq(l) by thread.
+func (b *Builder) Acquire(thread, lock string) *Builder {
+	return b.add(event.Acquire, thread, int32(b.syms.Lock(lock)))
+}
+
+// Release appends rel(l) by thread.
+func (b *Builder) Release(thread, lock string) *Builder {
+	return b.add(event.Release, thread, int32(b.syms.Lock(lock)))
+}
+
+// Read appends r(x) by thread.
+func (b *Builder) Read(thread, variable string) *Builder {
+	return b.add(event.Read, thread, int32(b.syms.Var(variable)))
+}
+
+// Write appends w(x) by thread.
+func (b *Builder) Write(thread, variable string) *Builder {
+	return b.add(event.Write, thread, int32(b.syms.Var(variable)))
+}
+
+// Fork appends fork(child) by thread.
+func (b *Builder) Fork(thread, child string) *Builder {
+	return b.add(event.Fork, thread, int32(b.syms.Thread(child)))
+}
+
+// Join appends join(child) by thread.
+func (b *Builder) Join(thread, child string) *Builder {
+	return b.add(event.Join, thread, int32(b.syms.Thread(child)))
+}
+
+// Sync appends the paper's sync(x) shorthand (Figure 3 caption):
+// acq(x) r(xVar) w(xVar) rel(x), where xVar is the variable uniquely
+// associated with lock x.
+func (b *Builder) Sync(thread, lock string) *Builder {
+	v := lock + "Var"
+	return b.Acquire(thread, lock).Read(thread, v).Write(thread, v).Release(thread, lock)
+}
+
+// AcRel appends the paper's acrl(y) shorthand (Figure 6): acq(y) rel(y)
+// performed in succession, so two acrl(y)s are HB related.
+func (b *Builder) AcRel(thread, lock string) *Builder {
+	return b.Acquire(thread, lock).Release(thread, lock)
+}
+
+// CriticalSection appends acq(l), then the events produced by body, then
+// rel(l).
+func (b *Builder) CriticalSection(thread, lock string, body func(*Builder)) *Builder {
+	b.Acquire(thread, lock)
+	body(b)
+	return b.Release(thread, lock)
+}
+
+// Len returns the number of events appended so far.
+func (b *Builder) Len() int { return len(b.events) }
+
+// Build finalizes the trace. The Builder may continue to be used; the
+// returned trace snapshots the events appended so far but shares the symbol
+// table, so later appends must not be interleaved with uses of the snapshot.
+func (b *Builder) Build() *Trace {
+	return &Trace{
+		Events:  append([]event.Event(nil), b.events...),
+		Symbols: &b.syms,
+	}
+}
+
+// MustBuild finalizes the trace and panics if it is not well formed. Tests
+// and examples transcribing paper figures use it so a typo in the
+// transcription fails loudly.
+func (b *Builder) MustBuild() *Trace {
+	tr := b.Build()
+	if err := Validate(tr); err != nil {
+		panic(fmt.Sprintf("trace.MustBuild: %v", err))
+	}
+	return tr
+}

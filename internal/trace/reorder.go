@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// A Reordering is a candidate alternative execution of a trace, given as a
+// sequence of event indices into the original trace. The paper's predictable
+// races and deadlocks (§2.1) are defined over *correct reorderings*; this
+// file implements the checker for that definition, which the predictive
+// engine uses to certify every witness it reports and the soundness property
+// tests use to validate WCP's guarantee.
+type Reordering []int
+
+// LastWriters returns, for each event index, the index of the last write to
+// the same variable strictly before it in the trace, or -1. Only read events
+// have meaningful entries; other kinds map to -1.
+func LastWriters(tr *Trace) []int {
+	last := make(map[event.VID]int)
+	out := make([]int, len(tr.Events))
+	for i, e := range tr.Events {
+		out[i] = -1
+		switch e.Kind {
+		case event.Read:
+			if w, ok := last[e.Var()]; ok {
+				out[i] = w
+			}
+		case event.Write:
+			last[e.Var()] = i
+		}
+	}
+	return out
+}
+
+// CheckReordering verifies that ro is a correct reordering of tr per §2.1:
+//
+//   - ro lists distinct valid event indices of tr;
+//   - for every thread t, ro's subsequence of t's events is a prefix of
+//     tr↾t (thread order preserved, no gaps);
+//   - ro, viewed as a trace, satisfies lock semantics and well-nestedness;
+//   - every read event in ro sees the same last writer as it did in tr
+//     (including "no writer" staying "no writer").
+//
+// A nil error means ro is a correct reordering.
+func CheckReordering(tr *Trace, ro Reordering) error {
+	n := len(tr.Events)
+	seen := make([]bool, n)
+	for _, i := range ro {
+		if i < 0 || i >= n {
+			return fmt.Errorf("reordering: event index %d out of range [0,%d)", i, n)
+		}
+		if seen[i] {
+			return fmt.Errorf("reordering: event #%d appears twice", i)
+		}
+		seen[i] = true
+	}
+
+	// Per-thread prefix property: the k-th event of thread t in ro must be
+	// the k-th event of thread t in tr.
+	proj := make(map[event.TID][]int)
+	for i, e := range tr.Events {
+		proj[e.Thread] = append(proj[e.Thread], i)
+	}
+	pos := make(map[event.TID]int)
+	for _, i := range ro {
+		t := tr.Events[i].Thread
+		k := pos[t]
+		if proj[t][k] != i {
+			return fmt.Errorf("reordering: thread %s event %d is #%d, want #%d (not a per-thread prefix)",
+				tr.Symbols.ThreadName(t), k, i, proj[t][k])
+		}
+		pos[t] = k + 1
+	}
+
+	// Lock semantics + well-nestedness of the reordered sequence.
+	sub := &Trace{Symbols: tr.Symbols}
+	for _, i := range ro {
+		sub.Events = append(sub.Events, tr.Events[i])
+	}
+	if err := Validate(sub); err != nil {
+		return fmt.Errorf("reordering: %w", err)
+	}
+
+	// Read-sees-same-writer.
+	origLast := LastWriters(tr)
+	last := make(map[event.VID]int)
+	for _, i := range ro {
+		e := tr.Events[i]
+		switch e.Kind {
+		case event.Read:
+			w := -1
+			if lw, ok := last[e.Var()]; ok {
+				w = lw
+			}
+			if w != origLast[i] {
+				return fmt.Errorf("reordering: read #%d of %s sees writer #%d, saw #%d in original",
+					i, tr.Symbols.VarName(e.Var()), w, origLast[i])
+			}
+		case event.Write:
+			last[e.Var()] = i
+		}
+	}
+	return nil
+}
+
+// RevealsRace reports whether the correct reordering ro places the
+// conflicting events e1, e2 (indices into tr) next to each other, in either
+// order. Callers should have verified CheckReordering first.
+func RevealsRace(tr *Trace, ro Reordering, e1, e2 int) bool {
+	if !tr.Events[e1].Conflicts(tr.Events[e2]) {
+		return false
+	}
+	for k := 0; k+1 < len(ro); k++ {
+		a, b := ro[k], ro[k+1]
+		if (a == e1 && b == e2) || (a == e2 && b == e1) {
+			return true
+		}
+	}
+	return false
+}
+
+// RevealsDeadlock reports whether the correct reordering ro ends in a state
+// where some set D of threads is deadlocked (§2.1): for every thread in D,
+// its next unscheduled event in tr is an acquire of a lock currently held
+// (in ro's final state) by another thread of D. Returns the deadlocked
+// thread set, or nil.
+func RevealsDeadlock(tr *Trace, ro Reordering) []event.TID {
+	// Final lock-held state and per-thread progress after ro.
+	holder := make(map[event.LID]event.TID)
+	depth := make(map[event.LID]int)
+	pos := make(map[event.TID]int)
+	proj := make(map[event.TID][]int)
+	for i, e := range tr.Events {
+		proj[e.Thread] = append(proj[e.Thread], i)
+	}
+	for _, i := range ro {
+		e := tr.Events[i]
+		pos[e.Thread]++
+		switch e.Kind {
+		case event.Acquire:
+			holder[e.Lock()] = e.Thread
+			depth[e.Lock()]++
+		case event.Release:
+			depth[e.Lock()]--
+			if depth[e.Lock()] == 0 {
+				delete(holder, e.Lock())
+			}
+		}
+	}
+	// Candidate set: threads whose next event is an acquire of a lock held
+	// by a different thread. Then shrink to a mutually-waiting set: every
+	// blocking lock must be held by another candidate.
+	blockedOn := make(map[event.TID]event.TID) // waiter -> holder
+	for t, evs := range proj {
+		k := pos[t]
+		if k >= len(evs) {
+			continue
+		}
+		e := tr.Events[evs[k]]
+		if e.Kind != event.Acquire {
+			continue
+		}
+		if h, ok := holder[e.Lock()]; ok && h != t {
+			blockedOn[t] = h
+		}
+	}
+	// Iteratively remove waiters whose holder is not itself a waiter: a
+	// deadlocked set must be closed under "blocked on".
+	for changed := true; changed; {
+		changed = false
+		for t, h := range blockedOn {
+			if _, ok := blockedOn[h]; !ok {
+				delete(blockedOn, t)
+				changed = true
+			}
+		}
+	}
+	if len(blockedOn) == 0 {
+		return nil
+	}
+	out := make([]event.TID, 0, len(blockedOn))
+	for t := range blockedOn {
+		out = append(out, t)
+	}
+	return out
+}

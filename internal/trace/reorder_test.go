@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig1b rebuilds the paper's Figure 1(b) trace, whose critical sections can
+// be legally swapped.
+func fig1b() *Trace {
+	b := NewBuilder()
+	b.Write("t1", "y")   // 0
+	b.Acquire("t1", "l") // 1
+	b.Read("t1", "x")    // 2
+	b.Release("t1", "l") // 3
+	b.Acquire("t2", "l") // 4
+	b.Read("t2", "x")    // 5
+	b.Release("t2", "l") // 6
+	b.Read("t2", "y")    // 7
+	return b.MustBuild()
+}
+
+func TestLastWriters(t *testing.T) {
+	b := NewBuilder()
+	b.Write("t1", "x") // 0
+	b.Read("t2", "x")  // 1 sees 0
+	b.Write("t2", "x") // 2
+	b.Read("t1", "x")  // 3 sees 2
+	b.Read("t1", "y")  // 4 sees none
+	tr := b.MustBuild()
+	lw := LastWriters(tr)
+	want := []int{-1, 0, -1, 2, -1}
+	for i, w := range want {
+		if lw[i] != w {
+			t.Errorf("lastWriter[%d] = %d, want %d", i, lw[i], w)
+		}
+	}
+}
+
+func TestCheckReorderingAccepts(t *testing.T) {
+	tr := fig1b()
+	// The paper's reordering: t2's critical section first, exposing the
+	// race on y by putting events 0 and 7 adjacent (r(y) originally saw
+	// w(y), so the write must still precede the read).
+	ro := Reordering{4, 5, 6, 0, 7}
+	if err := CheckReordering(tr, ro); err != nil {
+		t.Fatalf("valid reordering rejected: %v", err)
+	}
+	if !RevealsRace(tr, ro, 0, 7) {
+		t.Error("reordering should reveal the (0,7) race")
+	}
+	if RevealsRace(tr, ro, 2, 5) {
+		t.Error("read-read pair must not count as a race")
+	}
+	// Prefixes and the empty reordering are fine too.
+	if err := CheckReordering(tr, Reordering{}); err != nil {
+		t.Errorf("empty reordering rejected: %v", err)
+	}
+	if err := CheckReordering(tr, Reordering{0, 1, 2}); err != nil {
+		t.Errorf("prefix reordering rejected: %v", err)
+	}
+}
+
+func TestCheckReorderingRejects(t *testing.T) {
+	tr := fig1b()
+	cases := []struct {
+		name   string
+		ro     Reordering
+		reason string
+	}{
+		{"out of range", Reordering{99}, "out of range"},
+		{"duplicate", Reordering{0, 0}, "twice"},
+		{"thread order broken", Reordering{1, 0}, "prefix"},
+		{"thread gap", Reordering{0, 2}, "prefix"},
+		{"lock overlap", Reordering{0, 1, 4}, "lock semantics"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckReordering(tr, tc.ro)
+			if err == nil {
+				t.Fatal("expected rejection")
+			}
+			if !strings.Contains(err.Error(), tc.reason) {
+				t.Errorf("error %q does not mention %q", err, tc.reason)
+			}
+		})
+	}
+}
+
+func TestCheckReorderingReadSeesWriter(t *testing.T) {
+	b := NewBuilder()
+	b.Write("t1", "x") // 0
+	b.Write("t2", "x") // 1
+	b.Read("t2", "x")  // 2: sees 1 in the original
+	tr := b.MustBuild()
+	// Scheduling t2 entirely before t1 keeps read 2 seeing write 1: OK.
+	if err := CheckReordering(tr, Reordering{1, 2, 0}); err != nil {
+		t.Errorf("writer-preserving reordering rejected: %v", err)
+	}
+	// Interleaving t1's write between breaks the read's writer.
+	err := CheckReordering(tr, Reordering{1, 0, 2})
+	if err == nil || !strings.Contains(err.Error(), "sees writer") {
+		t.Errorf("writer-violating reordering: err = %v", err)
+	}
+	// A read that originally saw no writer must still see none.
+	b2 := NewBuilder()
+	b2.Read("t1", "x")  // 0 sees none
+	b2.Write("t2", "x") // 1
+	tr2 := b2.MustBuild()
+	if err := CheckReordering(tr2, Reordering{1, 0}); err == nil {
+		t.Error("read moved after a writer it never saw should be rejected")
+	}
+}
+
+func TestRevealsDeadlock(t *testing.T) {
+	b := NewBuilder()
+	b.Acquire("t1", "l") // 0
+	b.Acquire("t1", "m") // 1
+	b.Release("t1", "m") // 2
+	b.Release("t1", "l") // 3
+	b.Acquire("t2", "m") // 4
+	b.Acquire("t2", "l") // 5
+	b.Release("t2", "l") // 6
+	b.Release("t2", "m") // 7
+	tr := b.MustBuild()
+	// Schedule both outer acquires only: t1 holds l and next wants m; t2
+	// holds m and next wants l.
+	ro := Reordering{0, 4}
+	if err := CheckReordering(tr, ro); err != nil {
+		t.Fatalf("reordering invalid: %v", err)
+	}
+	d := RevealsDeadlock(tr, ro)
+	if len(d) != 2 {
+		t.Errorf("deadlocked threads = %v, want both", d)
+	}
+	// The full original order deadlocks nobody.
+	full := Reordering{0, 1, 2, 3, 4, 5, 6, 7}
+	if d := RevealsDeadlock(tr, full); d != nil {
+		t.Errorf("complete schedule reported deadlock %v", d)
+	}
+	// One thread waiting on a finished holder is not a deadlock.
+	if d := RevealsDeadlock(tr, Reordering{0}); d != nil {
+		t.Errorf("single waiter reported as deadlock: %v", d)
+	}
+}
+
+func TestRevealsRaceRequiresAdjacency(t *testing.T) {
+	b := NewBuilder()
+	b.Write("t1", "x") // 0
+	b.Write("t1", "y") // 1
+	b.Write("t2", "x") // 2
+	tr := b.MustBuild()
+	if !RevealsRace(tr, Reordering{1, 0, 2}, 0, 2) {
+		t.Error("adjacent conflicting events should be a revealed race")
+	}
+	if RevealsRace(tr, Reordering{0, 1, 2}, 0, 2) {
+		t.Error("non-adjacent events are not a revealed race")
+	}
+	if RevealsRace(tr, Reordering{0, 1}, 0, 1) {
+		t.Error("same-thread events cannot race")
+	}
+}

@@ -1,0 +1,169 @@
+// Package trace provides the trace substrate of the paper (§2.1): a sequence
+// of events together with the symbol tables naming its threads, locks,
+// variables and program locations. It includes a programmatic Builder, trace
+// well-formedness validation (lock semantics and well-nestedness), thread
+// projections, per-trace statistics, and a checker for the paper's notion of
+// *correct reordering* — the foundation of predictable races.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Trace is an immutable sequence of events with its symbol table.
+// Events are identified by their index in Events.
+type Trace struct {
+	// Events is the event sequence in temporal (<tr) order.
+	Events []event.Event
+	// Symbols names the threads, locks, variables and locations that the
+	// events reference.
+	Symbols *event.Symbols
+}
+
+// Len returns the number of events (N in the paper's complexity analysis).
+func (tr *Trace) Len() int { return len(tr.Events) }
+
+// NumThreads returns T, the number of threads.
+func (tr *Trace) NumThreads() int { return tr.Symbols.NumThreads() }
+
+// NumLocks returns L, the number of locks.
+func (tr *Trace) NumLocks() int { return tr.Symbols.NumLocks() }
+
+// NumVars returns the number of variables.
+func (tr *Trace) NumVars() int { return tr.Symbols.NumVars() }
+
+// Project returns the indices of the events performed by thread t, in trace
+// order (σ↾t in the paper).
+func (tr *Trace) Project(t event.TID) []int {
+	var idx []int
+	for i, e := range tr.Events {
+		if e.Thread == t {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ThreadOrdered reports e1 <TO e2 for event indices i, j.
+func (tr *Trace) ThreadOrdered(i, j int) bool {
+	return i < j && tr.Events[i].Thread == tr.Events[j].Thread
+}
+
+// Describe renders event i with symbolic names, prefixed by its index.
+func (tr *Trace) Describe(i int) string {
+	return fmt.Sprintf("#%d %s", i, tr.Symbols.Describe(tr.Events[i]))
+}
+
+// Match returns, for each event index, the index of the matching release
+// (for an acquire) or matching acquire (for a release), or -1 when the match
+// is absent (an acquire whose critical section runs to the end of the
+// trace). Non-lock events map to -1.
+//
+// match(a) for an acquire is the earliest later release on the same lock by
+// the same thread; match(r) for a release is the latest earlier acquire on
+// the same lock by the same thread (§2.1, "Lock events").
+func (tr *Trace) Match() []int {
+	match := make([]int, len(tr.Events))
+	for i := range match {
+		match[i] = -1
+	}
+	// open[t][l] is a stack of indices of currently-open acquires of lock l
+	// by thread t; well-nested traces pair a release with the most recent
+	// open acquire on its lock.
+	type key struct {
+		t event.TID
+		l event.LID
+	}
+	open := make(map[key][]int)
+	for i, e := range tr.Events {
+		switch e.Kind {
+		case event.Acquire:
+			k := key{e.Thread, e.Lock()}
+			open[k] = append(open[k], i)
+		case event.Release:
+			k := key{e.Thread, e.Lock()}
+			stack := open[k]
+			if n := len(stack); n > 0 {
+				a := stack[n-1]
+				open[k] = stack[:n-1]
+				match[a] = i
+				match[i] = a
+			}
+		}
+	}
+	return match
+}
+
+// HeldLocks returns, for each event index, the set of locks (as a slice in
+// acquisition order, outermost first) held by the performing thread when the
+// event executes. An acquire is considered inside its own critical section;
+// a release is considered inside its own critical section too (e ∈ ℓ in the
+// paper includes the boundary events).
+func (tr *Trace) HeldLocks() [][]event.LID {
+	held := make([][]event.LID, len(tr.Events))
+	stacks := make(map[event.TID][]event.LID)
+	for i, e := range tr.Events {
+		switch e.Kind {
+		case event.Acquire:
+			stacks[e.Thread] = append(stacks[e.Thread], e.Lock())
+			held[i] = append([]event.LID(nil), stacks[e.Thread]...)
+		case event.Release:
+			held[i] = append([]event.LID(nil), stacks[e.Thread]...)
+			s := stacks[e.Thread]
+			if len(s) > 0 {
+				stacks[e.Thread] = s[:len(s)-1]
+			}
+		default:
+			held[i] = append([]event.LID(nil), stacks[e.Thread]...)
+		}
+	}
+	return held
+}
+
+// Stats summarizes a trace for reporting (Table 1 columns 3–5).
+type Stats struct {
+	Events   int
+	Threads  int
+	Locks    int
+	Vars     int
+	Reads    int
+	Writes   int
+	Acquires int
+	Releases int
+	Forks    int
+	Joins    int
+}
+
+// ComputeStats tallies the trace's event mix.
+func ComputeStats(tr *Trace) Stats {
+	s := Stats{
+		Events:  tr.Len(),
+		Threads: tr.NumThreads(),
+		Locks:   tr.NumLocks(),
+		Vars:    tr.NumVars(),
+	}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case event.Read:
+			s.Reads++
+		case event.Write:
+			s.Writes++
+		case event.Acquire:
+			s.Acquires++
+		case event.Release:
+			s.Releases++
+		case event.Fork:
+			s.Forks++
+		case event.Join:
+			s.Joins++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("events=%d threads=%d locks=%d vars=%d r/w=%d/%d acq/rel=%d/%d fork/join=%d/%d",
+		s.Events, s.Threads, s.Locks, s.Vars, s.Reads, s.Writes, s.Acquires, s.Releases, s.Forks, s.Joins)
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func simpleTrace() *Trace {
+	b := NewBuilder()
+	b.Acquire("t1", "l")
+	b.Write("t1", "x")
+	b.Release("t1", "l")
+	b.Acquire("t2", "l")
+	b.Read("t2", "x")
+	b.Release("t2", "l")
+	return b.MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	tr := simpleTrace()
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.NumThreads() != 2 || tr.NumLocks() != 1 || tr.NumVars() != 1 {
+		t.Errorf("counts: T=%d L=%d V=%d", tr.NumThreads(), tr.NumLocks(), tr.NumVars())
+	}
+	if tr.Events[0].Kind != event.Acquire || tr.Events[1].Kind != event.Write {
+		t.Errorf("event kinds wrong: %v", tr.Events[:2])
+	}
+	if !tr.ThreadOrdered(0, 1) {
+		t.Error("events 0,1 are thread ordered")
+	}
+	if tr.ThreadOrdered(0, 3) {
+		t.Error("events 0,3 are in different threads")
+	}
+	if !strings.Contains(tr.Describe(1), "w(x)") {
+		t.Errorf("Describe = %q", tr.Describe(1))
+	}
+}
+
+func TestBuilderShorthands(t *testing.T) {
+	b := NewBuilder()
+	b.Sync("t1", "m")
+	tr := b.MustBuild()
+	if tr.Len() != 4 {
+		t.Fatalf("Sync should emit 4 events, got %d", tr.Len())
+	}
+	wantKinds := []event.Kind{event.Acquire, event.Read, event.Write, event.Release}
+	for i, k := range wantKinds {
+		if tr.Events[i].Kind != k {
+			t.Errorf("sync event %d kind = %v, want %v", i, tr.Events[i].Kind, k)
+		}
+	}
+	if tr.Symbols.VarName(tr.Events[1].Var()) != "mVar" {
+		t.Errorf("sync variable = %q", tr.Symbols.VarName(tr.Events[1].Var()))
+	}
+
+	b2 := NewBuilder()
+	b2.AcRel("t1", "y")
+	tr2 := b2.MustBuild()
+	if tr2.Len() != 2 || tr2.Events[0].Kind != event.Acquire || tr2.Events[1].Kind != event.Release {
+		t.Errorf("AcRel: %v", tr2.Events)
+	}
+
+	b3 := NewBuilder()
+	b3.CriticalSection("t1", "l", func(b *Builder) { b.Write("t1", "x") })
+	tr3 := b3.MustBuild()
+	if tr3.Len() != 3 || tr3.Events[1].Kind != event.Write {
+		t.Errorf("CriticalSection: %v", tr3.Events)
+	}
+}
+
+func TestProject(t *testing.T) {
+	tr := simpleTrace()
+	p1 := tr.Project(tr.Symbols.Thread("t1"))
+	if len(p1) != 3 || p1[0] != 0 || p1[2] != 2 {
+		t.Errorf("Project t1 = %v", p1)
+	}
+	p2 := tr.Project(tr.Symbols.Thread("t2"))
+	if len(p2) != 3 || p2[0] != 3 {
+		t.Errorf("Project t2 = %v", p2)
+	}
+}
+
+func TestMatch(t *testing.T) {
+	b := NewBuilder()
+	b.Acquire("t1", "l") // 0
+	b.Acquire("t1", "m") // 1
+	b.Release("t1", "m") // 2
+	b.Release("t1", "l") // 3
+	b.Acquire("t2", "l") // 4 (never released)
+	b.Write("t2", "x")   // 5
+	tr := b.MustBuild()
+	m := tr.Match()
+	want := []int{3, 2, 1, 0, -1, -1}
+	for i, w := range want {
+		if m[i] != w {
+			t.Errorf("match[%d] = %d, want %d", i, m[i], w)
+		}
+	}
+}
+
+func TestHeldLocks(t *testing.T) {
+	b := NewBuilder()
+	b.Acquire("t1", "l") // 0: [l]
+	b.Acquire("t1", "m") // 1: [l m]
+	b.Write("t1", "x")   // 2: [l m]
+	b.Release("t1", "m") // 3: [l m] (release is inside its own CS)
+	b.Write("t1", "y")   // 4: [l]
+	b.Release("t1", "l") // 5: [l]
+	b.Write("t1", "z")   // 6: []
+	tr := b.MustBuild()
+	held := tr.HeldLocks()
+	wantLens := []int{1, 2, 2, 2, 1, 1, 0}
+	for i, n := range wantLens {
+		if len(held[i]) != n {
+			t.Errorf("held[%d] = %v, want %d locks", i, held[i], n)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder()
+	b.Fork("t0", "t1")
+	b.Acquire("t1", "l")
+	b.Read("t1", "x")
+	b.Write("t1", "x")
+	b.Release("t1", "l")
+	b.Join("t0", "t1")
+	tr := b.MustBuild()
+	s := ComputeStats(tr)
+	if s.Events != 6 || s.Reads != 1 || s.Writes != 1 || s.Acquires != 1 ||
+		s.Releases != 1 || s.Forks != 1 || s.Joins != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "events=6") {
+		t.Errorf("stats string = %q", s.String())
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := Validate(simpleTrace()); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	// Reentrant acquisition is allowed.
+	b := NewBuilder()
+	b.Acquire("t1", "l")
+	b.Acquire("t1", "l")
+	b.Release("t1", "l")
+	b.Release("t1", "l")
+	if err := Validate(b.Build()); err != nil {
+		t.Errorf("reentrant trace rejected: %v", err)
+	}
+	// Open critical section at end of trace is allowed.
+	b2 := NewBuilder()
+	b2.Acquire("t1", "l")
+	b2.Write("t1", "x")
+	if err := Validate(b2.Build()); err != nil {
+		t.Errorf("open CS rejected: %v", err)
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func(*Builder)
+		reason string
+	}{
+		{"lock overlap", func(b *Builder) {
+			b.Acquire("t1", "l")
+			b.Acquire("t2", "l")
+		}, "lock semantics"},
+		{"unmatched release", func(b *Builder) {
+			b.Release("t1", "l")
+		}, "no matching acquire"},
+		{"bad nesting", func(b *Builder) {
+			b.Acquire("t1", "l")
+			b.Acquire("t1", "m")
+			b.Release("t1", "l")
+		}, "not well nested"},
+		{"self fork", func(b *Builder) {
+			b.Fork("t1", "t1")
+		}, "forks itself"},
+		{"fork after start", func(b *Builder) {
+			b.Write("t2", "x")
+			b.Fork("t1", "t2")
+		}, "already performed"},
+		{"double fork", func(b *Builder) {
+			b.Fork("t1", "t2")
+			b.Fork("t3", "t2")
+		}, "forked twice"},
+		{"event after join", func(b *Builder) {
+			b.Write("t2", "x")
+			b.Join("t1", "t2")
+			b.Write("t2", "y")
+		}, "after being joined"},
+		{"self join", func(b *Builder) {
+			b.Join("t1", "t1")
+		}, "joins itself"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			tc.build(b)
+			err := Validate(b.Build())
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), tc.reason) {
+				t.Errorf("error %q does not mention %q", err, tc.reason)
+			}
+			var verr *ValidationError
+			if !asValidationError(err, &verr) {
+				t.Errorf("error is not a *ValidationError: %T", err)
+			}
+		})
+	}
+}
+
+func asValidationError(err error, out **ValidationError) bool {
+	v, ok := err.(*ValidationError)
+	if ok {
+		*out = v
+	}
+	return ok
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid trace")
+		}
+	}()
+	b := NewBuilder()
+	b.Release("t1", "l")
+	b.MustBuild()
+}

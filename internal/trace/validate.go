@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// ValidationError describes a well-formedness violation at a specific event.
+type ValidationError struct {
+	// Index is the offending event's position in the trace.
+	Index int
+	// Event is the offending event.
+	Event event.Event
+	// Reason explains the violation.
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("trace: event #%d (%v): %s", e.Index, e.Event, e.Reason)
+}
+
+// Validate checks the two trace well-formedness properties of §2.1 plus
+// basic sanity of fork/join events:
+//
+//  1. Lock semantics: between two acquires of the same lock there is a
+//     release of that lock (critical sections on one lock never overlap
+//     across threads). Reentrant acquisition by the holding thread is
+//     permitted (well-nestedness pairs them).
+//  2. Well-nestedness: critical sections of a thread nest properly: a
+//     release matches the most recent unmatched acquire of its thread, and
+//     every release has a matching acquire.
+//  3. Fork/join sanity: a thread performs no event before it is forked
+//     (when a fork event for it exists), a fork targets a thread with no
+//     prior events, a join targets a thread that performs no later events,
+//     and no thread forks or joins itself.
+//
+// A nil return means every detector in this repository can process the
+// trace.
+func Validate(tr *Trace) error {
+	type lockState struct {
+		holder event.TID
+		depth  int
+	}
+	lockHeld := make(map[event.LID]*lockState)
+	// Per-thread stack of open locks for well-nestedness.
+	openLocks := make(map[event.TID][]event.LID)
+	started := make(map[event.TID]bool) // thread has performed an event
+	forked := make(map[event.TID]int)   // thread was forked at index
+	joined := make(map[event.TID]int)   // thread was joined at index
+	for i, e := range tr.Events {
+		if !e.Kind.Valid() {
+			return &ValidationError{i, e, "invalid event kind"}
+		}
+		if j, ok := joined[e.Thread]; ok {
+			return &ValidationError{i, e, fmt.Sprintf("thread performs event after being joined at #%d", j)}
+		}
+		started[e.Thread] = true
+		switch e.Kind {
+		case event.Acquire:
+			l := e.Lock()
+			st := lockHeld[l]
+			if st == nil {
+				lockHeld[l] = &lockState{holder: e.Thread, depth: 1}
+			} else if st.holder == e.Thread {
+				st.depth++ // reentrant
+			} else {
+				return &ValidationError{i, e, fmt.Sprintf("lock semantics violated: lock held by %s",
+					tr.Symbols.ThreadName(st.holder))}
+			}
+			openLocks[e.Thread] = append(openLocks[e.Thread], l)
+		case event.Release:
+			l := e.Lock()
+			open := openLocks[e.Thread]
+			if len(open) == 0 {
+				return &ValidationError{i, e, "release with no matching acquire"}
+			}
+			if top := open[len(open)-1]; top != l {
+				return &ValidationError{i, e, fmt.Sprintf("not well nested: innermost open critical section is on %s",
+					tr.Symbols.LockName(top))}
+			}
+			openLocks[e.Thread] = open[:len(open)-1]
+			st := lockHeld[l]
+			st.depth--
+			if st.depth == 0 {
+				delete(lockHeld, l)
+			}
+		case event.Fork:
+			u := e.Target()
+			if u == e.Thread {
+				return &ValidationError{i, e, "thread forks itself"}
+			}
+			if started[u] {
+				return &ValidationError{i, e, "fork target already performed events"}
+			}
+			if _, ok := forked[u]; ok {
+				return &ValidationError{i, e, "thread forked twice"}
+			}
+			forked[u] = i
+		case event.Join:
+			u := e.Target()
+			if u == e.Thread {
+				return &ValidationError{i, e, "thread joins itself"}
+			}
+			joined[u] = i
+		}
+	}
+	return nil
+}
+
+// IsWellFormed reports whether Validate(tr) == nil.
+func IsWellFormed(tr *Trace) bool { return Validate(tr) == nil }

@@ -1,0 +1,211 @@
+package traceio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// Binary format layout (all integers are unsigned varints unless noted):
+//
+//	magic   "WCPT"          4 bytes
+//	version                 1 byte (currently 1)
+//	nthreads, nlocks, nvars, nlocs
+//	nthreads × string       length-prefixed thread names
+//	nlocks   × string       lock names
+//	nvars    × string       variable names
+//	nlocs    × string       location names
+//	nevents
+//	nevents  × event        kind (1 byte), thread, obj, loc+1 (0 = NoLoc)
+const (
+	binaryMagic   = "WCPT"
+	binaryVersion = 1
+)
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+// WriteBinary writes tr to w in the binary format.
+func WriteBinary(w io.Writer, tr *trace.Trace) (err error) {
+	bw := bufio.NewWriter(w)
+	defer func() {
+		if ferr := bw.Flush(); err == nil && ferr != nil {
+			err = fmt.Errorf("traceio: %w", ferr)
+		}
+	}()
+	if _, err = bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	if err = bw.WriteByte(binaryVersion); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	tables := [][]string{
+		tr.Symbols.ThreadNames(),
+		tr.Symbols.LockNames(),
+		tr.Symbols.VarNames(),
+		tr.Symbols.LocationNames(),
+	}
+	for _, names := range tables {
+		if err = writeUvarint(bw, uint64(len(names))); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+	}
+	for _, names := range tables {
+		for _, name := range names {
+			if err = writeString(bw, name); err != nil {
+				return fmt.Errorf("traceio: %w", err)
+			}
+		}
+	}
+	if err = writeUvarint(bw, uint64(len(tr.Events))); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	for _, e := range tr.Events {
+		if err = bw.WriteByte(byte(e.Kind)); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+		if err = writeUvarint(bw, uint64(e.Thread)); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+		if err = writeUvarint(bw, uint64(e.Obj)); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+		if err = writeUvarint(bw, uint64(e.Loc+1)); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+	}
+	return nil
+}
+
+type binaryReader struct {
+	br *bufio.Reader
+}
+
+func (r *binaryReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(r.br)
+}
+
+func (r *binaryReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	const maxName = 1 << 20
+	if n > maxName {
+		return "", fmt.Errorf("symbol name length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// ReadBinary parses a binary-format trace from r.
+func ReadBinary(r io.Reader) (*trace.Trace, error) {
+	br := &binaryReader{br: bufio.NewReader(r)}
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br.br, magic); err != nil {
+		return nil, fmt.Errorf("traceio: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("traceio: bad magic %q, want %q", magic, binaryMagic)
+	}
+	ver, err := br.br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("traceio: unsupported version %d", ver)
+	}
+	var counts [4]uint64
+	for i := range counts {
+		if counts[i], err = br.uvarint(); err != nil {
+			return nil, fmt.Errorf("traceio: reading symbol counts: %w", err)
+		}
+	}
+	syms := &event.Symbols{}
+	interners := [4]func(string){
+		func(s string) { syms.Thread(s) },
+		func(s string) { syms.Lock(s) },
+		func(s string) { syms.Var(s) },
+		func(s string) { syms.Location(s) },
+	}
+	for i, add := range interners {
+		for j := uint64(0); j < counts[i]; j++ {
+			name, err := br.str()
+			if err != nil {
+				return nil, fmt.Errorf("traceio: reading symbols: %w", err)
+			}
+			add(name)
+		}
+	}
+	nev, err := br.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("traceio: reading event count: %w", err)
+	}
+	tr := &trace.Trace{Symbols: syms, Events: make([]event.Event, 0, nev)}
+	for i := uint64(0); i < nev; i++ {
+		kindB, err := br.br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("traceio: event %d: %w", i, err)
+		}
+		kind := event.Kind(kindB)
+		if !kind.Valid() {
+			return nil, fmt.Errorf("traceio: event %d: invalid kind %d", i, kindB)
+		}
+		thread, err := br.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("traceio: event %d: %w", i, err)
+		}
+		obj, err := br.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("traceio: event %d: %w", i, err)
+		}
+		locP1, err := br.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("traceio: event %d: %w", i, err)
+		}
+		if thread >= counts[0] {
+			return nil, fmt.Errorf("traceio: event %d: thread index %d out of range", i, thread)
+		}
+		if locP1 > counts[3] {
+			return nil, fmt.Errorf("traceio: event %d: location index %d out of range", i, locP1)
+		}
+		var objLimit uint64
+		switch kind {
+		case event.Acquire, event.Release:
+			objLimit = counts[1]
+		case event.Read, event.Write:
+			objLimit = counts[2]
+		case event.Fork, event.Join:
+			objLimit = counts[0]
+		}
+		if obj >= objLimit {
+			return nil, fmt.Errorf("traceio: event %d: operand index %d out of range", i, obj)
+		}
+		tr.Events = append(tr.Events, event.Event{
+			Kind:   kind,
+			Thread: event.TID(thread),
+			Obj:    int32(obj),
+			Loc:    event.Loc(locP1) - 1,
+		})
+	}
+	return tr, nil
+}

@@ -1,0 +1,115 @@
+// Package vc implements the vector times of §3.1 of the paper: functions
+// from thread index to a non-negative scalar clock, supporting pointwise
+// comparison (⊑), pointwise maximum (⊔), and component assignment, plus a
+// FastTrack-style epoch representation used by the optimized HB detector.
+//
+// Vector clocks are represented as fixed-width []int32 slices sized to the
+// number of threads in the trace; detectors know the thread count up front
+// (traceio headers and trace containers expose it), which keeps every
+// operation a tight loop with no map overhead.
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clock is a scalar component of a vector time. Local clocks increment only
+// after release events (§3.2, "Local Clock Increment"), so int32 is ample
+// for traces of a few hundred million events; all arithmetic is bounds-free.
+type Clock = int32
+
+// VC is a vector time: index i holds the clock of thread i. A nil VC is the
+// ⊥ vector time of any width for reads (Get returns 0) but must be allocated
+// before writes.
+type VC []Clock
+
+// New returns the ⊥ vector time for n threads.
+func New(n int) VC { return make(VC, n) }
+
+// Get returns component t, treating missing components as 0 so that a VC of
+// any width compares correctly against wider clocks.
+func (v VC) Get(t int) Clock {
+	if t < len(v) {
+		return v[t]
+	}
+	return 0
+}
+
+// Set assigns component t (V[t := n] in the paper). It panics if t is out of
+// range: widths are fixed by the trace's thread count.
+func (v VC) Set(t int, c Clock) { v[t] = c }
+
+// Leq reports v ⊑ w: pointwise ≤.
+func (v VC) Leq(w VC) bool {
+	for t, c := range v {
+		if c > w.Get(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join sets v to v ⊔ w (pointwise maximum) in place. w must not be wider
+// than v.
+func (v VC) Join(w VC) {
+	for t, c := range w {
+		if c > v[t] {
+			v[t] = c
+		}
+	}
+}
+
+// Copy sets v to an exact copy of w in place. w must not be wider than v;
+// components of v beyond len(w) are zeroed.
+func (v VC) Copy(w VC) {
+	n := copy(v, w)
+	for i := n; i < len(v); i++ {
+		v[i] = 0
+	}
+}
+
+// Clone returns a fresh VC equal to v.
+func (v VC) Clone() VC {
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+// Equal reports pointwise equality, treating missing components as 0.
+func (v VC) Equal(w VC) bool { return v.Leq(w) && w.Leq(v) }
+
+// Comparable reports whether v ⊑ w or w ⊑ v, i.e. the times are ordered.
+// Two conflicting events with incomparable times are a race (Theorem 2).
+func (v VC) Comparable(w VC) bool { return v.Leq(w) || w.Leq(v) }
+
+// Zero resets every component to 0.
+func (v VC) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// IsZero reports whether v is the ⊥ vector time.
+func (v VC) IsZero() bool {
+	for _, c := range v {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector time as "[c0,c1,...]".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

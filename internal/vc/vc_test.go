@@ -1,0 +1,212 @@
+package vc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genVC produces a random vector clock of width 6 with small components,
+// so ⊑ comparisons hit both outcomes often.
+func genVC(r *rand.Rand) VC {
+	v := New(6)
+	for i := range v {
+		v[i] = Clock(r.Intn(4))
+	}
+	return v
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(genVC(r))
+			}
+		},
+	}
+}
+
+// TestJoinLatticeLaws checks ⊔ is commutative, associative, idempotent, and
+// that ⊥ is its identity — the lattice laws Algorithm 1 relies on.
+func TestJoinLatticeLaws(t *testing.T) {
+	commutative := func(a, b VC) bool {
+		x, y := a.Clone(), b.Clone()
+		x.Join(b)
+		y.Join(a)
+		return x.Equal(y)
+	}
+	if err := quick.Check(commutative, quickCfg()); err != nil {
+		t.Errorf("join not commutative: %v", err)
+	}
+	associative := func(a, b, c VC) bool {
+		x := a.Clone()
+		x.Join(b)
+		x.Join(c)
+		bc := b.Clone()
+		bc.Join(c)
+		y := a.Clone()
+		y.Join(bc)
+		return x.Equal(y)
+	}
+	if err := quick.Check(associative, quickCfg()); err != nil {
+		t.Errorf("join not associative: %v", err)
+	}
+	idempotent := func(a VC) bool {
+		x := a.Clone()
+		x.Join(a)
+		return x.Equal(a)
+	}
+	if err := quick.Check(idempotent, quickCfg()); err != nil {
+		t.Errorf("join not idempotent: %v", err)
+	}
+	identity := func(a VC) bool {
+		x := a.Clone()
+		x.Join(New(len(a)))
+		return x.Equal(a)
+	}
+	if err := quick.Check(identity, quickCfg()); err != nil {
+		t.Errorf("⊥ not identity: %v", err)
+	}
+}
+
+// TestLeqPartialOrder checks ⊑ is reflexive, antisymmetric, transitive, and
+// that join is the least upper bound.
+func TestLeqPartialOrder(t *testing.T) {
+	reflexive := func(a VC) bool { return a.Leq(a) }
+	if err := quick.Check(reflexive, quickCfg()); err != nil {
+		t.Errorf("⊑ not reflexive: %v", err)
+	}
+	antisymmetric := func(a, b VC) bool {
+		if a.Leq(b) && b.Leq(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(antisymmetric, quickCfg()); err != nil {
+		t.Errorf("⊑ not antisymmetric: %v", err)
+	}
+	transitive := func(a, b, c VC) bool {
+		if a.Leq(b) && b.Leq(c) {
+			return a.Leq(c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, quickCfg()); err != nil {
+		t.Errorf("⊑ not transitive: %v", err)
+	}
+	lub := func(a, b, c VC) bool {
+		j := a.Clone()
+		j.Join(b)
+		if !a.Leq(j) || !b.Leq(j) {
+			return false // upper bound
+		}
+		if a.Leq(c) && b.Leq(c) && !j.Leq(c) {
+			return false // least
+		}
+		return true
+	}
+	if err := quick.Check(lub, quickCfg()); err != nil {
+		t.Errorf("join not least upper bound: %v", err)
+	}
+}
+
+func TestSetGetCopy(t *testing.T) {
+	v := New(3)
+	if !v.IsZero() {
+		t.Error("New not ⊥")
+	}
+	v.Set(1, 7)
+	if v.Get(1) != 7 || v.Get(0) != 0 {
+		t.Errorf("Set/Get: %v", v)
+	}
+	if v.Get(99) != 0 {
+		t.Error("Get out of range should be 0")
+	}
+	w := New(3)
+	w.Copy(v)
+	if !w.Equal(v) {
+		t.Errorf("Copy: %v != %v", w, v)
+	}
+	w.Set(2, 5)
+	if v.Get(2) == 5 {
+		t.Error("Copy aliased the source")
+	}
+	w.Zero()
+	if !w.IsZero() {
+		t.Error("Zero failed")
+	}
+}
+
+func TestCopyNarrower(t *testing.T) {
+	v := New(4)
+	for i := range v {
+		v[i] = Clock(i + 1)
+	}
+	v.Copy(VC{9})
+	want := VC{9, 0, 0, 0}
+	if !v.Equal(want) {
+		t.Errorf("Copy narrower: got %v, want %v", v, want)
+	}
+}
+
+func TestComparable(t *testing.T) {
+	a := VC{1, 0}
+	b := VC{0, 1}
+	if a.Comparable(b) {
+		t.Error("incomparable clocks reported comparable")
+	}
+	c := VC{1, 1}
+	if !a.Comparable(c) || !c.Comparable(a) {
+		t.Error("ordered clocks reported incomparable")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 2, 3}).String(); got != "[1,2,3]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	e := MakeEpoch(3, 41)
+	if e.TID() != 3 || e.Clock() != 41 {
+		t.Errorf("epoch roundtrip: %v", e)
+	}
+	if e.String() != "41@3" {
+		t.Errorf("epoch string = %q", e.String())
+	}
+	v := New(5)
+	if e.LeqVC(v) {
+		t.Error("41@3 ⊑ ⊥ should be false")
+	}
+	v.Set(3, 41)
+	if !e.LeqVC(v) {
+		t.Error("41@3 ⊑ [.., 41@3] should hold")
+	}
+	if !NoEpoch.LeqVC(New(1)) {
+		t.Error("NoEpoch must be ⊑ everything")
+	}
+}
+
+// TestEpochVCAgreement checks the epoch ⊑ shortcut against the full vector
+// comparison with quick-generated clocks.
+func TestEpochVCAgreement(t *testing.T) {
+	f := func(a VC) bool {
+		for tid := 0; tid < len(a); tid++ {
+			for c := Clock(0); c < 4; c++ {
+				e := MakeEpoch(tid, c)
+				full := New(len(a))
+				full.Set(tid, c)
+				if e.LeqVC(a) != full.Leq(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Errorf("epoch/VC disagreement: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package window provides the bounded-fragment harness that the paper's
+// comparison detectors are forced to use (§1: "any implementation of CP must
+// resort to windowing where the trace is partitioned into small fragments"),
+// and which the WCP algorithm's linear running time makes unnecessary.
+//
+// Windowed detectors only see races whose events fall inside one fragment;
+// §4.3's far-apart races are exactly what this harness loses, and the
+// ablation benches quantify that by running HB and WCP both whole-trace and
+// windowed.
+package window
+
+import (
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// Split partitions tr into consecutive fragments of at most size events
+// (plus carried lock state, below). Fragments share the original symbol
+// table; event indices in a fragment are fragment-local.
+//
+// Like real windowed analyzers, Split carries the lock state across
+// boundaries: for every lock held when a fragment starts, a synthetic
+// acquire by the holding thread (location NoLoc) is prepended, so a
+// fragment never shows a mid-critical-section access as unprotected and
+// never contains a release without its acquire. Reads whose writer fell in
+// an earlier fragment still lose that ordering — that is the essence of
+// what windowing costs. size <= 0 yields a single window containing the
+// whole trace.
+func Split(tr *trace.Trace, size int) []*trace.Trace {
+	if size <= 0 || size >= tr.Len() {
+		return []*trace.Trace{tr}
+	}
+	var out []*trace.Trace
+	// held tracks the per-thread stacks of locks held at the current
+	// boundary, in acquisition order.
+	held := make(map[event.TID][]event.LID)
+	// threadOrder keeps deterministic fragment layout.
+	var threadOrder []event.TID
+	seen := make(map[event.TID]bool)
+	for start := 0; start < tr.Len(); start += size {
+		end := start + size
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		var events []event.Event
+		for _, t := range threadOrder {
+			for _, l := range held[t] {
+				events = append(events, event.Event{
+					Kind:   event.Acquire,
+					Thread: t,
+					Obj:    int32(l),
+					Loc:    event.NoLoc,
+				})
+			}
+		}
+		events = append(events, tr.Events[start:end]...)
+		out = append(out, &trace.Trace{Events: events, Symbols: tr.Symbols})
+		// Advance the boundary lock state over this fragment's real events.
+		for _, e := range tr.Events[start:end] {
+			switch e.Kind {
+			case event.Acquire:
+				if !seen[e.Thread] {
+					seen[e.Thread] = true
+					threadOrder = append(threadOrder, e.Thread)
+				}
+				held[e.Thread] = append(held[e.Thread], e.Lock())
+			case event.Release:
+				s := held[e.Thread]
+				for k := len(s) - 1; k >= 0; k-- {
+					if s[k] == e.Lock() {
+						held[e.Thread] = append(s[:k:k], s[k+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Offsets returns the starting trace index of each window produced by
+// Split(tr, size), not counting synthetic carried acquires, so
+// fragment-local indices map back approximately.
+func Offsets(traceLen, size int) []int {
+	if size <= 0 || size >= traceLen {
+		return []int{0}
+	}
+	var out []int
+	for start := 0; start < traceLen; start += size {
+		out = append(out, start)
+	}
+	return out
+}

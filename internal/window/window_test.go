@@ -1,0 +1,120 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// realEvents filters out the synthetic carried acquires (location NoLoc)
+// that Split prepends.
+func realEvents(w *trace.Trace) []event.Event {
+	var out []event.Event
+	for _, e := range w.Events {
+		if e.Kind == event.Acquire && e.Loc == event.NoLoc {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestSplitSizes(t *testing.T) {
+	tr := gen.Random(gen.RandomConfig{Threads: 3, Locks: 2, Vars: 2, Events: 95, Seed: 1})
+	n := tr.Len()
+	ws := Split(tr, 10)
+	if len(ws) != (n+9)/10 {
+		t.Fatalf("windows = %d for %d events", len(ws), n)
+	}
+	// Real events concatenate back to the original trace, in order.
+	k := 0
+	for i, w := range ws {
+		if w.Symbols != tr.Symbols {
+			t.Error("windows must share the symbol table")
+		}
+		real := realEvents(w)
+		if i < len(ws)-1 && len(real) != 10 {
+			t.Errorf("window %d has %d real events", i, len(real))
+		}
+		for _, e := range real {
+			if e != tr.Events[k] {
+				t.Fatalf("event %d differs after split", k)
+			}
+			k++
+		}
+	}
+	if k != n {
+		t.Errorf("windows cover %d of %d events", k, n)
+	}
+}
+
+func TestSplitWhole(t *testing.T) {
+	tr := gen.Random(gen.RandomConfig{Threads: 2, Vars: 1, Events: 20, Seed: 2})
+	for _, size := range []int{0, -1, tr.Len(), tr.Len() + 5} {
+		ws := Split(tr, size)
+		if len(ws) != 1 || ws[0] != tr {
+			t.Errorf("size %d: expected the whole trace back", size)
+		}
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	off := Offsets(25, 10)
+	want := []int{0, 10, 20}
+	if len(off) != len(want) {
+		t.Fatalf("offsets = %v", off)
+	}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", off, want)
+		}
+	}
+	if o := Offsets(25, 0); len(o) != 1 || o[0] != 0 {
+		t.Errorf("whole-trace offsets = %v", o)
+	}
+}
+
+// TestSplitCarriesLockState checks that a window cutting a critical section
+// gets a synthetic acquire for the still-held lock, so windowed detectors
+// never see mid-section accesses as unprotected.
+func TestSplitCarriesLockState(t *testing.T) {
+	b := trace.NewBuilder()
+	b.Acquire("t1", "l")
+	b.Write("t1", "x")
+	b.Write("t1", "y")
+	b.Release("t1", "l")
+	b.Acquire("t2", "l")
+	b.Write("t2", "x")
+	b.Release("t2", "l")
+	tr := b.MustBuild()
+	ws := Split(tr, 2)
+	if len(ws) != 4 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	// Window 1 starts mid-CS: it must begin with a synthetic acq(l) by t1
+	// and therefore validate as a trace.
+	w1 := ws[1]
+	if w1.Events[0].Kind != event.Acquire || w1.Events[0].Loc != event.NoLoc {
+		t.Fatalf("window 1 should start with a synthetic acquire, got %v", w1.Events[0])
+	}
+	if err := trace.Validate(w1); err != nil {
+		t.Errorf("carried window should validate: %v", err)
+	}
+	// Windows starting outside any critical section carry nothing.
+	if ws[0].Events[0].Loc == event.NoLoc {
+		t.Error("window 0 should not carry synthetic events")
+	}
+}
+
+// TestSplitCarriedWindowsValidate checks all fragments of a random trace
+// satisfy lock semantics once lock state is carried.
+func TestSplitCarriedWindowsValidate(t *testing.T) {
+	tr := gen.Random(gen.RandomConfig{Threads: 4, Locks: 3, Vars: 2, Events: 200, Seed: 7})
+	for i, w := range Split(tr, 16) {
+		if err := trace.Validate(w); err != nil {
+			t.Errorf("window %d invalid: %v", i, err)
+		}
+	}
+}

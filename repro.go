@@ -1,0 +1,238 @@
+// Package repro is the public API of this reproduction of "Dynamic Race
+// Prediction in Linear Time" (Kini, Mathur, Viswanathan; PLDI 2017).
+//
+// The paper's contribution is the Weak-Causally-Precedes (WCP) relation: a
+// sound weakening of Causally-Precedes (CP) that detects strictly more
+// predictable data races than happens-before (HB) while still admitting a
+// linear-time, single-pass vector-clock detection algorithm. This package
+// exposes:
+//
+//   - trace construction (NewTraceBuilder), parsing (ReadTrace*, text and
+//     binary formats) and validation;
+//   - the streaming WCP detector (DetectWCP, NewWCPDetector) — the paper's
+//     Algorithm 1 — plus the HB, CP, lockset and windowed-predictive
+//     baselines it is evaluated against;
+//   - witness search over correct reorderings (FindRaceWitness,
+//     FindDeadlock) and the correct-reordering checker, used to certify
+//     race reports;
+//   - the synthetic workload generators for the paper's 18 benchmarks and
+//     the experiment harness that regenerates Table 1 and Figure 7 (see
+//     experiments.go).
+//
+// Everything is implemented from scratch on the Go standard library; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/gen"
+	"repro/internal/hb"
+	"repro/internal/lockset"
+	"repro/internal/predict"
+	"repro/internal/race"
+	"repro/internal/trace"
+	"repro/internal/traceio"
+)
+
+// Trace is a sequence of events with its symbol tables (§2.1 of the paper).
+type Trace = trace.Trace
+
+// Builder constructs traces programmatically.
+type Builder = trace.Builder
+
+// Reordering is a candidate alternative schedule of a trace's events.
+type Reordering = trace.Reordering
+
+// Report collects distinct race pairs of program locations.
+type Report = race.Report
+
+// RacePair is an unordered pair of racing program locations.
+type RacePair = race.Pair
+
+// WCPResult is the outcome of the WCP detector (Algorithm 1).
+type WCPResult = core.Result
+
+// WCPOptions configures the WCP detector.
+type WCPOptions = core.Options
+
+// WCPDetector is the streaming WCP detector; feed events with Process.
+type WCPDetector = core.Detector
+
+// HBResult is the outcome of the happens-before detectors.
+type HBResult = hb.Result
+
+// CPResult is the outcome of the windowed CP baseline.
+type CPResult = cp.Result
+
+// PredictOptions configures the windowed predictive (RVPredict-style)
+// detector.
+type PredictOptions = predict.Options
+
+// PredictResult is the outcome of the predictive detector.
+type PredictResult = predict.Result
+
+// LocksetResult is the outcome of the Eraser lockset baseline.
+type LocksetResult = lockset.Result
+
+// Witness is a correct reordering revealing a race or deadlock.
+type Witness = predict.Witness
+
+// SearchBudget bounds a witness search (the paper's SMT-timeout analog).
+type SearchBudget = predict.Budget
+
+// Benchmark describes a synthetic Table-1 workload.
+type Benchmark = gen.Benchmark
+
+// RandomTraceConfig parameterizes random well-formed trace generation.
+type RandomTraceConfig = gen.RandomConfig
+
+// NewTraceBuilder returns an empty trace builder.
+func NewTraceBuilder() *Builder { return trace.NewBuilder() }
+
+// NewReport returns an empty race report, for merging detector outputs.
+func NewReport() *Report { return race.NewReport() }
+
+// ValidateTrace checks lock semantics, well-nestedness and fork/join sanity.
+func ValidateTrace(tr *Trace) error { return trace.Validate(tr) }
+
+// TraceStats summarizes a trace's event mix.
+func TraceStats(tr *Trace) trace.Stats { return trace.ComputeStats(tr) }
+
+// DetectWCP runs the linear-time WCP race detector (Algorithm 1) over the
+// trace with distinct race-pair tracking.
+func DetectWCP(tr *Trace) *WCPResult { return core.Detect(tr) }
+
+// DetectWCPOpts runs the WCP detector with explicit options.
+func DetectWCPOpts(tr *Trace, opts WCPOptions) *WCPResult { return core.DetectOpts(tr, opts) }
+
+// NewWCPDetector returns a streaming WCP detector for online analysis; the
+// thread/lock/variable counts must be known up front (binary trace headers
+// carry them).
+func NewWCPDetector(threads, locks, vars int, opts WCPOptions) *WCPDetector {
+	return core.NewDetector(threads, locks, vars, opts)
+}
+
+// RaceEventPair is a concrete pair of racing events (trace indices).
+type RaceEventPair = core.EventPair
+
+// RaceVerdict classifies a vindicated race pair.
+type RaceVerdict = core.Verdict
+
+// Verdict values for vindicated race pairs.
+const (
+	VerdictRace        = core.VerdictRace
+	VerdictDeadlock    = core.VerdictDeadlock
+	VerdictUnconfirmed = core.VerdictUnconfirmed
+)
+
+// Vindication is a certified race pair with its witness schedule.
+type Vindication = core.Vindication
+
+// FindWCPRacePairs runs the §3.2 two-pass analysis returning the concrete
+// event-level race pairs (the single-pass Report only knows the second
+// event of each pair).
+func FindWCPRacePairs(tr *Trace) []RaceEventPair { return core.FindRacePairs(tr) }
+
+// VindicateWCPRaces extracts the event-level WCP race pairs and certifies
+// each with the witness engine: a correct reordering revealing the race, a
+// predictable deadlock (the Theorem 1 alternative), or unconfirmed if the
+// budget ran out. maxPairs caps the work (0 = all pairs).
+func VindicateWCPRaces(tr *Trace, maxPairs int, b SearchBudget) []Vindication {
+	return core.Vindicate(tr, maxPairs, b)
+}
+
+// DetectWCPEpoch runs the WCP detector with the epoch-optimized race check
+// (§6 future work): same clock machinery, per-variable state reduced to
+// epochs. Reports race existence and first race, no pair report.
+func DetectWCPEpoch(tr *Trace) *WCPResult { return core.DetectEpoch(tr) }
+
+// DetectHB runs the full-vector-clock happens-before detector.
+func DetectHB(tr *Trace) *HBResult { return hb.Detect(tr) }
+
+// DetectHBEpoch runs the FastTrack-style epoch-optimized HB detector
+// (cheaper; reports race existence and first race, no pair report).
+func DetectHBEpoch(tr *Trace) *HBResult { return hb.DetectEpoch(tr) }
+
+// DetectCP runs the Causally-Precedes baseline with the given window size
+// (CP has no known linear-time algorithm, so it is analyzed per fragment;
+// windowSize <= 0 analyzes the whole trace, feasible only for small ones).
+func DetectCP(tr *Trace, windowSize int) *CPResult {
+	return cp.Detect(tr, cp.Options{WindowSize: windowSize})
+}
+
+// DetectPredictive runs the windowed RVPredict-style reordering-search
+// detector.
+func DetectPredictive(tr *Trace, opts PredictOptions) *PredictResult {
+	return predict.Detect(tr, opts)
+}
+
+// DetectLockset runs the Eraser lockset baseline (unsound: may report
+// spurious races).
+func DetectLockset(tr *Trace) *LocksetResult { return lockset.Detect(tr) }
+
+// FindRaceWitness searches for a correct reordering scheduling the
+// conflicting events e1 and e2 adjacently.
+func FindRaceWitness(tr *Trace, e1, e2 int, b SearchBudget) (Witness, bool) {
+	return predict.FindRaceWitness(tr, e1, e2, b)
+}
+
+// FindDeadlock searches for a correct reordering ending in a deadlock.
+func FindDeadlock(tr *Trace, b SearchBudget) (Witness, bool) {
+	return predict.FindDeadlock(tr, b)
+}
+
+// CheckReordering verifies the §2.1 correct-reordering conditions.
+func CheckReordering(tr *Trace, ro Reordering) error { return trace.CheckReordering(tr, ro) }
+
+// Benchmarks returns the synthetic equivalents of the paper's 18 Table-1
+// benchmarks, in table order.
+func Benchmarks() []Benchmark { return gen.Benchmarks }
+
+// BenchmarkByName looks up one benchmark.
+func BenchmarkByName(name string) (Benchmark, bool) { return gen.ByName(name) }
+
+// RandomTrace generates a well-formed random trace.
+func RandomTrace(cfg RandomTraceConfig) *Trace { return gen.Random(cfg) }
+
+// LowerBoundTrace builds the Figure-8 space-lower-bound trace for bit
+// strings u and v (equal length): the two w(z) events race iff u ≠ v.
+func LowerBoundTrace(u, v []bool) *Trace { return gen.LowerBound(u, v) }
+
+// ReadTrace parses a trace, auto-detecting the binary format by its magic
+// and falling back to the text format.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("repro: reading trace: %w", err)
+	}
+	if strings.HasPrefix(string(data), "WCPT") {
+		return traceio.ReadBinary(strings.NewReader(string(data)))
+	}
+	return traceio.ReadText(strings.NewReader(string(data)))
+}
+
+// ReadTraceFile parses a trace file, auto-detecting the format.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// WriteTraceText writes the line-oriented text format.
+func WriteTraceText(w io.Writer, tr *Trace) error { return traceio.WriteText(w, tr) }
+
+// WriteTraceBinary writes the compact binary format.
+func WriteTraceBinary(w io.Writer, tr *Trace) error { return traceio.WriteBinary(w, tr) }
+
+// NewTraceScanner streams text-format events for online analysis.
+func NewTraceScanner(r io.Reader) *traceio.Scanner { return traceio.NewScanner(r) }
