@@ -1,10 +1,13 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/hb"
 	"repro/internal/predict"
@@ -236,6 +239,70 @@ func BenchmarkAblationEpochWCP(b *testing.B) {
 			core.DetectEpoch(tr)
 		}
 		reportEventsPerSec(b, tr.Len())
+	})
+}
+
+// batchCorpus builds an in-memory corpus of medium generated traces for
+// the batch-analysis benchmarks.
+func batchCorpus(b *testing.B, files int) ([]engine.Source, int) {
+	b.Helper()
+	corpus := make([]engine.Source, files)
+	events := 0
+	for i := range corpus {
+		tr := gen.Random(gen.RandomConfig{Seed: int64(i + 1), Events: 30_000, Threads: 6, Locks: 8, Vars: 24})
+		events += tr.Len()
+		corpus[i] = engine.TraceSource(fmt.Sprintf("trace-%d", i), tr)
+	}
+	return corpus, events
+}
+
+// BenchmarkBatchAnalysis compares the serial corpus loop against the
+// worker-pool runner on the same corpus and engines: the parallel variant
+// should win by roughly the core count on multi-core hardware (events/s is
+// the comparable metric).
+func BenchmarkBatchAnalysis(b *testing.B) {
+	corpus, events := batchCorpus(b, 2*runtime.GOMAXPROCS(0))
+	engines := []engine.Engine{engine.MustNew("wcp", engine.Config{}), engine.MustNew("hb", engine.Config{})}
+	drain := func(b *testing.B, jobs int) {
+		for res := range engine.AnalyzeCorpus(context.Background(), corpus, engines, jobs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			drain(b, 1)
+		}
+		reportEventsPerSec(b, events*len(engines))
+	})
+	b.Run(fmt.Sprintf("parallel_j%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			drain(b, 0)
+		}
+		reportEventsPerSec(b, events*len(engines))
+	})
+}
+
+// BenchmarkEngineFanout compares running all engines over one trace
+// serially against the concurrent fan-out (each engine walks the shared
+// trace with its own cursor).
+func BenchmarkEngineFanout(b *testing.B) {
+	tr := benchTrace(b, "montecarlo", 0.5)
+	engines := engine.All(engine.Config{})
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, e := range engines {
+				e.Analyze(tr)
+			}
+		}
+		reportEventsPerSec(b, tr.Len()*len(engines))
+	})
+	b.Run("fanout", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.RunAll(context.Background(), tr, engines)
+		}
+		reportEventsPerSec(b, tr.Len()*len(engines))
 	})
 }
 

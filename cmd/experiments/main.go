@@ -29,6 +29,7 @@ var (
 	skipPredict = flag.Bool("skip-predict", false, "omit the predictive (RVPredict) columns")
 	fullGrid    = flag.Bool("full-grid", false, "compute the Max column over the full window×budget grid")
 	csvPath     = flag.String("csv", "", "also write results as CSV")
+	jobs        = flag.Int("jobs", 0, "worker-pool width for the benchmark fan-out; 0 = GOMAXPROCS, 1 = serial (steadiest timings)")
 )
 
 func main() {
@@ -47,7 +48,7 @@ func main() {
 }
 
 func runTable1() {
-	opts := repro.Table1Options{Scale: *scale, SkipPredict: *skipPredict, FullGrid: *fullGrid}
+	opts := repro.Table1Options{Scale: *scale, SkipPredict: *skipPredict, FullGrid: *fullGrid, Jobs: *jobs}
 	if *bench != "" {
 		opts.Benchmarks = []string{*bench}
 	}
@@ -80,7 +81,7 @@ func runFigure7() {
 		names = []string{*bench}
 	}
 	start := time.Now()
-	points := repro.RunFigure7(names, *scale)
+	points := repro.RunFigure7Opts(repro.Figure7Options{Benchmarks: names, Scale: *scale, Jobs: *jobs})
 	fmt.Println("=== Figure 7: predictive races vs (window size × solver budget) ===")
 	fmt.Print(repro.FormatFigure7(points))
 	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))

@@ -1,73 +1,187 @@
 // Command rapid is the trace-analysis CLI, the counterpart of the paper's
-// RAPID tool: it reads a logged trace (text or binary format) and runs the
-// selected race-detection engine over it.
+// RAPID tool: it reads logged traces (text or binary format) and runs the
+// selected race-detection engines over them.
 //
 // Usage:
 //
 //	rapid -engine=wcp trace.log
 //	rapid -engine=hb -quiet trace.bin
 //	rapid -engine=predict -window 1000 -budget 30000 trace.log
-//	rapid -engine=all trace.log
+//	rapid -engine=all -parallel trace.log       # all engines concurrently
+//	rapid -engine=wcp -jobs 8 traces/*.log      # batch: pool of 8 workers
 //
 // Engines: wcp (default; the paper's Algorithm 1), hb, hb-epoch, cp,
 // predict, lockset, all.
+//
+// With one trace file, -parallel fans the trace out to all selected
+// engines concurrently (the trace is shared read-only). With several
+// trace files, the files are fanned out across a -jobs-wide worker pool
+// (whole machine by default) and per-file reports stream out as each
+// file's analysis completes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro"
 )
 
 var (
-	engine    = flag.String("engine", "wcp", "detector: wcp, wcp-epoch, hb, hb-epoch, cp, predict, lockset, all")
-	window    = flag.Int("window", 1000, "window size for windowed engines (cp, predict); 0 = whole trace")
-	budget    = flag.Int("budget", 30000, "per-window exploration budget for predict")
-	quiet     = flag.Bool("quiet", false, "print summary only, not individual race pairs")
-	validate  = flag.Bool("validate", true, "validate trace well-formedness before analysis")
-	vindicate = flag.Int("vindicate", 0, "wcp only: certify up to N reported race pairs with witness schedules")
+	engineFlag = flag.String("engine", "wcp", "detector: wcp, wcp-epoch, hb, hb-epoch, cp, predict, lockset, all")
+	window     = flag.Int("window", 1000, "window size for windowed engines (cp, predict); 0 = whole trace")
+	budget     = flag.Int("budget", 30000, "per-window exploration budget for predict")
+	quiet      = flag.Bool("quiet", false, "print summary only, not individual race pairs")
+	validate   = flag.Bool("validate", true, "validate trace well-formedness before analysis")
+	vindicate  = flag.Int("vindicate", 0, "wcp only: certify up to N reported race pairs with witness schedules")
+	parallel   = flag.Bool("parallel", false, "run the selected engines concurrently over each trace")
+	jobs       = flag.Int("jobs", 0, "worker-pool width for multi-file batches; 0 = GOMAXPROCS")
 )
 
 func main() {
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rapid [flags] <trace file>")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: rapid [flags] <trace file> [<trace file>...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0)); err != nil {
+	if err := run(flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "rapid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string) error {
-	tr, err := repro.ReadTraceFile(path)
+// selectEngines resolves the -engine/-window/-budget flags.
+func selectEngines() ([]repro.Engine, error) {
+	cfg := repro.EngineConfig{Window: *window, Budget: *budget}
+	if *window == 0 {
+		// The flag's 0 means "whole trace"; EngineConfig's 0 means "default
+		// window", so map it to the explicit whole-trace value.
+		cfg.Window = -1
+	}
+	if *engineFlag == "all" {
+		return repro.AllEngines(cfg), nil
+	}
+	e, err := repro.NewEngine(*engineFlag, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []repro.Engine{e}, nil
+}
+
+func run(paths []string) error {
+	engines, err := selectEngines()
+	if err != nil {
+		return err
+	}
+	if len(paths) == 1 {
+		return runOne(paths[0], engines)
+	}
+	if *vindicate > 0 {
+		return fmt.Errorf("-vindicate requires a single trace file (got %d)", len(paths))
+	}
+	return runBatch(paths, engines)
+}
+
+// runOne analyzes a single trace file, optionally fanning it out to the
+// selected engines concurrently.
+func runOne(path string, engines []repro.Engine) error {
+	tr, err := loadTrace(path)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trace: %s\n", repro.TraceStats(tr))
-	if *validate {
-		if err := repro.ValidateTrace(tr); err != nil {
-			return fmt.Errorf("invalid trace: %w", err)
+	var results []*repro.EngineResult
+	if *parallel {
+		results = repro.RunEngines(context.Background(), tr, engines)
+	} else {
+		for _, e := range engines {
+			results = append(results, e.Analyze(tr))
 		}
 	}
-	engines := []string{*engine}
-	if *engine == "all" {
-		engines = []string{"wcp", "wcp-epoch", "hb", "hb-epoch", "cp", "predict", "lockset"}
-	}
-	for _, eng := range engines {
-		if err := runEngine(eng, tr); err != nil {
-			return err
-		}
+	for _, res := range results {
+		printResult(tr.Symbols, res)
 	}
 	if *vindicate > 0 {
 		runVindicate(tr, *vindicate)
 	}
 	return nil
+}
+
+// runBatch fans the trace files out across the worker pool and prints each
+// file's block as its analysis completes.
+func runBatch(paths []string, engines []repro.Engine) error {
+	corpus := make([]repro.TraceSource, len(paths))
+	for i, p := range paths {
+		p := p
+		corpus[i] = repro.TraceSource{Name: p, Load: func() (*repro.Trace, error) { return loadTrace(p) }}
+	}
+	start := time.Now()
+	failed := 0
+	for res := range repro.AnalyzeTraceCorpus(context.Background(), corpus, engines, *jobs) {
+		if res.Err != nil {
+			failed++
+			fmt.Printf("=== %s: error: %v\n", res.Name, res.Err)
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "=== %s (%v)\n", res.Name, res.Duration.Round(time.Millisecond))
+		fmt.Fprintf(&b, "trace: %+v\n", res.Stats)
+		fmt.Print(b.String())
+		for _, er := range res.Results {
+			printResult(res.Symbols, er)
+		}
+	}
+	fmt.Printf("batch: %d file(s), %d failed, %v total (%d worker(s))\n",
+		len(paths), failed, time.Since(start).Round(time.Millisecond), jobsWidth(len(paths)))
+	if failed > 0 {
+		return fmt.Errorf("%d of %d file(s) failed", failed, len(paths))
+	}
+	return nil
+}
+
+func jobsWidth(files int) int {
+	n := *jobs
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > files {
+		n = files
+	}
+	return n
+}
+
+// loadTrace reads and (by default) validates one trace file.
+func loadTrace(path string) (*repro.Trace, error) {
+	tr, err := repro.ReadTraceFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if *validate {
+		if err := repro.ValidateTrace(tr); err != nil {
+			return nil, fmt.Errorf("invalid trace: %w", err)
+		}
+	}
+	return tr, nil
+}
+
+// printResult renders one engine result; syms supplies symbol names for
+// the race-pair listing.
+func printResult(syms *repro.Symbols, res *repro.EngineResult) {
+	if res.Err != nil {
+		fmt.Printf("%-9s error: %v\n", res.Engine+":", res.Err)
+		return
+	}
+	fmt.Printf("%-9s %d distinct race pair(s) in %v; %s\n",
+		res.Engine+":", res.Distinct(), res.Duration.Round(time.Millisecond), res.Summary)
+	if syms != nil && res.Report != nil && !*quiet && res.Distinct() > 0 {
+		fmt.Println(res.Report.Format(syms))
+	}
 }
 
 // runVindicate certifies reported WCP race pairs with witness schedules
@@ -90,59 +204,4 @@ func runVindicate(tr *repro.Trace, maxPairs int) {
 			}
 		}
 	}
-}
-
-func runEngine(engine string, tr *repro.Trace) error {
-	start := time.Now()
-	var (
-		report  *repro.Report
-		summary string
-	)
-	switch engine {
-	case "wcp":
-		res := repro.DetectWCP(tr)
-		report = res.Report
-		summary = fmt.Sprintf("racy events=%d queue max=%d (%.2f%% of events)",
-			res.RacyEvents, res.QueueMaxTotal, 100*res.QueueMaxFraction())
-	case "wcp-epoch":
-		res := repro.DetectWCPEpoch(tr)
-		summary = fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
-			res.RacyEvents, res.FirstRace)
-	case "hb":
-		res := repro.DetectHB(tr)
-		report = res.Report
-		summary = fmt.Sprintf("racy events=%d", res.RacyEvents)
-	case "hb-epoch":
-		res := repro.DetectHBEpoch(tr)
-		summary = fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
-			res.RacyEvents, res.FirstRace)
-	case "cp":
-		res := repro.DetectCP(tr, *window)
-		report = res.Report
-		summary = fmt.Sprintf("windows=%d racy event pairs=%d", res.Windows, res.RacyEventPairs)
-	case "predict":
-		res := repro.DetectPredictive(tr, repro.PredictOptions{
-			WindowSize:   *window,
-			WindowBudget: *budget,
-		})
-		report = res.Report
-		summary = fmt.Sprintf("windows=%d searches=%d budget-exhausted=%d",
-			res.Windows, res.Searches, res.ExhaustedSearches)
-	case "lockset":
-		res := repro.DetectLockset(tr)
-		report = res.Report
-		summary = fmt.Sprintf("warnings=%d (lockset is unsound: warnings may be spurious)", res.Warnings)
-	default:
-		return fmt.Errorf("unknown engine %q", engine)
-	}
-	elapsed := time.Since(start)
-	distinct := 0
-	if report != nil {
-		distinct = report.Distinct()
-	}
-	fmt.Printf("%-9s %d distinct race pair(s) in %v; %s\n", engine+":", distinct, elapsed.Round(time.Millisecond), summary)
-	if report != nil && !*quiet && distinct > 0 {
-		fmt.Println(report.Format(tr.Symbols))
-	}
-	return nil
 }

@@ -1,11 +1,14 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/hb"
 	"repro/internal/predict"
@@ -60,11 +63,18 @@ type Table1Options struct {
 	// FullGrid sweeps the whole window×budget grid for the PredictMax
 	// column; otherwise the max is taken over the two reported configs.
 	FullGrid bool
+	// Jobs is the worker-pool width for fanning benchmarks out across
+	// cores; <= 0 uses GOMAXPROCS, 1 recovers the serial loop (most
+	// faithful per-engine timings).
+	Jobs int
 }
 
 // RunTable1 regenerates Table 1: for each benchmark it generates the
 // synthetic trace, runs WCP and HB over the whole trace, and the windowed
-// predictive engine at the paper's two reported parameter points.
+// predictive engine at the paper's two reported parameter points. The
+// benchmarks are fanned out across an Options.Jobs-wide worker pool
+// (whole-machine by default); rows come back in Table 1 order regardless
+// of completion order.
 func RunTable1(opts Table1Options) []Table1Row {
 	scale := opts.Scale
 	if scale == 0 {
@@ -81,58 +91,69 @@ func RunTable1(opts Table1Options) []Table1Row {
 		}
 		return false
 	}
-	var rows []Table1Row
+	var selected []gen.Benchmark
 	for _, b := range gen.Benchmarks {
-		if !want(b.Name) {
-			continue
+		if want(b.Name) {
+			selected = append(selected, b)
 		}
-		tr := b.Generate(scale)
-		row := Table1Row{
-			Name:    b.Name,
-			Events:  tr.Len(),
-			Threads: tr.NumThreads(),
-			Locks:   tr.NumLocks(),
-			WantWCP: b.WCPRaces(),
-			WantHB:  b.HBRaces,
-		}
+	}
+	rows, _ := engine.Map(context.Background(), opts.Jobs, selected,
+		func(_ context.Context, _ int, b gen.Benchmark) (Table1Row, error) {
+			return table1Row(b, scale, opts), nil
+		})
+	return rows
+}
 
-		start := time.Now()
-		wcpRes := core.Detect(tr)
-		row.WCPTime = time.Since(start)
-		row.WCPRaces = wcpRes.Report.Distinct()
-		row.QueueFraction = wcpRes.QueueMaxFraction()
+// table1Row computes one Table 1 row; the workload generator and the four
+// detector runs all happen inside the calling pool worker.
+func table1Row(b gen.Benchmark, scale float64, opts Table1Options) Table1Row {
+	tr := b.Generate(scale)
+	row := Table1Row{
+		Name:    b.Name,
+		Events:  tr.Len(),
+		Threads: tr.NumThreads(),
+		Locks:   tr.NumLocks(),
+		WantWCP: b.WCPRaces(),
+		WantHB:  b.HBRaces,
+	}
+
+	start := time.Now()
+	wcpRes := core.Detect(tr)
+	row.WCPTime = time.Since(start)
+	row.WCPRaces = wcpRes.Report.Distinct()
+	row.QueueFraction = wcpRes.QueueMaxFraction()
+
+	start = time.Now()
+	hbRes := hb.Detect(tr)
+	row.HBTime = time.Since(start)
+	row.HBRaces = hbRes.Report.Distinct()
+
+	if !opts.SkipPredict {
+		start = time.Now()
+		p1 := predict.Detect(tr, predict.Options{WindowSize: 1000, WindowBudget: 60 * NodesPerSolverSecond})
+		row.Predict1KTime = time.Since(start)
+		row.Predict1K = p1.Report.Distinct()
 
 		start = time.Now()
-		hbRes := hb.Detect(tr)
-		row.HBTime = time.Since(start)
-		row.HBRaces = hbRes.Report.Distinct()
+		p10 := predict.Detect(tr, predict.Options{WindowSize: 10000, WindowBudget: 240 * NodesPerSolverSecond})
+		row.Predict10KTime = time.Since(start)
+		row.Predict10K = p10.Report.Distinct()
 
-		if !opts.SkipPredict {
-			start = time.Now()
-			p1 := predict.Detect(tr, predict.Options{WindowSize: 1000, WindowBudget: 60 * NodesPerSolverSecond})
-			row.Predict1KTime = time.Since(start)
-			row.Predict1K = p1.Report.Distinct()
-
-			start = time.Now()
-			p10 := predict.Detect(tr, predict.Options{WindowSize: 10000, WindowBudget: 240 * NodesPerSolverSecond})
-			row.Predict10KTime = time.Since(start)
-			row.Predict10K = p10.Report.Distinct()
-
-			row.PredictMax = row.Predict1K
-			if row.Predict10K > row.PredictMax {
-				row.PredictMax = row.Predict10K
-			}
-			if opts.FullGrid {
-				for _, pt := range RunFigure7([]string{b.Name}, scale) {
-					if pt.Races > row.PredictMax {
-						row.PredictMax = pt.Races
-					}
+		row.PredictMax = row.Predict1K
+		if row.Predict10K > row.PredictMax {
+			row.PredictMax = row.Predict10K
+		}
+		if opts.FullGrid {
+			// Nested sweep: serial (Jobs=1) because the benchmark rows
+			// already saturate the pool.
+			for _, pt := range RunFigure7Opts(Figure7Options{Benchmarks: []string{b.Name}, Scale: scale, Jobs: 1}) {
+				if pt.Races > row.PredictMax {
+					row.PredictMax = pt.Races
 				}
 			}
 		}
-		rows = append(rows, row)
 	}
-	return rows
+	return row
 }
 
 // FormatTable1 renders rows in the layout of the paper's Table 1.
@@ -186,31 +207,76 @@ var (
 	Figure7Budgets = []int{60, 120, 240}
 )
 
+// Figure7Options configures RunFigure7Opts.
+type Figure7Options struct {
+	// Benchmarks names the workloads to sweep (the paper uses eclipse,
+	// ftpserver and derby).
+	Benchmarks []string
+	// Scale multiplies each benchmark's default event count (1.0 if 0).
+	Scale float64
+	// Jobs is the worker-pool width for the (benchmark, window, budget)
+	// grid; <= 0 uses GOMAXPROCS, 1 recovers the serial sweep.
+	Jobs int
+}
+
 // RunFigure7 sweeps the predictive engine over the paper's window-size ×
-// solver-timeout grid for the named benchmarks (the paper uses eclipse,
-// ftpserver and derby).
+// solver-timeout grid for the named benchmarks, fanning the whole grid out
+// across the worker pool.
 func RunFigure7(names []string, scale float64) []Figure7Point {
+	return RunFigure7Opts(Figure7Options{Benchmarks: names, Scale: scale})
+}
+
+// RunFigure7Opts is RunFigure7 with explicit pool options. Every
+// (benchmark, window, budget) grid cell is an independent pool task; the
+// cells of one benchmark share a lazily-generated, read-only trace
+// (trace1of), so concurrent tasks must not mutate it. Points come back in
+// grid order regardless of completion order.
+func RunFigure7Opts(opts Figure7Options) []Figure7Point {
+	scale := opts.Scale
 	if scale == 0 {
 		scale = 1.0
 	}
-	var out []Figure7Point
-	for _, name := range names {
+	type cell struct {
+		bench      gen.Benchmark
+		window     int
+		seconds    int
+		traceShare *trace1of // generated once per benchmark, shared by its cells
+	}
+	var cells []cell
+	for _, name := range opts.Benchmarks {
 		b, ok := gen.ByName(name)
 		if !ok {
 			continue
 		}
-		tr := b.Generate(scale)
+		share := &trace1of{gen: func() *Trace { return b.Generate(scale) }}
 		for _, w := range Figure7Windows {
 			for _, s := range Figure7Budgets {
-				res := predict.Detect(tr, predict.Options{
-					WindowSize:   w,
-					WindowBudget: s * NodesPerSolverSecond,
-				})
-				out = append(out, Figure7Point{Bench: name, Window: w, Seconds: s, Races: res.Report.Distinct()})
+				cells = append(cells, cell{bench: b, window: w, seconds: s, traceShare: share})
 			}
 		}
 	}
-	return out
+	points, _ := engine.Map(context.Background(), opts.Jobs, cells,
+		func(_ context.Context, _ int, c cell) (Figure7Point, error) {
+			res := predict.Detect(c.traceShare.get(), predict.Options{
+				WindowSize:   c.window,
+				WindowBudget: c.seconds * NodesPerSolverSecond,
+			})
+			return Figure7Point{Bench: c.bench.Name, Window: c.window, Seconds: c.seconds, Races: res.Report.Distinct()}, nil
+		})
+	return points
+}
+
+// trace1of generates a trace once on first use and shares it read-only
+// across the pool tasks of one benchmark's grid cells.
+type trace1of struct {
+	once sync.Once
+	gen  func() *Trace
+	tr   *Trace
+}
+
+func (s *trace1of) get() *Trace {
+	s.once.Do(func() { s.tr = s.gen(); s.gen = nil })
+	return s.tr
 }
 
 // FormatFigure7 renders the sweep as the grid underlying Figure 7.

@@ -1,0 +1,294 @@
+// Package engine is the orchestration layer over the repository's race
+// detectors: a uniform Engine interface wrapping the WCP, HB, CP, lockset
+// and windowed-predictive analyses, plus worker-pool runners that fan one
+// trace out to many engines concurrently (RunAll) and a corpus of traces
+// out across many workers (AnalyzeCorpus, AnalyzeFiles).
+//
+// Engines are stateless values: Analyze builds all detector state per call,
+// so a single Engine is safe for concurrent use and a trace can be shared
+// read-only between engines — each Analyze walks tr.Events with its own
+// cursor, nothing is copied.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cp"
+	"repro/internal/hb"
+	"repro/internal/lockset"
+	"repro/internal/predict"
+	"repro/internal/race"
+	"repro/internal/trace"
+)
+
+// Result is the uniform outcome of one engine over one trace. Fields beyond
+// Engine, Duration and Summary are engine-specific; absent ones are zero
+// (Report is nil for the epoch engines, which track race existence only).
+type Result struct {
+	// Engine is the name of the engine that produced this result.
+	Engine string
+	// Report holds distinct race pairs, nil for engines that don't track
+	// pairs (wcp-epoch, hb-epoch).
+	Report *race.Report
+	// RacyEvents counts events flagged as racing (-1 if not tracked).
+	RacyEvents int
+	// FirstRace is the trace index of the first racy event, or -1.
+	FirstRace int
+	// QueueMaxTotal and QueueFraction are Algorithm 1's queue high-water
+	// mark (wcp engines only; Table 1 column 11).
+	QueueMaxTotal int
+	QueueFraction float64
+	// Windows is the number of fragments analyzed by windowed engines.
+	Windows int
+	// Searches and ExhaustedSearches count witness searches (predict only).
+	Searches          int
+	ExhaustedSearches int
+	// Warnings counts lockset warnings (lockset only; may be spurious).
+	Warnings int
+	// Duration is the wall-clock analysis time.
+	Duration time.Duration
+	// Summary is a one-line engine-specific rendering of the counters.
+	Summary string
+	// Err is non-nil when the run was abandoned (e.g. context canceled
+	// before the engine started).
+	Err error
+}
+
+// Distinct returns the number of distinct race pairs, 0 when the engine
+// reports none.
+func (r *Result) Distinct() int {
+	if r.Report == nil {
+		return 0
+	}
+	return r.Report.Distinct()
+}
+
+// Engine is a race-detection analysis that can be run over a trace. Analyze
+// must be safe for concurrent use: all the implementations in this package
+// build their detector state per call and treat the trace as read-only.
+type Engine interface {
+	// Name identifies the engine ("wcp", "hb-epoch", ...).
+	Name() string
+	// Analyze runs the detector over the whole trace.
+	Analyze(tr *trace.Trace) *Result
+}
+
+// Config carries the knobs shared by the windowed engines. The zero value
+// selects the defaults used by cmd/rapid.
+type Config struct {
+	// Window bounds each analyzed fragment for the cp and predict engines;
+	// <= 0 analyzes the whole trace as one window (feasible only for small
+	// traces with cp). Defaults to 1000 when zero.
+	Window int
+	// Budget is the per-window exploration budget (DFS nodes) for the
+	// predict engine. Defaults to 30000 when zero.
+	Budget int
+}
+
+func (c Config) window() int {
+	if c.Window == 0 {
+		return 1000
+	}
+	return c.Window
+}
+
+func (c Config) budget() int {
+	if c.Budget == 0 {
+		return 30000
+	}
+	return c.Budget
+}
+
+// wcpEngine is the paper's Algorithm 1 with distinct race-pair tracking.
+type wcpEngine struct{}
+
+func (wcpEngine) Name() string { return "wcp" }
+
+func (wcpEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	res := core.Detect(tr)
+	return &Result{
+		Engine:        "wcp",
+		Report:        res.Report,
+		RacyEvents:    res.RacyEvents,
+		FirstRace:     res.FirstRace,
+		QueueMaxTotal: res.QueueMaxTotal,
+		QueueFraction: res.QueueMaxFraction(),
+		Duration:      time.Since(start),
+		Summary: fmt.Sprintf("racy events=%d queue max=%d (%.2f%% of events)",
+			res.RacyEvents, res.QueueMaxTotal, 100*res.QueueMaxFraction()),
+	}
+}
+
+// wcpEpochEngine is Algorithm 1 with the §6 epoch-optimized race check.
+type wcpEpochEngine struct{}
+
+func (wcpEpochEngine) Name() string { return "wcp-epoch" }
+
+func (wcpEpochEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	res := core.DetectEpoch(tr)
+	return &Result{
+		Engine:        "wcp-epoch",
+		RacyEvents:    res.RacyEvents,
+		FirstRace:     res.FirstRace,
+		QueueMaxTotal: res.QueueMaxTotal,
+		QueueFraction: res.QueueMaxFraction(),
+		Duration:      time.Since(start),
+		Summary: fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
+			res.RacyEvents, res.FirstRace),
+	}
+}
+
+// hbEngine is the full-vector-clock happens-before baseline.
+type hbEngine struct{}
+
+func (hbEngine) Name() string { return "hb" }
+
+func (hbEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	res := hb.Detect(tr)
+	return &Result{
+		Engine:     "hb",
+		Report:     res.Report,
+		RacyEvents: res.RacyEvents,
+		FirstRace:  res.FirstRace,
+		Duration:   time.Since(start),
+		Summary:    fmt.Sprintf("racy events=%d", res.RacyEvents),
+	}
+}
+
+// hbEpochEngine is the FastTrack-style epoch-optimized HB baseline.
+type hbEpochEngine struct{}
+
+func (hbEpochEngine) Name() string { return "hb-epoch" }
+
+func (hbEpochEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	res := hb.DetectEpoch(tr)
+	return &Result{
+		Engine:     "hb-epoch",
+		RacyEvents: res.RacyEvents,
+		FirstRace:  res.FirstRace,
+		Duration:   time.Since(start),
+		Summary: fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
+			res.RacyEvents, res.FirstRace),
+	}
+}
+
+// cpEngine is the windowed Causally-Precedes baseline.
+type cpEngine struct{ cfg Config }
+
+func (cpEngine) Name() string { return "cp" }
+
+func (e cpEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	res := cp.Detect(tr, cp.Options{WindowSize: e.cfg.window()})
+	return &Result{
+		Engine:     "cp",
+		Report:     res.Report,
+		RacyEvents: -1,
+		FirstRace:  -1,
+		Windows:    res.Windows,
+		Duration:   time.Since(start),
+		Summary:    fmt.Sprintf("windows=%d racy event pairs=%d", res.Windows, res.RacyEventPairs),
+	}
+}
+
+// predictEngine is the windowed RVPredict-style reordering-search detector.
+type predictEngine struct{ cfg Config }
+
+func (predictEngine) Name() string { return "predict" }
+
+func (e predictEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	res := predict.Detect(tr, predict.Options{
+		WindowSize:   e.cfg.window(),
+		WindowBudget: e.cfg.budget(),
+	})
+	return &Result{
+		Engine:            "predict",
+		Report:            res.Report,
+		RacyEvents:        -1,
+		FirstRace:         -1,
+		Windows:           res.Windows,
+		Searches:          res.Searches,
+		ExhaustedSearches: res.ExhaustedSearches,
+		Duration:          time.Since(start),
+		Summary: fmt.Sprintf("windows=%d searches=%d budget-exhausted=%d",
+			res.Windows, res.Searches, res.ExhaustedSearches),
+	}
+}
+
+// locksetEngine is the Eraser lockset baseline (unsound).
+type locksetEngine struct{}
+
+func (locksetEngine) Name() string { return "lockset" }
+
+func (locksetEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	res := lockset.Detect(tr)
+	return &Result{
+		Engine:     "lockset",
+		Report:     res.Report,
+		RacyEvents: -1,
+		FirstRace:  res.FirstWarning,
+		Warnings:   res.Warnings,
+		Duration:   time.Since(start),
+		Summary:    fmt.Sprintf("warnings=%d (lockset is unsound: warnings may be spurious)", res.Warnings),
+	}
+}
+
+// constructors maps engine names to their factories, in the canonical
+// "all" order (the order cmd/rapid reports and RunAll preserves).
+var allOrder = []string{"wcp", "wcp-epoch", "hb", "hb-epoch", "cp", "predict", "lockset"}
+
+// New returns the named engine configured with cfg. Valid names are those
+// returned by Names.
+func New(name string, cfg Config) (Engine, error) {
+	switch name {
+	case "wcp":
+		return wcpEngine{}, nil
+	case "wcp-epoch":
+		return wcpEpochEngine{}, nil
+	case "hb":
+		return hbEngine{}, nil
+	case "hb-epoch":
+		return hbEpochEngine{}, nil
+	case "cp":
+		return cpEngine{cfg}, nil
+	case "predict":
+		return predictEngine{cfg}, nil
+	case "lockset":
+		return locksetEngine{}, nil
+	}
+	return nil, fmt.Errorf("unknown engine %q (known: %v)", name, Names())
+}
+
+// MustNew is New for statically-known names; it panics on error.
+func MustNew(name string, cfg Config) Engine {
+	e, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// All returns every engine, in the canonical reporting order.
+func All(cfg Config) []Engine {
+	engines := make([]Engine, len(allOrder))
+	for i, name := range allOrder {
+		engines[i] = MustNew(name, cfg)
+	}
+	return engines
+}
+
+// Names returns the valid engine names, sorted.
+func Names() []string {
+	names := append([]string(nil), allOrder...)
+	sort.Strings(names)
+	return names
+}

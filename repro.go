@@ -15,6 +15,10 @@
 //   - witness search over correct reorderings (FindRaceWitness,
 //     FindDeadlock) and the correct-reordering checker, used to certify
 //     race reports;
+//   - the engine orchestration layer (NewEngine, RunEngines,
+//     AnalyzeTraceFiles): every detector behind one interface, a
+//     concurrent fan-out of one trace to many engines, and a worker pool
+//     streaming batch analysis of trace corpora;
 //   - the synthetic workload generators for the paper's 18 benchmarks and
 //     the experiment harness that regenerates Table 1 and Figure 7 (see
 //     experiments.go).
@@ -25,13 +29,13 @@
 package repro
 
 import (
-	"fmt"
+	"context"
 	"io"
-	"os"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/cp"
+	"repro/internal/engine"
+	"repro/internal/event"
 	"repro/internal/gen"
 	"repro/internal/hb"
 	"repro/internal/lockset"
@@ -43,6 +47,9 @@ import (
 
 // Trace is a sequence of events with its symbol tables (§2.1 of the paper).
 type Trace = trace.Trace
+
+// Symbols names a trace's threads, locks, variables and program locations.
+type Symbols = event.Symbols
 
 // Builder constructs traces programmatically.
 type Builder = trace.Builder
@@ -207,26 +214,10 @@ func LowerBoundTrace(u, v []bool) *Trace { return gen.LowerBound(u, v) }
 
 // ReadTrace parses a trace, auto-detecting the binary format by its magic
 // and falling back to the text format.
-func ReadTrace(r io.Reader) (*Trace, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("repro: reading trace: %w", err)
-	}
-	if strings.HasPrefix(string(data), "WCPT") {
-		return traceio.ReadBinary(strings.NewReader(string(data)))
-	}
-	return traceio.ReadText(strings.NewReader(string(data)))
-}
+func ReadTrace(r io.Reader) (*Trace, error) { return traceio.ReadAuto(r) }
 
 // ReadTraceFile parses a trace file, auto-detecting the format.
-func ReadTraceFile(path string) (*Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return ReadTrace(f)
-}
+func ReadTraceFile(path string) (*Trace, error) { return traceio.ReadFile(path) }
 
 // WriteTraceText writes the line-oriented text format.
 func WriteTraceText(w io.Writer, tr *Trace) error { return traceio.WriteText(w, tr) }
@@ -236,3 +227,52 @@ func WriteTraceBinary(w io.Writer, tr *Trace) error { return traceio.WriteBinary
 
 // NewTraceScanner streams text-format events for online analysis.
 func NewTraceScanner(r io.Reader) *traceio.Scanner { return traceio.NewScanner(r) }
+
+// Engine is a race-detection analysis runnable over a trace; all engines
+// are safe for concurrent use and share traces read-only.
+type Engine = engine.Engine
+
+// EngineResult is the uniform outcome of one engine over one trace.
+type EngineResult = engine.Result
+
+// EngineConfig carries the window/budget knobs of the windowed engines.
+type EngineConfig = engine.Config
+
+// TraceSource is one entry of an analysis corpus (a named trace loader).
+type TraceSource = engine.Source
+
+// CorpusResult is the streamed analysis of one corpus entry.
+type CorpusResult = engine.CorpusResult
+
+// NewEngine returns the named detector ("wcp", "wcp-epoch", "hb",
+// "hb-epoch", "cp", "predict", "lockset") behind the uniform Engine
+// interface.
+func NewEngine(name string, cfg EngineConfig) (Engine, error) { return engine.New(name, cfg) }
+
+// AllEngines returns every detector, in canonical reporting order.
+func AllEngines(cfg EngineConfig) []Engine { return engine.All(cfg) }
+
+// EngineNames returns the valid engine names, sorted.
+func EngineNames() []string { return engine.Names() }
+
+// RunEngines fans tr out to all engines concurrently (each engine walks the
+// shared trace with its own cursor) and returns results in engine order.
+func RunEngines(ctx context.Context, tr *Trace, engines []Engine) []*EngineResult {
+	return engine.RunAll(ctx, tr, engines)
+}
+
+// AnalyzeTraceFiles fans the trace files out across a pool of jobs workers
+// (GOMAXPROCS when jobs <= 0), running every engine over every trace, and
+// streams per-file results over the returned channel as files complete.
+func AnalyzeTraceFiles(ctx context.Context, paths []string, engines []Engine, jobs int) <-chan CorpusResult {
+	return engine.AnalyzeFiles(ctx, paths, engines, jobs)
+}
+
+// AnalyzeTraceCorpus is AnalyzeTraceFiles over arbitrary trace sources
+// (e.g. in-memory traces via NewTraceSource).
+func AnalyzeTraceCorpus(ctx context.Context, corpus []TraceSource, engines []Engine, jobs int) <-chan CorpusResult {
+	return engine.AnalyzeCorpus(ctx, corpus, engines, jobs)
+}
+
+// NewTraceSource wraps an in-memory trace as a corpus entry.
+func NewTraceSource(name string, tr *Trace) TraceSource { return engine.TraceSource(name, tr) }
