@@ -1,17 +1,21 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/event"
 	"repro/internal/gen"
 	"repro/internal/hb"
 	"repro/internal/predict"
 	"repro/internal/trace"
+	"repro/internal/traceio"
 	"repro/internal/window"
 )
 
@@ -315,6 +319,49 @@ func BenchmarkStreamingWCP(b *testing.B) {
 		d := core.NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), core.Options{})
 		for _, e := range tr.Events {
 			d.Process(e)
+		}
+	}
+	reportEventsPerSec(b, tr.Len())
+}
+
+// BenchmarkStreamingIngestWCP measures the full streaming-ingestion path:
+// binary blocks decoded straight into the WCP detector through one reused
+// buffer, the trace never materialized. With -benchmem, allocs/op here is
+// dominated by the one-time header decode — the synthetic workload's
+// builder assigns a distinct default location to every unlocated event, so
+// its symbol table is pathologically large relative to its length — while
+// the per-event decode+step loop allocates nothing
+// (TestStreamingBoundsMaterialization pins that side).
+func BenchmarkStreamingIngestWCP(b *testing.B) {
+	tr := benchTrace(b, "montecarlo", 1.0)
+	var data bytes.Buffer
+	if err := traceio.WriteBinary(&data, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := data.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := traceio.OpenStream(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dims, known := st.Dims()
+		if !known {
+			b.Fatal("binary stream must declare dims")
+		}
+		d := core.NewDetector(dims.Threads, dims.Locks, dims.Vars, core.Options{})
+		buf := make([]event.Event, traceio.DefaultBlockSize)
+		for {
+			n, err := st.NextBlock(buf)
+			for _, e := range buf[:n] {
+				d.Process(e)
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	reportEventsPerSec(b, tr.Len())

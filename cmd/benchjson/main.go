@@ -1,0 +1,199 @@
+// Command benchjson runs the scaling and batch-analysis benchmarks with
+// memory accounting and writes the results as machine-readable JSON, so the
+// performance trajectory (ns/op, B/op, allocs/op, events/s per trace size)
+// is comparable across PRs without scraping `go test -bench` output.
+//
+// Usage:
+//
+//	benchjson                          # writes BENCH_wcp.json
+//	benchjson -out results.json -scales 0.25,1,2
+//	benchjson -baseline old.json       # embed a previous run for before/after
+//
+// The benchmarks mirror BenchmarkScalingWCP, BenchmarkScalingHB and
+// BenchmarkBatchAnalysis in bench_test.go: WCP and HB whole-trace analysis
+// over the montecarlo workload at several sizes (Theorem 3's linearity
+// check), and the serial-vs-parallel corpus runner comparison.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+var (
+	out      = flag.String("out", "BENCH_wcp.json", "output file")
+	scales   = flag.String("scales", "0.25,0.5,1,2", "comma-separated montecarlo scales for the scaling benchmarks")
+	baseline = flag.String("baseline", "", "previous benchjson output to embed as the before side of a before/after record")
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name         string  `json:"name"`
+	Events       int     `json:"events"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+// Doc is the file layout: environment, current results, and optionally the
+// embedded previous run for before/after comparisons.
+type Doc struct {
+	Date     string  `json:"date"`
+	GOOS     string  `json:"goos"`
+	GOARCH   string  `json:"goarch"`
+	CPUs     int     `json:"cpus"`
+	Results  []Entry `json:"results"`
+	Baseline *Doc    `json:"baseline,omitempty"`
+}
+
+func measure(name string, events int, bench func(b *testing.B)) Entry {
+	res := testing.Benchmark(bench)
+	nsOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	e := Entry{
+		Name:        name,
+		Events:      events,
+		Iterations:  res.N,
+		NsPerOp:     nsOp,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if events > 0 && nsOp > 0 {
+		e.EventsPerSec = float64(events) / (nsOp / 1e9)
+	}
+	fmt.Printf("%-40s %10d ns/op %14.0f events/s %10d B/op %8d allocs/op\n",
+		name, int64(e.NsPerOp), e.EventsPerSec, e.BytesPerOp, e.AllocsPerOp)
+	return e
+}
+
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func run() error {
+	scaleList, err := parseScales(*scales)
+	if err != nil {
+		return err
+	}
+	bench, ok := gen.ByName("montecarlo")
+	if !ok {
+		return fmt.Errorf("montecarlo benchmark missing")
+	}
+
+	traces := make([]*trace.Trace, len(scaleList))
+	for i, scale := range scaleList {
+		traces[i] = bench.Generate(scale)
+	}
+	var results []Entry
+	for _, tr := range traces {
+		tr := tr
+		results = append(results, measure(
+			fmt.Sprintf("ScalingWCP/events_%d", tr.Len()), tr.Len(),
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.DetectOpts(tr, core.Options{})
+				}
+			}))
+	}
+	for _, tr := range traces {
+		tr := tr
+		results = append(results, measure(
+			fmt.Sprintf("ScalingHB/events_%d", tr.Len()), tr.Len(),
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					hb.DetectOpts(tr, hb.Options{})
+				}
+			}))
+	}
+
+	// Batch analysis: serial vs parallel corpus runner, as in
+	// BenchmarkBatchAnalysis (smaller corpus; same shape).
+	files := 2 * runtime.GOMAXPROCS(0)
+	corpus := make([]engine.Source, files)
+	events := 0
+	for i := range corpus {
+		tr := gen.Random(gen.RandomConfig{Seed: int64(i + 1), Events: 30_000, Threads: 6, Locks: 8, Vars: 24})
+		events += tr.Len()
+		corpus[i] = engine.TraceSource(fmt.Sprintf("trace-%d", i), tr)
+	}
+	engines := []engine.Engine{engine.MustNew("wcp", engine.Config{}), engine.MustNew("hb", engine.Config{})}
+	drain := func(jobs int) {
+		for res := range engine.AnalyzeCorpus(context.Background(), corpus, engines, jobs) {
+			if res.Err != nil {
+				panic(res.Err)
+			}
+		}
+	}
+	total := events * len(engines)
+	results = append(results, measure("BatchAnalysis/serial", total, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			drain(1)
+		}
+	}))
+	results = append(results, measure(fmt.Sprintf("BatchAnalysis/parallel_j%d", runtime.GOMAXPROCS(0)), total, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			drain(0)
+		}
+	}))
+
+	doc := Doc{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.GOMAXPROCS(0),
+		Results: results,
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w", err)
+		}
+		var base Doc
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parsing baseline: %w", err)
+		}
+		base.Baseline = nil // keep one level of history
+		doc.Baseline = &base
+	}
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+	return nil
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@
 //	rapid -engine=predict -window 1000 -budget 30000 trace.log
 //	rapid -engine=all -parallel trace.log       # all engines concurrently
 //	rapid -engine=wcp -jobs 8 traces/*.log      # batch: pool of 8 workers
+//	rapid -engine=wcp -stream huge.bin          # block-by-block, O(1) memory
 //
 // Engines: wcp (default; the paper's Algorithm 1), hb, hb-epoch, cp,
 // predict, lockset, all.
@@ -17,7 +18,10 @@
 // engines concurrently (the trace is shared read-only). With several
 // trace files, the files are fanned out across a -jobs-wide worker pool
 // (whole machine by default) and per-file reports stream out as each
-// file's analysis completes.
+// file's analysis completes. With -stream, binary traces are decoded
+// block by block straight into the detectors, so memory stays constant
+// no matter how long the trace is (engines that cannot stream, and text
+// traces, fall back to loading).
 package main
 
 import (
@@ -41,6 +45,7 @@ var (
 	vindicate  = flag.Int("vindicate", 0, "wcp only: certify up to N reported race pairs with witness schedules")
 	parallel   = flag.Bool("parallel", false, "run the selected engines concurrently over each trace")
 	jobs       = flag.Int("jobs", 0, "worker-pool width for multi-file batches; 0 = GOMAXPROCS")
+	stream     = flag.Bool("stream", false, "analyze block by block without materializing traces (binary traces with streaming engines: wcp, wcp-epoch, hb, hb-epoch; others fall back to loading); skips -validate; engines run serially per trace, so -parallel has no effect")
 )
 
 func main() {
@@ -78,6 +83,12 @@ func run(paths []string) error {
 	engines, err := selectEngines()
 	if err != nil {
 		return err
+	}
+	if *stream {
+		if *vindicate > 0 {
+			return fmt.Errorf("-vindicate needs the materialized trace; drop -stream")
+		}
+		return runBatch(paths, engines)
 	}
 	if len(paths) == 1 {
 		return runOne(paths[0], engines)
@@ -119,7 +130,14 @@ func runBatch(paths []string, engines []repro.Engine) error {
 	corpus := make([]repro.TraceSource, len(paths))
 	for i, p := range paths {
 		p := p
-		corpus[i] = repro.TraceSource{Name: p, Load: func() (*repro.Trace, error) { return loadTrace(p) }}
+		if *stream {
+			// Streamable source: engines that support it analyze the file
+			// block by block, never materializing the trace (no whole-trace
+			// validation in that mode).
+			corpus[i] = repro.NewFileTraceSource(p)
+		} else {
+			corpus[i] = repro.TraceSource{Name: p, Load: func() (*repro.Trace, error) { return loadTrace(p) }}
+		}
 	}
 	start := time.Now()
 	failed := 0

@@ -1,19 +1,21 @@
 // Streaming demonstrates the online mode the paper emphasizes (§3.2, "Our
-// algorithm works in a streaming fashion"): events are fed to the WCP
-// detector one at a time as they are scanned from a log, without ever
-// materializing the trace in memory.
+// algorithm works in a streaming fashion"): events are decoded block by
+// block straight into the WCP detector, without ever materializing the
+// trace in memory.
 //
-// The vector clocks need the thread/lock/variable universe up front (the
-// binary format's header carries it; for text logs a cheap counting pass
-// provides it), after which the analysis is a single pass with state that
-// is tiny compared to the trace — the property that lets the paper's tool
-// process hundreds of millions of events without windowing.
+// The binary trace format carries the thread/lock/variable universe and the
+// event count in its header, so the detector state and the block buffer are
+// sized up front and memory stays constant no matter how long the trace is
+// — the property that lets the paper's tool process hundreds of millions of
+// events without windowing. (Text logs don't declare their universe; for
+// them a cheap counting pass with NewTraceScanner provides it.)
 //
 // Run with: go run ./examples/streaming
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -22,15 +24,15 @@ import (
 )
 
 func main() {
-	// Produce a log file to stream: the xalan workload at a small scale.
+	// Produce a binary log file to stream: the xalan workload, small scale.
 	bench, _ := repro.BenchmarkByName("xalan")
 	tr := bench.Generate(0.2)
-	path := filepath.Join(os.TempDir(), "xalan.trace")
+	path := filepath.Join(os.TempDir(), "xalan.bin")
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := repro.WriteTraceText(f, tr); err != nil {
+	if err := repro.WriteTraceBinary(f, tr); err != nil {
 		log.Fatal(err)
 	}
 	f.Close()
@@ -38,49 +40,46 @@ func main() {
 	info, _ := os.Stat(path)
 	fmt.Printf("streaming %d events (%d KiB on disk) from %s\n", tr.Len(), info.Size()/1024, path)
 
-	// Pass 1: count the symbol universe (threads, locks, variables).
-	in, err := os.Open(path)
+	// Open the stream: the header declares the dimensions before the first
+	// event, so everything is sized up front.
+	st, err := repro.StreamTraceFile(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	counter := repro.NewTraceScanner(in)
-	events := 0
-	for counter.Scan() {
-		events++
+	defer st.Close()
+	dims, known := st.Dims()
+	if !known {
+		log.Fatal("binary streams always declare their dimensions")
 	}
-	if err := counter.Err(); err != nil {
-		log.Fatal(err)
-	}
-	syms := counter.Symbols()
-	in.Close()
-	fmt.Printf("pass 1: %d events, %d threads, %d locks, %d variables\n",
-		events, syms.NumThreads(), syms.NumLocks(), syms.NumVars())
+	fmt.Printf("header: %d events, %d threads, %d locks, %d variables\n",
+		dims.Events, dims.Threads, dims.Locks, dims.Vars)
 
-	// Pass 2: stream events straight into the detector.
-	in, err = os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer in.Close()
-	det := repro.NewWCPDetector(syms.NumThreads(), syms.NumLocks(), syms.NumVars(),
+	// Decode block by block straight into the detector, reusing one buffer.
+	det := repro.NewWCPDetector(dims.Threads, dims.Locks, dims.Vars,
 		repro.WCPOptions{TrackPairs: true})
-	sc := repro.NewTraceScanner(in)
+	buf := make([]repro.TraceEvent, repro.DefaultStreamBlockSize)
 	processed := 0
-	for sc.Scan() {
-		det.Process(sc.Event())
-		processed++
-		if processed%10000 == 0 {
+	for {
+		n, err := st.NextBlock(buf)
+		for _, e := range buf[:n] {
+			det.Process(e)
+		}
+		processed += n
+		if n > 0 {
 			r := det.Result()
 			fmt.Printf("  after %6d events: %d race pair(s), %d queued times\n",
 				processed, r.Report.Distinct(), r.QueueMaxTotal)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	res := det.Result()
 	fmt.Printf("done: %d events, %d distinct race pair(s), queue high-water %.2f%% of events\n",
 		res.Events, res.Report.Distinct(), 100*res.QueueMaxFraction())
-	fmt.Println(res.Report.Format(sc.Symbols()))
+	fmt.Println(res.Report.Format(st.Symbols()))
 }

@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// allocsPerEvent measures steady-state heap allocations per processed event:
+// the detector is warmed up on the trace (growing queues, freelist, and
+// per-lock/per-variable state to their high-water marks), then the same
+// event sequence is replayed and allocations are averaged. The arena and
+// copy-on-write queue snapshots are specifically there to make this ≈ 0.
+func allocsPerEvent(tr *trace.Trace, process func(*trace.Trace)) float64 {
+	process(tr) // warm-up beyond AllocsPerRun's own
+	avg := testing.AllocsPerRun(3, func() { process(tr) })
+	return avg / float64(tr.Len())
+}
+
+// steadyStateLimit is deliberately tight: it tolerates stray amortized
+// growth (a queue buffer doubling once) but fails on anything per-event.
+const steadyStateLimit = 0.005
+
+func TestWCPSteadyStateAllocs(t *testing.T) {
+	bench, ok := gen.ByName("montecarlo")
+	if !ok {
+		t.Fatal("montecarlo benchmark missing")
+	}
+	tr := bench.Generate(0.25)
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"vector", core.Options{}},
+		{"epoch", core.Options{EpochCheck: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := core.NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), tc.opts)
+			perEvent := allocsPerEvent(tr, func(tr *trace.Trace) {
+				for _, e := range tr.Events {
+					d.Process(e)
+				}
+			})
+			if perEvent > steadyStateLimit {
+				t.Errorf("steady-state WCP (%s) allocates %.4f allocs/event, want < %v", tc.name, perEvent, steadyStateLimit)
+			}
+			t.Logf("%s: %.5f allocs/event over %d events", tc.name, perEvent, tr.Len())
+		})
+	}
+}
+
+// TestWCPArenaRecycles pins the copy-on-write queue discipline directly: in
+// steady state the arena's distinct-clock count stays flat while recycling
+// keeps climbing.
+func TestWCPArenaRecycles(t *testing.T) {
+	bench, _ := gen.ByName("montecarlo")
+	tr := bench.Generate(0.25)
+	d := core.NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), core.Options{})
+	feed := func() {
+		for _, e := range tr.Events {
+			d.Process(e)
+		}
+	}
+	feed()
+	feed()
+	allocs := d.Arena().Allocs()
+	recycles := d.Arena().Recycles()
+	feed()
+	if got := d.Arena().Allocs(); got != allocs {
+		t.Errorf("steady-state pass created %d new clocks, want 0", got-allocs)
+	}
+	if got := d.Arena().Recycles(); got <= recycles {
+		t.Errorf("steady-state pass recycled nothing (recycles stuck at %d)", got)
+	}
+}

@@ -78,25 +78,57 @@ func (r *Result) QueueMaxFraction() float64 {
 	return float64(r.QueueMaxTotal) / float64(r.Events)
 }
 
-// varSet is a small deduplicated set of variables, optimized for the
-// critical sections real traces have: few distinct variables, with repeated
-// accesses usually hitting the most recent one.
-type varSet []event.VID
+// varSetSpill is the membership-index threshold of varSet: sets at most this
+// large dedupe by linear scan, larger ones through a hash set.
+const varSetSpill = 16
+
+// varSet is a deduplicated set of variables, optimized for the critical
+// sections real traces have: few distinct variables, with repeated accesses
+// usually hitting the most recent one. Long critical sections touching many
+// variables spill to a hash membership index past varSetSpill elements, so
+// insertion never goes quadratic. Both the list storage and the index are
+// retained across reset for reuse.
+type varSet struct {
+	list []event.VID
+	seen map[event.VID]struct{} // non-nil once list outgrows varSetSpill
+}
+
+// reset empties the set, keeping the list capacity and index allocation.
+func (s *varSet) reset() {
+	s.list = s.list[:0]
+	if s.seen != nil {
+		clear(s.seen)
+	}
+}
 
 func (s *varSet) add(x event.VID) {
-	if n := len(*s); n > 0 && (*s)[n-1] == x {
+	if n := len(s.list); n > 0 && s.list[n-1] == x {
 		return
 	}
-	for _, v := range *s {
+	if s.seen != nil {
+		if _, ok := s.seen[x]; ok {
+			return
+		}
+		s.seen[x] = struct{}{}
+		s.list = append(s.list, x)
+		return
+	}
+	for _, v := range s.list {
 		if v == x {
 			return
 		}
 	}
-	*s = append(*s, x)
+	s.list = append(s.list, x)
+	if len(s.list) > varSetSpill {
+		s.seen = make(map[event.VID]struct{}, 2*varSetSpill)
+		for _, v := range s.list {
+			s.seen[v] = struct{}{}
+		}
+	}
 }
 
-func (s *varSet) addAll(other varSet) {
-	for _, x := range other {
+func (s *varSet) addAll(other *varSet) {
+	for _, x := range other.list {
 		s.add(x)
 	}
 }
@@ -127,7 +159,32 @@ type threadState struct {
 	// Pℓ and the queues as if it were WCP ordering.
 	o     vc.VC
 	stack []csEntry
-	depth map[event.LID]int // reentrancy depth per lock
+}
+
+// pushCS opens a critical section, reusing the storage (variable-set list
+// and index) of a previously popped stack slot when one is available so
+// steady-state lock nesting allocates nothing.
+func (ts *threadState) pushCS(l event.LID, n vc.Clock) {
+	if len(ts.stack) < cap(ts.stack) {
+		ts.stack = ts.stack[:len(ts.stack)+1]
+		top := &ts.stack[len(ts.stack)-1]
+		top.lock, top.nAcq = l, n
+		top.reads.reset()
+		top.writes.reset()
+		return
+	}
+	ts.stack = append(ts.stack, csEntry{lock: l, nAcq: n})
+}
+
+// openDepth counts the open critical sections on l (reentrancy depth).
+func (ts *threadState) openDepth(l event.LID) int {
+	n := 0
+	for i := range ts.stack {
+		if ts.stack[i].lock == l {
+			n++
+		}
+	}
+	return n
 }
 
 // relTimes records the HB times of the rel(ℓ) events whose critical
@@ -148,11 +205,7 @@ type relTimes struct {
 
 func (rt *relTimes) add(t int, h vc.VC, width int) {
 	if rt.others == nil {
-		rt.others = make([]vc.VC, width)
-		flat := make(vc.VC, width*width)
-		for u := range rt.others {
-			rt.others[u] = flat[u*width : (u+1)*width]
-		}
+		rt.others = vc.NewMatrix(width, width)
 	}
 	for u := range rt.others {
 		if u != t {
@@ -167,14 +220,6 @@ func (rt *relTimes) joinInto(dst vc.VC, reader int) {
 		return
 	}
 	dst.Join(rt.others[reader])
-}
-
-// ownCS is an entry of a thread's same-thread rule-(b) queue: one of its own
-// completed critical sections on a lock, as (acquire local time, release HB
-// time).
-type ownCS struct {
-	nAcq vc.Clock
-	h    vc.VC
 }
 
 // lockState is the per-lock component of the detector state, allocated on
@@ -193,30 +238,6 @@ type lockState struct {
 	// t's own component), such an e1 exists iff Pt(t) has reached the
 	// acquire time of CS(r1).
 	ownQ []fifo2
-}
-
-// fifo2 is a FIFO of ownCS entries (same shape as fifo).
-type fifo2 struct {
-	buf  []ownCS
-	head int
-}
-
-func (q *fifo2) len() int { return len(q.buf) - q.head }
-
-func (q *fifo2) push(e ownCS) { q.buf = append(q.buf, e) }
-
-func (q *fifo2) front() ownCS { return q.buf[q.head] }
-
-func (q *fifo2) pop() ownCS {
-	e := q.buf[q.head]
-	q.buf[q.head].h = nil
-	q.head++
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
-	}
-	return e
 }
 
 // accessCell tracks accesses at one (variable, location, kind).
@@ -247,8 +268,9 @@ type Detector struct {
 	locks   []*lockState
 	vars    []varState
 	res     Result
-	queued  int   // current total queue entries
-	scratch vc.VC // reusable Ce materialization
+	queued  int       // current total queue entries
+	scratch vc.VC     // reusable Ce materialization
+	arena   *vc.Arena // recycled storage for the queue snapshots
 }
 
 // NewDetector returns a detector for traces with the given numbers of
@@ -261,22 +283,29 @@ func NewDetector(threads, locks, vars int, opts Options) *Detector {
 		locks:   make([]*lockState, locks),
 		vars:    make([]varState, vars),
 		scratch: vc.New(threads),
+		arena:   vc.NewArena(threads),
 	}
 	d.res.FirstRace = -1
 	if opts.TrackPairs {
 		d.res.Report = race.NewReport()
 	}
+	ps := vc.NewMatrix(threads, threads)
+	hs := vc.NewMatrix(threads, threads)
+	os := vc.NewMatrix(threads, threads)
 	for t := range d.threads {
 		ts := &d.threads[t]
 		ts.n = 1
-		ts.p = vc.New(threads)
-		ts.h = vc.New(threads)
+		ts.p = ps[t]
+		ts.h = hs[t]
 		ts.h.Set(t, 1)
-		ts.o = vc.New(threads)
-		ts.depth = make(map[event.LID]int)
+		ts.o = os[t]
 	}
 	return d
 }
+
+// Arena exposes the detector's clock arena for allocation accounting (tests
+// and metrics): steady-state processing grows Recycles, not Allocs.
+func (d *Detector) Arena() *vc.Arena { return d.arena }
 
 func (d *Detector) lock(l event.LID) *lockState {
 	ls := d.locks[l]
@@ -401,8 +430,9 @@ func (d *Detector) Process(e event.Event) {
 // acquire implements procedure acquire(t, ℓ) of Algorithm 1.
 func (d *Detector) acquire(t int, l event.LID) {
 	ts := &d.threads[t]
-	ts.stack = append(ts.stack, csEntry{lock: l, nAcq: ts.n})
-	if ts.depth[l]++; ts.depth[l] > 1 {
+	reentrant := ts.openDepth(l) > 0
+	ts.pushCS(l, ts.n)
+	if reentrant {
 		return // reentrant: no synchronization effect
 	}
 	ls := d.lock(l)
@@ -411,11 +441,18 @@ func (d *Detector) acquire(t int, l event.LID) {
 		ts.p.Join(ls.pl) // Line 2
 	}
 	// Line 3: enqueue Ct into Acqℓ(t') for every other thread. The time is
-	// immutable, so one clone is shared by all queues.
+	// immutable, so one copy-on-write snapshot from the arena is shared by
+	// all T−1 queues and recycled when the last of them pops it.
 	if len(d.threads) > 1 {
-		ct := d.ct(t).Clone()
+		ct := d.arena.GetCopy(ts.p)
+		ct.VC().Set(t, ts.n)
+		first := true
 		for u := range d.threads {
 			if u != t {
+				if !first {
+					ct.Retain()
+				}
+				first = false
 				ls.acqQ[u].push(ct)
 				d.queued++
 			}
@@ -426,19 +463,37 @@ func (d *Detector) acquire(t int, l event.LID) {
 // release implements procedure release(t, ℓ, R, W) of Algorithm 1.
 func (d *Detector) release(t int, l event.LID) {
 	ts := &d.threads[t]
-	// Pop the innermost open critical section; tolerate (and ignore)
-	// mismatched releases on traces that were not validated.
+	// Pop the innermost open critical section; tolerate mismatched releases
+	// on traces that were not validated.
+	dep := ts.openDepth(l)
 	var entry csEntry
 	if n := len(ts.stack); n > 0 && ts.stack[n-1].lock == l {
+		// entry aliases the popped slot's variable-set storage; it is
+		// consumed (published and merged) before any push can reuse it.
 		entry = ts.stack[n-1]
 		ts.stack = ts.stack[:n-1]
+	} else if dep > 0 {
+		// Non-well-nested release: close the innermost open section on l
+		// wherever it sits. Leaving it open would make every later
+		// acquire(l) look reentrant, permanently disabling the lock's
+		// synchronization.
+		for i := len(ts.stack) - 1; i >= 0; i-- {
+			if ts.stack[i].lock == l {
+				entry = ts.stack[i]
+				copy(ts.stack[i:], ts.stack[i+1:])
+				last := len(ts.stack) - 1
+				// Zero the vacated slot: after the shift it aliases the
+				// moved entries' variable-set storage, which a pushCS
+				// slot reuse would otherwise clear out from under them.
+				ts.stack[last] = csEntry{}
+				ts.stack = ts.stack[:last]
+				break
+			}
+		}
 	}
-	if dep := ts.depth[l]; dep > 1 {
-		ts.depth[l] = dep - 1
+	if dep > 1 {
 		d.mergeCS(ts, entry)
 		return // reentrant inner release: no synchronization effect
-	} else if dep == 1 {
-		delete(ts.depth, l)
 	}
 	ls := d.lock(l)
 
@@ -454,14 +509,18 @@ func (d *Detector) release(t int, l event.LID) {
 	myAcq, myRel, myOwn := &ls.acqQ[t], &ls.relQ[t], &ls.ownQ[t]
 	for progress := true; progress; {
 		progress = false
-		for myAcq.len() > 0 && myRel.len() > 0 && d.leqCt(myAcq.front(), t) {
-			myAcq.pop()
-			ts.p.Join(myRel.pop())
+		for myAcq.len() > 0 && myRel.len() > 0 && d.leqCt(myAcq.front().VC(), t) {
+			d.arena.Release(myAcq.pop())
+			rel := myRel.pop()
+			ts.p.Join(rel.VC())
+			d.arena.Release(rel)
 			d.queued -= 2
 			progress = true
 		}
 		for myOwn.len() > 0 && myOwn.front().nAcq <= ts.p.Get(t) {
-			ts.p.Join(myOwn.pop().h)
+			own := myOwn.pop()
+			ts.p.Join(own.h.VC())
+			d.arena.Release(own.h)
 			d.queued--
 			progress = true
 		}
@@ -471,7 +530,7 @@ func (d *Detector) release(t int, l event.LID) {
 	// accessed inside the critical section (rule (a) state), keyed by the
 	// releasing thread so readers can exclude their own contributions.
 	width := len(d.threads)
-	for _, x := range entry.reads {
+	for _, x := range entry.reads.list {
 		lr := ls.lr[x]
 		if lr == nil {
 			lr = &relTimes{}
@@ -479,7 +538,7 @@ func (d *Detector) release(t int, l event.LID) {
 		}
 		lr.add(t, ts.h, width)
 	}
-	for _, x := range entry.writes {
+	for _, x := range entry.writes.list {
 		lw := ls.lw[x]
 		if lw == nil {
 			lw = &relTimes{}
@@ -493,18 +552,19 @@ func (d *Detector) release(t int, l event.LID) {
 
 	// Line 9: remember this release's H and P times for later acquires.
 	if ls.hl == nil {
-		ls.hl = vc.New(len(d.threads))
-		ls.pl = vc.New(len(d.threads))
+		hp := vc.NewMatrix(2, len(d.threads))
+		ls.hl, ls.pl = hp[0], hp[1]
 	}
 	ls.hl.Copy(ts.h)
 	ls.pl.Copy(ts.p)
 
 	// Line 10: enqueue Ht into Relℓ(t') for every other thread, and this
-	// critical section into the thread's own same-thread rule-(b) queue.
-	ht := ts.h.Clone()
+	// critical section into the thread's own same-thread rule-(b) queue —
+	// one shared copy-on-write snapshot, T references in total.
+	ht := d.arena.GetCopy(ts.h)
 	for u := range d.threads {
 		if u != t {
-			ls.relQ[u].push(ht)
+			ls.relQ[u].push(ht.Retain())
 			d.queued++
 		}
 	}
@@ -520,8 +580,8 @@ func (d *Detector) mergeCS(ts *threadState, entry csEntry) {
 		return
 	}
 	top := &ts.stack[len(ts.stack)-1]
-	top.reads.addAll(entry.reads)
-	top.writes.addAll(entry.writes)
+	top.reads.addAll(&entry.reads)
+	top.writes.addAll(&entry.writes)
 }
 
 // read implements procedure read(t, x, L) of Algorithm 1 (Line 11).

@@ -3,31 +3,70 @@ package core
 import "repro/internal/vc"
 
 // fifo is the FIFO queue of vector times used for the Acqℓ(t) and Relℓ(t)
-// queues of Algorithm 1. Enqueued times are immutable and may be shared
-// across the queues of all threads (one acquire enqueues the same time into
-// T−1 queues), so the queue stores references.
+// queues of Algorithm 1. Entries are copy-on-write snapshots: one acquire
+// (or release) publishes a single immutable refcounted clock shared by the
+// queues of all other threads, and each pop drops one reference — the last
+// pop recycles the clock storage into the detector's arena, so steady-state
+// queue churn allocates nothing.
 //
 // The backing slice uses a moving head with periodic compaction, keeping
 // amortized O(1) operations without unbounded growth of dead prefix.
 type fifo struct {
-	buf  []vc.VC
+	buf  []*vc.Ref
 	head int
 }
 
 func (q *fifo) len() int { return len(q.buf) - q.head }
 
-func (q *fifo) push(v vc.VC) { q.buf = append(q.buf, v) }
+func (q *fifo) push(r *vc.Ref) { q.buf = append(q.buf, r) }
 
-func (q *fifo) front() vc.VC { return q.buf[q.head] }
+func (q *fifo) front() *vc.Ref { return q.buf[q.head] }
 
-func (q *fifo) pop() vc.VC {
-	v := q.buf[q.head]
-	q.buf[q.head] = nil // allow the VC to be collected
+func (q *fifo) pop() *vc.Ref {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil // drop the queue's pointer to the shared clock
 	q.head++
 	if q.head > 64 && q.head*2 >= len(q.buf) {
 		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:])
 		q.buf = q.buf[:n]
 		q.head = 0
 	}
-	return v
+	return r
+}
+
+// ownCS is an entry of a thread's same-thread rule-(b) queue: one of its own
+// completed critical sections on a lock, as (acquire local time, release HB
+// time). The release time is the same refcounted snapshot shared with the
+// cross-thread Relℓ queues.
+type ownCS struct {
+	nAcq vc.Clock
+	h    *vc.Ref
+}
+
+// fifo2 is a FIFO of ownCS entries (same shape as fifo).
+type fifo2 struct {
+	buf  []ownCS
+	head int
+}
+
+func (q *fifo2) len() int { return len(q.buf) - q.head }
+
+func (q *fifo2) push(e ownCS) { q.buf = append(q.buf, e) }
+
+func (q *fifo2) front() ownCS { return q.buf[q.head] }
+
+func (q *fifo2) pop() ownCS {
+	e := q.buf[q.head]
+	q.buf[q.head].h = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i].h = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return e
 }

@@ -12,16 +12,19 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cp"
+	"repro/internal/event"
 	"repro/internal/hb"
 	"repro/internal/lockset"
 	"repro/internal/predict"
 	"repro/internal/race"
 	"repro/internal/trace"
+	"repro/internal/traceio"
 )
 
 // Result is the uniform outcome of one engine over one trace. Fields beyond
@@ -76,6 +79,59 @@ type Engine interface {
 	Analyze(tr *trace.Trace) *Result
 }
 
+// StreamAnalyzer is implemented by engines whose detectors consume a trace
+// block by block, never materializing the full event sequence: memory is
+// detector state plus one block buffer, independent of trace length. The
+// wcp, wcp-epoch, hb and hb-epoch engines stream; the windowed baselines
+// (cp, predict) and lockset need the materialized trace.
+//
+// Streaming needs the trace dimensions up front to size detector state, so
+// AnalyzeStream requires a stream whose header declares them (the binary
+// format; text traces take a counting pass first — see traceio.Stream).
+type StreamAnalyzer interface {
+	Engine
+	// AnalyzeStream runs the detector over the stream's remaining events.
+	// The stream is consumed; each engine needs its own fresh stream.
+	AnalyzeStream(st *traceio.Stream) (*Result, error)
+}
+
+// CanStream reports whether every engine supports streaming analysis.
+func CanStream(engines []Engine) bool {
+	for _, e := range engines {
+		if _, ok := e.(StreamAnalyzer); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// streamDims extracts the up-front dimensions a streaming detector needs.
+func streamDims(st *traceio.Stream) (traceio.Dims, error) {
+	dims, known := st.Dims()
+	if !known {
+		return dims, fmt.Errorf("engine: stream does not declare its dimensions up front; streaming analysis needs a binary trace (or a prior counting pass)")
+	}
+	return dims, nil
+}
+
+// drive pumps the stream through step in DefaultBlockSize blocks, reusing
+// one caller-owned buffer for the whole scan.
+func drive(st *traceio.Stream, step func(event.Event)) error {
+	buf := make([]event.Event, traceio.DefaultBlockSize)
+	for {
+		n, err := st.NextBlock(buf)
+		for _, e := range buf[:n] {
+			step(e)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
 // Config carries the knobs shared by the windowed engines. The zero value
 // selects the defaults used by cmd/rapid.
 type Config struct {
@@ -102,81 +158,111 @@ func (c Config) budget() int {
 	return c.Budget
 }
 
-// wcpEngine is the paper's Algorithm 1 with distinct race-pair tracking.
-type wcpEngine struct{}
-
-func (wcpEngine) Name() string { return "wcp" }
-
-func (wcpEngine) Analyze(tr *trace.Trace) *Result {
-	start := time.Now()
-	res := core.Detect(tr)
-	return &Result{
-		Engine:        "wcp",
+// wcpResult assembles the uniform Result of a WCP run (vector or epoch).
+func wcpResult(name string, res *core.Result, epoch bool, start time.Time) *Result {
+	r := &Result{
+		Engine:        name,
 		Report:        res.Report,
 		RacyEvents:    res.RacyEvents,
 		FirstRace:     res.FirstRace,
 		QueueMaxTotal: res.QueueMaxTotal,
 		QueueFraction: res.QueueMaxFraction(),
 		Duration:      time.Since(start),
-		Summary: fmt.Sprintf("racy events=%d queue max=%d (%.2f%% of events)",
-			res.RacyEvents, res.QueueMaxTotal, 100*res.QueueMaxFraction()),
 	}
+	if epoch {
+		r.Summary = fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
+			res.RacyEvents, res.FirstRace)
+	} else {
+		r.Summary = fmt.Sprintf("racy events=%d queue max=%d (%.2f%% of events)",
+			res.RacyEvents, res.QueueMaxTotal, 100*res.QueueMaxFraction())
+	}
+	return r
 }
 
-// wcpEpochEngine is Algorithm 1 with the §6 epoch-optimized race check.
-type wcpEpochEngine struct{}
-
-func (wcpEpochEngine) Name() string { return "wcp-epoch" }
-
-func (wcpEpochEngine) Analyze(tr *trace.Trace) *Result {
-	start := time.Now()
-	res := core.DetectEpoch(tr)
-	return &Result{
-		Engine:        "wcp-epoch",
-		RacyEvents:    res.RacyEvents,
-		FirstRace:     res.FirstRace,
-		QueueMaxTotal: res.QueueMaxTotal,
-		QueueFraction: res.QueueMaxFraction(),
-		Duration:      time.Since(start),
-		Summary: fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
-			res.RacyEvents, res.FirstRace),
-	}
-}
-
-// hbEngine is the full-vector-clock happens-before baseline.
-type hbEngine struct{}
-
-func (hbEngine) Name() string { return "hb" }
-
-func (hbEngine) Analyze(tr *trace.Trace) *Result {
-	start := time.Now()
-	res := hb.Detect(tr)
-	return &Result{
-		Engine:     "hb",
+// hbResult assembles the uniform Result of an HB run (vector or epoch).
+func hbResult(name string, res *hb.Result, epoch bool, start time.Time) *Result {
+	r := &Result{
+		Engine:     name,
 		Report:     res.Report,
 		RacyEvents: res.RacyEvents,
 		FirstRace:  res.FirstRace,
 		Duration:   time.Since(start),
-		Summary:    fmt.Sprintf("racy events=%d", res.RacyEvents),
 	}
+	if epoch {
+		r.Summary = fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
+			res.RacyEvents, res.FirstRace)
+	} else {
+		r.Summary = fmt.Sprintf("racy events=%d", res.RacyEvents)
+	}
+	return r
 }
 
-// hbEpochEngine is the FastTrack-style epoch-optimized HB baseline.
-type hbEpochEngine struct{}
+// wcpEngine is the paper's Algorithm 1: with epoch false, distinct race-pair
+// tracking ("wcp"); with epoch true, the §6 epoch-optimized race check
+// ("wcp-epoch").
+type wcpEngine struct{ epoch bool }
 
-func (hbEpochEngine) Name() string { return "hb-epoch" }
-
-func (hbEpochEngine) Analyze(tr *trace.Trace) *Result {
-	start := time.Now()
-	res := hb.DetectEpoch(tr)
-	return &Result{
-		Engine:     "hb-epoch",
-		RacyEvents: res.RacyEvents,
-		FirstRace:  res.FirstRace,
-		Duration:   time.Since(start),
-		Summary: fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
-			res.RacyEvents, res.FirstRace),
+func (e wcpEngine) Name() string {
+	if e.epoch {
+		return "wcp-epoch"
 	}
+	return "wcp"
+}
+
+func (e wcpEngine) options() core.Options {
+	return core.Options{TrackPairs: !e.epoch, EpochCheck: e.epoch}
+}
+
+func (e wcpEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	return wcpResult(e.Name(), core.DetectOpts(tr, e.options()), e.epoch, start)
+}
+
+func (e wcpEngine) AnalyzeStream(st *traceio.Stream) (*Result, error) {
+	start := time.Now()
+	dims, err := streamDims(st)
+	if err != nil {
+		return nil, err
+	}
+	d := core.NewDetector(dims.Threads, dims.Locks, dims.Vars, e.options())
+	if err := drive(st, d.Process); err != nil {
+		return nil, err
+	}
+	return wcpResult(e.Name(), d.Result(), e.epoch, start), nil
+}
+
+// hbEngine is the happens-before baseline: full vector clocks with epoch
+// false ("hb"), the FastTrack-style epoch representation with epoch true
+// ("hb-epoch").
+type hbEngine struct{ epoch bool }
+
+func (e hbEngine) Name() string {
+	if e.epoch {
+		return "hb-epoch"
+	}
+	return "hb"
+}
+
+func (e hbEngine) options() hb.Options {
+	return hb.Options{TrackPairs: !e.epoch, Epoch: e.epoch}
+}
+
+func (e hbEngine) Analyze(tr *trace.Trace) *Result {
+	start := time.Now()
+	return hbResult(e.Name(), hb.DetectOpts(tr, e.options()), e.epoch, start)
+}
+
+func (e hbEngine) AnalyzeStream(st *traceio.Stream) (*Result, error) {
+	start := time.Now()
+	dims, err := streamDims(st)
+	if err != nil {
+		return nil, err
+	}
+	d := hb.NewDetector(dims.Threads, dims.Locks, dims.Vars, e.options())
+	if err := drive(st, d.Process); err != nil {
+		return nil, err
+	}
+	return hbResult(e.Name(), d.Result(), e.epoch, start), nil
 }
 
 // cpEngine is the windowed Causally-Precedes baseline.
@@ -253,11 +339,11 @@ func New(name string, cfg Config) (Engine, error) {
 	case "wcp":
 		return wcpEngine{}, nil
 	case "wcp-epoch":
-		return wcpEpochEngine{}, nil
+		return wcpEngine{epoch: true}, nil
 	case "hb":
 		return hbEngine{}, nil
 	case "hb-epoch":
-		return hbEpochEngine{}, nil
+		return hbEngine{epoch: true}, nil
 	case "cp":
 		return cpEngine{cfg}, nil
 	case "predict":

@@ -88,17 +88,32 @@ func Map[T, R any](ctx context.Context, jobs int, items []T, fn func(ctx context
 	return out, errors.Join(errs...)
 }
 
-// Source is one trace of a corpus: a name for reporting and a loader that
+// Source is one trace of a corpus: a name for reporting, a loader that
 // materializes the trace on demand (inside a pool worker, so loading —
-// typically file parsing — is itself parallelized).
+// typically file parsing — is itself parallelized), and optionally a
+// streaming opener.
 type Source struct {
 	Name string
 	Load func() (*trace.Trace, error)
+	// Open, when non-nil, grants streaming access: each call returns a
+	// fresh stream positioned at the first event. When every engine of a
+	// corpus run implements StreamAnalyzer and the stream declares its
+	// dimensions up front, the corpus runner analyzes block by block and
+	// the trace is never materialized — each engine decodes its own pass,
+	// trading repeated (cheap, sequential) decoding for O(1) memory in
+	// trace length.
+	Open func() (*traceio.Stream, error)
 }
 
-// FileSource loads a trace file, auto-detecting text vs binary format.
+// FileSource loads a trace file, auto-detecting text vs binary format. The
+// source is streamable: corpus runs whose engines all support streaming
+// analyze the file block by block without materializing it.
 func FileSource(path string) Source {
-	return Source{Name: path, Load: func() (*trace.Trace, error) { return traceio.ReadFile(path) }}
+	return Source{
+		Name: path,
+		Load: func() (*trace.Trace, error) { return traceio.ReadFile(path) },
+		Open: func() (*traceio.Stream, error) { return traceio.StreamFile(path) },
+	}
 }
 
 // TraceSource wraps an in-memory trace as a Source.
@@ -163,6 +178,14 @@ func analyzeSource(ctx context.Context, i int, src Source, engines []Engine) Cor
 		return res
 	}
 	start := time.Now()
+	if src.Open != nil && len(engines) > 0 && CanStream(engines) {
+		if analyzeSourceStreaming(ctx, src, engines, &res) {
+			res.Duration = time.Since(start)
+			return res
+		}
+		// The source cannot be streamed (e.g. a text trace without up-front
+		// dimensions): fall through to the materializing path.
+	}
 	tr, err := src.Load()
 	if err != nil {
 		res.Err = err
@@ -181,6 +204,57 @@ func analyzeSource(ctx context.Context, i int, src Source, engines []Engine) Cor
 	}
 	res.Duration = time.Since(start)
 	return res
+}
+
+// analyzeSourceStreaming analyzes src block by block, one fresh stream per
+// engine, so the trace is never materialized. It reports false — leaving res
+// untouched — when the source's stream does not declare its dimensions up
+// front (the caller then falls back to materializing). Every engine must
+// implement StreamAnalyzer (checked by the caller via CanStream).
+func analyzeSourceStreaming(ctx context.Context, src Source, engines []Engine, res *CorpusResult) bool {
+	// The dimension probe doubles as the first engine's stream: a binary
+	// header (symbol tables included) is decoded once per engine, never an
+	// extra time.
+	st, err := src.Open()
+	if err != nil {
+		res.Err = err
+		return true
+	}
+	if _, known := st.Dims(); !known {
+		st.Close()
+		return false
+	}
+	res.Results = make([]*Result, len(engines))
+	for j, e := range engines {
+		if st == nil {
+			if st, err = src.Open(); err != nil {
+				res.Results[j] = &Result{Engine: e.Name(), RacyEvents: -1, FirstRace: -1, Err: err}
+				continue
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			// The stream is unconsumed; keep it for the next engine.
+			res.Results[j] = &Result{Engine: e.Name(), RacyEvents: -1, FirstRace: -1, Err: err}
+			continue
+		}
+		r, err := e.(StreamAnalyzer).AnalyzeStream(st)
+		if err != nil {
+			res.Results[j] = &Result{Engine: e.Name(), RacyEvents: -1, FirstRace: -1, Err: err}
+		} else {
+			res.Results[j] = r
+			if res.Symbols == nil {
+				// The stream is fully drained: its tally is the whole trace.
+				res.Stats = st.Stats()
+				res.Symbols = st.Symbols()
+			}
+		}
+		st.Close()
+		st = nil
+	}
+	if st != nil {
+		st.Close()
+	}
+	return true
 }
 
 // AnalyzeFiles is AnalyzeCorpus over trace files (text or binary format,

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/gen"
+	"repro/internal/traceio"
+)
+
+var streamingEngineNames = []string{"wcp", "wcp-epoch", "hb", "hb-epoch"}
+
+func TestCanStream(t *testing.T) {
+	for _, name := range streamingEngineNames {
+		if !CanStream([]Engine{MustNew(name, Config{})}) {
+			t.Errorf("%s should stream", name)
+		}
+	}
+	for _, name := range []string{"cp", "predict", "lockset"} {
+		if CanStream([]Engine{MustNew(name, Config{})}) {
+			t.Errorf("%s should not stream", name)
+		}
+	}
+}
+
+// TestStreamMatchesMaterialized pins the streaming path to the materialized
+// one: same races, same counters, for every streaming engine, via the
+// corpus runner (which picks the streaming path for binary file sources).
+func TestStreamMatchesMaterialized(t *testing.T) {
+	bench, _ := gen.ByName("ftpserver")
+	tr := bench.Generate(0.3)
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	engines := make([]Engine, len(streamingEngineNames))
+	for i, name := range streamingEngineNames {
+		engines[i] = MustNew(name, Config{})
+	}
+	var streamed CorpusResult
+	for res := range AnalyzeCorpus(context.Background(), []Source{FileSource(path)}, engines, 1) {
+		streamed = res
+	}
+	if streamed.Err != nil {
+		t.Fatal(streamed.Err)
+	}
+	if streamed.Stats.Events != tr.Len() {
+		t.Fatalf("streamed stats events = %d, want %d", streamed.Stats.Events, tr.Len())
+	}
+	if streamed.Symbols == nil || streamed.Symbols.NumThreads() != tr.NumThreads() {
+		t.Fatal("streamed corpus result lacks the symbol table")
+	}
+	for i, e := range engines {
+		got, want := streamed.Results[i], e.Analyze(tr)
+		if got.Err != nil {
+			t.Fatalf("%s: streaming error: %v", e.Name(), got.Err)
+		}
+		if got.RacyEvents != want.RacyEvents || got.FirstRace != want.FirstRace ||
+			got.QueueMaxTotal != want.QueueMaxTotal || got.Distinct() != want.Distinct() {
+			t.Errorf("%s: streamed (racy=%d first=%d qmax=%d distinct=%d) != materialized (racy=%d first=%d qmax=%d distinct=%d)",
+				e.Name(), got.RacyEvents, got.FirstRace, got.QueueMaxTotal, got.Distinct(),
+				want.RacyEvents, want.FirstRace, want.QueueMaxTotal, want.Distinct())
+		}
+	}
+}
+
+// TestCorpusTextFallsBack verifies that text file sources — whose streams
+// cannot declare dimensions up front — fall back to the materializing path
+// and still produce correct results.
+func TestCorpusTextFallsBack(t *testing.T) {
+	bench, _ := gen.ByName("bubblesort")
+	tr := bench.Generate(1.0)
+	path := filepath.Join(t.TempDir(), "trace.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.WriteText(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	engines := []Engine{MustNew("wcp", Config{})}
+	for res := range AnalyzeCorpus(context.Background(), []Source{FileSource(path)}, engines, 1) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		want := engines[0].Analyze(tr)
+		if got := res.Results[0]; got.Distinct() != want.Distinct() {
+			t.Errorf("distinct = %d, want %d", got.Distinct(), want.Distinct())
+		}
+	}
+}
+
+// writeSyntheticBinary streams nevents race-free events to path without ever
+// materializing them: four threads cycling protected critical sections.
+func writeSyntheticBinary(t testing.TB, path string, nevents int) {
+	t.Helper()
+	syms := &event.Symbols{}
+	threads := make([]event.TID, 4)
+	for i := range threads {
+		threads[i] = syms.Thread(string(rune('a' + i)))
+	}
+	lock := syms.Lock("l")
+	x := syms.Var("x")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := traceio.NewBinaryWriter(f, syms, nevents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]event.Event, 0, 4096)
+	for i := 0; i < nevents; i += 4 {
+		th := threads[(i/4)%len(threads)]
+		n := nevents - i
+		if n > 4 {
+			n = 4
+		}
+		unit := [4]event.Event{
+			{Kind: event.Acquire, Thread: th, Obj: int32(lock), Loc: event.NoLoc},
+			{Kind: event.Read, Thread: th, Obj: int32(x), Loc: event.NoLoc},
+			{Kind: event.Write, Thread: th, Obj: int32(x), Loc: event.NoLoc},
+			{Kind: event.Release, Thread: th, Obj: int32(lock), Loc: event.NoLoc},
+		}
+		block = append(block, unit[:n]...)
+		if len(block)+4 > cap(block) {
+			if err := w.WriteEvents(block); err != nil {
+				t.Fatal(err)
+			}
+			block = block[:0]
+		}
+	}
+	if err := w.WriteEvents(block); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamingBoundsMaterialization is the memory contract of the
+// streaming path: analyzing a multi-million-event binary trace allocates a
+// small constant, not O(trace). Materializing the events alone would
+// allocate 16 bytes per event; the bound below is a small fraction of that.
+func TestStreamingBoundsMaterialization(t *testing.T) {
+	const nevents = 2_000_000
+	path := filepath.Join(t.TempDir(), "big.bin")
+	writeSyntheticBinary(t, path, nevents)
+
+	e := MustNew("wcp", Config{}).(StreamAnalyzer)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	st, err := traceio.StreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AnalyzeStream(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	if got := st.Stats().Events; got != nevents {
+		t.Fatalf("analyzed %d events, want %d", got, nevents)
+	}
+	st.Close()
+	if res.RacyEvents != 0 {
+		t.Fatalf("synthetic trace should be race-free, got %d racy events", res.RacyEvents)
+	}
+
+	allocated := m1.TotalAlloc - m0.TotalAlloc
+	materialized := uint64(nevents) * 16 // sizeof(event.Event)
+	if limit := materialized / 4; allocated > limit {
+		t.Errorf("streaming analysis allocated %d bytes total for %d events; want < %d (full materialization would be ≥ %d)",
+			allocated, nevents, limit, materialized)
+	}
+	t.Logf("streamed %d events with %d bytes total allocation (%.4f B/event)",
+		nevents, allocated, float64(allocated)/nevents)
+}

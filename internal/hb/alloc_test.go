@@ -1,0 +1,43 @@
+package hb_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+// TestHBSteadyStateAllocs pins the allocation discipline shared with the
+// WCP detector: after warm-up, the HB step loop (vector and epoch modes)
+// performs essentially zero heap allocations per event.
+func TestHBSteadyStateAllocs(t *testing.T) {
+	bench, ok := gen.ByName("montecarlo")
+	if !ok {
+		t.Fatal("montecarlo benchmark missing")
+	}
+	tr := bench.Generate(0.25)
+	const limit = 0.005
+	for _, tc := range []struct {
+		name string
+		opts hb.Options
+	}{
+		{"vector", hb.Options{}},
+		{"epoch", hb.Options{Epoch: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := hb.NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), tc.opts)
+			feed := func(tr *trace.Trace) {
+				for _, e := range tr.Events {
+					d.Process(e)
+				}
+			}
+			feed(tr) // warm-up beyond AllocsPerRun's own
+			perEvent := testing.AllocsPerRun(3, func() { feed(tr) }) / float64(tr.Len())
+			if perEvent > limit {
+				t.Errorf("steady-state HB (%s) allocates %.4f allocs/event, want < %v", tc.name, perEvent, limit)
+			}
+			t.Logf("%s: %.5f allocs/event over %d events", tc.name, perEvent, tr.Len())
+		})
+	}
+}

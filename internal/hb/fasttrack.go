@@ -6,105 +6,84 @@ import (
 	"repro/internal/vc"
 )
 
-// DetectEpoch runs the FastTrack-style epoch-optimized HB detector. Instead
-// of a full vector clock per variable it keeps a single epoch (clock@thread)
-// for the last write and for reads while they remain totally ordered,
-// inflating reads to a vector clock only under read sharing.
+// This file implements the FastTrack-style epoch mode of the HB detector.
+// Instead of a full vector clock per variable it keeps a single epoch
+// (clock@thread) for the last write and for reads while they remain totally
+// ordered, inflating reads to a vector clock only under read sharing.
 //
 // The paper names epoch optimizations as future work for WCP (§6); we apply
 // them to the HB baseline, where FastTrack established them, and benchmark
 // the gap (ablation bench in bench_test.go).
 //
-// Relative to the full-VC detector, DetectEpoch flags a subset of racy
+// Inflated read vectors are recycled through the detector's arena: a write
+// resets read sharing and returns the vector to the freelist, so workloads
+// that repeatedly inflate and collapse (read-shared then written) allocate
+// nothing in steady state.
+//
+// Relative to the full-VC detector, epoch mode flags a subset of racy
 // events (the same-epoch fast path suppresses re-checks within an epoch) but
 // agrees on whether any race exists and on the first racy event; the
 // property tests in this package assert exactly that.
+
+// ftVar is the epoch-mode per-variable state.
+type ftVar struct {
+	w      vc.Epoch // epoch of last write
+	r      vc.Epoch // epoch of last read when unshared
+	shared *vc.Ref  // read vector clock when sharing, nil otherwise
+}
+
+func (d *Detector) epochOf(t int) vc.Epoch {
+	return vc.MakeEpoch(t, d.ct[t].Get(t))
+}
+
+func (d *Detector) readEpoch(i, t int, x event.VID) {
+	vs := &d.evars[x]
+	now := d.ct[t]
+	if vs.shared == nil && vs.r == d.epochOf(t) {
+		return // same-epoch fast path
+	}
+	if !vs.w.LeqVC(now) {
+		d.flag(i)
+	}
+	switch {
+	case vs.shared != nil:
+		vs.shared.VC().Set(t, now.Get(t))
+	case vs.r.LeqVC(now):
+		vs.r = d.epochOf(t) // exclusive read
+	default:
+		// Inflate to a read vector: concurrent readers.
+		vs.shared = d.arena.Get()
+		vs.shared.VC().Set(vs.r.TID(), vs.r.Clock())
+		vs.shared.VC().Set(t, now.Get(t))
+	}
+}
+
+func (d *Detector) writeEpoch(i, t int, x event.VID) {
+	vs := &d.evars[x]
+	now := d.ct[t]
+	if vs.shared == nil && vs.w == d.epochOf(t) {
+		return // same-epoch fast path
+	}
+	racy := !vs.w.LeqVC(now)
+	if vs.shared != nil {
+		if !vs.shared.VC().Leq(now) {
+			racy = true
+		}
+		// A write resets read sharing; the vector goes back to the arena.
+		d.arena.Release(vs.shared)
+		vs.shared = nil
+	} else if !vs.r.LeqVC(now) {
+		racy = true
+	}
+	if racy {
+		d.flag(i)
+	}
+	vs.w = d.epochOf(t)
+	vs.r = vc.NoEpoch
+}
+
+// DetectEpoch runs the FastTrack-style epoch-optimized HB detector over a
+// whole trace.
 func DetectEpoch(tr *trace.Trace) *Result {
-	n := tr.NumThreads()
-	res := &Result{FirstRace: -1}
-
-	ct := make([]vc.VC, n)
-	for t := range ct {
-		ct[t] = vc.New(n)
-		ct[t].Set(t, 1)
-	}
-	locks := make([]vc.VC, tr.NumLocks())
-
-	type ftVar struct {
-		w      vc.Epoch // epoch of last write
-		r      vc.Epoch // epoch of last read when unshared
-		shared vc.VC    // read vector clock when sharing, nil otherwise
-	}
-	vars := make([]ftVar, tr.NumVars())
-
-	flag := func(i int) {
-		res.RacyEvents++
-		if res.FirstRace < 0 {
-			res.FirstRace = i
-		}
-	}
-	epochOf := func(t int) vc.Epoch { return vc.MakeEpoch(t, ct[t].Get(t)) }
-
-	for i, e := range tr.Events {
-		t := int(e.Thread)
-		switch e.Kind {
-		case event.Acquire:
-			if lv := locks[e.Lock()]; lv != nil {
-				ct[t].Join(lv)
-			}
-		case event.Release:
-			l := e.Lock()
-			if locks[l] == nil {
-				locks[l] = vc.New(n)
-			}
-			locks[l].Copy(ct[t])
-			ct[t].Set(t, ct[t].Get(t)+1)
-		case event.Fork:
-			u := int(e.Target())
-			ct[u].Join(ct[t])
-			ct[t].Set(t, ct[t].Get(t)+1)
-		case event.Join:
-			ct[t].Join(ct[int(e.Target())])
-		case event.Read:
-			vs := &vars[e.Var()]
-			now := ct[t]
-			if vs.shared == nil && vs.r == epochOf(t) {
-				continue // same-epoch fast path
-			}
-			if !vs.w.LeqVC(now) {
-				flag(i)
-			}
-			if vs.shared != nil {
-				vs.shared.Set(t, now.Get(t))
-			} else if vs.r.LeqVC(now) {
-				vs.r = epochOf(t) // exclusive read
-			} else {
-				// Inflate to a read vector: concurrent readers.
-				vs.shared = vc.New(n)
-				vs.shared.Set(vs.r.TID(), vs.r.Clock())
-				vs.shared.Set(t, now.Get(t))
-			}
-		case event.Write:
-			vs := &vars[e.Var()]
-			now := ct[t]
-			if vs.shared == nil && vs.w == epochOf(t) {
-				continue // same-epoch fast path
-			}
-			racy := !vs.w.LeqVC(now)
-			if vs.shared != nil {
-				if !vs.shared.Leq(now) {
-					racy = true
-				}
-				vs.shared = nil // write resets read sharing
-			} else if !vs.r.LeqVC(now) {
-				racy = true
-			}
-			if racy {
-				flag(i)
-			}
-			vs.w = epochOf(t)
-			vs.r = vc.NoEpoch
-		}
-	}
-	return res
+	return DetectOpts(tr, Options{Epoch: true})
 }

@@ -7,6 +7,14 @@
 // Like the paper's RAPID implementation, the HB analysis here is NOT
 // windowed: it sees the whole trace and therefore catches the far-apart
 // event pairs that windowed tools miss (§4.3).
+//
+// The detector is streaming, mirroring the WCP detector in internal/core:
+// create it with NewDetector (dimensions known up front, e.g. from a binary
+// trace header), feed events in trace order with Process, then read the
+// Result. It shares the WCP detector's allocation discipline: per-thread
+// clocks live in one contiguous bank, and the epoch path recycles inflated
+// read vectors through a vc.Arena, so steady-state processing performs
+// near-zero heap allocations per event.
 package hb
 
 import (
@@ -20,8 +28,16 @@ import (
 type Options struct {
 	// TrackPairs enables distinct race-pair accounting per program-location
 	// pair (Table 1 metric). When false the detector only counts racy
-	// events, which is cheaper.
+	// events, which is cheaper. Ignored in Epoch mode, which reports no
+	// pairs.
 	TrackPairs bool
+	// Epoch selects the FastTrack-style epoch representation for the
+	// per-variable state (see fasttrack.go): one clock@thread word per
+	// variable in the common case, inflating reads to a vector clock only
+	// under read sharing. Epoch mode flags a subset of racy events (the
+	// same-epoch fast path suppresses re-checks within an epoch) but agrees
+	// on whether any race exists and on the first racy event.
+	Epoch bool
 }
 
 // Result is the outcome of an HB analysis.
@@ -32,6 +48,8 @@ type Result struct {
 	RacyEvents int
 	// FirstRace is the trace index of the first racy event, or -1.
 	FirstRace int
+	// Events is the number of events processed.
+	Events int
 }
 
 // cell tracks the accesses at one (variable, location, kind): the join of
@@ -41,7 +59,7 @@ type cell struct {
 	last int
 }
 
-// varState is the per-variable detector state.
+// varState is the per-variable detector state of the full-vector-clock mode.
 type varState struct {
 	readAll  vc.VC // join of all read times (Rx in §3.2)
 	writeAll vc.VC // join of all write times (Wx)
@@ -49,131 +67,189 @@ type varState struct {
 	writes   map[event.Loc]*cell
 }
 
+// Detector is the streaming HB race detector.
+type Detector struct {
+	opts  Options
+	width int
+	ct    []vc.VC // C_t: current HB time of thread t, one contiguous bank
+	locks []vc.VC // L_ℓ: time of last release of ℓ, allocated on first use
+	vars  []varState
+	evars []ftVar   // epoch-mode per-variable state (fasttrack.go)
+	arena *vc.Arena // recycled storage for inflated read vectors
+	res   Result
+}
+
+// NewDetector returns a detector for traces with the given numbers of
+// threads, locks and variables (known up front, e.g. from a binary trace
+// header or a prior counting pass).
+func NewDetector(threads, locks, vars int, opts Options) *Detector {
+	d := &Detector{
+		opts:  opts,
+		width: threads,
+		ct:    vc.NewMatrix(threads, threads),
+		locks: make([]vc.VC, locks),
+		arena: vc.NewArena(threads),
+	}
+	d.res.FirstRace = -1
+	if opts.Epoch {
+		d.evars = make([]ftVar, vars)
+	} else {
+		d.vars = make([]varState, vars)
+		if opts.TrackPairs {
+			d.res.Report = race.NewReport()
+		}
+	}
+	for t := range d.ct {
+		d.ct[t].Set(t, 1)
+	}
+	return d
+}
+
+// Arena exposes the detector's clock arena for allocation accounting.
+func (d *Detector) Arena() *vc.Arena { return d.arena }
+
+func (d *Detector) flag(i int) {
+	d.res.RacyEvents++
+	if d.res.FirstRace < 0 {
+		d.res.FirstRace = i
+	}
+}
+
+// checkAgainst flags races between event i (location loc, time now) and
+// every prior access recorded in cells whose time is not ⊑ now.
+func (d *Detector) checkAgainst(cells map[event.Loc]*cell, now vc.VC, i int, loc event.Loc) bool {
+	racy := false
+	for ploc, c := range cells {
+		if !c.time.Leq(now) {
+			racy = true
+			if d.res.Report != nil {
+				d.res.Report.Record(ploc, loc, i, i-c.last)
+			}
+		}
+	}
+	return racy
+}
+
+func (d *Detector) record(cells map[event.Loc]*cell, loc event.Loc, now vc.VC, i int) {
+	c, ok := cells[loc]
+	if !ok {
+		c = &cell{time: vc.New(d.width)}
+		cells[loc] = c
+	}
+	c.time.Join(now)
+	c.last = i
+}
+
+// Process feeds the next event of the trace to the detector.
+func (d *Detector) Process(e event.Event) {
+	i := d.res.Events
+	d.res.Events++
+	t := int(e.Thread)
+	switch e.Kind {
+	case event.Acquire:
+		if lv := d.locks[e.Lock()]; lv != nil {
+			d.ct[t].Join(lv)
+		}
+	case event.Release:
+		l := e.Lock()
+		if d.locks[l] == nil {
+			d.locks[l] = vc.New(d.width)
+		}
+		d.locks[l].Copy(d.ct[t])
+		d.ct[t].Set(t, d.ct[t].Get(t)+1)
+	case event.Fork:
+		u := int(e.Target())
+		d.ct[u].Join(d.ct[t])
+		d.ct[t].Set(t, d.ct[t].Get(t)+1)
+	case event.Join:
+		d.ct[t].Join(d.ct[int(e.Target())])
+	case event.Read:
+		if d.opts.Epoch {
+			d.readEpoch(i, t, e.Var())
+			return
+		}
+		d.read(i, t, e)
+	case event.Write:
+		if d.opts.Epoch {
+			d.writeEpoch(i, t, e.Var())
+			return
+		}
+		d.write(i, t, e)
+	}
+}
+
+func (d *Detector) read(i, t int, e event.Event) {
+	vs := &d.vars[e.Var()]
+	now := d.ct[t]
+	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
+		if d.res.Report != nil {
+			if d.checkAgainst(vs.writes, now, i, e.Loc) {
+				d.flag(i)
+			}
+		} else {
+			d.flag(i)
+		}
+	}
+	if vs.readAll == nil {
+		vs.readAll = vc.New(d.width)
+		if d.res.Report != nil {
+			vs.reads = make(map[event.Loc]*cell)
+		}
+	}
+	vs.readAll.Join(now)
+	if d.res.Report != nil {
+		d.record(vs.reads, e.Loc, now, i)
+	}
+}
+
+func (d *Detector) write(i, t int, e event.Event) {
+	vs := &d.vars[e.Var()]
+	now := d.ct[t]
+	racy := false
+	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
+		if d.res.Report != nil {
+			racy = d.checkAgainst(vs.writes, now, i, e.Loc) || racy
+		} else {
+			racy = true
+		}
+	}
+	if vs.readAll != nil && !vs.readAll.Leq(now) {
+		if d.res.Report != nil {
+			racy = d.checkAgainst(vs.reads, now, i, e.Loc) || racy
+		} else {
+			racy = true
+		}
+	}
+	if racy {
+		d.flag(i)
+	}
+	if vs.writeAll == nil {
+		vs.writeAll = vc.New(d.width)
+		if d.res.Report != nil {
+			vs.writes = make(map[event.Loc]*cell)
+		}
+	}
+	vs.writeAll.Join(now)
+	if d.res.Report != nil {
+		d.record(vs.writes, e.Loc, now, i)
+	}
+}
+
+// Result returns the analysis outcome accumulated so far. The returned
+// value shares state with the detector; read it after the last Process.
+func (d *Detector) Result() *Result { return &d.res }
+
 // Detect runs the full-vector-clock HB race detector over tr with race-pair
 // tracking enabled.
 func Detect(tr *trace.Trace) *Result {
 	return DetectOpts(tr, Options{TrackPairs: true})
 }
 
-// DetectOpts runs the full-vector-clock HB race detector over tr.
+// DetectOpts runs the HB race detector over a whole trace.
 func DetectOpts(tr *trace.Trace, opts Options) *Result {
-	n := tr.NumThreads()
-	res := &Result{FirstRace: -1}
-	if opts.TrackPairs {
-		res.Report = race.NewReport()
+	d := NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), opts)
+	for _, e := range tr.Events {
+		d.Process(e)
 	}
-
-	ct := make([]vc.VC, n) // C_t: current HB time of thread t
-	for t := range ct {
-		ct[t] = vc.New(n)
-		ct[t].Set(t, 1)
-	}
-	locks := make([]vc.VC, tr.NumLocks()) // L_ℓ: time of last release of ℓ
-	vars := make([]varState, tr.NumVars())
-
-	flag := func(i int) {
-		res.RacyEvents++
-		if res.FirstRace < 0 {
-			res.FirstRace = i
-		}
-	}
-
-	// checkAgainst flags races between event i (location loc, time now) and
-	// every prior access recorded in cells whose time is not ⊑ now.
-	checkAgainst := func(cells map[event.Loc]*cell, now vc.VC, i int, loc event.Loc) bool {
-		racy := false
-		for ploc, c := range cells {
-			if !c.time.Leq(now) {
-				racy = true
-				if res.Report != nil {
-					res.Report.Record(ploc, loc, i, i-c.last)
-				}
-			}
-		}
-		return racy
-	}
-
-	record := func(cells map[event.Loc]*cell, loc event.Loc, now vc.VC, i int) {
-		c, ok := cells[loc]
-		if !ok {
-			c = &cell{time: vc.New(n)}
-			cells[loc] = c
-		}
-		c.time.Join(now)
-		c.last = i
-	}
-
-	for i, e := range tr.Events {
-		t := int(e.Thread)
-		switch e.Kind {
-		case event.Acquire:
-			if lv := locks[e.Lock()]; lv != nil {
-				ct[t].Join(lv)
-			}
-		case event.Release:
-			l := e.Lock()
-			if locks[l] == nil {
-				locks[l] = vc.New(n)
-			}
-			locks[l].Copy(ct[t])
-			ct[t].Set(t, ct[t].Get(t)+1)
-		case event.Fork:
-			u := int(e.Target())
-			ct[u].Join(ct[t])
-			ct[t].Set(t, ct[t].Get(t)+1)
-		case event.Join:
-			u := int(e.Target())
-			ct[t].Join(ct[u])
-		case event.Read:
-			vs := &vars[e.Var()]
-			now := ct[t]
-			if vs.writeAll != nil && !vs.writeAll.Leq(now) {
-				if res.Report != nil {
-					if checkAgainst(vs.writes, now, i, e.Loc) {
-						flag(i)
-					}
-				} else {
-					flag(i)
-				}
-			}
-			if vs.readAll == nil {
-				vs.readAll = vc.New(n)
-				vs.reads = make(map[event.Loc]*cell)
-			}
-			vs.readAll.Join(now)
-			if res.Report != nil {
-				record(vs.reads, e.Loc, now, i)
-			}
-		case event.Write:
-			vs := &vars[e.Var()]
-			now := ct[t]
-			racy := false
-			if vs.writeAll != nil && !vs.writeAll.Leq(now) {
-				if res.Report != nil {
-					racy = checkAgainst(vs.writes, now, i, e.Loc) || racy
-				} else {
-					racy = true
-				}
-			}
-			if vs.readAll != nil && !vs.readAll.Leq(now) {
-				if res.Report != nil {
-					racy = checkAgainst(vs.reads, now, i, e.Loc) || racy
-				} else {
-					racy = true
-				}
-			}
-			if racy {
-				flag(i)
-			}
-			if vs.writeAll == nil {
-				vs.writeAll = vc.New(n)
-				vs.writes = make(map[event.Loc]*cell)
-			}
-			vs.writeAll.Join(now)
-			if res.Report != nil {
-				record(vs.writes, e.Loc, now, i)
-			}
-		}
-	}
-	return res
+	return d.Result()
 }

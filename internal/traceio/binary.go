@@ -21,6 +21,10 @@ import (
 //	nlocs    × string       location names
 //	nevents
 //	nevents  × event        kind (1 byte), thread, obj, loc+1 (0 = NoLoc)
+//
+// The header carries the full symbol universe and the event count before the
+// first event, so a streaming consumer can size detector state and buffers
+// up front and decode the body block by block (see stream.go).
 const (
 	binaryMagic   = "WCPT"
 	binaryVersion = 1
@@ -41,56 +45,107 @@ func writeString(w *bufio.Writer, s string) error {
 	return err
 }
 
-// WriteBinary writes tr to w in the binary format.
-func WriteBinary(w io.Writer, tr *trace.Trace) (err error) {
-	bw := bufio.NewWriter(w)
-	defer func() {
-		if ferr := bw.Flush(); err == nil && ferr != nil {
-			err = fmt.Errorf("traceio: %w", ferr)
-		}
-	}()
-	if _, err = bw.WriteString(binaryMagic); err != nil {
-		return fmt.Errorf("traceio: %w", err)
+// writeBinaryHeader writes the magic, version, symbol tables and event count.
+func writeBinaryHeader(bw *bufio.Writer, syms *event.Symbols, nevents int) error {
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
 	}
-	if err = bw.WriteByte(binaryVersion); err != nil {
-		return fmt.Errorf("traceio: %w", err)
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
 	}
 	tables := [][]string{
-		tr.Symbols.ThreadNames(),
-		tr.Symbols.LockNames(),
-		tr.Symbols.VarNames(),
-		tr.Symbols.LocationNames(),
+		syms.ThreadNames(),
+		syms.LockNames(),
+		syms.VarNames(),
+		syms.LocationNames(),
 	}
 	for _, names := range tables {
-		if err = writeUvarint(bw, uint64(len(names))); err != nil {
-			return fmt.Errorf("traceio: %w", err)
+		if err := writeUvarint(bw, uint64(len(names))); err != nil {
+			return err
 		}
 	}
 	for _, names := range tables {
 		for _, name := range names {
-			if err = writeString(bw, name); err != nil {
-				return fmt.Errorf("traceio: %w", err)
+			if err := writeString(bw, name); err != nil {
+				return err
 			}
 		}
 	}
-	if err = writeUvarint(bw, uint64(len(tr.Events))); err != nil {
-		return fmt.Errorf("traceio: %w", err)
+	return writeUvarint(bw, uint64(nevents))
+}
+
+func writeEvent(bw *bufio.Writer, e event.Event) error {
+	if err := bw.WriteByte(byte(e.Kind)); err != nil {
+		return err
 	}
-	for _, e := range tr.Events {
-		if err = bw.WriteByte(byte(e.Kind)); err != nil {
+	if err := writeUvarint(bw, uint64(e.Thread)); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(e.Obj)); err != nil {
+		return err
+	}
+	return writeUvarint(bw, uint64(e.Loc+1))
+}
+
+// BinaryWriter emits a binary-format trace incrementally: the header (symbol
+// tables and declared event count) up front, then events in caller-sized
+// blocks, never materializing the trace. The symbol table must be complete
+// and the event count known before the header is written — generators that
+// stream events procedurally intern their universe first.
+type BinaryWriter struct {
+	bw        *bufio.Writer
+	remaining uint64
+}
+
+// NewBinaryWriter writes the header for a trace of exactly nevents events
+// naming syms, and returns a writer for the event body.
+func NewBinaryWriter(w io.Writer, syms *event.Symbols, nevents int) (*BinaryWriter, error) {
+	bw := bufio.NewWriter(w)
+	if err := writeBinaryHeader(bw, syms, nevents); err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	return &BinaryWriter{bw: bw, remaining: uint64(nevents)}, nil
+}
+
+// WriteEvents appends a block of events to the trace body. Writing more
+// events than the header declared is an error.
+func (w *BinaryWriter) WriteEvents(events []event.Event) error {
+	if uint64(len(events)) > w.remaining {
+		return fmt.Errorf("traceio: writing %d events exceeds the %d remaining of the declared count", len(events), w.remaining)
+	}
+	for _, e := range events {
+		if err := writeEvent(w.bw, e); err != nil {
 			return fmt.Errorf("traceio: %w", err)
 		}
-		if err = writeUvarint(bw, uint64(e.Thread)); err != nil {
-			return fmt.Errorf("traceio: %w", err)
-		}
-		if err = writeUvarint(bw, uint64(e.Obj)); err != nil {
-			return fmt.Errorf("traceio: %w", err)
-		}
-		if err = writeUvarint(bw, uint64(e.Loc+1)); err != nil {
-			return fmt.Errorf("traceio: %w", err)
-		}
+		// Debited per event so remaining tracks what was actually encoded
+		// even on a partial-write error.
+		w.remaining--
 	}
 	return nil
+}
+
+// Flush flushes buffered output and verifies the declared event count was
+// met exactly. Call it once after the last WriteEvents.
+func (w *BinaryWriter) Flush() error {
+	if w.remaining != 0 {
+		return fmt.Errorf("traceio: trace short by %d events of the declared count", w.remaining)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	return nil
+}
+
+// WriteBinary writes tr to w in the binary format.
+func WriteBinary(w io.Writer, tr *trace.Trace) error {
+	bw, err := NewBinaryWriter(w, tr.Symbols, len(tr.Events))
+	if err != nil {
+		return err
+	}
+	if err := bw.WriteEvents(tr.Events); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 type binaryReader struct {
@@ -117,27 +172,28 @@ func (r *binaryReader) str() (string, error) {
 	return string(buf), nil
 }
 
-// ReadBinary parses a binary-format trace from r.
-func ReadBinary(r io.Reader) (*trace.Trace, error) {
-	br := &binaryReader{br: bufio.NewReader(r)}
+// readBinaryHeader consumes the magic, version, symbol tables and event
+// count, returning the interned symbols, the raw table sizes (for operand
+// range checks) and the declared event count.
+func readBinaryHeader(br *binaryReader) (*event.Symbols, [4]uint64, uint64, error) {
+	var counts [4]uint64
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br.br, magic); err != nil {
-		return nil, fmt.Errorf("traceio: reading magic: %w", err)
+		return nil, counts, 0, fmt.Errorf("traceio: reading magic: %w", err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("traceio: bad magic %q, want %q", magic, binaryMagic)
+		return nil, counts, 0, fmt.Errorf("traceio: bad magic %q, want %q", magic, binaryMagic)
 	}
 	ver, err := br.br.ReadByte()
 	if err != nil {
-		return nil, fmt.Errorf("traceio: %w", err)
+		return nil, counts, 0, fmt.Errorf("traceio: %w", err)
 	}
 	if ver != binaryVersion {
-		return nil, fmt.Errorf("traceio: unsupported version %d", ver)
+		return nil, counts, 0, fmt.Errorf("traceio: unsupported version %d", ver)
 	}
-	var counts [4]uint64
 	for i := range counts {
 		if counts[i], err = br.uvarint(); err != nil {
-			return nil, fmt.Errorf("traceio: reading symbol counts: %w", err)
+			return nil, counts, 0, fmt.Errorf("traceio: reading symbol counts: %w", err)
 		}
 	}
 	syms := &event.Symbols{}
@@ -151,61 +207,81 @@ func ReadBinary(r io.Reader) (*trace.Trace, error) {
 		for j := uint64(0); j < counts[i]; j++ {
 			name, err := br.str()
 			if err != nil {
-				return nil, fmt.Errorf("traceio: reading symbols: %w", err)
+				return nil, counts, 0, fmt.Errorf("traceio: reading symbols: %w", err)
 			}
 			add(name)
 		}
 	}
 	nev, err := br.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("traceio: reading event count: %w", err)
+		return nil, counts, 0, fmt.Errorf("traceio: reading event count: %w", err)
+	}
+	return syms, counts, nev, nil
+}
+
+// decodeEvent decodes one event of the body, validating operand ranges
+// against the header's table sizes. i is the event index, for errors.
+func decodeEvent(br *binaryReader, counts [4]uint64, i uint64) (event.Event, error) {
+	kindB, err := br.br.ReadByte()
+	if err != nil {
+		return event.Event{}, fmt.Errorf("traceio: event %d: %w", i, err)
+	}
+	kind := event.Kind(kindB)
+	if !kind.Valid() {
+		return event.Event{}, fmt.Errorf("traceio: event %d: invalid kind %d", i, kindB)
+	}
+	thread, err := br.uvarint()
+	if err != nil {
+		return event.Event{}, fmt.Errorf("traceio: event %d: %w", i, err)
+	}
+	obj, err := br.uvarint()
+	if err != nil {
+		return event.Event{}, fmt.Errorf("traceio: event %d: %w", i, err)
+	}
+	locP1, err := br.uvarint()
+	if err != nil {
+		return event.Event{}, fmt.Errorf("traceio: event %d: %w", i, err)
+	}
+	if thread >= counts[0] {
+		return event.Event{}, fmt.Errorf("traceio: event %d: thread index %d out of range", i, thread)
+	}
+	if locP1 > counts[3] {
+		return event.Event{}, fmt.Errorf("traceio: event %d: location index %d out of range", i, locP1)
+	}
+	var objLimit uint64
+	switch kind {
+	case event.Acquire, event.Release:
+		objLimit = counts[1]
+	case event.Read, event.Write:
+		objLimit = counts[2]
+	case event.Fork, event.Join:
+		objLimit = counts[0]
+	}
+	if obj >= objLimit {
+		return event.Event{}, fmt.Errorf("traceio: event %d: operand index %d out of range", i, obj)
+	}
+	return event.Event{
+		Kind:   kind,
+		Thread: event.TID(thread),
+		Obj:    int32(obj),
+		Loc:    event.Loc(locP1) - 1,
+	}, nil
+}
+
+// ReadBinary parses a binary-format trace from r.
+func ReadBinary(r io.Reader) (*trace.Trace, error) {
+	br := &binaryReader{br: bufio.NewReader(r)}
+	syms, counts, nev, err := readBinaryHeader(br)
+	if err != nil {
+		return nil, err
 	}
 	tr := &trace.Trace{Symbols: syms, Events: make([]event.Event, 0, nev)}
 	for i := uint64(0); i < nev; i++ {
-		kindB, err := br.br.ReadByte()
+		e, err := decodeEvent(br, counts, i)
 		if err != nil {
-			return nil, fmt.Errorf("traceio: event %d: %w", i, err)
+			return nil, err
 		}
-		kind := event.Kind(kindB)
-		if !kind.Valid() {
-			return nil, fmt.Errorf("traceio: event %d: invalid kind %d", i, kindB)
-		}
-		thread, err := br.uvarint()
-		if err != nil {
-			return nil, fmt.Errorf("traceio: event %d: %w", i, err)
-		}
-		obj, err := br.uvarint()
-		if err != nil {
-			return nil, fmt.Errorf("traceio: event %d: %w", i, err)
-		}
-		locP1, err := br.uvarint()
-		if err != nil {
-			return nil, fmt.Errorf("traceio: event %d: %w", i, err)
-		}
-		if thread >= counts[0] {
-			return nil, fmt.Errorf("traceio: event %d: thread index %d out of range", i, thread)
-		}
-		if locP1 > counts[3] {
-			return nil, fmt.Errorf("traceio: event %d: location index %d out of range", i, locP1)
-		}
-		var objLimit uint64
-		switch kind {
-		case event.Acquire, event.Release:
-			objLimit = counts[1]
-		case event.Read, event.Write:
-			objLimit = counts[2]
-		case event.Fork, event.Join:
-			objLimit = counts[0]
-		}
-		if obj >= objLimit {
-			return nil, fmt.Errorf("traceio: event %d: operand index %d out of range", i, obj)
-		}
-		tr.Events = append(tr.Events, event.Event{
-			Kind:   kind,
-			Thread: event.TID(thread),
-			Obj:    int32(obj),
-			Loc:    event.Loc(locP1) - 1,
-		})
+		tr.Events = append(tr.Events, e)
 	}
 	return tr, nil
 }

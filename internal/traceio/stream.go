@@ -1,0 +1,236 @@
+package traceio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// DefaultBlockSize is the event-buffer size streaming consumers use when
+// they have no better number: large enough to amortize per-block overhead,
+// small enough that a block is a rounding error next to detector state.
+const DefaultBlockSize = 8192
+
+// Dims are the trace dimensions a streaming consumer needs to size detector
+// state up front. Events is -1 when the input does not declare its length
+// (a text trace without a "# events N" header).
+type Dims struct {
+	Threads, Locks, Vars, Locs int
+	Events                     int
+}
+
+// BlockReader yields successive blocks of trace events into a caller-owned
+// buffer, the streaming-ingestion contract of this package: the caller
+// reuses one buffer for the whole scan, so decoding a trace of any length
+// allocates O(block), not O(trace).
+type BlockReader interface {
+	// NextBlock fills buf with the next events of the trace, returning how
+	// many were decoded. It returns n > 0 with a nil error until the trace
+	// is exhausted, then 0 with io.EOF. Any other error is a decode error;
+	// buf contents beyond n are unspecified.
+	NextBlock(buf []event.Event) (n int, err error)
+}
+
+// Stream decodes a trace incrementally, block by block, without ever
+// materializing the whole event sequence. Binary streams carry their full
+// symbol universe and event count in the header, so Dims reports complete
+// dimensions before the first block; text streams intern symbols as lines
+// are scanned, so Dims only learns the universe as the scan progresses
+// (Events is known up front when a "# events N" header comment is present).
+//
+// Stream also tallies the event mix as it decodes: Stats is the streaming
+// replacement for trace.ComputeStats over a materialized trace.
+type Stream struct {
+	syms   *event.Symbols
+	binary bool
+	dims   Dims // binary only; text dims come from syms as the scan runs
+
+	// binary state
+	bin       *binaryReader
+	counts    [4]uint64
+	decoded   uint64
+	remaining uint64
+
+	// text state
+	sc     *bufio.Scanner
+	lineNo int
+	tally  trace.Stats
+
+	closer io.Closer
+	err    error
+}
+
+// OpenStream starts decoding a trace from r, auto-detecting the format: a
+// stream beginning with the binary magic is decoded as binary, anything
+// else as the line-oriented text format.
+func OpenStream(r io.Reader) (*Stream, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(binaryMagic))
+	if err == nil && string(magic) == binaryMagic {
+		bin := &binaryReader{br: br}
+		syms, counts, nev, err := readBinaryHeader(bin)
+		if err != nil {
+			return nil, err
+		}
+		return &Stream{
+			syms:   syms,
+			binary: true,
+			dims: Dims{
+				Threads: int(counts[0]),
+				Locks:   int(counts[1]),
+				Vars:    int(counts[2]),
+				Locs:    int(counts[3]),
+				Events:  int(nev),
+			},
+			bin:       bin,
+			counts:    counts,
+			remaining: nev,
+		}, nil
+	}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Stream{
+		syms: &event.Symbols{},
+		dims: Dims{Events: -1},
+		sc:   sc,
+	}, nil
+}
+
+// StreamFile starts decoding a trace file, auto-detecting the format. The
+// returned stream owns the file handle; Close releases it.
+func StreamFile(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := OpenStream(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// Symbols returns the symbol table: complete up front for binary streams,
+// growing with the scan for text streams.
+func (s *Stream) Symbols() *event.Symbols { return s.syms }
+
+// Dims returns the trace dimensions and whether they were known up front
+// (from a binary header). When known is false, only Dims.Events is
+// meaningful (-1, or the "# events N" text header), and the symbol counts
+// must be read from Symbols after the scan.
+func (s *Stream) Dims() (d Dims, known bool) {
+	if s.binary {
+		return s.dims, true
+	}
+	return s.dims, false
+}
+
+// Stats returns the event mix tallied so far; after the stream is exhausted
+// it matches trace.ComputeStats over the materialized trace.
+func (s *Stream) Stats() trace.Stats {
+	st := s.tally
+	st.Threads = s.syms.NumThreads()
+	st.Locks = s.syms.NumLocks()
+	st.Vars = s.syms.NumVars()
+	return st
+}
+
+// NextBlock implements BlockReader.
+func (s *Stream) NextBlock(buf []event.Event) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if len(buf) == 0 {
+		// Not latched into s.err: an empty buffer is a caller bug, not a
+		// stream state, and must not read as end-of-trace.
+		return 0, fmt.Errorf("traceio: NextBlock requires a non-empty buffer")
+	}
+	var n int
+	if s.binary {
+		n = len(buf)
+		if uint64(n) > s.remaining {
+			n = int(s.remaining)
+		}
+		for i := 0; i < n; i++ {
+			e, err := decodeEvent(s.bin, s.counts, s.decoded)
+			if err != nil {
+				s.err = err
+				return i, err
+			}
+			buf[i] = e
+			s.decoded++
+			s.tallyEvent(e)
+		}
+		s.remaining -= uint64(n)
+		if n == 0 {
+			s.err = io.EOF
+			return 0, io.EOF
+		}
+		return n, nil
+	}
+	for n < len(buf) && s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			if s.tally.Events == 0 && s.dims.Events < 0 {
+				if ev, ok := parseEventsHeader(line); ok {
+					s.dims.Events = ev
+				}
+			}
+			continue
+		}
+		e, err := parseLine(line, s.syms)
+		if err != nil {
+			s.err = &ParseError{Line: s.lineNo, Text: line, Err: err}
+			return n, s.err
+		}
+		buf[n] = e
+		n++
+		s.tallyEvent(e)
+	}
+	if n == 0 {
+		if err := s.sc.Err(); err != nil {
+			s.err = fmt.Errorf("traceio: %w", err)
+		} else {
+			s.err = io.EOF
+		}
+		return 0, s.err
+	}
+	return n, nil
+}
+
+func (s *Stream) tallyEvent(e event.Event) {
+	s.tally.Events++
+	switch e.Kind {
+	case event.Read:
+		s.tally.Reads++
+	case event.Write:
+		s.tally.Writes++
+	case event.Acquire:
+		s.tally.Acquires++
+	case event.Release:
+		s.tally.Releases++
+	case event.Fork:
+		s.tally.Forks++
+	case event.Join:
+		s.tally.Joins++
+	}
+}
+
+// Close releases the underlying file handle when the stream owns one
+// (StreamFile); it is a no-op for reader-backed streams.
+func (s *Stream) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c.Close()
+}

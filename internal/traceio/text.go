@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/event"
@@ -88,7 +89,27 @@ func parseLine(line string, syms *event.Symbols) (event.Event, error) {
 	return e, nil
 }
 
-// ReadText parses a whole text-format trace from r.
+// parseEventsHeader recognizes the "# events N" header comment, which lets
+// ReadText pre-size the event slice (the binary format's header always
+// carries the count) and streaming consumers size buffers up front.
+func parseEventsHeader(line string) (int, bool) {
+	rest, ok := strings.CutPrefix(line, "#")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutPrefix(strings.TrimSpace(rest), "events")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// ReadText parses a whole text-format trace from r. A "# events N" header
+// comment, when present before the first event, pre-sizes the event slice.
 func ReadText(r io.Reader) (*trace.Trace, error) {
 	syms := &event.Symbols{}
 	tr := &trace.Trace{Symbols: syms}
@@ -99,6 +120,11 @@ func ReadText(r io.Reader) (*trace.Trace, error) {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			if tr.Events == nil {
+				if n, ok := parseEventsHeader(line); ok {
+					tr.Events = make([]event.Event, 0, n)
+				}
+			}
 			continue
 		}
 		e, err := parseLine(line, syms)
@@ -113,9 +139,13 @@ func ReadText(r io.Reader) (*trace.Trace, error) {
 	return tr, nil
 }
 
-// WriteText writes tr to w in the text format, one event per line.
+// WriteText writes tr to w in the text format, one event per line, preceded
+// by a "# events N" header comment so readers can pre-size their buffers.
 func WriteText(w io.Writer, tr *trace.Trace) error {
 	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# events %d\n", len(tr.Events)); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
 	for _, e := range tr.Events {
 		var operand string
 		switch e.Kind {

@@ -1,0 +1,131 @@
+package vc
+
+// This file implements the allocation discipline shared by the WCP and HB
+// hot paths: a width-fixed arena that bump-allocates vector-clock storage in
+// large slabs and recycles clocks through a freelist, plus a refcounted
+// clock handle (Ref) for the copy-on-write queue snapshots of Algorithm 1.
+//
+// The motivating access pattern is the detector steady state: every acquire
+// publishes one C-time consumed by up to T−1 FIFO queues, every release
+// publishes one H-time consumed by up to T queues, and queue pops return
+// those clocks to circulation. With the arena, a warmed-up detector performs
+// near-zero heap allocations per event — clock storage cycles between the
+// queues and the freelist, and slabs grow only when the queue high-water
+// mark grows (which Theorem 4 bounds for a fixed lock/thread universe).
+
+// arenaSlabClocks is the number of clocks bump-allocated per storage slab.
+const arenaSlabClocks = 256
+
+// Ref is a refcounted vector clock handed out by an Arena. The clock is
+// written once by its publisher (before any Retain) and treated as immutable
+// while shared; holders drop their reference with Arena.Release, and the
+// last Release recycles the storage into the freelist.
+//
+// The refcount is not atomic: an Arena and all its Refs belong to a single
+// detector goroutine.
+type Ref struct {
+	c    VC
+	refs int32
+}
+
+// VC returns the clock storage. The returned slice is owned by the arena;
+// callers must not retain it past their reference.
+func (r *Ref) VC() VC { return r.c }
+
+// Retain adds one reference and returns r for chaining.
+func (r *Ref) Retain() *Ref {
+	r.refs++
+	return r
+}
+
+// Arena allocates fixed-width vector clocks in bump-allocated slabs and
+// recycles them through a freelist. The zero value is not usable; create
+// arenas with NewArena. An Arena is not safe for concurrent use: it belongs
+// to one detector.
+type Arena struct {
+	width int
+	free  []*Ref // recycled refs, ready for reuse
+	slab  []Clock
+	hdrs  []Ref
+	// allocs counts distinct clocks ever created (freelist misses);
+	// recycles counts clocks returned through Release. Steady-state
+	// operation grows recycles, not allocs.
+	allocs   int
+	recycles int
+}
+
+// NewArena returns an arena handing out clocks of the given width
+// (the trace's thread count).
+func NewArena(width int) *Arena { return &Arena{width: width} }
+
+// Width returns the width of the clocks this arena hands out.
+func (a *Arena) Width() int { return a.width }
+
+// Get returns a zeroed clock with one reference.
+func (a *Arena) Get() *Ref {
+	r := a.take()
+	r.c.Zero()
+	return r
+}
+
+// GetCopy returns a clock equal to w with one reference. w must not be wider
+// than the arena width.
+func (a *Arena) GetCopy(w VC) *Ref {
+	r := a.take()
+	r.c.Copy(w)
+	return r
+}
+
+// take pops a recycled ref or bump-allocates a fresh one. The clock contents
+// are unspecified; Get/GetCopy overwrite every component.
+func (a *Arena) take() *Ref {
+	if n := len(a.free); n > 0 {
+		r := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		r.refs = 1
+		return r
+	}
+	a.allocs++
+	if len(a.hdrs) == 0 {
+		a.slab = make([]Clock, a.width*arenaSlabClocks)
+		a.hdrs = make([]Ref, arenaSlabClocks)
+	}
+	r := &a.hdrs[0]
+	a.hdrs = a.hdrs[1:]
+	r.c = a.slab[:a.width:a.width]
+	a.slab = a.slab[a.width:]
+	r.refs = 1
+	return r
+}
+
+// Release drops one reference; the last release recycles the clock into the
+// freelist. It reports whether the clock was recycled.
+func (a *Arena) Release(r *Ref) bool {
+	if r.refs--; r.refs > 0 {
+		return false
+	}
+	a.recycles++
+	a.free = append(a.free, r)
+	return true
+}
+
+// Allocs returns the number of distinct clocks the arena ever created.
+// A warmed-up detector's Allocs stays flat while Recycles grows.
+func (a *Arena) Allocs() int { return a.allocs }
+
+// Recycles returns the number of clocks returned through Release.
+func (a *Arena) Recycles() int { return a.recycles }
+
+// NewMatrix returns rows vector clocks of the given width carved out of one
+// contiguous allocation, for per-thread clock banks (Pt/Ht/Ot, the HB C_t
+// bank, the rule-(a) per-thread exclusion clocks). One backing array keeps
+// the bank cache-dense and costs one allocation instead of rows.
+func NewMatrix(rows, width int) []VC {
+	flat := make(VC, rows*width)
+	m := make([]VC, rows)
+	for i := range m {
+		m[i] = flat[i*width : (i+1)*width : (i+1)*width]
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+package vc
+
+import "testing"
+
+func TestArenaGetZeroed(t *testing.T) {
+	a := NewArena(4)
+	r := a.GetCopy(VC{1, 2, 3, 4})
+	a.Release(r)
+	r2 := a.Get()
+	if r2 != r {
+		t.Fatalf("freelist miss: Get did not reuse the released ref")
+	}
+	if !r2.VC().IsZero() {
+		t.Fatalf("recycled clock not zeroed: %v", r2.VC())
+	}
+}
+
+func TestArenaGetCopy(t *testing.T) {
+	a := NewArena(3)
+	w := VC{5, 0, 7}
+	r := a.GetCopy(w)
+	if !r.VC().Equal(w) {
+		t.Fatalf("GetCopy = %v, want %v", r.VC(), w)
+	}
+	if len(r.VC()) != 3 {
+		t.Fatalf("len = %d, want 3", len(r.VC()))
+	}
+}
+
+func TestArenaRefcount(t *testing.T) {
+	a := NewArena(2)
+	r := a.GetCopy(VC{1, 1})
+	r.Retain()
+	r.Retain() // three holders in total
+	if a.Release(r) {
+		t.Fatal("recycled at refcount 2")
+	}
+	if a.Release(r) {
+		t.Fatal("recycled at refcount 1")
+	}
+	if !a.Release(r) {
+		t.Fatal("last release did not recycle")
+	}
+	if a.Recycles() != 1 {
+		t.Fatalf("Recycles = %d, want 1", a.Recycles())
+	}
+}
+
+func TestArenaSteadyStateNoGrowth(t *testing.T) {
+	a := NewArena(8)
+	// Simulate the queue cycle: publish, share across 7 queues, drain all.
+	warm := func() {
+		refs := make([]*Ref, 0, 16)
+		for i := 0; i < 16; i++ {
+			r := a.GetCopy(VC{1, 2, 3, 4, 5, 6, 7, 8})
+			for j := 0; j < 6; j++ {
+				r.Retain()
+			}
+			refs = append(refs, r)
+		}
+		for _, r := range refs {
+			for j := 0; j < 7; j++ {
+				a.Release(r)
+			}
+		}
+	}
+	warm()
+	before := a.Allocs()
+	for i := 0; i < 100; i++ {
+		warm()
+	}
+	if a.Allocs() != before {
+		t.Fatalf("steady state allocated: %d -> %d distinct clocks", before, a.Allocs())
+	}
+}
+
+func TestArenaSlabRollover(t *testing.T) {
+	a := NewArena(2)
+	// Hold more clocks than one slab provides; every clock must stay intact.
+	n := arenaSlabClocks*2 + 10
+	refs := make([]*Ref, n)
+	for i := range refs {
+		refs[i] = a.GetCopy(VC{Clock(i), Clock(i + 1)})
+	}
+	for i, r := range refs {
+		if got := r.VC(); got[0] != Clock(i) || got[1] != Clock(i+1) {
+			t.Fatalf("clock %d corrupted: %v", i, got)
+		}
+	}
+	if a.Allocs() != n {
+		t.Fatalf("Allocs = %d, want %d", a.Allocs(), n)
+	}
+}
+
+func TestNewMatrix(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if len(m) != 3 {
+		t.Fatalf("rows = %d, want 3", len(m))
+	}
+	for i, row := range m {
+		if len(row) != 4 || cap(row) != 4 {
+			t.Fatalf("row %d: len=%d cap=%d, want 4/4", i, len(row), cap(row))
+		}
+		row.Set(i, Clock(i+1))
+	}
+	// Rows must not alias.
+	for i, row := range m {
+		for j, c := range row {
+			want := Clock(0)
+			if j == i {
+				want = Clock(i + 1)
+			}
+			if c != want {
+				t.Fatalf("m[%d][%d] = %d, want %d", i, j, c, want)
+			}
+		}
+	}
+}

@@ -51,6 +51,10 @@ type Trace = trace.Trace
 // Symbols names a trace's threads, locks, variables and program locations.
 type Symbols = event.Symbols
 
+// TraceEvent is a single trace operation (§2.1's acquire/release,
+// read/write, fork/join), the unit streaming block readers decode into.
+type TraceEvent = event.Event
+
 // Builder constructs traces programmatically.
 type Builder = trace.Builder
 
@@ -228,6 +232,35 @@ func WriteTraceBinary(w io.Writer, tr *Trace) error { return traceio.WriteBinary
 // NewTraceScanner streams text-format events for online analysis.
 func NewTraceScanner(r io.Reader) *traceio.Scanner { return traceio.NewScanner(r) }
 
+// TraceStream decodes a trace incrementally, block by block, without ever
+// materializing the whole event sequence (binary headers carry the
+// dimensions up front; see OpenTraceStream).
+type TraceStream = traceio.Stream
+
+// TraceDims are the trace dimensions a streaming detector needs up front.
+type TraceDims = traceio.Dims
+
+// BinaryTraceWriter emits a binary-format trace incrementally: header up
+// front, then events in blocks, never materializing the trace.
+type BinaryTraceWriter = traceio.BinaryWriter
+
+// DefaultStreamBlockSize is the event-buffer size streaming consumers use
+// when they have no better number.
+const DefaultStreamBlockSize = traceio.DefaultBlockSize
+
+// OpenTraceStream starts decoding a trace from r, auto-detecting the format.
+func OpenTraceStream(r io.Reader) (*TraceStream, error) { return traceio.OpenStream(r) }
+
+// StreamTraceFile starts decoding a trace file, auto-detecting the format.
+// The stream owns the file handle; Close releases it.
+func StreamTraceFile(path string) (*TraceStream, error) { return traceio.StreamFile(path) }
+
+// NewBinaryTraceWriter writes the binary header for a trace of exactly
+// nevents events naming syms and returns a writer for the event body.
+func NewBinaryTraceWriter(w io.Writer, syms *Symbols, nevents int) (*BinaryTraceWriter, error) {
+	return traceio.NewBinaryWriter(w, syms, nevents)
+}
+
 // Engine is a race-detection analysis runnable over a trace; all engines
 // are safe for concurrent use and share traces read-only.
 type Engine = engine.Engine
@@ -243,6 +276,18 @@ type TraceSource = engine.Source
 
 // CorpusResult is the streamed analysis of one corpus entry.
 type CorpusResult = engine.CorpusResult
+
+// StreamEngine is an Engine whose detector consumes a trace block by block,
+// never materializing it ("wcp", "wcp-epoch", "hb", "hb-epoch").
+type StreamEngine = engine.StreamAnalyzer
+
+// EnginesCanStream reports whether every engine supports streaming analysis.
+func EnginesCanStream(engines []Engine) bool { return engine.CanStream(engines) }
+
+// NewFileTraceSource returns a corpus entry for a trace file. The source is
+// streamable: corpus runs whose engines all support streaming analyze the
+// file block by block without materializing it.
+func NewFileTraceSource(path string) TraceSource { return engine.FileSource(path) }
 
 // NewEngine returns the named detector ("wcp", "wcp-epoch", "hb",
 // "hb-epoch", "cp", "predict", "lockset") behind the uniform Engine
