@@ -8,6 +8,20 @@
 //	benchjson                          # writes BENCH_wcp.json
 //	benchjson -out results.json -scales 0.25,1,2
 //	benchjson -baseline old.json       # embed a previous run for before/after
+//	benchjson -label "PR 3"            # tag the run in the trajectory
+//	benchjson -check BENCH_wcp.json    # perf smoke: warn on regressions, exit 0
+//	benchjson -check BENCH_wcp.json -out BENCH_wcp.json  # measure once: compare, then rewrite
+//
+// Every write preserves a trajectory: when the output file already exists,
+// its run is folded into the new document's trajectory (a dated events/s
+// summary per benchmark), so the file carries the performance history of
+// the repository across PRs, not just the latest pair of runs.
+//
+// -check mode runs the benchmarks and compares events/s against a committed
+// baseline file instead of writing: benchmarks slower by more than
+// -check-threshold percent print a GitHub-annotation-style warning. The
+// exit code stays 0 — the check is a tripwire, not a gate — unless -strict
+// is set.
 //
 // The benchmarks mirror BenchmarkScalingWCP, BenchmarkScalingHB and
 // BenchmarkBatchAnalysis in bench_test.go: WCP and HB whole-trace analysis
@@ -35,9 +49,13 @@ import (
 )
 
 var (
-	out      = flag.String("out", "BENCH_wcp.json", "output file")
-	scales   = flag.String("scales", "0.25,0.5,1,2", "comma-separated montecarlo scales for the scaling benchmarks")
-	baseline = flag.String("baseline", "", "previous benchjson output to embed as the before side of a before/after record")
+	out       = flag.String("out", "BENCH_wcp.json", "output file")
+	scales    = flag.String("scales", "0.25,0.5,1,2", "comma-separated montecarlo scales for the scaling benchmarks")
+	baseline  = flag.String("baseline", "", "previous benchjson output to embed as the before side of a before/after record")
+	label     = flag.String("label", "", "optional label recorded with this run in the trajectory")
+	check     = flag.String("check", "", "perf-smoke mode: compare against this baseline file instead of writing")
+	threshold = flag.Float64("check-threshold", 20, "events/s regression percentage that triggers a -check warning")
+	strict    = flag.Bool("strict", false, "exit non-zero when -check finds regressions")
 )
 
 // Entry is one benchmark measurement.
@@ -51,15 +69,51 @@ type Entry struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 }
 
-// Doc is the file layout: environment, current results, and optionally the
-// embedded previous run for before/after comparisons.
+// Snapshot is one past run folded into the trajectory: the date, optional
+// label, and each benchmark's events/s.
+type Snapshot struct {
+	Date         string             `json:"date"`
+	Label        string             `json:"label,omitempty"`
+	EventsPerSec map[string]float64 `json:"events_per_sec"`
+}
+
+// maxTrajectory bounds the number of retained past runs.
+const maxTrajectory = 50
+
+// Doc is the file layout: environment, current results, optionally the
+// embedded previous run for before/after comparisons, and the trajectory of
+// earlier runs (newest last).
 type Doc struct {
-	Date     string  `json:"date"`
-	GOOS     string  `json:"goos"`
-	GOARCH   string  `json:"goarch"`
-	CPUs     int     `json:"cpus"`
-	Results  []Entry `json:"results"`
-	Baseline *Doc    `json:"baseline,omitempty"`
+	Date       string     `json:"date"`
+	Label      string     `json:"label,omitempty"`
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	CPUs       int        `json:"cpus"`
+	Results    []Entry    `json:"results"`
+	Baseline   *Doc       `json:"baseline,omitempty"`
+	Trajectory []Snapshot `json:"trajectory,omitempty"`
+}
+
+// snapshot summarizes a document for the trajectory.
+func (d *Doc) snapshot() Snapshot {
+	s := Snapshot{Date: d.Date, Label: d.Label, EventsPerSec: map[string]float64{}}
+	for _, e := range d.Results {
+		s.EventsPerSec[e.Name] = e.EventsPerSec
+	}
+	return s
+}
+
+// loadDoc reads a benchjson document from path.
+func loadDoc(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &d, nil
 }
 
 func measure(name string, events int, bench func(b *testing.B)) Entry {
@@ -159,24 +213,42 @@ func run() error {
 		}
 	}))
 
+	if *check != "" {
+		// One measurement serves both: compare against the baseline, and —
+		// when -out was explicitly given too — fall through to write the
+		// fresh document from the same run (CI measures once that way).
+		err := runCheck(results, *check)
+		outSet := false
+		flag.Visit(func(f *flag.Flag) { outSet = outSet || f.Name == "out" })
+		if err != nil || !outSet {
+			return err
+		}
+	}
+
 	doc := Doc{
 		Date:    time.Now().UTC().Format(time.RFC3339),
+		Label:   *label,
 		GOOS:    runtime.GOOS,
 		GOARCH:  runtime.GOARCH,
 		CPUs:    runtime.GOMAXPROCS(0),
 		Results: results,
 	}
+	// Fold the previous contents of the output file into the trajectory so
+	// the file accumulates the performance history across runs.
+	if prev, err := loadDoc(*out); err == nil {
+		doc.Trajectory = append(prev.Trajectory, prev.snapshot())
+		if n := len(doc.Trajectory); n > maxTrajectory {
+			doc.Trajectory = doc.Trajectory[n-maxTrajectory:]
+		}
+	}
 	if *baseline != "" {
-		raw, err := os.ReadFile(*baseline)
+		base, err := loadDoc(*baseline)
 		if err != nil {
 			return fmt.Errorf("reading baseline: %w", err)
 		}
-		var base Doc
-		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("parsing baseline: %w", err)
-		}
 		base.Baseline = nil // keep one level of history
-		doc.Baseline = &base
+		base.Trajectory = nil
+		doc.Baseline = base
 	}
 	buf, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
@@ -186,7 +258,58 @@ func run() error {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+	fmt.Printf("wrote %s (%d benchmarks, %d past runs in trajectory)\n", *out, len(results), len(doc.Trajectory))
+	return nil
+}
+
+// runCheck compares the fresh results against the committed baseline file,
+// warning (GitHub annotation format) about benchmarks whose events/s
+// regressed by more than the threshold. Non-blocking unless -strict.
+func runCheck(results []Entry, path string) error {
+	base, err := loadDoc(path)
+	if err != nil {
+		return fmt.Errorf("reading check baseline: %w", err)
+	}
+	baseBy := make(map[string]Entry, len(base.Results))
+	for _, e := range base.Results {
+		baseBy[e.Name] = e
+	}
+	regressions := 0
+	measured := make(map[string]bool, len(results))
+	for _, e := range results {
+		measured[e.Name] = true
+		b, ok := baseBy[e.Name]
+		if !ok || b.EventsPerSec <= 0 || e.EventsPerSec <= 0 {
+			continue
+		}
+		delta := 100 * (e.EventsPerSec - b.EventsPerSec) / b.EventsPerSec
+		status := "ok"
+		if delta < -*threshold {
+			regressions++
+			status = "REGRESSION"
+			fmt.Printf("::warning title=benchjson perf smoke::%s events/s %.0f -> %.0f (%.1f%%), beyond the %.0f%% threshold\n",
+				e.Name, b.EventsPerSec, e.EventsPerSec, delta, *threshold)
+		}
+		fmt.Printf("check %-40s %14.0f -> %14.0f events/s (%+.1f%%) %s\n",
+			e.Name, b.EventsPerSec, e.EventsPerSec, delta, status)
+	}
+	// Baseline benchmarks this run did not measure (e.g. reduced -scales or
+	// a different core count) are reported, not silently skipped: the smoke
+	// check's coverage gap should be visible in the log.
+	for _, e := range base.Results {
+		if !measured[e.Name] {
+			fmt.Printf("check %-40s not measured in this run (baseline %.0f events/s unguarded)\n",
+				e.Name, e.EventsPerSec)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson: %d benchmark(s) regressed beyond %.0f%% vs %s (non-blocking)\n", regressions, *threshold, path)
+		if *strict {
+			return fmt.Errorf("%d perf regression(s)", regressions)
+		}
+	} else {
+		fmt.Printf("benchjson: no regressions beyond %.0f%% vs %s\n", *threshold, path)
+	}
 	return nil
 }
 

@@ -40,9 +40,11 @@ func analyzeCS(tr *trace.Trace) *csAnalysis {
 		a.byAcq[i] = -1
 	}
 	words := (n + 63) / 64
-	// Per-thread stack of open csInfo indices.
+	// Per-thread stack of open csInfo indices. The critical-section pass
+	// reads the trace through the SoA cursor.
 	open := make(map[event.TID][]int)
-	for i, e := range tr.Events {
+	for c := tr.SoA().Cursor(); c.Next(); {
+		i, e := c.Index(), c.Event()
 		if e.Kind == event.Acquire {
 			ci := len(a.cs)
 			a.cs = append(a.cs, csInfo{lock: e.Lock(), acq: i, rel: -1, mask: make([]uint64, words)})

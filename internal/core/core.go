@@ -13,13 +13,41 @@
 //   - per lock ℓ and variable x: Lr(ℓ,x) and Lw(ℓ,x), the join of the HB
 //     times of releases of ℓ whose critical sections read/wrote x
 //     (rule (a));
-//   - per lock ℓ and thread t: FIFO queues Acqℓ(t) and Relℓ(t) of the
-//     C-times of acquires and H-times of releases of ℓ by other threads,
-//     drained at t's releases of ℓ while the front acquire is ⊑ Ct
-//     (rule (b));
+//   - per lock ℓ and thread t: a FIFO queue of (C-time of acquire, H-time of
+//     release) records of ℓ's critical sections by other threads — Acqℓ(t)
+//     and Relℓ(t) of Algorithm 1, fused into pair records because critical
+//     sections on one lock never interleave, so the two queues advance in
+//     lockstep — drained at t's releases of ℓ while the front acquire is
+//     ⊑ Ct (rule (b));
 //   - per variable: read/write timestamp joins Rx and Wx for race checking
 //     (§3.2 end), refined per program location so distinct race *pairs* of
 //     locations are reported exactly (Table 1 metric).
+//
+// The hot path applies several work-avoidance layers on top of Algorithm 1,
+// none of which changes what the algorithm computes (the property tests pin
+// timestamps and races against the closure reference):
+//
+//   - acquires whose lock was last released by the acquiring thread itself
+//     skip the Hℓ/Pℓ joins — the lock's times are the thread's own earlier
+//     times, already ⊑ its current clocks;
+//   - the acquire's C-time snapshot is taken on the thread's own stack and
+//     published only at the matching release, as one record in a shared
+//     per-lock log that every consumer drains through its own cursor
+//     (invisible to consumers: they drain only at their own releases,
+//     which cannot fall inside this critical section; see queue.go);
+//   - a stuck log head memoizes the clock component its acq ⊑ Ct check
+//     failed on, so subsequent releases skip the O(T) comparison in O(1)
+//     until that component has actually advanced, and a popped run is
+//     absorbed with a single join of its last (H-monotone) release time;
+//   - the rule-(a) Lr/Lw state collapses to the two latest contributions
+//     by distinct threads — releases on one lock are H-monotone, so they
+//     dominate all earlier ones (see relTimes);
+//   - the default race check never materializes the effective time
+//     (Pt ⊔ Ot)[t := Nt]: it compares componentwise, drops the ⊔ Ot leg
+//     once Pt dominates the static ancestry clock, and collapses to one
+//     epoch compare while a variable's accesses stay totally ordered
+//     (Lemma C.8); the cached per-thread materialization remains for the
+//     pair-tracking and timestamp-collection paths.
 //
 // Reentrant (same-lock nested) acquisitions are accepted and treated as
 // no-ops for synchronization, matching JVM lock semantics; the paper's trace
@@ -62,6 +90,9 @@ type Result struct {
 	Events int
 	// QueueMaxTotal is the high-water mark of the total number of entries
 	// across all Acqℓ(t) and Relℓ(t) queues (Table 1 column 11 numerator).
+	// The physical queues fuse each (acquire, release) pair into one record
+	// published at the release, but the count tracks Algorithm 1's entries:
+	// an acquire contributes its T−1 Acqℓ entries when it executes.
 	QueueMaxTotal int
 	// Times and HBTimes hold Ce and He per event when
 	// Options.CollectTimestamps is set.
@@ -134,11 +165,19 @@ func (s *varSet) addAll(other *varSet) {
 }
 
 // csEntry is one open critical section of a thread: the lock, the local
-// clock at its acquire, and the sets of variables read/written inside it so
-// far (the R and W parameters of the release procedure in Algorithm 1).
+// clock at its acquire, the C-time snapshot of the acquire (published to the
+// other threads' queues at the matching release), and the sets of variables
+// read/written inside it so far (the R and W parameters of the release
+// procedure in Algorithm 1).
 type csEntry struct {
-	lock   event.LID
-	nAcq   vc.Clock
+	lock event.LID
+	nAcq vc.Clock
+	// ctAcq holds the C-time snapshot of the outermost acquire
+	// (multi-thread traces only; hasCt marks it valid). The storage is
+	// reused across stack pushes, so steady-state locking allocates
+	// nothing.
+	ctAcq  vc.VC
+	hasCt  bool
 	reads  varSet
 	writes varSet
 }
@@ -157,27 +196,50 @@ type threadState struct {
 	// as a thread's own Nt reaches Ct without entering Pt. Letting it into
 	// Pt would leak pure program-order ancestry to other threads through
 	// Pℓ and the queues as if it were WCP ordering.
-	o     vc.VC
+	o vc.VC
+	// eff caches the effective time (Pt ⊔ Ot)[t := Nt]; effOK marks it
+	// current. Every mutation of p, o or n clears effOK.
+	eff   vc.VC
+	effOK bool
+	// oZero is true while o adds nothing beyond p — (p ⊔ o) = p — letting
+	// the fused race check skip the ⊔ Ot leg. Trivially true while o is
+	// the ⊥ time (every thread of a trace with no fork/join edges), and
+	// re-established after a fork/join once the thread's growing Pt
+	// dominates its static ancestry clock: p only grows and o only changes
+	// at fork/join events, so the property is sticky between them.
+	oZero bool
 	stack []csEntry
 }
 
-// pushCS opens a critical section, reusing the storage (variable-set list
-// and index) of a previously popped stack slot when one is available so
-// steady-state lock nesting allocates nothing.
-func (ts *threadState) pushCS(l event.LID, n vc.Clock) {
+// pushCS opens a critical section, reusing the storage (variable-set list,
+// index, and snapshot clock) of a previously popped stack slot when one is
+// available so steady-state lock nesting allocates nothing.
+func (ts *threadState) pushCS(l event.LID, n vc.Clock) *csEntry {
 	if len(ts.stack) < cap(ts.stack) {
 		ts.stack = ts.stack[:len(ts.stack)+1]
 		top := &ts.stack[len(ts.stack)-1]
-		top.lock, top.nAcq = l, n
+		top.lock, top.nAcq, top.hasCt = l, n, false
 		top.reads.reset()
 		top.writes.reset()
-		return
+		return top
 	}
 	ts.stack = append(ts.stack, csEntry{lock: l, nAcq: n})
+	return &ts.stack[len(ts.stack)-1]
 }
 
 // openDepth counts the open critical sections on l (reentrancy depth).
+// Depth-1 locking — an empty stack, or a single-entry stack holding l —
+// is resolved without scanning.
 func (ts *threadState) openDepth(l event.LID) int {
+	switch len(ts.stack) {
+	case 0:
+		return 0
+	case 1:
+		if ts.stack[0].lock == l {
+			return 1
+		}
+		return 0
+	}
 	n := 0
 	for i := range ts.stack {
 		if ts.stack[i].lock == l {
@@ -190,54 +252,174 @@ func (ts *threadState) openDepth(l event.LID) int {
 // relTimes records the HB times of the rel(ℓ) events whose critical
 // sections accessed a variable. Rule (a) only orders a release before a
 // *conflicting* access — conflicting events are by different threads — so an
-// access by thread t must join the contributions of every thread except t;
-// a single aggregate clock would smuggle t's own HB knowledge into its WCP
-// clock. (The paper's pseudocode elides this by writing Lr/Lw as plain
-// clocks; the definition's conflict condition forces the per-thread split.)
+// access by thread t must join the contributions of every thread except t.
+// (The paper's pseudocode elides this by writing Lr/Lw as plain clocks; the
+// definition's conflict condition forces the exclusion.)
 //
-// The exclusion is stored pre-computed: others[u] = ⊔ of the contributions
-// of every thread except u. That makes the hot path (an access joining its
-// view) a single vector join, at the cost of T−1 joins per contributing
-// release.
+// Releases on one lock are H-monotone in trace order — every acquire joins
+// Hℓ, so a later release's H dominates every earlier release's H on that
+// lock regardless of thread. The latest contribution therefore subsumes all
+// earlier ones, and the exclusion is answered exactly by the two latest
+// contributions by *distinct* threads: a reader that is not the latest
+// contributor joins the latest contribution; the latest contributor itself
+// joins the runner-up, which dominates every other thread's contribution.
+// Publication is one vector copy; the access-side join stays one vector
+// join. (Ill-formed traces — a release without its acquire — can break the
+// monotonicity chain; such traces are outside the paper's model and the
+// detector only promises determinism there.)
 type relTimes struct {
-	others []vc.VC
+	ta, tb int32 // threads of the latest / second-latest distinct contributions
+	ha, hb vc.VC // their H-times; ha == nil means no contributions yet
 }
 
 func (rt *relTimes) add(t int, h vc.VC, width int) {
-	if rt.others == nil {
-		rt.others = vc.NewMatrix(width, width)
+	if rt.ha == nil {
+		rt.ta = int32(t)
+		rt.ha = vc.New(width)
+		rt.ha.Copy(h)
+		return
 	}
-	for u := range rt.others {
-		if u != t {
-			rt.others[u].Join(h)
+	if rt.ta != int32(t) {
+		// New latest contributor: the previous latest becomes the runner-up
+		// (reusing its storage), dominating all older contributions.
+		if rt.hb == nil {
+			rt.hb = vc.New(width)
 		}
+		rt.ha, rt.hb = rt.hb, rt.ha
+		rt.tb = rt.ta
+		rt.ta = int32(t)
+	}
+	// The newer H dominates: overwrite.
+	if a := rt.ha; len(a) == 3 && len(h) == 3 {
+		a[0], a[1], a[2] = h[0], h[1], h[2]
+	} else {
+		rt.ha.Copy(h)
 	}
 }
 
-// joinInto joins every thread's contribution except reader's into dst.
-func (rt *relTimes) joinInto(dst vc.VC, reader int) {
-	if rt == nil || rt.others == nil {
-		return
+// joinInto joins every thread's contribution except reader's into dst,
+// reporting whether dst changed.
+func (rt *relTimes) joinInto(dst vc.VC, reader int) bool {
+	if rt == nil || rt.ha == nil {
+		return false
 	}
-	dst.Join(rt.others[reader])
+	src := rt.ha
+	if rt.ta == int32(reader) {
+		if rt.hb == nil {
+			return false
+		}
+		src = rt.hb
+	}
+	if len(src) == 3 && len(dst) == 3 {
+		changed := false
+		if src[0] > dst[0] {
+			dst[0] = src[0]
+			changed = true
+		}
+		if src[1] > dst[1] {
+			dst[1] = src[1]
+			changed = true
+		}
+		if src[2] > dst[2] {
+			dst[2] = src[2]
+			changed = true
+		}
+		return changed
+	}
+	return dst.JoinChanged(src)
+}
+
+// varBit maps a variable to its bit in the per-lock accessed-variable masks.
+func varBit(x event.VID) uint64 { return 1 << (uint32(x) & 63) }
+
+// denseVarLimit is the variable-universe size up to which a lock's Lr/Lw
+// tables index variables by a dense slice instead of a hash map. Hashing an
+// int32 key costs more than the whole rule-(a) join at realistic thread
+// counts, and per-lock slices of a few thousand records are cheap; traces
+// with very large variable universes fall back to maps, as does any trace
+// whose locks × vars product would make the per-lock tables add up
+// (denseAccBudget bounds the worst-case total dense entries).
+const (
+	denseVarLimit  = 4096
+	denseAccBudget = 1 << 21
+)
+
+// relPair is the rule-(a) state of one (lock, variable): the Lr record (r,
+// releases whose sections read the variable) and the Lw record (w, sections
+// that wrote it), adjacent so one lookup serves both.
+type relPair struct {
+	r relTimes
+	w relTimes
+}
+
+// relIndex maps variables to their rule-(a) release-time records for one
+// lock: densely by value for small variable universes (one indexed load,
+// no per-record allocation), through a hash map otherwise. rMask/wMask
+// summarize which variables have Lr/Lw entries (hashed into 64 bits), so
+// the per-access lookup skips the index probe in the common no-entry case.
+type relIndex struct {
+	rMask uint64
+	wMask uint64
+	dense []relPair
+	m     map[event.VID]*relPair
+}
+
+func (ri *relIndex) get(x event.VID) *relPair {
+	if ri.dense != nil {
+		return &ri.dense[x]
+	}
+	if ri.m != nil {
+		return ri.m[x]
+	}
+	return nil
+}
+
+// getOrCreate returns the record pair for x, creating it (and the index
+// itself on first use) as needed. nvars is the trace's variable-universe
+// size, or <= 0 to force the map representation (large lock universes).
+func (ri *relIndex) getOrCreate(x event.VID, nvars int) *relPair {
+	if ri.dense == nil && ri.m == nil {
+		if nvars > 0 && nvars <= denseVarLimit {
+			ri.dense = make([]relPair, nvars)
+		} else {
+			ri.m = make(map[event.VID]*relPair)
+		}
+	}
+	if ri.dense != nil {
+		return &ri.dense[x]
+	}
+	rt := ri.m[x]
+	if rt == nil {
+		rt = &relPair{}
+		ri.m[x] = rt
+	}
+	return rt
 }
 
 // lockState is the per-lock component of the detector state, allocated on
 // first use of the lock.
 type lockState struct {
-	pl   vc.VC // Pℓ
-	hl   vc.VC // Hℓ
-	lr   map[event.VID]*relTimes
-	lw   map[event.VID]*relTimes
-	acqQ []fifo // Acqℓ(t), indexed by thread
-	relQ []fifo // Relℓ(t)
-	// ownQ[t] holds t's own earlier critical sections on ℓ, for the
+	pl vc.VC // Pℓ
+	hl vc.VC // Hℓ
+	// lastRelBy is the thread of the last release of ℓ (-1 before any).
+	// An acquire by the same thread skips the Hℓ/Pℓ joins: the stored
+	// times are its own earlier times, already ⊑ its current clocks.
+	lastRelBy int32
+	// acc holds the rule-(a) Lr/Lw records per variable.
+	acc relIndex
+	// log holds the (producer, acquire C-time, release H-time) records of
+	// ℓ's critical sections, appended once per release; cons[t] is thread
+	// t's drain cursor over it — together they realize Algorithm 1's
+	// Acqℓ(t) and Relℓ(t) queues, drained at t's releases of ℓ.
+	log  csLog
+	cons []consumer
+	// own[t] holds t's own earlier critical sections on ℓ, for the
 	// same-thread instance of rule (b): releases r1 <TO r2 on ℓ with
 	// e1 ∈ CS(r1), e2 ∈ CS(r2), e1 ≺WCP e2 order r1 ≺WCP r2, which must
 	// flow H(r1) into P(r2). By the P-invariant (Lemma C.8 applied to
 	// t's own component), such an e1 exists iff Pt(t) has reached the
 	// acquire time of CS(r1).
-	ownQ []fifo2
+	own []ownQ
 }
 
 // accessCell tracks accesses at one (variable, location, kind).
@@ -249,11 +431,33 @@ type accessCell struct {
 // varState is the per-variable race-checking state. Vector-clock mode uses
 // the first four fields; epoch mode (Options.EpochCheck) uses the last
 // three.
+//
+// wLast/rLast and the ordered flags power the exact O(1) fast path of the
+// default vector-mode check: while the accesses of one kind are totally
+// ordered in the effective order, the aggregate Rx/Wx clock is dominated by
+// the latest access, and by the paper's single-component characterization
+// (Lemma C.8: for cross-thread a <tr b, a ≤WCP b iff N(a) ≤ Cb(t(a))) the
+// whole vector comparison collapses to one clock compare. The collapse is
+// only valid when the recorded access's effective time was a pure clock
+// time — its thread's ancestry clock Ot added nothing beyond Pt (oZero),
+// so every component the aggregate absorbed is clock-propagated and the
+// single-component compare characterizes it; wPure/rPure record that. The
+// aggregate clocks are still maintained; an unordered or o-contaminated
+// access falls back to the vector compare, so the flagged events are
+// exactly those of the pure vector implementation (pinned by
+// TestWCPDefaultModeMatchesVectorCheck).
 type varState struct {
 	readAll  vc.VC
 	writeAll vc.VC
-	reads    map[event.Loc]*accessCell
-	writes   map[event.Loc]*accessCell
+	wLast    vc.Epoch
+	rLast    vc.Epoch
+	wOrdered bool
+	rOrdered bool
+	wPure    bool
+	rPure    bool
+
+	reads  map[event.Loc]*accessCell
+	writes map[event.Loc]*accessCell
 
 	wEpoch  vc.Epoch
 	rEpoch  vc.Epoch
@@ -261,16 +465,20 @@ type varState struct {
 }
 
 // Detector is the streaming WCP race detector. Create it with NewDetector,
-// feed events in trace order with Process, then read the Result.
+// feed events in trace order with Process (or whole SoA blocks with
+// ProcessBlock), then read the Result.
 type Detector struct {
 	opts    Options
 	threads []threadState
 	locks   []*lockState
 	vars    []varState
 	res     Result
-	queued  int       // current total queue entries
-	scratch vc.VC     // reusable Ce materialization
-	arena   *vc.Arena // recycled storage for the queue snapshots
+	queued  int   // current total queue entries (Algorithm 1 accounting)
+	scratch vc.VC // reusable Ce materialization
+	// denseVars is the variable count passed to relIndex.getOrCreate, or 0
+	// when the locks × vars product exceeds denseAccBudget and per-lock
+	// dense tables could add up to unreasonable memory.
+	denseVars int
 }
 
 // NewDetector returns a detector for traces with the given numbers of
@@ -283,15 +491,18 @@ func NewDetector(threads, locks, vars int, opts Options) *Detector {
 		locks:   make([]*lockState, locks),
 		vars:    make([]varState, vars),
 		scratch: vc.New(threads),
-		arena:   vc.NewArena(threads),
 	}
 	d.res.FirstRace = -1
+	if locks == 0 || vars <= denseAccBudget/locks {
+		d.denseVars = vars
+	}
 	if opts.TrackPairs {
 		d.res.Report = race.NewReport()
 	}
 	ps := vc.NewMatrix(threads, threads)
 	hs := vc.NewMatrix(threads, threads)
 	os := vc.NewMatrix(threads, threads)
+	effs := vc.NewMatrix(threads, threads)
 	for t := range d.threads {
 		ts := &d.threads[t]
 		ts.n = 1
@@ -299,32 +510,46 @@ func NewDetector(threads, locks, vars int, opts Options) *Detector {
 		ts.h = hs[t]
 		ts.h.Set(t, 1)
 		ts.o = os[t]
+		ts.eff = effs[t]
+		ts.oZero = true
 	}
 	return d
 }
-
-// Arena exposes the detector's clock arena for allocation accounting (tests
-// and metrics): steady-state processing grows Recycles, not Allocs.
-func (d *Detector) Arena() *vc.Arena { return d.arena }
 
 func (d *Detector) lock(l event.LID) *lockState {
 	ls := d.locks[l]
 	if ls == nil {
 		n := len(d.threads)
 		ls = &lockState{
-			lr:   make(map[event.VID]*relTimes),
-			lw:   make(map[event.VID]*relTimes),
-			acqQ: make([]fifo, n),
-			relQ: make([]fifo, n),
-			ownQ: make([]fifo2, n),
+			lastRelBy: -1,
+			cons:      make([]consumer, n),
+			own:       make([]ownQ, n),
+		}
+		for t := range ls.cons {
+			ls.cons[t].blockT = -1
 		}
 		d.locks[l] = ls
 	}
 	return ls
 }
 
+// maybeCompact discards log records every consumer has passed, once the log
+// is large enough to bother.
+func (ls *lockState) maybeCompact() {
+	if len(ls.log.buf) < ringCompactAt {
+		return
+	}
+	min := ls.cons[0].cur
+	for i := range ls.cons {
+		if ls.cons[i].cur < min {
+			min = ls.cons[i].cur
+		}
+	}
+	ls.log.compact(min)
+}
+
 // ct materializes Ct = Pt[t := Nt] into the detector's scratch clock. The
-// returned VC is valid until the next call to ct or effectiveTime.
+// returned VC is valid until the next call to ct.
 func (d *Detector) ct(t int) vc.VC {
 	ts := &d.threads[t]
 	d.scratch.Copy(ts.p)
@@ -334,63 +559,103 @@ func (d *Detector) ct(t int) vc.VC {
 
 // effectiveTime materializes (Pt ⊔ Ot)[t := Nt]: the WCP time extended with
 // fork/join ancestry, used for race checking and reported timestamps. The
-// returned VC is valid until the next call to ct or effectiveTime.
+// result is cached per thread and recomputed only after Pt, Ot or Nt
+// changed. Callers must treat the returned VC as read-only; it stays valid
+// until the thread's next clock mutation.
 func (d *Detector) effectiveTime(t int) vc.VC {
 	ts := &d.threads[t]
-	d.scratch.Copy(ts.p)
-	d.scratch.Join(ts.o)
-	d.scratch.Set(t, ts.n)
-	return d.scratch
+	if !ts.effOK {
+		ts.eff.Copy(ts.p)
+		ts.eff.Join(ts.o)
+		ts.eff.Set(t, ts.n)
+		ts.effOK = true
+	}
+	return ts.eff
 }
 
-// leqCt reports v ⊑ Ct without materializing Ct.
-func (d *Detector) leqCt(v vc.VC, t int) bool {
+// leqCtAt reports v ⊑ Ct without materializing Ct. v is a queue record's
+// clock, always exactly as wide as the thread universe. When the comparison
+// fails it returns the first failing component and the clock Ct must reach
+// there, which the caller memoizes to skip re-comparison until that
+// component has advanced.
+func (d *Detector) leqCtAt(v vc.VC, t int) (comp int, need vc.Clock, ok bool) {
 	ts := &d.threads[t]
-	for i, c := range v {
-		limit := ts.p.Get(i)
-		if i == t {
-			limit = ts.n
+	if v[t] > ts.n {
+		return t, v[t], false
+	}
+	p := ts.p[:len(v)]
+	if len(v) == 3 {
+		if v[0] > p[0] && t != 0 {
+			return 0, v[0], false
 		}
-		if c > limit {
-			return false
+		if v[1] > p[1] && t != 1 {
+			return 1, v[1], false
+		}
+		if v[2] > p[2] && t != 2 {
+			return 2, v[2], false
+		}
+		return 0, 0, true
+	}
+	for i, c := range v {
+		if c > p[i] && i != t {
+			return i, c, false
 		}
 	}
-	return true
+	return 0, 0, true
 }
 
 // Process feeds the next event of the trace to the detector.
 func (d *Detector) Process(e event.Event) {
 	i := d.res.Events
 	d.res.Events++
-	t := int(e.Thread)
+	d.stepAt(i, e.Kind, int(e.Thread), e.Obj, e.Loc)
+}
+
+// ProcessBlock feeds a structure-of-arrays block of events to the detector,
+// the hot ingestion path: the dispatch loop reads the four dense field
+// streams directly, and the event counter is maintained per block, not per
+// event.
+func (d *Detector) ProcessBlock(b *trace.Block) {
+	kinds, threads, objs, locs := b.Kinds, b.Threads, b.Objs, b.Locs
+	base := d.res.Events
+	d.res.Events = base + len(kinds)
+	for i, k := range kinds {
+		d.stepAt(base+i, event.Kind(k), int(threads[i]), objs[i], event.Loc(locs[i]))
+	}
+}
+
+// stepAt processes event number i given its unpacked fields. d.res.Events
+// must already count the event.
+func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Loc) {
 	ts := &d.threads[t]
 	if ts.incNext {
 		ts.incNext = false
 		ts.n++
 		ts.h.Set(t, ts.n)
+		ts.effOK = false
 	}
 
-	switch e.Kind {
+	switch kind {
 	case event.Acquire:
-		d.acquire(t, e.Lock())
+		d.acquire(t, event.LID(obj))
 	case event.Release:
-		d.release(t, e.Lock())
+		d.release(t, event.LID(obj))
 	case event.Read:
-		d.read(t, e.Var())
+		d.read(t, event.VID(obj))
 		if d.opts.EpochCheck {
-			d.checkEpoch(i, e, false)
+			d.checkEpoch(i, t, event.VID(obj), false)
 		} else {
-			d.check(i, e, false)
+			d.check(i, t, event.VID(obj), loc, false)
 		}
 	case event.Write:
-		d.write(t, e.Var())
+		d.write(t, event.VID(obj))
 		if d.opts.EpochCheck {
-			d.checkEpoch(i, e, true)
+			d.checkEpoch(i, t, event.VID(obj), true)
 		} else {
-			d.check(i, e, true)
+			d.check(i, t, event.VID(obj), loc, true)
 		}
 	case event.Fork:
-		u := int(e.Target())
+		u := int(obj)
 		us := &d.threads[u]
 		// Fork is an HB edge: H and P flow to the child (P must stay
 		// monotone along HB for rule (c) to compose through the fork).
@@ -403,11 +668,13 @@ func (d *Detector) Process(e event.Event) {
 		if ts.n > us.o.Get(t) {
 			us.o.Set(t, ts.n)
 		}
+		us.effOK = false
+		us.oZero = false
 		// Segment the parent exactly as after a release so post-fork parent
 		// events are not conflated with pre-fork ones in H.
 		ts.incNext = true
 	case event.Join:
-		u := int(e.Target())
+		u := int(obj)
 		us := &d.threads[u]
 		ts.h.Join(us.h)
 		ts.h.Set(t, ts.n)
@@ -416,11 +683,10 @@ func (d *Detector) Process(e event.Event) {
 		if us.n > ts.o.Get(u) {
 			ts.o.Set(u, us.n)
 		}
+		ts.effOK = false
+		ts.oZero = false
 	}
 
-	if d.queued > d.res.QueueMaxTotal {
-		d.res.QueueMaxTotal = d.queued
-	}
 	if d.opts.CollectTimestamps {
 		d.res.Times = append(d.res.Times, d.effectiveTime(t).Clone())
 		d.res.HBTimes = append(d.res.HBTimes, ts.h.Clone())
@@ -428,34 +694,42 @@ func (d *Detector) Process(e event.Event) {
 }
 
 // acquire implements procedure acquire(t, ℓ) of Algorithm 1.
+//
+// The queue-publication side (Line 3) is deferred: the acquire's C-time is
+// snapshotted into the critical-section stack slot and enters the other
+// threads' queues only at the matching release, fused with the release's
+// H-time. Consumers cannot observe the difference — they drain only at
+// their own releases of ℓ, and critical sections on one lock never
+// interleave — but the accounting still credits the T−1 Acqℓ entries here,
+// so QueueMaxTotal reports Algorithm 1's queue sizes exactly.
 func (d *Detector) acquire(t int, l event.LID) {
 	ts := &d.threads[t]
 	reentrant := ts.openDepth(l) > 0
-	ts.pushCS(l, ts.n)
+	top := ts.pushCS(l, ts.n)
 	if reentrant {
 		return // reentrant: no synchronization effect
 	}
 	ls := d.lock(l)
-	if ls.hl != nil {
-		ts.h.Join(ls.hl) // Line 1
-		ts.p.Join(ls.pl) // Line 2
+	if ls.hl != nil && ls.lastRelBy != int32(t) {
+		ts.h.Join(ls.hl)             // Line 1
+		if ts.p.JoinChanged(ls.pl) { // Line 2
+			ts.effOK = false
+		}
 	}
-	// Line 3: enqueue Ct into Acqℓ(t') for every other thread. The time is
-	// immutable, so one copy-on-write snapshot from the arena is shared by
-	// all T−1 queues and recycled when the last of them pops it.
-	if len(d.threads) > 1 {
-		ct := d.arena.GetCopy(ts.p)
-		ct.VC().Set(t, ts.n)
-		first := true
-		for u := range d.threads {
-			if u != t {
-				if !first {
-					ct.Retain()
-				}
-				first = false
-				ls.acqQ[u].push(ct)
-				d.queued++
-			}
+	if width := len(d.threads); width > 1 {
+		if top.ctAcq == nil {
+			top.ctAcq = vc.New(width)
+		}
+		if ca, p := top.ctAcq, ts.p; len(ca) == 3 && len(p) == 3 {
+			ca[0], ca[1], ca[2] = p[0], p[1], p[2]
+		} else {
+			top.ctAcq.Copy(ts.p)
+		}
+		top.ctAcq.Set(t, ts.n)
+		top.hasCt = true
+		d.queued += width - 1 // the deferred Acqℓ(t') entries, t' ≠ t
+		if d.queued > d.res.QueueMaxTotal {
+			d.res.QueueMaxTotal = d.queued
 		}
 	}
 }
@@ -463,15 +737,18 @@ func (d *Detector) acquire(t int, l event.LID) {
 // release implements procedure release(t, ℓ, R, W) of Algorithm 1.
 func (d *Detector) release(t int, l event.LID) {
 	ts := &d.threads[t]
-	// Pop the innermost open critical section; tolerate mismatched releases
-	// on traces that were not validated.
+	// Find the innermost open critical section; tolerate mismatched
+	// releases on traces that were not validated.
 	dep := ts.openDepth(l)
-	var entry csEntry
+	var local csEntry
+	entry := &local
+	popTop := false
 	if n := len(ts.stack); n > 0 && ts.stack[n-1].lock == l {
-		// entry aliases the popped slot's variable-set storage; it is
-		// consumed (published and merged) before any push can reuse it.
-		entry = ts.stack[n-1]
-		ts.stack = ts.stack[:n-1]
+		// entry aliases the top slot in place — no struct copy; the slot is
+		// consumed (published and merged) and only truncated at the end,
+		// before any push can reuse it.
+		entry = &ts.stack[n-1]
+		popTop = true
 	} else if dep > 0 {
 		// Non-well-nested release: close the innermost open section on l
 		// wherever it sits. Leaving it open would make every later
@@ -479,7 +756,7 @@ func (d *Detector) release(t int, l event.LID) {
 		// synchronization.
 		for i := len(ts.stack) - 1; i >= 0; i-- {
 			if ts.stack[i].lock == l {
-				entry = ts.stack[i]
+				local = ts.stack[i]
 				copy(ts.stack[i:], ts.stack[i+1:])
 				last := len(ts.stack) - 1
 				// Zero the vacated slot: after the shift it aliases the
@@ -492,157 +769,385 @@ func (d *Detector) release(t int, l event.LID) {
 		}
 	}
 	if dep > 1 {
-		d.mergeCS(ts, entry)
+		d.mergeCS(ts, entry, popTop)
+		if popTop {
+			ts.stack = ts.stack[:len(ts.stack)-1]
+		}
 		return // reentrant inner release: no synchronization effect
 	}
 	ls := d.lock(l)
 
 	// Lines 4–6: rule (b). Drain critical sections of other threads whose
 	// acquire time has become ⊑ Ct, absorbing the matching release's H time
-	// into Pt (cross-thread queues advance in lockstep: entries are
-	// appended in temporal order and critical sections on one lock never
-	// interleave). Interleaved with that, drain the same-thread rule-(b)
+	// into Pt. Interleaved with that, drain the same-thread rule-(b)
 	// queue: an own critical section CS(r1) applies once Pt(t) has reached
 	// its acquire time, i.e. some event of CS(r1) WCP-precedes an event of
 	// the current section. Each pop grows Pt, which can enable further
-	// pops from either queue, so iterate to a fixpoint.
-	myAcq, myRel, myOwn := &ls.acqQ[t], &ls.relQ[t], &ls.ownQ[t]
-	for progress := true; progress; {
-		progress = false
-		for myAcq.len() > 0 && myRel.len() > 0 && d.leqCt(myAcq.front().VC(), t) {
-			d.arena.Release(myAcq.pop())
-			rel := myRel.pop()
-			ts.p.Join(rel.VC())
-			d.arena.Release(rel)
+	// pops from either queue, so iterate to a fixpoint. A stuck cross-
+	// thread head is skipped in O(1) via its blocked-component memo.
+	width := len(d.threads)
+	stride := 1 + 2*width
+	cons, myOwn := &ls.cons[t], &ls.own[t]
+	for {
+		// Only a growth of Pt can unblock further records, so the fixpoint
+		// re-iterates exactly when a drain join changed it.
+		pChanged := false
+		// Pop the run of applicable records. Releases on one lock are
+		// H-monotone, so the last popped release time dominates the earlier
+		// ones and the whole run is absorbed into Pt with a single join
+		// when it ends (the join can unblock further records; the enclosing
+		// fixpoint retries).
+		var lastRel vc.VC
+		buf, off := ls.log.buf, cons.cur-ls.log.base
+		for off < len(buf) {
+			if int(buf[off]) == t {
+				// The consumer's own record: not part of its Acqℓ/Relℓ
+				// queues (the same-thread rule drains through ownQ).
+				off += stride
+				continue
+			}
+			if cons.blockT >= 0 {
+				have := ts.p.Get(int(cons.blockT))
+				if int(cons.blockT) == t {
+					have = ts.n
+				}
+				if have < cons.blockC {
+					break // the front record still cannot advance
+				}
+				cons.blockT = -1
+			}
+			if comp, need, ok := d.leqCtAt(buf[off+1:off+1+width], t); !ok {
+				cons.blockT, cons.blockC = int32(comp), need
+				break
+			}
+			lastRel = vc.VC(buf[off+1+width : off+stride])
+			off += stride
+			cons.blockT = -1
 			d.queued -= 2
-			progress = true
 		}
-		for myOwn.len() > 0 && myOwn.front().nAcq <= ts.p.Get(t) {
-			own := myOwn.pop()
-			ts.p.Join(own.h.VC())
-			d.arena.Release(own.h)
+		cons.cur = ls.log.base + off
+		if lastRel != nil && ts.p.JoinChanged(lastRel) {
+			ts.effOK = false
+			pChanged = true
+		}
+		for !myOwn.empty() && myOwn.frontNAcq() <= ts.p.Get(t) {
+			if ts.p.JoinChanged(myOwn.frontH(width)) {
+				ts.effOK = false
+				pChanged = true
+			}
+			myOwn.pop(width)
 			d.queued--
-			progress = true
+		}
+		if !pChanged {
+			break
 		}
 	}
 
 	// Lines 7–8: publish the HB time of this release for every variable
 	// accessed inside the critical section (rule (a) state), keyed by the
 	// releasing thread so readers can exclude their own contributions.
-	width := len(d.threads)
-	for _, x := range entry.reads.list {
-		lr := ls.lr[x]
-		if lr == nil {
-			lr = &relTimes{}
-			ls.lr[x] = lr
+	nvars := d.denseVars
+	if rl, wl := entry.reads.list, entry.writes.list; len(rl) == 1 && len(wl) == 1 && rl[0] == wl[0] {
+		// The dominant shape — a critical section reading and writing one
+		// variable — publishes both records through a single lookup.
+		pair := ls.acc.getOrCreate(rl[0], nvars)
+		pair.r.add(t, ts.h, width)
+		pair.w.add(t, ts.h, width)
+		b := varBit(rl[0])
+		ls.acc.rMask |= b
+		ls.acc.wMask |= b
+	} else {
+		for _, x := range rl {
+			ls.acc.getOrCreate(x, nvars).r.add(t, ts.h, width)
+			ls.acc.rMask |= varBit(x)
 		}
-		lr.add(t, ts.h, width)
-	}
-	for _, x := range entry.writes.list {
-		lw := ls.lw[x]
-		if lw == nil {
-			lw = &relTimes{}
-			ls.lw[x] = lw
+		for _, x := range wl {
+			ls.acc.getOrCreate(x, nvars).w.add(t, ts.h, width)
+			ls.acc.wMask |= varBit(x)
 		}
-		lw.add(t, ts.h, width)
 	}
 	// Accesses inside this critical section also happened inside every
 	// still-open enclosing critical section.
-	d.mergeCS(ts, entry)
+	if n := len(ts.stack); n > 1 || (!popTop && n > 0) {
+		d.mergeCS(ts, entry, popTop)
+	}
 
 	// Line 9: remember this release's H and P times for later acquires.
 	if ls.hl == nil {
-		hp := vc.NewMatrix(2, len(d.threads))
+		hp := vc.NewMatrix(2, width)
 		ls.hl, ls.pl = hp[0], hp[1]
 	}
-	ls.hl.Copy(ts.h)
-	ls.pl.Copy(ts.p)
-
-	// Line 10: enqueue Ht into Relℓ(t') for every other thread, and this
-	// critical section into the thread's own same-thread rule-(b) queue —
-	// one shared copy-on-write snapshot, T references in total.
-	ht := d.arena.GetCopy(ts.h)
-	for u := range d.threads {
-		if u != t {
-			ls.relQ[u].push(ht.Retain())
-			d.queued++
-		}
+	if hl, h := ls.hl, ts.h; len(hl) == 3 && len(h) == 3 {
+		pl, p := ls.pl, ts.p
+		hl[0], hl[1], hl[2] = h[0], h[1], h[2]
+		pl[0], pl[1], pl[2] = p[0], p[1], p[2]
+	} else {
+		ls.hl.Copy(ts.h)
+		ls.pl.Copy(ts.p)
 	}
-	myOwn.push(ownCS{nAcq: entry.nAcq, h: ht})
+	ls.lastRelBy = int32(t)
+
+	// Line 10 (and the deferred Line 3): publish this critical section to
+	// every other thread's queue as one (acquire C-time, release H-time)
+	// record, and to the thread's own same-thread rule-(b) queue, as plain
+	// clock words.
+	if width > 1 {
+		acq := entry.ctAcq
+		if !entry.hasCt {
+			// Release without a matching acquire (ill-formed trace): treat
+			// the release point itself as the acquire, and account the Acqℓ
+			// entries the missing acquire would have contributed.
+			acq = d.ct(t)
+			d.queued += width - 1
+		}
+		ls.log.push(t, acq, ts.h)
+		ls.maybeCompact()
+		d.queued += width - 1 // the Relℓ(t') entries, t' ≠ t
+	}
+	myOwn.push(entry.nAcq, ts.h)
 	d.queued++
+	if d.queued > d.res.QueueMaxTotal {
+		d.res.QueueMaxTotal = d.queued
+	}
+	if popTop {
+		ts.stack = ts.stack[:len(ts.stack)-1]
+	}
+	// A release is a cheap, per-critical-section place to notice that the
+	// thread's ancestry clock has been overtaken by its WCP clock.
+	if !ts.oZero && ts.o.Leq(ts.p) {
+		ts.oZero = true
+	}
 	ts.incNext = true
 }
 
 // mergeCS folds a closed critical section's access sets into the enclosing
-// open critical section, if any.
-func (d *Detector) mergeCS(ts *threadState, entry csEntry) {
-	if len(ts.stack) == 0 {
+// open critical section, if any. With entryOnTop, entry still occupies the
+// top stack slot (the caller truncates after consuming it) and the
+// enclosing section is one below.
+func (d *Detector) mergeCS(ts *threadState, entry *csEntry, entryOnTop bool) {
+	top := len(ts.stack) - 1
+	if entryOnTop {
+		top--
+	}
+	if top < 0 {
 		return
 	}
-	top := &ts.stack[len(ts.stack)-1]
-	top.reads.addAll(&entry.reads)
-	top.writes.addAll(&entry.writes)
+	tgt := &ts.stack[top]
+	tgt.reads.addAll(&entry.reads)
+	tgt.writes.addAll(&entry.writes)
 }
 
 // read implements procedure read(t, x, L) of Algorithm 1 (Line 11).
 func (d *Detector) read(t int, x event.VID) {
 	ts := &d.threads[t]
-	for k := range ts.stack {
-		entry := &ts.stack[k]
-		if ls := d.locks[entry.lock]; ls != nil {
-			ls.lw[x].joinInto(ts.p, t)
+	if stack := ts.stack; len(stack) > 0 {
+		bit := varBit(x)
+		for k := range stack {
+			if ls := d.locks[stack[k].lock]; ls != nil && ls.acc.wMask&bit != 0 {
+				if pair := ls.acc.get(x); pair != nil && pair.w.joinInto(ts.p, t) {
+					ts.effOK = false
+				}
+			}
 		}
-	}
-	if n := len(ts.stack); n > 0 {
-		ts.stack[n-1].reads.add(x)
+		stack[len(stack)-1].reads.add(x)
 	}
 }
 
 // write implements procedure write(t, x, L) of Algorithm 1 (Line 12).
 func (d *Detector) write(t int, x event.VID) {
 	ts := &d.threads[t]
-	for k := range ts.stack {
-		entry := &ts.stack[k]
-		if ls := d.locks[entry.lock]; ls != nil {
-			ls.lr[x].joinInto(ts.p, t)
-			ls.lw[x].joinInto(ts.p, t)
+	if stack := ts.stack; len(stack) > 0 {
+		bit := varBit(x)
+		for k := range stack {
+			if ls := d.locks[stack[k].lock]; ls != nil && (ls.acc.rMask|ls.acc.wMask)&bit != 0 {
+				if pair := ls.acc.get(x); pair != nil {
+					if pair.r.joinInto(ts.p, t) {
+						ts.effOK = false
+					}
+					if pair.w.joinInto(ts.p, t) {
+						ts.effOK = false
+					}
+				}
+			}
+		}
+		stack[len(stack)-1].writes.add(x)
+	}
+}
+
+// leqEff reports v ⊑ (p ⊔ o)[t := n] in one pass, without materializing the
+// effective time. oZero skips the ⊔ o leg (no fork/join ancestry). The t
+// component is compared separately so the loops carry no per-component
+// branch.
+func leqEff(v, p, o vc.VC, t int, n vc.Clock, oZero bool) bool {
+	if v[t] > n {
+		return false
+	}
+	p = p[:len(v)]
+	if oZero {
+		if len(v) == 3 {
+			return !(v[0] > p[0] && t != 0) &&
+				!(v[1] > p[1] && t != 1) &&
+				!(v[2] > p[2] && t != 2)
+		}
+		for i, c := range v {
+			if c > p[i] && i != t {
+				return false
+			}
+		}
+		return true
+	}
+	o = o[:len(v)]
+	for i, c := range v {
+		limit := p[i]
+		if oc := o[i]; oc > limit {
+			limit = oc
+		}
+		if c > limit && i != t {
+			return false
 		}
 	}
-	if n := len(ts.stack); n > 0 {
-		ts.stack[n-1].writes.add(x)
+	return true
+}
+
+// effComp returns component i of (p ⊔ o)[t := n] without materializing it.
+func effComp(p, o vc.VC, t int, n vc.Clock, oZero bool, i int) vc.Clock {
+	if i == t {
+		return n
+	}
+	c := p[i]
+	if !oZero {
+		if oc := o[i]; oc > c {
+			c = oc
+		}
+	}
+	return c
+}
+
+// joinEff sets dst to dst ⊔ (p ⊔ o)[t := n] in one pass.
+func joinEff(dst, p, o vc.VC, t int, n vc.Clock, oZero bool) {
+	p = p[:len(dst)]
+	if oZero {
+		if len(dst) == 3 {
+			if c := p[0]; c > dst[0] {
+				dst[0] = c
+			}
+			if c := p[1]; c > dst[1] {
+				dst[1] = c
+			}
+			if c := p[2]; c > dst[2] {
+				dst[2] = c
+			}
+			if n > dst[t] {
+				dst[t] = n
+			}
+			return
+		}
+		for i := range dst {
+			if c := p[i]; c > dst[i] {
+				dst[i] = c
+			}
+		}
+	} else {
+		o = o[:len(dst)]
+		for i := range dst {
+			c := p[i]
+			if oc := o[i]; oc > c {
+				c = oc
+			}
+			if c > dst[i] {
+				dst[i] = c
+			}
+		}
+	}
+	if n > dst[t] {
+		dst[t] = n
 	}
 }
 
 // check performs the race check of §3.2: for a read, Wx ⊑ Ce must hold; for
 // a write, Rx ⊔ Wx ⊑ Ce must hold. With pair tracking, the per-location
 // cells identify the partner location(s) exactly.
-func (d *Detector) check(i int, e event.Event, isWrite bool) {
-	vs := &d.vars[e.Var()]
-	now := d.effectiveTime(int(e.Thread))
+func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
+	vs := &d.vars[x]
+	if d.res.Report == nil {
+		// Fused fast path: compare and record against (Pt ⊔ Ot)[t := Nt]
+		// componentwise, never materializing the effective time, and
+		// collapse the comparison to one clock compare while the accesses
+		// stay totally ordered (see varState).
+		ts := &d.threads[t]
+		p, o, n, oZero := ts.p, ts.o, ts.n, ts.oZero
+		racyW := false
+		if vs.writeAll != nil {
+			if vs.wOrdered && vs.wPure {
+				racyW = vs.wLast.Clock() > effComp(p, o, t, n, oZero, int(vs.wLast.TID()))
+			} else {
+				racyW = !leqEff(vs.writeAll, p, o, t, n, oZero)
+			}
+		}
+		racy := racyW
+		if isWrite && vs.readAll != nil {
+			if vs.rOrdered && vs.rPure {
+				racy = racy || vs.rLast.Clock() > effComp(p, o, t, n, oZero, int(vs.rLast.TID()))
+			} else {
+				racy = racy || !leqEff(vs.readAll, p, o, t, n, oZero)
+			}
+		}
+		if racy {
+			d.res.RacyEvents++
+			if d.res.FirstRace < 0 {
+				d.res.FirstRace = i
+			}
+		}
+		if isWrite {
+			if vs.writeAll == nil {
+				vs.writeAll = vc.New(len(d.threads))
+				vs.wOrdered = true
+			} else if racyW {
+				// This write is unordered with an earlier one: the latest
+				// write no longer dominates Wx.
+				vs.wOrdered = false
+			}
+			vs.wLast = vc.MakeEpoch(t, n)
+			vs.wPure = oZero
+			joinEff(vs.writeAll, p, o, t, n, oZero)
+		} else {
+			if vs.readAll == nil {
+				vs.readAll = vc.New(len(d.threads))
+				vs.rOrdered = true
+			} else if vs.rOrdered {
+				// rOrdered may only survive if Rx stays dominated by this
+				// read: decided by the epoch compare when the latest read
+				// was pure, by the exact vector compare otherwise.
+				// (Read-read is no race; this only maintains the flag.)
+				ordered := vs.rPure &&
+					vs.rLast.Clock() <= effComp(p, o, t, n, oZero, int(vs.rLast.TID()))
+				if !ordered {
+					ordered = leqEff(vs.readAll, p, o, t, n, oZero)
+				}
+				vs.rOrdered = ordered
+			}
+			vs.rLast = vc.MakeEpoch(t, n)
+			vs.rPure = oZero
+			joinEff(vs.readAll, p, o, t, n, oZero)
+		}
+		return
+	}
+	// Pair-tracking path: the per-location cells identify partner locations.
+	now := d.effectiveTime(t)
 	racy := false
 	scan := func(cells map[event.Loc]*accessCell) {
 		for ploc, c := range cells {
 			if !c.time.Leq(now) {
 				racy = true
-				if d.res.Report != nil {
-					d.res.Report.Record(ploc, e.Loc, i, i-c.last)
-				}
+				d.res.Report.Record(ploc, loc, i, i-c.last)
 			}
 		}
 	}
 	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
-		if d.res.Report != nil {
-			scan(vs.writes)
-		} else {
-			racy = true
-		}
+		scan(vs.writes)
 	}
 	if isWrite && vs.readAll != nil && !vs.readAll.Leq(now) {
-		if d.res.Report != nil {
-			scan(vs.reads)
-		} else {
-			racy = true
-		}
+		scan(vs.reads)
 	}
 	if racy {
 		d.res.RacyEvents++
@@ -664,15 +1169,13 @@ func (d *Detector) check(i int, e event.Event, isWrite bool) {
 		*cells = make(map[event.Loc]*accessCell)
 	}
 	(*all).Join(now)
-	if d.res.Report != nil {
-		c, ok := (*cells)[e.Loc]
-		if !ok {
-			c = &accessCell{time: vc.New(n)}
-			(*cells)[e.Loc] = c
-		}
-		c.time.Join(now)
-		c.last = i
+	c, ok := (*cells)[loc]
+	if !ok {
+		c = &accessCell{time: vc.New(n)}
+		(*cells)[loc] = c
 	}
+	c.time.Join(now)
+	c.last = i
 }
 
 // Result returns the analysis outcome accumulated so far. The returned
@@ -684,11 +1187,10 @@ func Detect(tr *trace.Trace) *Result {
 	return DetectOpts(tr, Options{TrackPairs: true})
 }
 
-// DetectOpts runs the WCP detector over a whole trace.
+// DetectOpts runs the WCP detector over a whole trace, walking its
+// structure-of-arrays view.
 func DetectOpts(tr *trace.Trace, opts Options) *Result {
 	d := NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), opts)
-	for _, e := range tr.Events {
-		d.Process(e)
-	}
+	d.ProcessBlock(tr.SoA())
 	return d.Result()
 }

@@ -23,9 +23,8 @@ import (
 // first; the property tests pin both.
 
 // checkEpoch is the epoch-mode replacement for check.
-func (d *Detector) checkEpoch(i int, e event.Event, isWrite bool) {
-	vs := &d.vars[e.Var()]
-	t := int(e.Thread)
+func (d *Detector) checkEpoch(i, t int, x event.VID, isWrite bool) {
+	vs := &d.vars[x]
 	ts := &d.threads[t]
 	now := d.effectiveTime(t)
 	self := vc.MakeEpoch(t, ts.n)

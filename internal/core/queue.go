@@ -2,71 +2,147 @@ package core
 
 import "repro/internal/vc"
 
-// fifo is the FIFO queue of vector times used for the Acqℓ(t) and Relℓ(t)
-// queues of Algorithm 1. Entries are copy-on-write snapshots: one acquire
-// (or release) publishes a single immutable refcounted clock shared by the
-// queues of all other threads, and each pop drops one reference — the last
-// pop recycles the clock storage into the detector's arena, so steady-state
-// queue churn allocates nothing.
+// Algorithm 1's per-(lock, thread) FIFO queues are realized as one shared
+// per-lock log of critical-section records plus one cursor per consumer
+// thread. Every release appends exactly one record — producer thread, the
+// acquire's C-time, the release's H-time, as plain clock words — and each
+// consumer drains the same record sequence through its own cursor, skipping
+// its own records. This preserves the per-consumer FIFO semantics of the
+// paper's Acqℓ(t)/Relℓ(t) queues exactly (the queues of all consumers
+// receive identical record sequences, fused into pairs because critical
+// sections on one lock never interleave), while storing each record once
+// instead of T−1 times and making a release's publication O(T) words
+// instead of O(T²).
 //
-// The backing slice uses a moving head with periodic compaction, keeping
-// amortized O(1) operations without unbounded growth of dead prefix.
-type fifo struct {
-	buf  []*vc.Ref
-	head int
+// The log is pointer-free: drains scan contiguous memory, a pop advances a
+// cursor, and there is nothing for the garbage collector to trace. Records
+// before the slowest cursor are discarded by periodic compaction.
+//
+// The same-thread rule-(b) queue (ownQ) stays separate per thread: its
+// entries must remain drainable while a cross-thread record ahead of them
+// is stuck, which a single shared cursor could not express.
+
+// ringCompactAt is the dead-prefix size (in words) past which a ring or log
+// compacts.
+const ringCompactAt = 4096
+
+// growSlow reallocates buf with room for need more words; the in-capacity
+// fast path is written out at each push site so it inlines.
+//
+//go:noinline
+func growSlow(buf []vc.Clock, need int) []vc.Clock {
+	n := len(buf)
+	g := make([]vc.Clock, n+need, 2*(n+need)+64)
+	copy(g, buf)
+	return g
 }
 
-func (q *fifo) len() int { return len(q.buf) - q.head }
+// csLog is the shared per-lock record log. Record layout, stride 1+2·width:
+//
+//	[producer, acq₀ … acq_w₋₁, rel₀ … rel_w₋₁]
+//
+// Consumers address records by absolute word offset since the lock's
+// creation; base is the absolute offset of buf[0], so compaction just
+// advances base.
+type csLog struct {
+	buf  []vc.Clock
+	base int
+}
 
-func (q *fifo) push(r *vc.Ref) { q.buf = append(q.buf, r) }
-
-func (q *fifo) front() *vc.Ref { return q.buf[q.head] }
-
-func (q *fifo) pop() *vc.Ref {
-	r := q.buf[q.head]
-	q.buf[q.head] = nil // drop the queue's pointer to the shared clock
-	q.head++
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		clear(q.buf[n:])
-		q.buf = q.buf[:n]
-		q.head = 0
+// push appends one record.
+func (g *csLog) push(producer int, acq, rel vc.VC) {
+	n := len(g.buf)
+	w := len(acq)
+	buf := g.buf
+	if n+1+2*w <= cap(buf) {
+		buf = buf[: n+1+2*w : cap(buf)]
+	} else {
+		buf = growSlow(buf, 1+2*w)
 	}
-	return r
-}
-
-// ownCS is an entry of a thread's same-thread rule-(b) queue: one of its own
-// completed critical sections on a lock, as (acquire local time, release HB
-// time). The release time is the same refcounted snapshot shared with the
-// cross-thread Relℓ queues.
-type ownCS struct {
-	nAcq vc.Clock
-	h    *vc.Ref
-}
-
-// fifo2 is a FIFO of ownCS entries (same shape as fifo).
-type fifo2 struct {
-	buf  []ownCS
-	head int
-}
-
-func (q *fifo2) len() int { return len(q.buf) - q.head }
-
-func (q *fifo2) push(e ownCS) { q.buf = append(q.buf, e) }
-
-func (q *fifo2) front() ownCS { return q.buf[q.head] }
-
-func (q *fifo2) pop() ownCS {
-	e := q.buf[q.head]
-	q.buf[q.head].h = nil
-	q.head++
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		for i := n; i < len(q.buf); i++ {
-			q.buf[i].h = nil
+	buf[n] = vc.Clock(producer)
+	a := buf[n+1 : n+1+w : n+1+w]
+	r := buf[n+1+w : n+1+2*w : n+1+2*w]
+	if w == 3 {
+		a[0], a[1], a[2] = acq[0], acq[1], acq[2]
+		r[0], r[1], r[2] = rel[0], rel[1], rel[2]
+	} else {
+		for i := 0; i < w; i++ {
+			a[i] = acq[i]
+			r[i] = rel[i]
 		}
+	}
+	g.buf = buf
+}
+
+// compact discards records below minCur (the slowest consumer cursor).
+func (g *csLog) compact(minCur int) {
+	dead := minCur - g.base
+	if dead < ringCompactAt || dead*2 < len(g.buf) {
+		return
+	}
+	n := copy(g.buf, g.buf[dead:])
+	g.buf = g.buf[:n]
+	g.base = minCur
+}
+
+// consumer is one thread's view of a lock's log: its drain cursor and the
+// stuck-head memo. blockT/blockC memoize why the front record is stuck: the
+// last failed acq ⊑ Ct check failed at component blockT, which needs to
+// reach blockC. Ct is monotone, so until Ct(blockT) ≥ blockC the full O(T)
+// comparison cannot succeed and the drain loop skips it in O(1) — lazy
+// draining that batches pops until the head can actually advance.
+type consumer struct {
+	cur    int   // absolute word offset of the next record to inspect
+	blockT int32 // component the front record is known stuck on, or -1
+	blockC vc.Clock
+}
+
+// ownQ is the FIFO of a thread's own completed critical sections on a lock,
+// for the same-thread instance of rule (b): records of 1+T words, the
+// acquire's local clock followed by the release's H-time.
+type ownQ struct {
+	buf  []vc.Clock
+	head int
+}
+
+func (q *ownQ) empty() bool { return q.head == len(q.buf) }
+
+// frontNAcq returns the acquire local time of the front record.
+func (q *ownQ) frontNAcq() vc.Clock { return q.buf[q.head] }
+
+// frontH returns the release H-time of the front record.
+func (q *ownQ) frontH(width int) vc.VC {
+	return vc.VC(q.buf[q.head+1 : q.head+1+width])
+}
+
+// push appends one record.
+func (q *ownQ) push(nAcq vc.Clock, h vc.VC) {
+	n := len(q.buf)
+	w := len(h)
+	buf := q.buf
+	if n+1+w <= cap(buf) {
+		buf = buf[: n+1+w : cap(buf)]
+	} else {
+		buf = growSlow(buf, 1+w)
+	}
+	buf[n] = nAcq
+	dst := buf[n+1 : n+1+w : n+1+w]
+	if w == 3 {
+		dst[0], dst[1], dst[2] = h[0], h[1], h[2]
+	} else {
+		for i := 0; i < w; i++ {
+			dst[i] = h[i]
+		}
+	}
+	q.buf = buf
+}
+
+// pop drops the front record.
+func (q *ownQ) pop(width int) {
+	q.head += 1 + width
+	if q.head >= ringCompactAt && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
 		q.buf = q.buf[:n]
 		q.head = 0
 	}
-	return e
 }

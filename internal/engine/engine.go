@@ -6,19 +6,18 @@
 //
 // Engines are stateless values: Analyze builds all detector state per call,
 // so a single Engine is safe for concurrent use and a trace can be shared
-// read-only between engines — each Analyze walks tr.Events with its own
-// cursor, nothing is copied.
+// read-only between engines — each Analyze walks the trace's cached
+// structure-of-arrays view (trace.Trace.SoA) with its own cursor, nothing
+// is copied.
 package engine
 
 import (
 	"fmt"
-	"io"
 	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cp"
-	"repro/internal/event"
 	"repro/internal/hb"
 	"repro/internal/lockset"
 	"repro/internal/predict"
@@ -81,9 +80,11 @@ type Engine interface {
 
 // StreamAnalyzer is implemented by engines whose detectors consume a trace
 // block by block, never materializing the full event sequence: memory is
-// detector state plus one block buffer, independent of trace length. The
-// wcp, wcp-epoch, hb and hb-epoch engines stream; the windowed baselines
-// (cp, predict) and lockset need the materialized trace.
+// detector state plus two block buffers, independent of trace length, and
+// block decode runs on a dedicated goroutine overlapping detector compute
+// (see drivePipelined). The wcp, wcp-epoch, hb and hb-epoch engines stream;
+// the windowed baselines (cp, predict) and lockset need the materialized
+// trace.
 //
 // Streaming needs the trace dimensions up front to size detector state, so
 // AnalyzeStream requires a stream whose header declares them (the binary
@@ -112,24 +113,6 @@ func streamDims(st *traceio.Stream) (traceio.Dims, error) {
 		return dims, fmt.Errorf("engine: stream does not declare its dimensions up front; streaming analysis needs a binary trace (or a prior counting pass)")
 	}
 	return dims, nil
-}
-
-// drive pumps the stream through step in DefaultBlockSize blocks, reusing
-// one caller-owned buffer for the whole scan.
-func drive(st *traceio.Stream, step func(event.Event)) error {
-	buf := make([]event.Event, traceio.DefaultBlockSize)
-	for {
-		n, err := st.NextBlock(buf)
-		for _, e := range buf[:n] {
-			step(e)
-		}
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-	}
 }
 
 // Config carries the knobs shared by the windowed engines. The zero value
@@ -225,7 +208,7 @@ func (e wcpEngine) AnalyzeStream(st *traceio.Stream) (*Result, error) {
 		return nil, err
 	}
 	d := core.NewDetector(dims.Threads, dims.Locks, dims.Vars, e.options())
-	if err := drive(st, d.Process); err != nil {
+	if err := drivePipelined(st, d); err != nil {
 		return nil, err
 	}
 	return wcpResult(e.Name(), d.Result(), e.epoch, start), nil
@@ -259,7 +242,7 @@ func (e hbEngine) AnalyzeStream(st *traceio.Stream) (*Result, error) {
 		return nil, err
 	}
 	d := hb.NewDetector(dims.Threads, dims.Locks, dims.Vars, e.options())
-	if err := drive(st, d.Process); err != nil {
+	if err := drivePipelined(st, d); err != nil {
 		return nil, err
 	}
 	return hbResult(e.Name(), d.Result(), e.epoch, start), nil

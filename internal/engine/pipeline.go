@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"io"
+
+	"repro/internal/trace"
+	"repro/internal/traceio"
+)
+
+// BlockProcessor is the detector side of the streaming pipeline: the WCP and
+// HB detectors consume whole structure-of-arrays blocks.
+type BlockProcessor interface {
+	ProcessBlock(b *trace.Block)
+}
+
+// drivePipelined pumps the stream through proc with decode and analysis
+// overlapped: a dedicated goroutine decodes the next block into one of two
+// reusable SoA buffers while the caller's goroutine runs the detector over
+// the other (double buffering). Memory stays O(block); the decoder goroutine
+// always terminates — it exits when the free-buffer channel closes, and its
+// sends never block because the output channel has room for every buffer in
+// flight.
+func drivePipelined(st *traceio.Stream, proc BlockProcessor) error {
+	type decoded struct {
+		b   *trace.Block
+		n   int
+		err error
+	}
+	free := make(chan *trace.Block, 2)
+	out := make(chan decoded, 2)
+	free <- trace.NewBlock(traceio.DefaultBlockSize)
+	free <- trace.NewBlock(traceio.DefaultBlockSize)
+
+	go func() {
+		defer close(out)
+		for b := range free {
+			n, err := st.NextBlockSoA(b)
+			out <- decoded{b: b, n: n, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	var err error
+	for d := range out {
+		if d.n > 0 {
+			proc.ProcessBlock(d.b)
+		}
+		if d.err != nil {
+			if d.err != io.EOF {
+				err = d.err
+			}
+			break
+		}
+		free <- d.b
+	}
+	// Stop the decoder (it may be blocked receiving a free buffer) and let
+	// it finish; out is buffered, so its final sends cannot block.
+	close(free)
+	for range out {
+	}
+	return err
+}

@@ -17,6 +17,24 @@ type intern struct {
 	names  []string
 }
 
+// grow pre-sizes the table for n total symbols so subsequent interning
+// neither rehashes the name index nor regrows the name slice.
+func (in *intern) grow(n int) {
+	if n <= len(in.names) {
+		return
+	}
+	m := make(map[string]int32, n)
+	for name, id := range in.byName {
+		m[name] = id
+	}
+	in.byName = m
+	if cap(in.names) < n {
+		names := make([]string, len(in.names), n)
+		copy(names, in.names)
+		in.names = names
+	}
+}
+
 func (in *intern) id(name string) int32 {
 	if id, ok := in.byName[name]; ok {
 		return id
@@ -35,6 +53,18 @@ func (in *intern) name(id int32, prefix string) string {
 		return in.names[id]
 	}
 	return fmt.Sprintf("%s%d?", prefix, id)
+}
+
+// Preallocate pre-sizes the four intern tables for the given total symbol
+// counts, so a decoder that knows its symbol universe up front (a traceio
+// stream header) interns every name without a single mid-decode rehash or
+// slice regrowth. Counts at or below the current table sizes are no-ops;
+// zero and negative counts are ignored.
+func (s *Symbols) Preallocate(threads, locks, vars, locs int) {
+	s.threads.grow(threads)
+	s.locks.grow(locks)
+	s.vars.grow(vars)
+	s.locs.grow(locs)
 }
 
 // Thread interns a thread name and returns its dense index.

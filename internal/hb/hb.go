@@ -144,46 +144,62 @@ func (d *Detector) record(cells map[event.Loc]*cell, loc event.Loc, now vc.VC, i
 func (d *Detector) Process(e event.Event) {
 	i := d.res.Events
 	d.res.Events++
-	t := int(e.Thread)
-	switch e.Kind {
-	case event.Acquire:
-		if lv := d.locks[e.Lock()]; lv != nil {
-			d.ct[t].Join(lv)
-		}
-	case event.Release:
-		l := e.Lock()
-		if d.locks[l] == nil {
-			d.locks[l] = vc.New(d.width)
-		}
-		d.locks[l].Copy(d.ct[t])
-		d.ct[t].Set(t, d.ct[t].Get(t)+1)
-	case event.Fork:
-		u := int(e.Target())
-		d.ct[u].Join(d.ct[t])
-		d.ct[t].Set(t, d.ct[t].Get(t)+1)
-	case event.Join:
-		d.ct[t].Join(d.ct[int(e.Target())])
-	case event.Read:
-		if d.opts.Epoch {
-			d.readEpoch(i, t, e.Var())
-			return
-		}
-		d.read(i, t, e)
-	case event.Write:
-		if d.opts.Epoch {
-			d.writeEpoch(i, t, e.Var())
-			return
-		}
-		d.write(i, t, e)
+	d.stepAt(i, e.Kind, int(e.Thread), e.Obj, e.Loc)
+}
+
+// ProcessBlock feeds a structure-of-arrays block of events to the detector,
+// the hot ingestion path: the dispatch loop reads the four dense field
+// streams directly, and the event counter is maintained per block.
+func (d *Detector) ProcessBlock(b *trace.Block) {
+	kinds, threads, objs, locs := b.Kinds, b.Threads, b.Objs, b.Locs
+	base := d.res.Events
+	d.res.Events = base + len(kinds)
+	for i, k := range kinds {
+		d.stepAt(base+i, event.Kind(k), int(threads[i]), objs[i], event.Loc(locs[i]))
 	}
 }
 
-func (d *Detector) read(i, t int, e event.Event) {
-	vs := &d.vars[e.Var()]
+// stepAt processes event number i given its unpacked fields. d.res.Events
+// must already count the event.
+func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Loc) {
+	switch kind {
+	case event.Acquire:
+		if lv := d.locks[obj]; lv != nil {
+			d.ct[t].Join(lv)
+		}
+	case event.Release:
+		if d.locks[obj] == nil {
+			d.locks[obj] = vc.New(d.width)
+		}
+		d.locks[obj].Copy(d.ct[t])
+		d.ct[t].Set(t, d.ct[t].Get(t)+1)
+	case event.Fork:
+		u := int(obj)
+		d.ct[u].Join(d.ct[t])
+		d.ct[t].Set(t, d.ct[t].Get(t)+1)
+	case event.Join:
+		d.ct[t].Join(d.ct[int(obj)])
+	case event.Read:
+		if d.opts.Epoch {
+			d.readEpoch(i, t, event.VID(obj))
+			return
+		}
+		d.read(i, t, event.VID(obj), loc)
+	case event.Write:
+		if d.opts.Epoch {
+			d.writeEpoch(i, t, event.VID(obj))
+			return
+		}
+		d.write(i, t, event.VID(obj), loc)
+	}
+}
+
+func (d *Detector) read(i, t int, x event.VID, loc event.Loc) {
+	vs := &d.vars[x]
 	now := d.ct[t]
 	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
 		if d.res.Report != nil {
-			if d.checkAgainst(vs.writes, now, i, e.Loc) {
+			if d.checkAgainst(vs.writes, now, i, loc) {
 				d.flag(i)
 			}
 		} else {
@@ -198,24 +214,24 @@ func (d *Detector) read(i, t int, e event.Event) {
 	}
 	vs.readAll.Join(now)
 	if d.res.Report != nil {
-		d.record(vs.reads, e.Loc, now, i)
+		d.record(vs.reads, loc, now, i)
 	}
 }
 
-func (d *Detector) write(i, t int, e event.Event) {
-	vs := &d.vars[e.Var()]
+func (d *Detector) write(i, t int, x event.VID, loc event.Loc) {
+	vs := &d.vars[x]
 	now := d.ct[t]
 	racy := false
 	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
 		if d.res.Report != nil {
-			racy = d.checkAgainst(vs.writes, now, i, e.Loc) || racy
+			racy = d.checkAgainst(vs.writes, now, i, loc) || racy
 		} else {
 			racy = true
 		}
 	}
 	if vs.readAll != nil && !vs.readAll.Leq(now) {
 		if d.res.Report != nil {
-			racy = d.checkAgainst(vs.reads, now, i, e.Loc) || racy
+			racy = d.checkAgainst(vs.reads, now, i, loc) || racy
 		} else {
 			racy = true
 		}
@@ -231,7 +247,7 @@ func (d *Detector) write(i, t int, e event.Event) {
 	}
 	vs.writeAll.Join(now)
 	if d.res.Report != nil {
-		d.record(vs.writes, e.Loc, now, i)
+		d.record(vs.writes, loc, now, i)
 	}
 }
 
@@ -245,11 +261,10 @@ func Detect(tr *trace.Trace) *Result {
 	return DetectOpts(tr, Options{TrackPairs: true})
 }
 
-// DetectOpts runs the HB race detector over a whole trace.
+// DetectOpts runs the HB race detector over a whole trace, walking its
+// structure-of-arrays view.
 func DetectOpts(tr *trace.Trace, opts Options) *Result {
 	d := NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), opts)
-	for _, e := range tr.Events {
-		d.Process(e)
-	}
+	d.ProcessBlock(tr.SoA())
 	return d.Result()
 }

@@ -70,42 +70,49 @@ func Detect(tr *trace.Trace) *Result {
 		}
 	}
 
-	for i, e := range tr.Events {
-		switch e.Kind {
+	// Walk the SoA view: the Eraser pass needs only the kind/thread/object
+	// streams for lock events, touching the location stream at accesses.
+	soa := tr.SoA()
+	kinds, threads, objs, locs := soa.Kinds, soa.Threads, soa.Objs, soa.Locs
+	for i, k := range kinds {
+		thread := event.TID(threads[i])
+		switch event.Kind(k) {
 		case event.Acquire:
-			held[e.Thread] = append(held[e.Thread], e.Lock())
+			held[thread] = append(held[thread], event.LID(objs[i]))
 		case event.Release:
-			s := held[e.Thread]
+			s := held[thread]
 			// Pop the innermost matching lock (well-nested traces pop the
 			// top; tolerate others).
 			for k := len(s) - 1; k >= 0; k-- {
-				if s[k] == e.Lock() {
-					held[e.Thread] = append(s[:k:k], s[k+1:]...)
+				if s[k] == event.LID(objs[i]) {
+					held[thread] = append(s[:k:k], s[k+1:]...)
 					break
 				}
 			}
 		case event.Read, event.Write:
-			vs := &vars[e.Var()]
+			isWrite := event.Kind(k) == event.Write
+			loc := event.Loc(locs[i])
+			vs := &vars[objs[i]]
 			switch vs.st {
 			case virgin:
 				vs.st = exclusive
-				vs.owner = e.Thread
+				vs.owner = thread
 			case exclusive:
-				if e.Thread != vs.owner {
-					if e.Kind == event.Read {
+				if thread != vs.owner {
+					if !isWrite {
 						vs.st = shared
 					} else {
 						vs.st = sharedModified
 					}
-					intersect(vs, held[e.Thread])
+					intersect(vs, held[thread])
 				}
 			case shared:
-				intersect(vs, held[e.Thread])
-				if e.Kind == event.Write {
+				intersect(vs, held[thread])
+				if isWrite {
 					vs.st = sharedModified
 				}
 			case sharedModified:
-				intersect(vs, held[e.Thread])
+				intersect(vs, held[thread])
 			}
 			if vs.st == sharedModified && len(vs.candidate) == 0 && !vs.reported {
 				vs.reported = true // Eraser warns once per variable
@@ -113,9 +120,9 @@ func Detect(tr *trace.Trace) *Result {
 				if res.FirstWarning < 0 {
 					res.FirstWarning = i
 				}
-				res.Report.Record(vs.lastLoc, e.Loc, i, 0)
+				res.Report.Record(vs.lastLoc, loc, i, 0)
 			}
-			vs.lastLoc = e.Loc
+			vs.lastLoc = loc
 		}
 	}
 	return res

@@ -55,7 +55,9 @@ func newSearcher(tr *trace.Trace, b Budget) *searcher {
 	if s.budget <= 0 {
 		s.budget = DefaultNodes
 	}
-	for i, e := range tr.Events {
+	// The searcher's setup pass reads the window through the SoA cursor.
+	for c := tr.SoA().Cursor(); c.Next(); {
+		i, e := c.Index(), c.Event()
 		if _, ok := s.proj[e.Thread]; !ok {
 			s.threads = append(s.threads, e.Thread)
 		}

@@ -20,6 +20,9 @@ type Trace struct {
 	// Symbols names the threads, locks, variables and locations that the
 	// events reference.
 	Symbols *event.Symbols
+
+	// soa caches the structure-of-arrays view built by SoA.
+	soa soaCache
 }
 
 // Len returns the number of events (N in the paper's complexity analysis).

@@ -197,6 +197,10 @@ func readBinaryHeader(br *binaryReader) (*event.Symbols, [4]uint64, uint64, erro
 		}
 	}
 	syms := &event.Symbols{}
+	const maxPrealloc = 1 << 24 // don't let a corrupt header allocate wildly
+	if counts[0] < maxPrealloc && counts[1] < maxPrealloc && counts[2] < maxPrealloc && counts[3] < maxPrealloc {
+		syms.Preallocate(int(counts[0]), int(counts[1]), int(counts[2]), int(counts[3]))
+	}
 	interners := [4]func(string){
 		func(s string) { syms.Thread(s) },
 		func(s string) { syms.Lock(s) },

@@ -175,13 +175,41 @@ func (s *Stream) NextBlock(buf []event.Event) (int, error) {
 		}
 		return n, nil
 	}
-	for n < len(buf) && s.sc.Scan() {
+	for n < len(buf) {
+		e, ok := s.scanTextEvent()
+		if !ok {
+			break
+		}
+		buf[n] = e
+		n++
+	}
+	if s.err != nil {
+		return n, s.err // decode error: the partial block plus the error
+	}
+	if n == 0 {
+		s.err = s.endOfText()
+		return 0, s.err
+	}
+	return n, nil
+}
+
+// scanTextEvent decodes the next event of a text stream, skipping blank and
+// comment lines (consuming the pre-sizing header comments). It reports
+// ok=false at end of input or on error; a parse error is latched into s.err,
+// clean end of input leaves s.err untouched for the caller to classify.
+func (s *Stream) scanTextEvent() (event.Event, bool) {
+	for s.sc.Scan() {
 		s.lineNo++
 		line := strings.TrimSpace(s.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
-			if s.tally.Events == 0 && s.dims.Events < 0 {
-				if ev, ok := parseEventsHeader(line); ok {
-					s.dims.Events = ev
+			if s.tally.Events == 0 {
+				if s.dims.Events < 0 {
+					if ev, ok := parseEventsHeader(line); ok {
+						s.dims.Events = ev
+					}
+				}
+				if c, ok := parseSymbolsHeader(line); ok {
+					s.syms.Preallocate(c[0], c[1], c[2], c[3])
 				}
 			}
 			continue
@@ -189,21 +217,75 @@ func (s *Stream) NextBlock(buf []event.Event) (int, error) {
 		e, err := parseLine(line, s.syms)
 		if err != nil {
 			s.err = &ParseError{Line: s.lineNo, Text: line, Err: err}
-			return n, s.err
+			return event.Event{}, false
 		}
-		buf[n] = e
-		n++
 		s.tallyEvent(e)
+		return e, true
 	}
-	if n == 0 {
-		if err := s.sc.Err(); err != nil {
-			s.err = fmt.Errorf("traceio: %w", err)
-		} else {
-			s.err = io.EOF
-		}
+	return event.Event{}, false
+}
+
+// endOfText classifies a scanner stop: an underlying read error, or io.EOF.
+func (s *Stream) endOfText() error {
+	if err := s.sc.Err(); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	return io.EOF
+}
+
+// NextBlockSoA fills b — reset first, then appended up to its capacity —
+// with the next events of the trace in structure-of-arrays form, the layout
+// the detectors' block loops consume directly. Binary bodies decode straight
+// into the block's field slices with no intermediate event slice. The
+// return contract matches NextBlock: n > 0 with a nil error until the trace
+// is exhausted, then 0 with io.EOF.
+func (s *Stream) NextBlockSoA(b *trace.Block) (int, error) {
+	if s.err != nil {
 		return 0, s.err
 	}
-	return n, nil
+	if b.Cap() == 0 {
+		// Not latched into s.err: a zero-capacity block is a caller bug, not
+		// a stream state, and must not read as end-of-trace.
+		return 0, fmt.Errorf("traceio: NextBlockSoA requires a block with capacity")
+	}
+	b.Reset()
+	if s.binary {
+		n := b.Cap()
+		if uint64(n) > s.remaining {
+			n = int(s.remaining)
+		}
+		for i := 0; i < n; i++ {
+			e, err := decodeEvent(s.bin, s.counts, s.decoded)
+			if err != nil {
+				s.err = err
+				return b.Len(), err
+			}
+			b.AppendFields(e.Kind, e.Thread, e.Obj, e.Loc)
+			s.decoded++
+			s.tallyEvent(e)
+		}
+		s.remaining -= uint64(n)
+		if n == 0 {
+			s.err = io.EOF
+			return 0, io.EOF
+		}
+		return n, nil
+	}
+	for b.Len() < b.Cap() {
+		e, ok := s.scanTextEvent()
+		if !ok {
+			break
+		}
+		b.AppendFields(e.Kind, e.Thread, e.Obj, e.Loc)
+	}
+	if s.err != nil {
+		return b.Len(), s.err // decode error: the partial block plus the error
+	}
+	if b.Len() == 0 {
+		s.err = s.endOfText()
+		return 0, s.err
+	}
+	return b.Len(), nil
 }
 
 func (s *Stream) tallyEvent(e event.Event) {

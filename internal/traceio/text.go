@@ -108,8 +108,36 @@ func parseEventsHeader(line string) (int, bool) {
 	return n, true
 }
 
+// parseSymbolsHeader recognizes the "# symbols T L V P" header comment
+// carrying the trace's symbol-universe sizes (threads, locks, variables,
+// locations), which lets readers pre-size the intern tables so decoding
+// never rehashes them mid-stream.
+func parseSymbolsHeader(line string) (counts [4]int, ok bool) {
+	rest, found := strings.CutPrefix(line, "#")
+	if !found {
+		return counts, false
+	}
+	rest, found = strings.CutPrefix(strings.TrimSpace(rest), "symbols")
+	if !found {
+		return counts, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != len(counts) {
+		return counts, false
+	}
+	for i, f := range fields {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return counts, false
+		}
+		counts[i] = n
+	}
+	return counts, true
+}
+
 // ReadText parses a whole text-format trace from r. A "# events N" header
-// comment, when present before the first event, pre-sizes the event slice.
+// comment, when present before the first event, pre-sizes the event slice;
+// a "# symbols T L V P" comment pre-sizes the intern tables.
 func ReadText(r io.Reader) (*trace.Trace, error) {
 	syms := &event.Symbols{}
 	tr := &trace.Trace{Symbols: syms}
@@ -123,6 +151,9 @@ func ReadText(r io.Reader) (*trace.Trace, error) {
 			if tr.Events == nil {
 				if n, ok := parseEventsHeader(line); ok {
 					tr.Events = make([]event.Event, 0, n)
+				}
+				if c, ok := parseSymbolsHeader(line); ok {
+					syms.Preallocate(c[0], c[1], c[2], c[3])
 				}
 			}
 			continue
@@ -140,10 +171,15 @@ func ReadText(r io.Reader) (*trace.Trace, error) {
 }
 
 // WriteText writes tr to w in the text format, one event per line, preceded
-// by a "# events N" header comment so readers can pre-size their buffers.
+// by "# events N" and "# symbols T L V P" header comments so readers can
+// pre-size their event buffers and intern tables.
 func WriteText(w io.Writer, tr *trace.Trace) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# events %d\n", len(tr.Events)); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	if _, err := fmt.Fprintf(bw, "# symbols %d %d %d %d\n",
+		tr.Symbols.NumThreads(), tr.Symbols.NumLocks(), tr.Symbols.NumVars(), tr.Symbols.NumLocations()); err != nil {
 		return fmt.Errorf("traceio: %w", err)
 	}
 	for _, e := range tr.Events {

@@ -231,7 +231,7 @@ func TestParseErrorUnwrap(t *testing.T) {
 
 func TestWriteTextNoLoc(t *testing.T) {
 	// Events without locations round-trip as two-field lines, behind the
-	// pre-sizing header WriteText always emits.
+	// pre-sizing headers WriteText always emits.
 	in := "t1|acq(l)\nt1|rel(l)\n"
 	tr, err := ReadText(strings.NewReader(in))
 	if err != nil {
@@ -241,7 +241,7 @@ func TestWriteTextNoLoc(t *testing.T) {
 	if err := WriteText(&buf, tr); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := buf.String(), "# events 2\n"+in; got != want {
+	if got, want := buf.String(), "# events 2\n# symbols 1 1 0 0\n"+in; got != want {
 		t.Errorf("round trip = %q, want %q", got, want)
 	}
 }

@@ -40,8 +40,33 @@ func (v VC) Get(t int) Clock {
 // range: widths are fixed by the trace's thread count.
 func (v VC) Set(t int, c Clock) { v[t] = c }
 
+// Clock widths are the trace's thread count, and real small traces sit at
+// 2–4 threads, where loop setup and per-iteration bookkeeping cost as much
+// as the comparisons themselves. The hot operations therefore unroll the
+// small widths behind one length switch (perfectly predicted — a detector's
+// clocks all share one width) and keep the general loop for wide clocks.
+
 // Leq reports v ⊑ w: pointwise ≤.
 func (v VC) Leq(w VC) bool {
+	if len(v) <= len(w) {
+		// Same-universe comparison (the detector hot path): index w
+		// directly so the loop carries no per-component width branch.
+		switch len(v) {
+		case 2:
+			return v[0] <= w[0] && v[1] <= w[1]
+		case 3:
+			return v[0] <= w[0] && v[1] <= w[1] && v[2] <= w[2]
+		case 4:
+			return v[0] <= w[0] && v[1] <= w[1] && v[2] <= w[2] && v[3] <= w[3]
+		}
+		w = w[:len(v)]
+		for t, c := range v {
+			if c > w[t] {
+				return false
+			}
+		}
+		return true
+	}
 	for t, c := range v {
 		if c > w.Get(t) {
 			return false
@@ -53,19 +78,107 @@ func (v VC) Leq(w VC) bool {
 // Join sets v to v ⊔ w (pointwise maximum) in place. w must not be wider
 // than v.
 func (v VC) Join(w VC) {
+	u := v[:len(w)] // hoist the bounds check out of the loop
+	switch len(w) {
+	case 2:
+		if w[0] > u[0] {
+			u[0] = w[0]
+		}
+		if w[1] > u[1] {
+			u[1] = w[1]
+		}
+		return
+	case 3:
+		if w[0] > u[0] {
+			u[0] = w[0]
+		}
+		if w[1] > u[1] {
+			u[1] = w[1]
+		}
+		if w[2] > u[2] {
+			u[2] = w[2]
+		}
+		return
+	}
 	for t, c := range w {
-		if c > v[t] {
-			v[t] = c
+		if c > u[t] {
+			u[t] = c
 		}
 	}
+}
+
+// JoinChanged sets v to v ⊔ w in place, like Join, and reports whether any
+// component of v grew — the signal hot paths use to keep derived clocks
+// (the WCP effective-time cache) valid without recomputing them.
+func (v VC) JoinChanged(w VC) bool {
+	changed := false
+	u := v[:len(w)]
+	switch len(w) {
+	case 2:
+		if w[0] > u[0] {
+			u[0] = w[0]
+			changed = true
+		}
+		if w[1] > u[1] {
+			u[1] = w[1]
+			changed = true
+		}
+		return changed
+	case 3:
+		if w[0] > u[0] {
+			u[0] = w[0]
+			changed = true
+		}
+		if w[1] > u[1] {
+			u[1] = w[1]
+			changed = true
+		}
+		if w[2] > u[2] {
+			u[2] = w[2]
+			changed = true
+		}
+		return changed
+	}
+	for t, c := range w {
+		if c > u[t] {
+			u[t] = c
+			changed = true
+		}
+	}
+	return changed
 }
 
 // Copy sets v to an exact copy of w in place. w must not be wider than v;
 // components of v beyond len(w) are zeroed.
 func (v VC) Copy(w VC) {
-	n := copy(v, w)
-	for i := n; i < len(v); i++ {
+	if len(v) == len(w) {
+		switch len(w) {
+		case 2:
+			v[0], v[1] = w[0], w[1]
+			return
+		case 3:
+			v[0], v[1], v[2] = w[0], w[1], w[2]
+			return
+		case 4:
+			v[0], v[1], v[2], v[3] = w[0], w[1], w[2], w[3]
+			return
+		}
+	}
+	if len(w) > 32 {
+		n := copy(v, w)
+		for i := n; i < len(v); i++ {
+			v[i] = 0
+		}
+		return
+	}
+	// Detector clocks are usually a handful of components wide, where the
+	// memmove call behind copy() costs more than the move itself; iterate
+	// backwards so the compiler does not convert the loop to memmove.
+	for i := len(v) - 1; i >= len(w); i-- {
 		v[i] = 0
+	}
+	for i := len(w) - 1; i >= 0; i-- {
+		v[i] = w[i]
 	}
 }
 
