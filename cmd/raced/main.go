@@ -1,0 +1,114 @@
+// Command raced is the always-on race-analysis daemon: the paper's
+// linear-time streaming property turned into a service. Clients open
+// sessions, stream binary trace chunks, and get per-engine race reports
+// back; races are deduplicated by fingerprint across all sessions and
+// queryable over /reports.
+//
+// Usage:
+//
+//	raced -addr :7477 -engines wcp,hb -workers 8 -queue 64
+//
+// Endpoints:
+//
+//	POST   /sessions?engines=...   open a session (body: binary trace header)
+//	POST   /sessions/{id}/chunks   stream event-body chunks
+//	POST   /sessions/{id}/finish   seal the session, get the reports
+//	DELETE /sessions/{id}          abort without reporting
+//	GET    /sessions[/{id}]        session status
+//	POST   /analyze?engines=...    one-shot whole-trace analysis (any format)
+//	GET    /reports?engine=&var=&loc=&min_count=&limit=   dedup race classes
+//	GET    /healthz                liveness + drain state
+//	GET    /metrics                counters (Prometheus text format)
+//
+// SIGINT/SIGTERM drain gracefully: in-flight chunks finish, open sessions
+// are finalized into the report store, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+var (
+	addr         = flag.String("addr", ":7477", "listen address")
+	engines      = flag.String("engines", "wcp", "default engines for sessions and /analyze (comma-separated)")
+	workers      = flag.Int("workers", 0, "concurrent analysis tasks (0 = GOMAXPROCS)")
+	queue        = flag.Int("queue", 0, "pending-task queue capacity (0 = 4x workers)")
+	maxBody      = flag.Int64("max-body", 32<<20, "max request body bytes")
+	maxSessions  = flag.Int("max-sessions", 1024, "max concurrently-open sessions")
+	idle         = flag.Duration("idle", 5*time.Minute, "evict sessions idle this long (<0 disables)")
+	window       = flag.Int("window", 0, "window size for the cp/predict engines on /analyze")
+	budget       = flag.Int("budget", 0, "per-window search budget for the predict engine")
+	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight work at shutdown")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal("raced: ", err)
+	}
+}
+
+func run() error {
+	names := strings.Split(*engines, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		if _, err := engine.New(names[i], engine.Config{}); err != nil {
+			return err
+		}
+	}
+
+	srv := server.New(server.Config{
+		DefaultEngines: names,
+		Engine:         engine.Config{Window: *window, Budget: *budget},
+		Workers:        *workers,
+		QueueCap:       *queue,
+		MaxBodyBytes:   *maxBody,
+		MaxSessions:    *maxSessions,
+		IdleTimeout:    *idle,
+		Logf:           log.Printf,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("raced: listening on %s (engines=%v)", *addr, names)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("raced: shutdown signal received, draining (timeout %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("raced: http shutdown: %v", err)
+	}
+	if err := srv.Close(dctx); err != nil {
+		log.Printf("raced: drain: %v", err)
+	}
+	st := srv.Store()
+	log.Printf("raced: drained: %d distinct race classes, %d observations", st.Len(), st.Observations())
+	return nil
+}

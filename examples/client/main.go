@@ -1,0 +1,203 @@
+// Client streams a generated trace into a running raced daemon and prints
+// the deduplicated race report — the wire-level walkthrough of the service
+// API: open a session with a binary trace header, stream the event body in
+// chunks, finish, then query the dedup store.
+//
+// Start the daemon first, then run the client:
+//
+//	go run ./cmd/raced &
+//	go run ./examples/client -addr http://localhost:7477 -events 20000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/trace"
+	"repro/internal/traceio"
+)
+
+var (
+	addr    = flag.String("addr", "http://localhost:7477", "raced base URL")
+	engines = flag.String("engines", "wcp,hb", "engines to run in the session")
+	events  = flag.Int("events", 20000, "approximate events to generate")
+	threads = flag.Int("threads", 4, "threads in the generated trace")
+	locks   = flag.Int("locks", 3, "lock pool size")
+	vars    = flag.Int("vars", 5, "variable pool size")
+	seed    = flag.Int64("seed", 42, "generator seed")
+	chunks  = flag.Int("chunks", 8, "number of chunk requests to split the body into")
+	dump    = flag.String("dump", "", "instead of talking to a daemon, write header.bin and chunkN.bin to this directory (for the README curl walkthrough)")
+)
+
+func main() {
+	flag.Parse()
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal("client: ", err)
+	}
+}
+
+// post issues one request and decodes the JSON reply into out (when non-nil).
+func post(method, url string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(raw))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func run() error {
+	tr := gen.Random(gen.RandomConfig{
+		Threads: *threads, Locks: *locks, Vars: *vars,
+		Events: *events, Seed: *seed, ForkJoin: true,
+	})
+	fmt.Printf("generated trace: %d events, %d threads, %d locks, %d vars\n",
+		len(tr.Events), tr.NumThreads(), tr.NumLocks(), tr.NumVars())
+	if *dump != "" {
+		return dumpParts(tr)
+	}
+
+	// 1. Open a session: the body is the binary trace header, which sizes
+	// the daemon's per-session detectors up front.
+	var hdr bytes.Buffer
+	if err := traceio.WriteHeader(&hdr, tr.Symbols, 0); err != nil {
+		return err
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := post("POST", *addr+"/sessions?engines="+*engines, &hdr, &created); err != nil {
+		return err
+	}
+	fmt.Printf("session %s opened (engines=%s)\n", created.ID, *engines)
+
+	// 2. Stream the event body in chunks. Chunks split on event boundaries
+	// (EncodeEvents writes whole events), and the daemon analyzes each one
+	// incrementally on arrival.
+	start := time.Now()
+	per := (len(tr.Events) + *chunks - 1) / *chunks
+	for i := 0; i < len(tr.Events); i += per {
+		end := min(i+per, len(tr.Events))
+		var body bytes.Buffer
+		if err := traceio.EncodeEvents(&body, tr.Events[i:end]); err != nil {
+			return err
+		}
+		var ack struct {
+			Events uint64 `json:"events"`
+		}
+		if err := post("POST", *addr+"/sessions/"+created.ID+"/chunks", &body, &ack); err != nil {
+			return err
+		}
+		fmt.Printf("  chunk [%6d:%6d) acknowledged, %d events analyzed\n", i, end, ack.Events)
+	}
+
+	// 3. Finish: the daemon seals the detectors and returns the reports.
+	var fin struct {
+		Events  uint64 `json:"events"`
+		Results []struct {
+			Engine     string  `json:"engine"`
+			RacyEvents int     `json:"racy_events"`
+			Distinct   int     `json:"distinct"`
+			Summary    string  `json:"summary"`
+			Report     string  `json:"report"`
+			DurationMS float64 `json:"duration_ms"`
+		} `json:"results"`
+	}
+	if err := post("POST", *addr+"/sessions/"+created.ID+"/finish", nil, &fin); err != nil {
+		return err
+	}
+	fmt.Printf("session finished: %d events in %v\n", fin.Events, time.Since(start).Round(time.Millisecond))
+	for _, r := range fin.Results {
+		fmt.Printf("\n[%s] %s (%.2fms analysis)\n", r.Engine, r.Summary, r.DurationMS)
+		fmt.Printf("[%s] distinct races: %d\n", r.Engine, r.Distinct)
+		if r.Report != "" {
+			fmt.Println(r.Report)
+		}
+	}
+
+	// 4. The dedup store collapses races across every session the daemon
+	// has ever seen; query it with fingerprint filters.
+	var reports struct {
+		Total   int `json:"total"`
+		Reports []struct {
+			Engine string `json:"engine"`
+			LocA   string `json:"loc_a"`
+			LocB   string `json:"loc_b"`
+			Var    string `json:"var"`
+			Locks  string `json:"locks"`
+			Count  int64  `json:"count"`
+			Traces int64  `json:"traces"`
+		} `json:"reports"`
+	}
+	if err := post("GET", *addr+"/reports?limit=10", nil, &reports); err != nil {
+		return err
+	}
+	fmt.Printf("\ndedup store: %d distinct race classes service-wide; first %d:\n",
+		reports.Total, len(reports.Reports))
+	for _, e := range reports.Reports {
+		fmt.Printf("  [%s] (%s, %s) var=%s locks=[%s] count=%d traces=%d\n",
+			e.Engine, e.LocA, e.LocB, e.Var, e.Locks, e.Count, e.Traces)
+	}
+	return nil
+}
+
+// dumpParts writes the generated trace as the wire pieces of a session —
+// header.bin plus -chunks event-body files — so the README's curl
+// walkthrough has real files to POST.
+func dumpParts(tr *trace.Trace) error {
+	writePart := func(name string, write func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(*dump, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(*dump, name))
+		return nil
+	}
+	if err := writePart("header.bin", func(w io.Writer) error {
+		return traceio.WriteHeader(w, tr.Symbols, 0)
+	}); err != nil {
+		return err
+	}
+	per := (len(tr.Events) + *chunks - 1) / *chunks
+	for i, n := 0, 1; i < len(tr.Events); i, n = i+per, n+1 {
+		end := min(i+per, len(tr.Events))
+		events := tr.Events[i:end]
+		if err := writePart(fmt.Sprintf("chunk%d.bin", n), func(w io.Writer) error {
+			return traceio.EncodeEvents(w, events)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,7 +18,7 @@ import (
 // 240s) into exploration budgets for the predictive engine: one "solver
 // second" buys this many DFS nodes. The constant is calibrated so the
 // engine's success/failure mix on the scaled-down workloads resembles
-// RVPredict's on the originals (see DESIGN.md §4, Substitutions).
+// RVPredict's on the originals (see DESIGN.md §8, Substitutions).
 const NodesPerSolverSecond = 500
 
 // Table1Row is one row of the paper's Table 1, reproduced on the synthetic

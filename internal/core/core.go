@@ -475,6 +475,9 @@ type Detector struct {
 	res     Result
 	queued  int   // current total queue entries (Algorithm 1 accounting)
 	scratch vc.VC // reusable Ce materialization
+	// held is a reusable scratch for the lock context of a race
+	// observation, rebuilt from the CS stack only when a race is found.
+	held []event.LID
 	// denseVars is the variable count passed to relIndex.getOrCreate, or 0
 	// when the locks × vars product exceeds denseAccBudget and per-lock
 	// dense tables could add up to unreasonable memory.
@@ -1135,11 +1138,15 @@ func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
 	// Pair-tracking path: the per-location cells identify partner locations.
 	now := d.effectiveTime(t)
 	racy := false
+	var ctx race.Ctx
 	scan := func(cells map[event.Loc]*accessCell) {
 		for ploc, c := range cells {
 			if !c.time.Leq(now) {
+				if !racy {
+					ctx = d.raceCtx(t, x)
+				}
 				racy = true
-				d.res.Report.Record(ploc, loc, i, i-c.last)
+				d.res.Report.RecordCtx(ploc, loc, i, i-c.last, ctx)
 			}
 		}
 	}
@@ -1176,6 +1183,18 @@ func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
 	}
 	c.time.Join(now)
 	c.last = i
+}
+
+// raceCtx captures the fingerprint context of a race observed at thread t
+// on variable x: the variable plus t's held locks, read off the critical-
+// section stack into a reusable scratch (RecordCtx copies it only on a
+// pair's first observation, so races stay cheap to re-observe).
+func (d *Detector) raceCtx(t int, x event.VID) race.Ctx {
+	d.held = d.held[:0]
+	for j := range d.threads[t].stack {
+		d.held = append(d.held, d.threads[t].stack[j].lock)
+	}
+	return race.Ctx{Var: x, Locks: d.held}
 }
 
 // Result returns the analysis outcome accumulated so far. The returned

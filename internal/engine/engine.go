@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -92,8 +93,37 @@ type Engine interface {
 type StreamAnalyzer interface {
 	Engine
 	// AnalyzeStream runs the detector over the stream's remaining events.
-	// The stream is consumed; each engine needs its own fresh stream.
-	AnalyzeStream(st *traceio.Stream) (*Result, error)
+	// The stream is consumed; each engine needs its own fresh stream. A
+	// canceled context stops the analysis promptly — within one block —
+	// returning ctx.Err() with no goroutine left behind.
+	AnalyzeStream(ctx context.Context, st *traceio.Stream) (*Result, error)
+}
+
+// Session is a resumable streaming analysis: an engine's detector held open
+// across an arbitrary number of SoA blocks — the building block of the
+// raced server's trace sessions, where a trace arrives chunk by chunk over
+// many requests with idle gaps between them. Feed blocks from one goroutine
+// at a time, in trace order; Finish seals the session and returns the
+// uniform Result (its Duration is accumulated processing time, excluding
+// the gaps). A finished session must not be fed further blocks.
+type Session interface {
+	// ProcessBlock feeds the next events of the trace.
+	ProcessBlock(b *trace.Block)
+	// Events returns the number of events processed so far.
+	Events() int
+	// Finish seals the session and assembles its Result.
+	Finish() *Result
+}
+
+// SessionEngine is implemented by engines whose detectors can be held open
+// as resumable streaming sessions: the wcp, wcp-epoch, hb and hb-epoch
+// engines. (AnalyzeStream is the one-shot form; NewSession exposes the same
+// detector for incremental feeding.)
+type SessionEngine interface {
+	Engine
+	// NewSession returns a fresh detector session for a trace with the
+	// given dimensions (known up front, e.g. from a traceio.Header).
+	NewSession(threads, locks, vars int) Session
 }
 
 // CanStream reports whether every engine supports streaming analysis.
@@ -142,7 +172,7 @@ func (c Config) budget() int {
 }
 
 // wcpResult assembles the uniform Result of a WCP run (vector or epoch).
-func wcpResult(name string, res *core.Result, epoch bool, start time.Time) *Result {
+func wcpResult(name string, res *core.Result, epoch bool, dur time.Duration) *Result {
 	r := &Result{
 		Engine:        name,
 		Report:        res.Report,
@@ -150,7 +180,7 @@ func wcpResult(name string, res *core.Result, epoch bool, start time.Time) *Resu
 		FirstRace:     res.FirstRace,
 		QueueMaxTotal: res.QueueMaxTotal,
 		QueueFraction: res.QueueMaxFraction(),
-		Duration:      time.Since(start),
+		Duration:      dur,
 	}
 	if epoch {
 		r.Summary = fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
@@ -163,13 +193,13 @@ func wcpResult(name string, res *core.Result, epoch bool, start time.Time) *Resu
 }
 
 // hbResult assembles the uniform Result of an HB run (vector or epoch).
-func hbResult(name string, res *hb.Result, epoch bool, start time.Time) *Result {
+func hbResult(name string, res *hb.Result, epoch bool, dur time.Duration) *Result {
 	r := &Result{
 		Engine:     name,
 		Report:     res.Report,
 		RacyEvents: res.RacyEvents,
 		FirstRace:  res.FirstRace,
-		Duration:   time.Since(start),
+		Duration:   dur,
 	}
 	if epoch {
 		r.Summary = fmt.Sprintf("racy events=%d first=%d (epoch mode reports no pairs)",
@@ -198,20 +228,39 @@ func (e wcpEngine) options() core.Options {
 
 func (e wcpEngine) Analyze(tr *trace.Trace) *Result {
 	start := time.Now()
-	return wcpResult(e.Name(), core.DetectOpts(tr, e.options()), e.epoch, start)
+	return wcpResult(e.Name(), core.DetectOpts(tr, e.options()), e.epoch, time.Since(start))
 }
 
-func (e wcpEngine) AnalyzeStream(st *traceio.Stream) (*Result, error) {
+// wcpSession holds a WCP detector open across blocks (engine.Session).
+type wcpSession struct {
+	name  string
+	epoch bool
+	d     *core.Detector
+	busy  time.Duration
+}
+
+func (s *wcpSession) ProcessBlock(b *trace.Block) {
 	start := time.Now()
-	dims, err := streamDims(st)
-	if err != nil {
-		return nil, err
+	s.d.ProcessBlock(b)
+	s.busy += time.Since(start)
+}
+
+func (s *wcpSession) Events() int { return s.d.Result().Events }
+
+func (s *wcpSession) Finish() *Result {
+	return wcpResult(s.name, s.d.Result(), s.epoch, s.busy)
+}
+
+func (e wcpEngine) NewSession(threads, locks, vars int) Session {
+	return &wcpSession{
+		name:  e.Name(),
+		epoch: e.epoch,
+		d:     core.NewDetector(threads, locks, vars, e.options()),
 	}
-	d := core.NewDetector(dims.Threads, dims.Locks, dims.Vars, e.options())
-	if err := drivePipelined(st, d); err != nil {
-		return nil, err
-	}
-	return wcpResult(e.Name(), d.Result(), e.epoch, start), nil
+}
+
+func (e wcpEngine) AnalyzeStream(ctx context.Context, st *traceio.Stream) (*Result, error) {
+	return analyzeSessionStream(ctx, e, st)
 }
 
 // hbEngine is the happens-before baseline: full vector clocks with epoch
@@ -232,20 +281,53 @@ func (e hbEngine) options() hb.Options {
 
 func (e hbEngine) Analyze(tr *trace.Trace) *Result {
 	start := time.Now()
-	return hbResult(e.Name(), hb.DetectOpts(tr, e.options()), e.epoch, start)
+	return hbResult(e.Name(), hb.DetectOpts(tr, e.options()), e.epoch, time.Since(start))
 }
 
-func (e hbEngine) AnalyzeStream(st *traceio.Stream) (*Result, error) {
+// hbSession holds an HB detector open across blocks (engine.Session).
+type hbSession struct {
+	name  string
+	epoch bool
+	d     *hb.Detector
+	busy  time.Duration
+}
+
+func (s *hbSession) ProcessBlock(b *trace.Block) {
 	start := time.Now()
+	s.d.ProcessBlock(b)
+	s.busy += time.Since(start)
+}
+
+func (s *hbSession) Events() int { return s.d.Result().Events }
+
+func (s *hbSession) Finish() *Result {
+	return hbResult(s.name, s.d.Result(), s.epoch, s.busy)
+}
+
+func (e hbEngine) NewSession(threads, locks, vars int) Session {
+	return &hbSession{
+		name:  e.Name(),
+		epoch: e.epoch,
+		d:     hb.NewDetector(threads, locks, vars, e.options()),
+	}
+}
+
+func (e hbEngine) AnalyzeStream(ctx context.Context, st *traceio.Stream) (*Result, error) {
+	return analyzeSessionStream(ctx, e, st)
+}
+
+// analyzeSessionStream is the shared one-shot streaming path: a fresh
+// session fed by the pipelined block driver, sealed at end of stream.
+func analyzeSessionStream(ctx context.Context, e SessionEngine, st *traceio.Stream) (*Result, error) {
 	dims, err := streamDims(st)
 	if err != nil {
 		return nil, err
 	}
-	d := hb.NewDetector(dims.Threads, dims.Locks, dims.Vars, e.options())
-	if err := drivePipelined(st, d); err != nil {
+	s := e.NewSession(dims.Threads, dims.Locks, dims.Vars)
+	if err := drivePipelined(ctx, st, s); err != nil {
 		return nil, err
 	}
-	return hbResult(e.Name(), d.Result(), e.epoch, start), nil
+	return s.Finish(), nil
 }
 
 // cpEngine is the windowed Causally-Precedes baseline.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/trace"
@@ -20,7 +21,11 @@ type BlockProcessor interface {
 // always terminates — it exits when the free-buffer channel closes, and its
 // sends never block because the output channel has room for every buffer in
 // flight.
-func drivePipelined(st *traceio.Stream, proc BlockProcessor) error {
+//
+// A canceled context stops the drive at the next block boundary: at most
+// one more block is decoded (the one already in flight), no further blocks
+// reach proc, the decoder goroutine is reaped, and ctx.Err() is returned.
+func drivePipelined(ctx context.Context, st *traceio.Stream, proc BlockProcessor) error {
 	type decoded struct {
 		b   *trace.Block
 		n   int
@@ -44,6 +49,9 @@ func drivePipelined(st *traceio.Stream, proc BlockProcessor) error {
 
 	var err error
 	for d := range out {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		if d.n > 0 {
 			proc.ProcessBlock(d.b)
 		}

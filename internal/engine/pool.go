@@ -237,7 +237,7 @@ func analyzeSourceStreaming(ctx context.Context, src Source, engines []Engine, r
 			res.Results[j] = &Result{Engine: e.Name(), RacyEvents: -1, FirstRace: -1, Err: err}
 			continue
 		}
-		r, err := e.(StreamAnalyzer).AnalyzeStream(st)
+		r, err := e.(StreamAnalyzer).AnalyzeStream(ctx, st)
 		if err != nil {
 			res.Results[j] = &Result{Engine: e.Name(), RacyEvents: -1, FirstRace: -1, Err: err}
 		} else {

@@ -168,7 +168,7 @@ func TestStreamingBoundsMaterialization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.AnalyzeStream(st)
+	res, err := e.AnalyzeStream(context.Background(), st)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,7 @@
 //
 //   - Random: well-formed random traces for property-based testing;
 //   - Benchmark.Generate: deterministic synthetic equivalents of the 18
-//     Table-1 benchmarks (see DESIGN.md §4, Substitutions — we do not have
+//     Table-1 benchmarks (see DESIGN.md §8, Substitutions — we do not have
 //     the paper's RVPredict logs of the Java programs, so each workload is
 //     engineered to reproduce that benchmark's *shape*: thread/lock counts,
 //     HB and WCP distinct-race-pair counts, far-apart races, queue growth);

@@ -77,6 +77,10 @@ type Detector struct {
 	evars []ftVar   // epoch-mode per-variable state (fasttrack.go)
 	arena *vc.Arena // recycled storage for inflated read vectors
 	res   Result
+	// held tracks each thread's currently-held locks, maintained only in
+	// pair-tracking mode to supply the fingerprint context of race
+	// observations (HB has no critical-section stack of its own).
+	held [][]event.LID
 }
 
 // NewDetector returns a detector for traces with the given numbers of
@@ -97,6 +101,7 @@ func NewDetector(threads, locks, vars int, opts Options) *Detector {
 		d.vars = make([]varState, vars)
 		if opts.TrackPairs {
 			d.res.Report = race.NewReport()
+			d.held = make([][]event.LID, threads)
 		}
 	}
 	for t := range d.ct {
@@ -115,15 +120,16 @@ func (d *Detector) flag(i int) {
 	}
 }
 
-// checkAgainst flags races between event i (location loc, time now) and
-// every prior access recorded in cells whose time is not ⊑ now.
-func (d *Detector) checkAgainst(cells map[event.Loc]*cell, now vc.VC, i int, loc event.Loc) bool {
+// checkAgainst flags races between event i (location loc, time now, thread
+// t, variable x) and every prior access recorded in cells whose time is not
+// ⊑ now.
+func (d *Detector) checkAgainst(cells map[event.Loc]*cell, now vc.VC, i int, loc event.Loc, t int, x event.VID) bool {
 	racy := false
 	for ploc, c := range cells {
 		if !c.time.Leq(now) {
 			racy = true
 			if d.res.Report != nil {
-				d.res.Report.Record(ploc, loc, i, i-c.last)
+				d.res.Report.RecordCtx(ploc, loc, i, i-c.last, race.Ctx{Var: x, Locks: d.held[t]})
 			}
 		}
 	}
@@ -164,10 +170,16 @@ func (d *Detector) ProcessBlock(b *trace.Block) {
 func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Loc) {
 	switch kind {
 	case event.Acquire:
+		if d.held != nil {
+			d.held[t] = append(d.held[t], event.LID(obj))
+		}
 		if lv := d.locks[obj]; lv != nil {
 			d.ct[t].Join(lv)
 		}
 	case event.Release:
+		if d.held != nil {
+			d.popHeld(t, event.LID(obj))
+		}
 		if d.locks[obj] == nil {
 			d.locks[obj] = vc.New(d.width)
 		}
@@ -194,12 +206,24 @@ func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Lo
 	}
 }
 
+// popHeld removes lock l from thread t's held stack, scanning from the top
+// so non-nested release orders still unwind correctly.
+func (d *Detector) popHeld(t int, l event.LID) {
+	h := d.held[t]
+	for j := len(h) - 1; j >= 0; j-- {
+		if h[j] == l {
+			d.held[t] = append(h[:j], h[j+1:]...)
+			return
+		}
+	}
+}
+
 func (d *Detector) read(i, t int, x event.VID, loc event.Loc) {
 	vs := &d.vars[x]
 	now := d.ct[t]
 	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
 		if d.res.Report != nil {
-			if d.checkAgainst(vs.writes, now, i, loc) {
+			if d.checkAgainst(vs.writes, now, i, loc, t, x) {
 				d.flag(i)
 			}
 		} else {
@@ -224,14 +248,14 @@ func (d *Detector) write(i, t int, x event.VID, loc event.Loc) {
 	racy := false
 	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
 		if d.res.Report != nil {
-			racy = d.checkAgainst(vs.writes, now, i, loc) || racy
+			racy = d.checkAgainst(vs.writes, now, i, loc, t, x) || racy
 		} else {
 			racy = true
 		}
 	}
 	if vs.readAll != nil && !vs.readAll.Leq(now) {
 		if d.res.Report != nil {
-			racy = d.checkAgainst(vs.reads, now, i, loc) || racy
+			racy = d.checkAgainst(vs.reads, now, i, loc, t, x) || racy
 		} else {
 			racy = true
 		}

@@ -6,7 +6,7 @@
 // RVPredict encodes this search as SMT formulae solved per window under a
 // solver timeout. We have no SMT solver; instead the search is an explicit
 // memoized DFS over scheduling states with an exploration budget playing the
-// role of the solver timeout (see DESIGN.md §4, Substitutions). The
+// role of the solver timeout (see DESIGN.md §8, Substitutions). The
 // *behaviour* the paper measures is preserved: windows hide far-apart races,
 // budgets make complex windows fail, and their interplay is non-monotone
 // (Figure 7).

@@ -27,6 +27,24 @@ func MakePair(a, b event.Loc) Pair {
 	return Pair{a, b}
 }
 
+// Ctx carries the optional context of a race observation, the stable
+// fingerprint inputs a deduplicating report store needs beyond the location
+// pair: the racy variable and the locks held by the observing thread.
+// Locks is borrowed — RecordCtx copies it when a pair is first observed, so
+// callers may reuse the backing array across calls.
+type Ctx struct {
+	// Var is the variable both racing accesses touch, or -1 when the
+	// recording detector does not supply one.
+	Var event.VID
+	// Locks are the locks held by the observing (second) thread at the racy
+	// access, innermost last; nil when not supplied.
+	Locks []event.LID
+}
+
+// NoCtx is the empty context recorded by detectors that track locations
+// only.
+var NoCtx = Ctx{Var: -1}
+
 // Info accumulates per-pair observations.
 type Info struct {
 	// Count is the number of event pairs observed in race at this location
@@ -42,6 +60,10 @@ type Info struct {
 	// proxy for the minimum separation).
 	MinDistance int
 	MaxDistance int
+	// Var and Locks are the Ctx of the pair's first observation (Var is -1
+	// and Locks nil when the detector recorded none).
+	Var   event.VID
+	Locks []event.LID
 }
 
 // Report collects distinct race pairs in first-observation order.
@@ -56,12 +78,23 @@ func NewReport() *Report {
 }
 
 // Record notes a race between locations a and b observed at trace index
-// eventIdx, with the given event distance (use 0 when unknown).
+// eventIdx, with the given event distance (use 0 when unknown), and no
+// fingerprint context.
 func (r *Report) Record(a, b event.Loc, eventIdx, distance int) {
+	r.RecordCtx(a, b, eventIdx, distance, NoCtx)
+}
+
+// RecordCtx is Record with fingerprint context: ctx is stored when the pair
+// is first observed (Locks is copied then; later observations don't touch
+// it, keeping the hot path allocation-free).
+func (r *Report) RecordCtx(a, b event.Loc, eventIdx, distance int, ctx Ctx) {
 	p := MakePair(a, b)
 	info, ok := r.pairs[p]
 	if !ok {
-		info = &Info{FirstEvent: eventIdx, MinDistance: distance, MaxDistance: distance}
+		info = &Info{FirstEvent: eventIdx, MinDistance: distance, MaxDistance: distance, Var: ctx.Var}
+		if len(ctx.Locks) > 0 {
+			info.Locks = append([]event.LID(nil), ctx.Locks...)
+		}
 		r.pairs[p] = info
 		r.order = append(r.order, p)
 	} else {

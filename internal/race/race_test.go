@@ -17,6 +17,31 @@ func TestMakePairNormalizes(t *testing.T) {
 	}
 }
 
+func TestRecordCtxCapturesFirstObservation(t *testing.T) {
+	r := NewReport()
+	locks := []event.LID{3, 1}
+	r.RecordCtx(1, 2, 10, 5, Ctx{Var: 7, Locks: locks})
+	// The borrowed slice may be reused by the caller after the call.
+	locks[0] = 99
+	// Later observations of the same pair must not overwrite the context.
+	r.RecordCtx(2, 1, 20, 1, Ctx{Var: 8, Locks: []event.LID{5}})
+	info := r.Info(MakePair(1, 2))
+	if info.Var != 7 {
+		t.Errorf("Var = %d, want 7 (first observation)", info.Var)
+	}
+	if len(info.Locks) != 2 || info.Locks[0] != 3 || info.Locks[1] != 1 {
+		t.Errorf("Locks = %v, want the copied [3 1]", info.Locks)
+	}
+	if info.Count != 2 {
+		t.Errorf("Count = %d, want 2", info.Count)
+	}
+	// Plain Record leaves the context empty.
+	r.Record(5, 6, 30, 0)
+	if info := r.Info(MakePair(5, 6)); info.Var != -1 || info.Locks != nil {
+		t.Errorf("plain Record context = var %d locks %v, want -1/nil", info.Var, info.Locks)
+	}
+}
+
 func TestRecordAndDistinct(t *testing.T) {
 	r := NewReport()
 	r.Record(1, 2, 100, 50)

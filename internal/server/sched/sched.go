@@ -1,0 +1,222 @@
+// Package sched is the raced server's admission layer: a bounded worker
+// scheduler with per-key serialization. Tasks submitted under the same key
+// (a session id) run one at a time, in submission order, so a session's
+// trace chunks are analyzed sequentially even when clients pipeline
+// requests; tasks under different keys share a fixed pool of workers.
+// The queue of not-yet-running tasks is bounded — a full queue rejects with
+// ErrSaturated, which the HTTP layer turns into 429/Retry-After — so load
+// shedding happens at admission instead of by unbounded queue growth.
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// ErrSaturated is returned by Submit when the pending-task queue is at
+	// capacity; the caller should shed the work (HTTP 429) and retry later.
+	ErrSaturated = errors.New("sched: queue saturated")
+	// ErrDraining is returned by Submit after Drain has begun.
+	ErrDraining = errors.New("sched: scheduler is draining")
+)
+
+// Config sizes a Scheduler. The zero value picks usable defaults.
+type Config struct {
+	// Workers caps concurrently-running tasks; defaults to GOMAXPROCS.
+	Workers int
+	// QueueCap caps pending (submitted, not yet running) tasks across all
+	// keys; defaults to 4× Workers.
+	QueueCap int
+}
+
+// keyQueue is the FIFO of pending tasks of one key. A key with a running
+// task keeps its queue registered (running=true) so later submissions stay
+// serialized behind it; the queue is deleted once it is empty and idle.
+type keyQueue struct {
+	key     string
+	tasks   []func()
+	running bool
+	ready   bool // queued in Scheduler.ready
+}
+
+// Scheduler dispatches per-key serial FIFO tasks onto a bounded worker
+// pool. Create with New; Submit from any goroutine.
+type Scheduler struct {
+	workers  int
+	queueCap int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	keys     map[string]*keyQueue
+	ready    []*keyQueue // keys with pending tasks, none running
+	pending  int         // total pending tasks across keys
+	running  int         // tasks currently executing
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New starts a scheduler with cfg's worker pool.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * cfg.Workers
+	}
+	s := &Scheduler{
+		workers:  cfg.Workers,
+		queueCap: cfg.QueueCap,
+		keys:     make(map[string]*keyQueue),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues fn under key. Tasks of one key run serially in submission
+// order; tasks of different keys run concurrently up to the worker cap. It
+// fails fast with ErrSaturated when the pending queue is full and
+// ErrDraining after Drain has begun — it never blocks on a full queue.
+func (s *Scheduler) Submit(key string, fn func()) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if s.pending >= s.queueCap {
+		return ErrSaturated
+	}
+	q := s.keys[key]
+	if q == nil {
+		q = &keyQueue{key: key}
+		s.keys[key] = q
+	}
+	q.tasks = append(q.tasks, fn)
+	s.pending++
+	s.makeReady(q)
+	return nil
+}
+
+// Do submits fn under key and waits for it to finish — the synchronous form
+// HTTP handlers use so resources owned by the request (its body) outlive
+// the task. The contract on cancellation preserves that ownership: a
+// context canceled while the task is still queued withdraws it (fn never
+// runs, Do returns ctx.Err()); once fn has started, Do waits for it to
+// finish regardless of the context, so fn never outlives Do.
+func (s *Scheduler) Do(ctx context.Context, key string, fn func()) error {
+	done := make(chan struct{})
+	var started atomic.Bool
+	err := s.Submit(key, func() {
+		if !started.CompareAndSwap(false, true) {
+			return // withdrawn by cancellation before it was popped
+		}
+		defer close(done)
+		fn()
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		if started.CompareAndSwap(false, true) {
+			return ctx.Err() // withdrew the queued task; fn will not run
+		}
+		<-done // fn is mid-flight: its resources are still in use, wait
+		return nil
+	}
+}
+
+// makeReady queues q for dispatch if it has work and no running task.
+// Callers hold s.mu.
+func (s *Scheduler) makeReady(q *keyQueue) {
+	if q.ready || q.running || len(q.tasks) == 0 {
+		return
+	}
+	q.ready = true
+	s.ready = append(s.ready, q)
+	s.cond.Signal()
+}
+
+// worker is the dispatch loop: pop a ready key, run its head task, requeue
+// or retire the key.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for len(s.ready) == 0 {
+			if s.draining && s.pending == 0 {
+				s.mu.Unlock()
+				s.cond.Broadcast() // wake siblings so they exit too
+				return
+			}
+			s.cond.Wait()
+		}
+		q := s.ready[0]
+		s.ready = s.ready[1:]
+		q.ready = false
+		fn := q.tasks[0]
+		q.tasks[0] = nil // allow collection while the task runs
+		q.tasks = q.tasks[1:]
+		q.running = true
+		s.pending--
+		s.running++
+		s.mu.Unlock()
+
+		fn()
+
+		s.mu.Lock()
+		s.running--
+		q.running = false
+		if len(q.tasks) > 0 {
+			s.makeReady(q)
+		} else {
+			delete(s.keys, q.key)
+		}
+	}
+}
+
+// QueueDepth returns the number of pending (not yet running) tasks.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// Running returns the number of tasks currently executing.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Drain stops admission (Submit fails with ErrDraining) and waits until
+// every already-accepted task has finished. It returns ctx.Err() if the
+// context expires first; the workers keep finishing the backlog in the
+// background in that case. Drain is idempotent.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

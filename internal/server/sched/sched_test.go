@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPerKeyOrdering: tasks of one key run strictly in submission order,
+// even with many workers free and many keys interleaved.
+func TestPerKeyOrdering(t *testing.T) {
+	s := New(Config{Workers: 8, QueueCap: 10000})
+	const keys, perKey = 10, 200
+	got := make([][]int, keys)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for i := 0; i < perKey; i++ {
+			k, i := k, i
+			wg.Add(1)
+			if err := s.Submit(fmt.Sprintf("key-%d", k), func() {
+				defer wg.Done()
+				mu.Lock()
+				got[k] = append(got[k], i)
+				mu.Unlock()
+			}); err != nil {
+				t.Fatalf("Submit(key-%d, %d) = %v", k, i, err)
+			}
+		}
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if len(got[k]) != perKey {
+			t.Fatalf("key %d ran %d tasks, want %d", k, len(got[k]), perKey)
+		}
+		for i, v := range got[k] {
+			if v != i {
+				t.Fatalf("key %d task order %v: position %d holds %d", k, got[k][:i+1], i, v)
+			}
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerKeySerialization: two tasks of the same key never overlap in time;
+// tasks of different keys do run concurrently.
+func TestPerKeySerialization(t *testing.T) {
+	s := New(Config{Workers: 4, QueueCap: 100})
+	defer s.Drain(context.Background())
+
+	var inKey atomic.Int32 // concurrent tasks within the serialized key
+	var maxKey atomic.Int32
+	var inAll atomic.Int32 // concurrent tasks overall
+	var maxAll atomic.Int32
+	bump := func(in, max *atomic.Int32) {
+		n := in.Add(1)
+		for {
+			m := max.Load()
+			if n <= m || max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	task := func(key bool) func() {
+		return func() {
+			defer wg.Done()
+			if key {
+				bump(&inKey, &maxKey)
+				defer inKey.Add(-1)
+			}
+			bump(&inAll, &maxAll)
+			defer inAll.Add(-1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		if err := s.Submit("serial", task(true)); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		if err := s.Submit(fmt.Sprintf("other-%d", i), task(false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if maxKey.Load() != 1 {
+		t.Errorf("max concurrency within one key = %d, want 1", maxKey.Load())
+	}
+	if maxAll.Load() < 2 {
+		t.Errorf("max overall concurrency = %d, want >= 2 (different keys in parallel)", maxAll.Load())
+	}
+	if maxAll.Load() > 4 {
+		t.Errorf("max overall concurrency = %d exceeds the %d-worker cap", maxAll.Load(), 4)
+	}
+}
+
+// TestSaturation: with the single worker blocked, submissions beyond
+// QueueCap fail fast with ErrSaturated, and the queue recovers once the
+// worker is released.
+func TestSaturation(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 3})
+	gate := make(chan struct{})
+	var done sync.WaitGroup
+	done.Add(1)
+	if err := s.Submit("blocker", func() { defer done.Done(); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the blocker occupies the worker (pending drops to 0).
+	for i := 0; s.QueueDepth() != 0 || s.Running() != 1; i++ {
+		if i > 1000 {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the queue exactly to capacity…
+	for i := 0; i < 3; i++ {
+		done.Add(1)
+		if err := s.Submit(fmt.Sprintf("k%d", i), func() { done.Done() }); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	// …then every further submission is shed, on any key.
+	for _, key := range []string{"k0", "fresh"} {
+		if err := s.Submit(key, func() {}); !errors.Is(err, ErrSaturated) {
+			t.Errorf("Submit(%q) over capacity = %v, want ErrSaturated", key, err)
+		}
+	}
+	if got := s.QueueDepth(); got != 3 {
+		t.Errorf("QueueDepth = %d, want 3", got)
+	}
+	close(gate)
+	done.Wait()
+	// Capacity is available again.
+	if err := s.Do(context.Background(), "after", func() {}); err != nil {
+		t.Errorf("Submit after recovery = %v", err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainCompletesBacklog: Drain rejects new work but every task accepted
+// before the drain runs to completion.
+func TestDrainCompletesBacklog(t *testing.T) {
+	s := New(Config{Workers: 2, QueueCap: 1000})
+	var ran atomic.Int32
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := s.Submit(fmt.Sprintf("k%d", i%7), func() {
+			time.Sleep(50 * time.Microsecond)
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != n {
+		t.Errorf("drain completed with %d/%d tasks run", got, n)
+	}
+	if err := s.Submit("late", func() {}); !errors.Is(err, ErrDraining) {
+		t.Errorf("Submit after Drain = %v, want ErrDraining", err)
+	}
+	// Idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("second Drain = %v", err)
+	}
+}
+
+// TestDrainTimeout: a context that expires while tasks are still running
+// surfaces as ctx.Err() without wedging the scheduler.
+func TestDrainTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 10})
+	gate := make(chan struct{})
+	if err := s.Submit("slow", func() { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Drain = %v, want DeadlineExceeded", err)
+	}
+	close(gate)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("follow-up Drain = %v", err)
+	}
+}
+
+// TestDoWaits: Do returns only after the task ran; a context canceled
+// while the task is still queued withdraws it — the task NEVER runs (the
+// caller's resources, like an HTTP body, are released on return).
+func TestDoWaits(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 10})
+	defer s.Drain(context.Background())
+	ran := false
+	if err := s.Do(context.Background(), "k", func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("Do returned before the task ran")
+	}
+
+	gate := make(chan struct{})
+	released := make(chan struct{})
+	if err := s.Submit("k", func() { <-gate; close(released) }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var withdrawn atomic.Bool
+	if err := s.Do(ctx, "k", func() { withdrawn.Store(true) }); !errors.Is(err, context.Canceled) {
+		t.Errorf("Do with canceled ctx = %v, want context.Canceled", err)
+	}
+	// Release the worker and let the queue fully drain: the withdrawn task
+	// must not have run.
+	close(gate)
+	<-released
+	if err := s.Do(context.Background(), "k", func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if withdrawn.Load() {
+		t.Error("task withdrawn by cancellation still ran")
+	}
+}

@@ -1,0 +1,690 @@
+// Package server is raced's HTTP layer: an always-on race-analysis service
+// over the repository's engines. Clients open a session by POSTing a binary
+// trace header (the symbol universe sizes the detectors up front), then
+// stream the event body in arbitrarily-sized chunks; each chunk is decoded
+// block by block straight into per-session resumable detector sessions, so
+// analysis is incremental and memory stays O(detector state) per session no
+// matter how long the trace runs. Finishing a session folds its race
+// reports into a global deduplicating fingerprint store queryable over
+// /reports.
+//
+// Admission goes through a bounded scheduler (internal/server/sched): one
+// session's chunks are analyzed serially in arrival order, concurrent
+// sessions share a fixed worker pool, and a full queue sheds load with
+// 429/Retry-After instead of queueing without bound.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/server/sched"
+	"repro/internal/traceio"
+)
+
+// Config parameterizes a Server. The zero value picks usable defaults.
+type Config struct {
+	// DefaultEngines are the engines a session runs when the request names
+	// none. Defaults to ["wcp"].
+	DefaultEngines []string
+	// Engine carries the windowed-engine knobs for POST /analyze.
+	Engine engine.Config
+	// Workers and QueueCap size the admission scheduler (see sched.Config).
+	Workers  int
+	QueueCap int
+	// MaxBodyBytes caps a single request body. Defaults to 32 MiB.
+	MaxBodyBytes int64
+	// MaxSessions caps concurrently-open sessions. Defaults to 1024.
+	MaxSessions int
+	// MaxThreads caps the thread count a session header may declare.
+	// Detector state is O(threads²) clock words per engine, so this is the
+	// real memory guard — a crafted header must not be able to demand
+	// terabytes. Defaults to 4096.
+	MaxThreads int
+	// MaxSymbols caps each remaining symbol table (locks, vars, locations)
+	// a header may declare. Defaults to 1<<20.
+	MaxSymbols int
+	// IdleTimeout evicts sessions with no chunk activity for this long
+	// (their partial results still reach the report store). Defaults to
+	// 5 minutes; <0 disables eviction.
+	IdleTimeout time.Duration
+	// JanitorPeriod is how often idle sessions are collected. Defaults to
+	// IdleTimeout/4.
+	JanitorPeriod time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if len(c.DefaultEngines) == 0 {
+		c.DefaultEngines = []string{"wcp"}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 4096
+	}
+	if c.MaxSymbols <= 0 {
+		c.MaxSymbols = 1 << 20
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.JanitorPeriod <= 0 {
+		c.JanitorPeriod = c.IdleTimeout / 4
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is the raced service state: sessions, scheduler, report store.
+// Create with New, serve via Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	sched *sched.Scheduler
+	store *report.Store
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	draining    atomic.Bool
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	// counters (atomics; gauges are read live)
+	eventsIngested   atomic.Uint64
+	chunksIngested   atomic.Uint64
+	sessionsCreated  atomic.Uint64
+	sessionsFinished atomic.Uint64
+	sessionsEvicted  atomic.Uint64
+	analyses         atomic.Uint64
+	shed             atomic.Uint64
+}
+
+// New builds a Server and starts its scheduler and idle-session janitor.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:         cfg,
+		sched:       sched.New(sched.Config{Workers: cfg.Workers, QueueCap: cfg.QueueCap}),
+		store:       report.NewStore(),
+		sessions:    make(map[string]*session),
+		start:       time.Now(),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionStatus)
+	s.mux.HandleFunc("POST /sessions/{id}/chunks", s.handleChunk)
+	s.mux.HandleFunc("POST /sessions/{id}/finish", s.handleFinish)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleAbort)
+	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /reports", s.handleReports)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.IdleTimeout > 0 {
+		go s.janitor()
+	} else {
+		close(s.janitorDone)
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the raced API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the deduplicating report store (for embedding servers).
+func (s *Server) Store() *report.Store { return s.store }
+
+// Close drains the server: new requests are refused (503), the scheduler
+// finishes every accepted chunk, and still-open sessions are finalized so
+// their races reach the report store. Safe to call once.
+func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	close(s.janitorStop)
+	<-s.janitorDone
+	err := s.sched.Drain(ctx)
+
+	s.mu.Lock()
+	open := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.sessions = make(map[string]*session)
+	s.mu.Unlock()
+	for _, sess := range open {
+		sess.finalize(s.store, time.Now())
+	}
+	if len(open) > 0 {
+		s.cfg.Logf("raced: finalized %d open session(s) at shutdown", len(open))
+	}
+	return err
+}
+
+// janitor evicts idle sessions on a timer. Eviction goes through the
+// scheduler under the session's key, so it serializes behind any chunk
+// still queued for that session.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	t := time.NewTicker(s.cfg.JanitorPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.IdleTimeout)
+		s.mu.Lock()
+		var stale []*session
+		for _, sess := range s.sessions {
+			if sess.idleSince().Before(cutoff) {
+				stale = append(stale, sess)
+			}
+		}
+		s.mu.Unlock()
+		for _, sess := range stale {
+			sess := sess
+			err := s.sched.Submit(sess.id, func() {
+				// Chunks queued behind this task may have touched the
+				// session since the tick collected it: re-check idleness at
+				// execution time before evicting.
+				if sess.idleSince().After(time.Now().Add(-s.cfg.IdleTimeout)) {
+					return
+				}
+				s.removeSession(sess.id)
+				sess.finalize(s.store, time.Now())
+				s.sessionsEvicted.Add(1)
+				s.cfg.Logf("raced: evicted idle session %s (%d events)", sess.id, sess.status().Events)
+			})
+			if err != nil {
+				// Saturated or draining: retry at the next tick.
+				continue
+			}
+		}
+	}
+}
+
+func (s *Server) removeSession(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	delete(s.sessions, id)
+	return sess
+}
+
+func (s *Server) getSession(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// --- helpers ---
+
+type apiError struct {
+	Error  string `json:"error"`
+	Offset int64  `json:"offset,omitempty"`
+	Event  int64  `json:"event,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeDecodeError maps a chunk/trace decode failure to 400 with the
+// offset/event context the traceio layer captured.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var de *traceio.DecodeError
+	if errors.As(err, &de) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: de.Error(), Offset: de.Offset, Event: de.Event})
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// shedOrFail maps scheduler admission errors: saturation is 429 with a
+// Retry-After hint, draining is 503.
+func (s *Server) shedOrFail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, sched.ErrSaturated):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "analysis queue saturated, retry later")
+	case errors.Is(err, sched.ErrDraining), s.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return true
+	}
+	return false
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// engineNames parses the ?engines=a,b,c parameter, defaulting to the
+// configured list.
+func (s *Server) engineNames(r *http.Request) []string {
+	raw := r.URL.Query().Get("engines")
+	if raw == "" {
+		return s.cfg.DefaultEngines
+	}
+	parts := strings.Split(raw, ",")
+	names := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			names = append(names, p)
+		}
+	}
+	return names
+}
+
+// engineResult is the JSON shape of one engine's outcome.
+type engineResult struct {
+	Engine        string  `json:"engine"`
+	Events        int     `json:"events"`
+	RacyEvents    int     `json:"racy_events"`
+	FirstRace     int     `json:"first_race"`
+	Distinct      int     `json:"distinct"`
+	QueueMaxTotal int     `json:"queue_max_total,omitempty"`
+	Summary       string  `json:"summary"`
+	Report        string  `json:"report,omitempty"`
+	DurationMS    float64 `json:"duration_ms"`
+	Error         string  `json:"error,omitempty"`
+}
+
+func renderResult(res *engine.Result, events int, h traceio.Header) engineResult {
+	er := engineResult{
+		Engine:        res.Engine,
+		Events:        events,
+		RacyEvents:    res.RacyEvents,
+		FirstRace:     res.FirstRace,
+		Distinct:      res.Distinct(),
+		QueueMaxTotal: res.QueueMaxTotal,
+		Summary:       res.Summary,
+		DurationMS:    float64(res.Duration.Microseconds()) / 1e3,
+	}
+	if res.Report != nil {
+		er.Report = res.Report.Format(h.Syms)
+	}
+	if res.Err != nil {
+		er.Error = res.Err.Error()
+	}
+	return er
+}
+
+// --- session lifecycle handlers ---
+
+type sessionCreated struct {
+	ID      string   `json:"id"`
+	Engines []string `json:"engines"`
+	Dims    struct {
+		Threads int `json:"threads"`
+		Locks   int `json:"locks"`
+		Vars    int `json:"vars"`
+		Locs    int `json:"locs"`
+	} `json:"dims"`
+}
+
+// handleCreateSession opens a session: the body is a binary trace header
+// (traceio.WriteHeader) declaring the symbol universe, which sizes every
+// requested engine's detector up front.
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	names := s.engineNames(r)
+	makers := make([]engine.SessionEngine, len(names))
+	for i, name := range names {
+		e, err := engine.New(name, s.cfg.Engine)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		se, ok := e.(engine.SessionEngine)
+		if !ok {
+			writeError(w, http.StatusBadRequest,
+				"engine %q cannot run as a streaming session (streaming engines: wcp, wcp-epoch, hb, hb-epoch)", name)
+			return
+		}
+		makers[i] = se
+	}
+
+	h, err := traceio.ReadHeader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	d := h.Dims()
+	if d.Threads == 0 {
+		writeError(w, http.StatusBadRequest, "header declares no threads")
+		return
+	}
+	if d.Threads > s.cfg.MaxThreads {
+		writeError(w, http.StatusBadRequest,
+			"header declares %d threads, limit is %d (detector state is O(threads²))", d.Threads, s.cfg.MaxThreads)
+		return
+	}
+	if max(d.Locks, d.Vars, d.Locs) > s.cfg.MaxSymbols {
+		writeError(w, http.StatusBadRequest,
+			"header declares %d locks / %d vars / %d locations, per-table limit is %d",
+			d.Locks, d.Vars, d.Locs, s.cfg.MaxSymbols)
+		return
+	}
+
+	atCapacity := func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.sessions) >= s.cfg.MaxSessions
+	}
+	if atCapacity() {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.cfg.MaxSessions)
+		return
+	}
+	// Detector allocation (the expensive part) happens outside the sessions
+	// mutex; the limit is re-checked at insertion, so it stays strict.
+	id := newID()
+	engines := make([]engine.Session, len(makers))
+	for i, se := range makers {
+		engines[i] = se.NewSession(d.Threads, d.Locks, d.Vars)
+	}
+	sess := newSession(id, h, names, engines, time.Now())
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.cfg.MaxSessions)
+		return
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.sessionsCreated.Add(1)
+	s.cfg.Logf("raced: session %s opened (engines=%v threads=%d locks=%d vars=%d)",
+		id, names, d.Threads, d.Locks, d.Vars)
+
+	resp := sessionCreated{ID: id, Engines: names}
+	resp.Dims.Threads, resp.Dims.Locks, resp.Dims.Vars, resp.Dims.Locs = d.Threads, d.Locks, d.Vars, d.Locs
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// handleChunk ingests one chunk of the session's event body. The request
+// holds a scheduler slot while the chunk is decoded and analyzed, so a
+// saturated service pushes back here with 429.
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	id := r.PathValue("id")
+	sess := s.getSession(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var added uint64
+	var ingestErr error
+	err := s.sched.Do(r.Context(), id, func() {
+		added, ingestErr = sess.ingest(body, time.Now())
+	})
+	if err != nil {
+		s.shedOrFail(w, err)
+		return
+	}
+	s.eventsIngested.Add(added)
+	if ingestErr != nil {
+		if errors.Is(ingestErr, errSessionClosed) {
+			writeError(w, http.StatusConflict, "session %s is closed", id)
+			return
+		}
+		writeDecodeError(w, ingestErr)
+		return
+	}
+	s.chunksIngested.Add(1)
+	st := sess.status()
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "events": st.Events, "chunks": st.Chunks})
+}
+
+type sessionFinished struct {
+	ID      string         `json:"id"`
+	Events  uint64         `json:"events"`
+	Results []engineResult `json:"results"`
+}
+
+// handleFinish seals a session: every engine's detector is finalized, the
+// race reports are folded into the dedup store, and the per-engine results
+// are returned. The finish task runs under the session's scheduler key, so
+// it executes after every already-accepted chunk.
+func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	id := r.PathValue("id")
+	sess := s.getSession(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	var results []*engine.Result
+	err := s.sched.Do(r.Context(), id, func() {
+		s.removeSession(id)
+		results = sess.finalize(s.store, time.Now())
+	})
+	if err != nil {
+		s.shedOrFail(w, err)
+		return
+	}
+	if results == nil {
+		writeError(w, http.StatusConflict, "session %s is already closed", id)
+		return
+	}
+	s.sessionsFinished.Add(1)
+	st := sess.status()
+	resp := sessionFinished{ID: id, Events: st.Events, Results: make([]engineResult, len(results))}
+	for i, res := range results {
+		resp.Results[i] = renderResult(res, int(st.Events), sess.header)
+	}
+	s.cfg.Logf("raced: session %s finished (%d events, %d engines)", id, st.Events, len(results))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAbort discards a session without reporting.
+func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.removeSession(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	sess.abort()
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "aborted": true})
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.getSession(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.status())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		list = append(list, sess)
+	}
+	s.mu.Unlock()
+	out := make([]sessionStatus, len(list))
+	for i, sess := range list {
+		out[i] = sess.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Created.Before(out[j].Created) })
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+// --- one-shot analysis ---
+
+// handleAnalyze runs engines over a complete trace body (text or binary,
+// auto-detected) in one request. The trace is materialized — unlike
+// sessions this path supports the windowed/lockset engines too — and the
+// reports are folded into the dedup store like a one-chunk session.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	names := s.engineNames(r)
+	engines := make([]engine.Engine, len(names))
+	for i, name := range names {
+		e, err := engine.New(name, s.cfg.Engine)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		engines[i] = e
+	}
+	tr, err := traceio.ReadAuto(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	id := "analyze-" + newID()
+	var results []*engine.Result
+	if err := s.sched.Do(r.Context(), id, func() {
+		results = make([]*engine.Result, len(engines))
+		now := time.Now()
+		for i, e := range engines {
+			results[i] = e.Analyze(tr)
+			s.store.AddReport(results[i].Engine, id, results[i].Report, tr.Symbols, now)
+		}
+	}); err != nil {
+		s.shedOrFail(w, err)
+		return
+	}
+	s.analyses.Add(1)
+	s.eventsIngested.Add(uint64(len(tr.Events)))
+	resp := sessionFinished{ID: id, Events: uint64(len(tr.Events)), Results: make([]engineResult, len(results))}
+	h := traceio.Header{Syms: tr.Symbols}
+	for i, res := range results {
+		resp.Results[i] = renderResult(res, len(tr.Events), h)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- reports, health, metrics ---
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := report.Filter{
+		Engine: q.Get("engine"),
+		Loc:    q.Get("loc"),
+		Var:    q.Get("var"),
+	}
+	if v := q.Get("min_count"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad min_count %q", v)
+			return
+		}
+		f.MinCount = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	entries := s.store.List(f)
+	if entries == nil {
+		entries = []report.Entry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   s.store.Len(),
+		"matched": len(entries),
+		"reports": entries,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"sessions":       active,
+		"queue_depth":    s.sched.QueueDepth(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "raced_events_ingested_total %d\n", s.eventsIngested.Load())
+	fmt.Fprintf(w, "raced_chunks_total %d\n", s.chunksIngested.Load())
+	fmt.Fprintf(w, "raced_analyses_total %d\n", s.analyses.Load())
+	fmt.Fprintf(w, "raced_sessions_active %d\n", active)
+	fmt.Fprintf(w, "raced_sessions_created_total %d\n", s.sessionsCreated.Load())
+	fmt.Fprintf(w, "raced_sessions_finished_total %d\n", s.sessionsFinished.Load())
+	fmt.Fprintf(w, "raced_sessions_evicted_total %d\n", s.sessionsEvicted.Load())
+	fmt.Fprintf(w, "raced_queue_depth %d\n", s.sched.QueueDepth())
+	fmt.Fprintf(w, "raced_tasks_running %d\n", s.sched.Running())
+	fmt.Fprintf(w, "raced_shed_total %d\n", s.shed.Load())
+	fmt.Fprintf(w, "raced_report_classes %d\n", s.store.Len())
+	fmt.Fprintf(w, "raced_report_observations_total %d\n", s.store.Observations())
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/traceio"
+)
+
+// session is one client's streaming analysis: a trace header fixed at
+// creation plus one resumable engine.Session per requested engine, fed
+// chunk by chunk. Chunk bodies are decoded with traceio.NewEventStream
+// straight into the session's reusable SoA block and from there into every
+// engine's detector — per-chunk work allocates nothing beyond what the
+// detectors grow.
+//
+// The scheduler serializes all tasks of one session (key = session id), so
+// ingest, finish and evict never run concurrently; mu additionally guards
+// the fields the HTTP status handlers read outside scheduler tasks.
+type session struct {
+	id      string
+	header  traceio.Header
+	names   []string // engine names, in request order
+	created time.Time
+
+	mu         sync.Mutex
+	engines    []engine.Session
+	block      *trace.Block
+	events     uint64
+	chunks     int
+	lastActive time.Time
+	closed     bool
+	failed     error // latched fatal ingest error; chunks are rejected after
+}
+
+func newSession(id string, h traceio.Header, names []string, engines []engine.Session, now time.Time) *session {
+	return &session{
+		id:         id,
+		header:     h,
+		names:      names,
+		engines:    engines,
+		block:      trace.NewBlock(traceio.DefaultBlockSize),
+		created:    now,
+		lastActive: now,
+	}
+}
+
+// ingest decodes one chunk body into every engine session. It returns the
+// number of events the chunk added; a decode error is latched — the
+// session's analysis is no longer trustworthy past the corruption — and
+// further chunks are rejected.
+func (s *session) ingest(body io.Reader, now time.Time) (added uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastActive = now
+	if s.closed {
+		return 0, errSessionClosed
+	}
+	if s.failed != nil {
+		return 0, s.failed
+	}
+	st := traceio.NewEventStream(body, s.header, s.events)
+	for {
+		n, err := st.NextBlockSoA(s.block)
+		if n > 0 {
+			for _, es := range s.engines {
+				es.ProcessBlock(s.block)
+			}
+			s.events += uint64(n)
+			added += uint64(n)
+		}
+		if err == io.EOF {
+			s.chunks++
+			return added, nil
+		}
+		if err != nil {
+			s.failed = err
+			return added, err
+		}
+	}
+}
+
+// finalize seals every engine session, folds the per-engine race reports
+// into the store (source-tagged with the session id), and returns the
+// results. It is idempotent; only the first call does the work.
+func (s *session) finalize(store *report.Store, now time.Time) []*engine.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	results := make([]*engine.Result, len(s.engines))
+	for i, es := range s.engines {
+		results[i] = es.Finish()
+		store.AddReport(results[i].Engine, "session:"+s.id, results[i].Report, s.header.Syms, now)
+	}
+	return results
+}
+
+// abort seals the session without reporting anything.
+func (s *session) abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// status is the JSON shape of GET /sessions/{id}.
+type sessionStatus struct {
+	ID         string    `json:"id"`
+	Engines    []string  `json:"engines"`
+	Events     uint64    `json:"events"`
+	Chunks     int       `json:"chunks"`
+	Created    time.Time `json:"created"`
+	LastActive time.Time `json:"last_active"`
+	Failed     string    `json:"failed,omitempty"`
+}
+
+func (s *session) status() sessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := sessionStatus{
+		ID:         s.id,
+		Engines:    s.names,
+		Events:     s.events,
+		Chunks:     s.chunks,
+		Created:    s.created,
+		LastActive: s.lastActive,
+	}
+	if s.failed != nil {
+		st.Failed = s.failed.Error()
+	}
+	return st
+}
+
+func (s *session) idleSince() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastActive
+}
+
+var errSessionClosed = fmt.Errorf("session is closed")

@@ -148,12 +148,60 @@ func WriteBinary(w io.Writer, tr *trace.Trace) error {
 	return bw.Flush()
 }
 
+// DecodeError reports a corrupt binary trace together with where decoding
+// stopped: the byte offset into the input (relative to the start of the
+// stream, or of the chunk body for NewEventStream), the index of the event
+// being decoded (-1 while still in the header), and the file path when the
+// stream was opened from one. Corpus runners and the raced server surface
+// it so logs say exactly where a trace is corrupt.
+type DecodeError struct {
+	Path   string // file path, "" for reader-backed streams
+	Offset int64  // byte offset where decoding stopped
+	Event  int64  // index of the event being decoded, -1 in the header
+	Err    error  // underlying reason
+}
+
+func (e *DecodeError) Error() string {
+	where := "header"
+	if e.Event >= 0 {
+		where = fmt.Sprintf("event %d", e.Event)
+	}
+	if e.Path != "" {
+		return fmt.Sprintf("traceio: %s: %s at byte offset %d: %v", e.Path, where, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("traceio: %s at byte offset %d: %v", where, e.Offset, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// headerError wraps a header-decode failure with the current byte offset.
+func headerError(br *binaryReader, err error) *DecodeError {
+	return &DecodeError{Offset: br.off, Event: -1, Err: err}
+}
+
 type binaryReader struct {
-	br *bufio.Reader
+	br  *bufio.Reader
+	off int64 // bytes consumed so far
+}
+
+// ReadByte implements io.ByteReader, counting consumed bytes so decode
+// errors can carry the offset where the input went bad.
+func (r *binaryReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
 }
 
 func (r *binaryReader) uvarint() (uint64, error) {
-	return binary.ReadUvarint(r.br)
+	return binary.ReadUvarint(r)
+}
+
+func (r *binaryReader) full(buf []byte) error {
+	n, err := io.ReadFull(r.br, buf)
+	r.off += int64(n)
+	return err
 }
 
 func (r *binaryReader) str() (string, error) {
@@ -166,7 +214,7 @@ func (r *binaryReader) str() (string, error) {
 		return "", fmt.Errorf("symbol name length %d exceeds limit", n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(r.br, buf); err != nil {
+	if err := r.full(buf); err != nil {
 		return "", err
 	}
 	return string(buf), nil
@@ -178,22 +226,22 @@ func (r *binaryReader) str() (string, error) {
 func readBinaryHeader(br *binaryReader) (*event.Symbols, [4]uint64, uint64, error) {
 	var counts [4]uint64
 	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br.br, magic); err != nil {
-		return nil, counts, 0, fmt.Errorf("traceio: reading magic: %w", err)
+	if err := br.full(magic); err != nil {
+		return nil, counts, 0, headerError(br, fmt.Errorf("reading magic: %w", noEOF(err)))
 	}
 	if string(magic) != binaryMagic {
-		return nil, counts, 0, fmt.Errorf("traceio: bad magic %q, want %q", magic, binaryMagic)
+		return nil, counts, 0, headerError(br, fmt.Errorf("bad magic %q, want %q", magic, binaryMagic))
 	}
-	ver, err := br.br.ReadByte()
+	ver, err := br.ReadByte()
 	if err != nil {
-		return nil, counts, 0, fmt.Errorf("traceio: %w", err)
+		return nil, counts, 0, headerError(br, fmt.Errorf("reading version: %w", noEOF(err)))
 	}
 	if ver != binaryVersion {
-		return nil, counts, 0, fmt.Errorf("traceio: unsupported version %d", ver)
+		return nil, counts, 0, headerError(br, fmt.Errorf("unsupported version %d", ver))
 	}
 	for i := range counts {
 		if counts[i], err = br.uvarint(); err != nil {
-			return nil, counts, 0, fmt.Errorf("traceio: reading symbol counts: %w", err)
+			return nil, counts, 0, headerError(br, fmt.Errorf("reading symbol counts: %w", noEOF(err)))
 		}
 	}
 	syms := &event.Symbols{}
@@ -211,46 +259,61 @@ func readBinaryHeader(br *binaryReader) (*event.Symbols, [4]uint64, uint64, erro
 		for j := uint64(0); j < counts[i]; j++ {
 			name, err := br.str()
 			if err != nil {
-				return nil, counts, 0, fmt.Errorf("traceio: reading symbols: %w", err)
+				return nil, counts, 0, headerError(br, fmt.Errorf("reading symbols: %w", noEOF(err)))
 			}
 			add(name)
 		}
 	}
 	nev, err := br.uvarint()
 	if err != nil {
-		return nil, counts, 0, fmt.Errorf("traceio: reading event count: %w", err)
+		return nil, counts, 0, headerError(br, fmt.Errorf("reading event count: %w", noEOF(err)))
 	}
 	return syms, counts, nev, nil
 }
 
+// noEOF converts a bare io.EOF — input that simply ran out partway through a
+// structure — into io.ErrUnexpectedEOF, so truncation reads as corruption
+// rather than clean end of stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
 // decodeEvent decodes one event of the body, validating operand ranges
-// against the header's table sizes. i is the event index, for errors.
+// against the header's table sizes. i is the event index; decode failures
+// come back as a *DecodeError carrying i and the byte offset of the event.
 func decodeEvent(br *binaryReader, counts [4]uint64, i uint64) (event.Event, error) {
-	kindB, err := br.br.ReadByte()
+	start := br.off
+	fail := func(err error) (event.Event, error) {
+		return event.Event{}, &DecodeError{Offset: start, Event: int64(i), Err: err}
+	}
+	kindB, err := br.ReadByte()
 	if err != nil {
-		return event.Event{}, fmt.Errorf("traceio: event %d: %w", i, err)
+		return fail(noEOF(err))
 	}
 	kind := event.Kind(kindB)
 	if !kind.Valid() {
-		return event.Event{}, fmt.Errorf("traceio: event %d: invalid kind %d", i, kindB)
+		return fail(fmt.Errorf("invalid kind %d", kindB))
 	}
 	thread, err := br.uvarint()
 	if err != nil {
-		return event.Event{}, fmt.Errorf("traceio: event %d: %w", i, err)
+		return fail(noEOF(err))
 	}
 	obj, err := br.uvarint()
 	if err != nil {
-		return event.Event{}, fmt.Errorf("traceio: event %d: %w", i, err)
+		return fail(noEOF(err))
 	}
 	locP1, err := br.uvarint()
 	if err != nil {
-		return event.Event{}, fmt.Errorf("traceio: event %d: %w", i, err)
+		return fail(noEOF(err))
 	}
 	if thread >= counts[0] {
-		return event.Event{}, fmt.Errorf("traceio: event %d: thread index %d out of range", i, thread)
+		return fail(fmt.Errorf("thread index %d out of range", thread))
 	}
 	if locP1 > counts[3] {
-		return event.Event{}, fmt.Errorf("traceio: event %d: location index %d out of range", i, locP1)
+		return fail(fmt.Errorf("location index %d out of range", locP1))
 	}
 	var objLimit uint64
 	switch kind {
@@ -262,7 +325,7 @@ func decodeEvent(br *binaryReader, counts [4]uint64, i uint64) (event.Event, err
 		objLimit = counts[0]
 	}
 	if obj >= objLimit {
-		return event.Event{}, fmt.Errorf("traceio: event %d: operand index %d out of range", i, obj)
+		return fail(fmt.Errorf("operand index %d out of range", obj))
 	}
 	return event.Event{
 		Kind:   kind,
@@ -270,6 +333,86 @@ func decodeEvent(br *binaryReader, counts [4]uint64, i uint64) (event.Event, err
 		Obj:    int32(obj),
 		Loc:    event.Loc(locP1) - 1,
 	}, nil
+}
+
+// Header is the binary format's preamble — the symbol universe plus the
+// declared event count — decoupled from the event body, so a producer can
+// ship the header in one piece (a raced session-create request) and the
+// events separately in arbitrarily-chunked bodies (see NewEventStream).
+type Header struct {
+	// Syms is the complete symbol universe of the trace.
+	Syms *event.Symbols
+	// Events is the declared event count; <= 0 means open-ended (the body
+	// length is not known up front, as in a live session).
+	Events int
+}
+
+// counts returns the operand-validation limits implied by the universe.
+func (h Header) counts() [4]uint64 {
+	return [4]uint64{
+		uint64(h.Syms.NumThreads()),
+		uint64(h.Syms.NumLocks()),
+		uint64(h.Syms.NumVars()),
+		uint64(h.Syms.NumLocations()),
+	}
+}
+
+// Dims returns the trace dimensions the header declares (Events is -1 when
+// open-ended).
+func (h Header) Dims() Dims {
+	d := Dims{
+		Threads: h.Syms.NumThreads(),
+		Locks:   h.Syms.NumLocks(),
+		Vars:    h.Syms.NumVars(),
+		Locs:    h.Syms.NumLocations(),
+		Events:  h.Events,
+	}
+	if h.Events <= 0 {
+		d.Events = -1
+	}
+	return d
+}
+
+// WriteHeader writes a standalone binary trace header: the symbol universe
+// and the declared event count (use 0 for an open-ended body). The written
+// bytes are exactly the preamble a full binary trace would start with.
+func WriteHeader(w io.Writer, syms *event.Symbols, nevents int) error {
+	bw := bufio.NewWriter(w)
+	if err := writeBinaryHeader(bw, syms, nevents); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	return nil
+}
+
+// ReadHeader decodes a standalone binary trace header from r. It may read
+// past the header's last byte (buffering), so r should contain only a
+// header; to decode header and body from one stream use OpenStream.
+func ReadHeader(r io.Reader) (Header, error) {
+	br := &binaryReader{br: bufio.NewReader(r)}
+	syms, _, nev, err := readBinaryHeader(br)
+	if err != nil {
+		return Header{}, err
+	}
+	return Header{Syms: syms, Events: int(nev)}, nil
+}
+
+// EncodeEvents writes events in the binary body encoding, with no header:
+// the chunk format of a raced session. Every event is written whole, so
+// concatenated EncodeEvents outputs always split on event boundaries.
+func EncodeEvents(w io.Writer, events []event.Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if err := writeEvent(bw, e); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	return nil
 }
 
 // ReadBinary parses a binary-format trace from r.

@@ -48,13 +48,18 @@ type BlockReader interface {
 type Stream struct {
 	syms   *event.Symbols
 	binary bool
-	dims   Dims // binary only; text dims come from syms as the scan runs
+	dims   Dims   // binary only; text dims come from syms as the scan runs
+	path   string // source file, when known, for decode-error context
 
 	// binary state
 	bin       *binaryReader
 	counts    [4]uint64
 	decoded   uint64
 	remaining uint64
+	// unbounded marks a headerless event-body stream (NewEventStream): the
+	// body ends cleanly at the first event boundary where input runs out,
+	// instead of after a declared count.
+	unbounded bool
 
 	// text state
 	sc     *bufio.Scanner
@@ -102,7 +107,9 @@ func OpenStream(r io.Reader) (*Stream, error) {
 }
 
 // StreamFile starts decoding a trace file, auto-detecting the format. The
-// returned stream owns the file handle; Close releases it.
+// returned stream owns the file handle; Close releases it. Decode errors —
+// at open and from the block readers — carry the file path, so corpus and
+// server logs say where a trace is corrupt.
 func StreamFile(path string) (*Stream, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -111,10 +118,39 @@ func StreamFile(path string) (*Stream, error) {
 	s, err := OpenStream(f)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, notePath(err, path)
 	}
+	s.path = path
 	s.closer = f
 	return s, nil
+}
+
+// NewEventStream decodes a headerless binary event body from r: the events
+// of a trace whose header (symbol universe) arrived separately, the
+// chunked-ingestion path of the raced server. The stream is open-ended —
+// it ends cleanly (io.EOF) at the first event boundary where r is
+// exhausted; input that runs out mid-event is a *DecodeError whose Offset
+// is relative to the start of r's body. base is the index of the body's
+// first event in the overall trace (events decoded so far in the session),
+// so decode errors report absolute event indices.
+func NewEventStream(r io.Reader, h Header, base uint64) *Stream {
+	return &Stream{
+		syms:      h.Syms,
+		binary:    true,
+		dims:      h.Dims(),
+		bin:       &binaryReader{br: bufio.NewReader(r)},
+		counts:    h.counts(),
+		decoded:   base,
+		unbounded: true,
+	}
+}
+
+// notePath attaches path to a *DecodeError that does not carry one yet.
+func notePath(err error, path string) error {
+	if de, ok := err.(*DecodeError); ok && de.Path == "" {
+		de.Path = path
+	}
+	return err
 }
 
 // Symbols returns the symbol table: complete up front for binary streams,
@@ -154,21 +190,27 @@ func (s *Stream) NextBlock(buf []event.Event) (int, error) {
 	}
 	var n int
 	if s.binary {
-		n = len(buf)
-		if uint64(n) > s.remaining {
-			n = int(s.remaining)
+		limit := len(buf)
+		if !s.unbounded && uint64(limit) > s.remaining {
+			limit = int(s.remaining)
 		}
-		for i := 0; i < n; i++ {
+		for n < limit {
+			if s.unbounded && s.atBodyEnd() {
+				break
+			}
 			e, err := decodeEvent(s.bin, s.counts, s.decoded)
 			if err != nil {
-				s.err = err
-				return i, err
+				s.err = notePath(err, s.path)
+				return n, s.err
 			}
-			buf[i] = e
+			buf[n] = e
+			n++
 			s.decoded++
 			s.tallyEvent(e)
 		}
-		s.remaining -= uint64(n)
+		if !s.unbounded {
+			s.remaining -= uint64(n)
+		}
 		if n == 0 {
 			s.err = io.EOF
 			return 0, io.EOF
@@ -250,21 +292,27 @@ func (s *Stream) NextBlockSoA(b *trace.Block) (int, error) {
 	}
 	b.Reset()
 	if s.binary {
-		n := b.Cap()
-		if uint64(n) > s.remaining {
-			n = int(s.remaining)
+		limit := b.Cap()
+		if !s.unbounded && uint64(limit) > s.remaining {
+			limit = int(s.remaining)
 		}
-		for i := 0; i < n; i++ {
+		for b.Len() < limit {
+			if s.unbounded && s.atBodyEnd() {
+				break
+			}
 			e, err := decodeEvent(s.bin, s.counts, s.decoded)
 			if err != nil {
-				s.err = err
-				return b.Len(), err
+				s.err = notePath(err, s.path)
+				return b.Len(), s.err
 			}
 			b.AppendFields(e.Kind, e.Thread, e.Obj, e.Loc)
 			s.decoded++
 			s.tallyEvent(e)
 		}
-		s.remaining -= uint64(n)
+		n := b.Len()
+		if !s.unbounded {
+			s.remaining -= uint64(n)
+		}
 		if n == 0 {
 			s.err = io.EOF
 			return 0, io.EOF
@@ -286,6 +334,14 @@ func (s *Stream) NextBlockSoA(b *trace.Block) (int, error) {
 		return 0, s.err
 	}
 	return b.Len(), nil
+}
+
+// atBodyEnd reports whether an open-ended event body is cleanly exhausted:
+// no more input at an event boundary. Read errors other than io.EOF are
+// left for decodeEvent to surface with offset context.
+func (s *Stream) atBodyEnd() bool {
+	_, err := s.bin.br.Peek(1)
+	return err == io.EOF
 }
 
 func (s *Stream) tallyEvent(e event.Event) {

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Smoke test for the raced daemon: build it, start it, stream a generated
+# trace in with examples/client, assert a deduplicated race report exists,
+# and verify a clean SIGTERM drain. Used by CI; runnable locally too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${RACED_ADDR:-127.0.0.1:7497}"
+OUT="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/raced" ./cmd/raced
+"$OUT/raced" -addr "$ADDR" -engines wcp,hb &
+PID=$!
+
+# Wait for the daemon to come up.
+for i in $(seq 1 100); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 100 ]; then echo "raced never became healthy" >&2; exit 1; fi
+  sleep 0.1
+done
+
+# Stream a generated trace in; the default seed produces races.
+go run ./examples/client -addr "http://$ADDR" -events 20000 | tee "$OUT/client.log"
+grep -q "session finished" "$OUT/client.log"
+grep -q "race:" "$OUT/client.log"
+
+# The dedup store holds at least one fingerprinted class.
+curl -fsS "http://$ADDR/reports" | tee "$OUT/reports.json" | grep -q '"engine"'
+# One-shot analysis over the same wire.
+go run ./cmd/tracegen -bench raytracer -scale 0.25 -format binary -o "$OUT/raytracer.bin"
+curl -fsS --data-binary @"$OUT/raytracer.bin" "http://$ADDR/analyze?engines=wcp" | grep -q '"racy_events"'
+# Metrics moved.
+curl -fsS "http://$ADDR/metrics" | grep "raced_events_ingested_total" | grep -qv " 0$"
+
+# Clean drain on SIGTERM.
+kill -TERM "$PID"
+wait "$PID"
+echo "raced smoke test passed"
