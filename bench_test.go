@@ -164,6 +164,64 @@ func BenchmarkScalingHB(b *testing.B) {
 	}
 }
 
+// threadScalingT is the thread-count dimension of the thread-scaling
+// matrix; threadScalingEvents holds the event count fixed so the only
+// variable is T.
+var threadScalingT = []int{8, 64, 256, 1024}
+
+const threadScalingEvents = 60_000
+
+var threadScalingCache = map[string]*trace.Trace{}
+
+func threadScalingTrace(b *testing.B, shape string, threads int) *trace.Trace {
+	b.Helper()
+	key := fmt.Sprintf("%s@%d", shape, threads)
+	if tr, ok := threadScalingCache[key]; ok {
+		return tr
+	}
+	tr := gen.ThreadScaling(gen.ThreadScalingConfig{
+		Threads: threads, Events: threadScalingEvents, Shape: shape, Races: 4,
+	})
+	threadScalingCache[key] = tr
+	return tr
+}
+
+// BenchmarkThreadScalingWCP sweeps the thread count T ∈ {8,64,256,1024} at
+// a fixed event count across the three scenario shapes (disjoint-pool
+// thread pools, fork/join waves, one hot global lock): the regime where
+// dense vector clocks pay O(T) per operation and the windowed clocks (see
+// internal/vc) must not. events/s across T is the metric; GOMAXPROCS is
+// irrelevant (the detector is single-threaded).
+func BenchmarkThreadScalingWCP(b *testing.B) {
+	for _, shape := range gen.ThreadScalingShapes {
+		for _, threads := range threadScalingT {
+			tr := threadScalingTrace(b, shape, threads)
+			b.Run(fmt.Sprintf("%s/T%d", shape, threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.DetectOpts(tr, core.Options{})
+				}
+				reportEventsPerSec(b, tr.Len())
+			})
+		}
+	}
+}
+
+// BenchmarkThreadScalingHB is the HB counterpart of
+// BenchmarkThreadScalingWCP.
+func BenchmarkThreadScalingHB(b *testing.B) {
+	for _, shape := range gen.ThreadScalingShapes {
+		for _, threads := range threadScalingT {
+			tr := threadScalingTrace(b, shape, threads)
+			b.Run(fmt.Sprintf("%s/T%d", shape, threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					hb.DetectOpts(tr, hb.Options{})
+				}
+				reportEventsPerSec(b, tr.Len())
+			})
+		}
+	}
+}
+
 // BenchmarkLowerBoundSpace measures Algorithm 1 on the Figure-8 family
 // (Theorems 4–5): the queue high-water mark, reported as a metric, grows
 // linearly with n while throughput stays linear.

@@ -23,10 +23,15 @@
 // exit code stays 0 — the check is a tripwire, not a gate — unless -strict
 // is set.
 //
-// The benchmarks mirror BenchmarkScalingWCP, BenchmarkScalingHB and
-// BenchmarkBatchAnalysis in bench_test.go: WCP and HB whole-trace analysis
-// over the montecarlo workload at several sizes (Theorem 3's linearity
-// check), and the serial-vs-parallel corpus runner comparison.
+// The benchmarks mirror BenchmarkScalingWCP, BenchmarkScalingHB,
+// BenchmarkThreadScaling* and BenchmarkBatchAnalysis in bench_test.go: WCP
+// and HB whole-trace analysis over the montecarlo workload at several sizes
+// (Theorem 3's linearity check), the thread-scaling matrix (T swept at a
+// fixed event count, windowed clocks vs the forced-dense baseline, on the
+// disjoint-pool shape), and the serial-vs-parallel corpus runner
+// comparison. Entries record their thread count and GOMAXPROCS; -check
+// compares like-for-like series only. -benchtime bounds per-benchmark
+// wall-clock (CI uses 0.3s); -threadscale selects the swept thread counts.
 package main
 
 import (
@@ -46,22 +51,30 @@ import (
 	"repro/internal/gen"
 	"repro/internal/hb"
 	"repro/internal/trace"
+	"repro/internal/vc"
 )
 
 var (
-	out       = flag.String("out", "BENCH_wcp.json", "output file")
-	scales    = flag.String("scales", "0.25,0.5,1,2", "comma-separated montecarlo scales for the scaling benchmarks")
-	baseline  = flag.String("baseline", "", "previous benchjson output to embed as the before side of a before/after record")
-	label     = flag.String("label", "", "optional label recorded with this run in the trajectory")
-	check     = flag.String("check", "", "perf-smoke mode: compare against this baseline file instead of writing")
-	threshold = flag.Float64("check-threshold", 20, "events/s regression percentage that triggers a -check warning")
-	strict    = flag.Bool("strict", false, "exit non-zero when -check finds regressions")
+	out         = flag.String("out", "BENCH_wcp.json", "output file")
+	scales      = flag.String("scales", "0.25,0.5,1,2", "comma-separated montecarlo scales for the scaling benchmarks")
+	threadScale = flag.String("threadscale", "8,64,256,1024", "comma-separated thread counts for the thread-scaling benchmarks; empty disables the series")
+	benchtime   = flag.String("benchtime", "", "per-benchmark measuring time (testing's -test.benchtime; e.g. 0.3s for CI smoke)")
+	baseline    = flag.String("baseline", "", "previous benchjson output to embed as the before side of a before/after record")
+	label       = flag.String("label", "", "optional label recorded with this run in the trajectory")
+	check       = flag.String("check", "", "perf-smoke mode: compare against this baseline file instead of writing")
+	threshold   = flag.Float64("check-threshold", 20, "events/s regression percentage that triggers a -check warning")
+	strict      = flag.Bool("strict", false, "exit non-zero when -check finds regressions")
 )
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement. Threads and GOMAXPROCS pin the series
+// dimensions so -check compares like for like: entries whose dimensions
+// differ (e.g. a baseline recorded on a different core count) are reported
+// as skipped, not as regressions. Zero values (older files) match anything.
 type Entry struct {
 	Name         string  `json:"name"`
 	Events       int     `json:"events"`
+	Threads      int     `json:"threads,omitempty"`
+	GOMAXPROCS   int     `json:"gomaxprocs,omitempty"`
 	Iterations   int     `json:"iterations"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -116,12 +129,16 @@ func loadDoc(path string) (*Doc, error) {
 	return &d, nil
 }
 
-func measure(name string, events int, bench func(b *testing.B)) Entry {
+// measure runs one benchmark. The detector benchmarks are single-threaded,
+// so GOMAXPROCS is recorded only on the entries whose results depend on it
+// (the batch runner) — a zero matches any baseline in -check.
+func measure(name string, events, threads int, bench func(b *testing.B)) Entry {
 	res := testing.Benchmark(bench)
 	nsOp := float64(res.T.Nanoseconds()) / float64(res.N)
 	e := Entry{
 		Name:        name,
 		Events:      events,
+		Threads:     threads,
 		Iterations:  res.N,
 		NsPerOp:     nsOp,
 		BytesPerOp:  res.AllocedBytesPerOp(),
@@ -130,7 +147,7 @@ func measure(name string, events int, bench func(b *testing.B)) Entry {
 	if events > 0 && nsOp > 0 {
 		e.EventsPerSec = float64(events) / (nsOp / 1e9)
 	}
-	fmt.Printf("%-40s %10d ns/op %14.0f events/s %10d B/op %8d allocs/op\n",
+	fmt.Printf("%-44s %10d ns/op %14.0f events/s %10d B/op %8d allocs/op\n",
 		name, int64(e.NsPerOp), e.EventsPerSec, e.BytesPerOp, e.AllocsPerOp)
 	return e
 }
@@ -143,6 +160,21 @@ func parseScales(s string) ([]float64, error) {
 			return nil, fmt.Errorf("bad scale %q: %w", part, err)
 		}
 		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad thread count %q: %w", part, err)
+		}
+		out = append(out, n)
 	}
 	return out, nil
 }
@@ -165,7 +197,7 @@ func run() error {
 	for _, tr := range traces {
 		tr := tr
 		results = append(results, measure(
-			fmt.Sprintf("ScalingWCP/events_%d", tr.Len()), tr.Len(),
+			fmt.Sprintf("ScalingWCP/events_%d", tr.Len()), tr.Len(), tr.NumThreads(),
 			func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					core.DetectOpts(tr, core.Options{})
@@ -175,12 +207,49 @@ func run() error {
 	for _, tr := range traces {
 		tr := tr
 		results = append(results, measure(
-			fmt.Sprintf("ScalingHB/events_%d", tr.Len()), tr.Len(),
+			fmt.Sprintf("ScalingHB/events_%d", tr.Len()), tr.Len(), tr.NumThreads(),
 			func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					hb.DetectOpts(tr, hb.Options{})
 				}
 			}))
+	}
+
+	// Thread-scaling series: events fixed, T swept, on the disjoint-pool
+	// shape (the daemon-realistic workload; the full shape matrix lives in
+	// BenchmarkThreadScaling*). Each T is measured twice — windowed clocks
+	// (the default) and the dense-clock baseline (vc.ForceDense) — so the
+	// committed file records the representation's before/after at every T.
+	tsList, err := parseInts(*threadScale)
+	if err != nil {
+		return err
+	}
+	for _, T := range tsList {
+		tr := gen.ThreadScaling(gen.ThreadScalingConfig{
+			Threads: T, Events: 60_000, Shape: "pools", Races: 4,
+		})
+		for _, dense := range []bool{false, true} {
+			suffix := ""
+			if dense {
+				suffix = "/dense"
+			}
+			vc.ForceDense(dense)
+			results = append(results, measure(
+				fmt.Sprintf("ThreadScalingWCP/pools/T%d%s", T, suffix), tr.Len(), T,
+				func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						core.DetectOpts(tr, core.Options{})
+					}
+				}))
+			results = append(results, measure(
+				fmt.Sprintf("ThreadScalingHB/pools/T%d%s", T, suffix), tr.Len(), T,
+				func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						hb.DetectOpts(tr, hb.Options{})
+					}
+				}))
+			vc.ForceDense(false)
+		}
 	}
 
 	// Batch analysis: serial vs parallel corpus runner, as in
@@ -202,16 +271,20 @@ func run() error {
 		}
 	}
 	total := events * len(engines)
-	results = append(results, measure("BatchAnalysis/serial", total, func(b *testing.B) {
+	batch := measure("BatchAnalysis/serial", total, 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			drain(1)
 		}
-	}))
-	results = append(results, measure(fmt.Sprintf("BatchAnalysis/parallel_j%d", runtime.GOMAXPROCS(0)), total, func(b *testing.B) {
+	})
+	batch.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	results = append(results, batch)
+	batch = measure(fmt.Sprintf("BatchAnalysis/parallel_j%d", runtime.GOMAXPROCS(0)), total, 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			drain(0)
 		}
-	}))
+	})
+	batch.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	results = append(results, batch)
 
 	if *check != "" {
 		// One measurement serves both: compare against the baseline, and —
@@ -282,6 +355,15 @@ func runCheck(results []Entry, path string) error {
 		if !ok || b.EventsPerSec <= 0 || e.EventsPerSec <= 0 {
 			continue
 		}
+		// Like-for-like only: a baseline recorded with different series
+		// dimensions (thread count, GOMAXPROCS) is not comparable. Zero
+		// baseline dimensions (older file formats) match anything.
+		if (b.Threads != 0 && b.Threads != e.Threads) ||
+			(b.GOMAXPROCS != 0 && b.GOMAXPROCS != e.GOMAXPROCS) {
+			fmt.Printf("check %-44s skipped: baseline dims (T=%d, procs=%d) != run dims (T=%d, procs=%d)\n",
+				e.Name, b.Threads, b.GOMAXPROCS, e.Threads, e.GOMAXPROCS)
+			continue
+		}
 		delta := 100 * (e.EventsPerSec - b.EventsPerSec) / b.EventsPerSec
 		status := "ok"
 		if delta < -*threshold {
@@ -290,7 +372,7 @@ func runCheck(results []Entry, path string) error {
 			fmt.Printf("::warning title=benchjson perf smoke::%s events/s %.0f -> %.0f (%.1f%%), beyond the %.0f%% threshold\n",
 				e.Name, b.EventsPerSec, e.EventsPerSec, delta, *threshold)
 		}
-		fmt.Printf("check %-40s %14.0f -> %14.0f events/s (%+.1f%%) %s\n",
+		fmt.Printf("check %-44s %14.0f -> %14.0f events/s (%+.1f%%) %s\n",
 			e.Name, b.EventsPerSec, e.EventsPerSec, delta, status)
 	}
 	// Baseline benchmarks this run did not measure (e.g. reduced -scales or
@@ -298,7 +380,7 @@ func runCheck(results []Entry, path string) error {
 	// check's coverage gap should be visible in the log.
 	for _, e := range base.Results {
 		if !measured[e.Name] {
-			fmt.Printf("check %-40s not measured in this run (baseline %.0f events/s unguarded)\n",
+			fmt.Printf("check %-44s not measured in this run (baseline %.0f events/s unguarded)\n",
 				e.Name, e.EventsPerSec)
 		}
 	}
@@ -314,7 +396,16 @@ func runCheck(results []Entry, path string) error {
 }
 
 func main() {
+	// Register testing's flags before parsing ours so -benchtime can be
+	// forwarded to testing.Benchmark.
+	testing.Init()
 	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -benchtime:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -10,9 +10,17 @@
 //	rapid -engine=all -parallel trace.log       # all engines concurrently
 //	rapid -engine=wcp -jobs 8 traces/*.log      # batch: pool of 8 workers
 //	rapid -engine=wcp -stream huge.bin          # block-by-block, O(1) memory
+//	rapid -gen pools -threads 256               # built-in generator, no file
+//	rapid -gen bench:montecarlo -engine=all     # Table-1 synthetic workload
 //
 // Engines: wcp (default; the paper's Algorithm 1), hb, hb-epoch, cp,
 // predict, lockset, all.
+//
+// With -gen, no trace file is read: the built-in generator produces the
+// workload in memory and the selected engines analyze it. Generators:
+// pools, forkjoin, hotlock (the thread-scaling scenario shapes; -threads,
+// -events and -races parameterize them), random (the property-test
+// generator; -threads, -events), and bench:NAME (a Table-1 synthetic).
 //
 // With one trace file, -parallel fans the trace out to all selected
 // engines concurrently (the trace is shared read-only). With several
@@ -46,10 +54,21 @@ var (
 	parallel   = flag.Bool("parallel", false, "run the selected engines concurrently over each trace")
 	jobs       = flag.Int("jobs", 0, "worker-pool width for multi-file batches; 0 = GOMAXPROCS")
 	stream     = flag.Bool("stream", false, "analyze block by block without materializing traces (binary traces with streaming engines: wcp, wcp-epoch, hb, hb-epoch; others fall back to loading); skips -validate; engines run serially per trace, so -parallel has no effect")
+	genFlag    = flag.String("gen", "", "analyze a built-in generated workload instead of a file: pools, forkjoin, hotlock, random, or bench:NAME")
+	genThreads = flag.Int("threads", 64, "generator thread count (with -gen)")
+	genEvents  = flag.Int("events", 100_000, "generator approximate event count (with -gen)")
+	genRaces   = flag.Int("races", 4, "generator seeded race-pair count (with -gen pools/forkjoin/hotlock)")
 )
 
 func main() {
 	flag.Parse()
+	if *genFlag != "" {
+		if err := runGenerated(); err != nil {
+			fmt.Fprintln(os.Stderr, "rapid:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: rapid [flags] <trace file> [<trace file>...]")
 		flag.PrintDefaults()
@@ -59,6 +78,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rapid:", err)
 		os.Exit(1)
 	}
+}
+
+// runGenerated analyzes a built-in generated workload (-gen).
+func runGenerated() error {
+	engines, err := selectEngines()
+	if err != nil {
+		return err
+	}
+	var tr *repro.Trace
+	switch {
+	case *genFlag == "random":
+		tr = repro.RandomTrace(repro.RandomTraceConfig{
+			Threads: *genThreads, Locks: *genThreads / 2, Vars: *genThreads,
+			Events: *genEvents, Seed: 1, ForkJoin: true,
+		})
+	case strings.HasPrefix(*genFlag, "bench:"):
+		b, ok := repro.BenchmarkByName(strings.TrimPrefix(*genFlag, "bench:"))
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (see Table 1 names)", *genFlag)
+		}
+		tr = b.Generate(1.0)
+	default:
+		ok := false
+		for _, s := range repro.ThreadScalingShapes() {
+			ok = ok || s == *genFlag
+		}
+		if !ok {
+			return fmt.Errorf("unknown generator %q (want pools, forkjoin, hotlock, random, or bench:NAME)", *genFlag)
+		}
+		tr = repro.ThreadScalingTrace(repro.ThreadScalingConfig{
+			Threads: *genThreads, Events: *genEvents, Shape: *genFlag, Races: *genRaces,
+		})
+	}
+	fmt.Printf("generated %s (threads=%d): %s\n", *genFlag, tr.NumThreads(), repro.TraceStats(tr))
+	var results []*repro.EngineResult
+	if *parallel {
+		results = repro.RunEngines(context.Background(), tr, engines)
+	} else {
+		for _, e := range engines {
+			results = append(results, e.Analyze(tr))
+		}
+	}
+	for _, res := range results {
+		printResult(tr.Symbols, res)
+	}
+	if *vindicate > 0 {
+		runVindicate(tr, *vindicate)
+	}
+	return nil
 }
 
 // selectEngines resolves the -engine/-window/-budget flags.

@@ -51,6 +51,33 @@ func TestWCPSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestWCPSteadyStateAllocsHighThreads extends the steady-state pin to a
+// T=256 thread-pool workload: the windowed-clock machinery (dirty windows,
+// join caches, span-packed queue records) must stay allocation-free per
+// event at high thread counts too — the regime the thread-scaling
+// benchmarks measure.
+func TestWCPSteadyStateAllocsHighThreads(t *testing.T) {
+	tr := gen.ThreadScaling(gen.ThreadScalingConfig{Threads: 256, Events: 60_000, Shape: "pools", Races: 4})
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"vector", core.Options{}},
+		{"epoch", core.Options{EpochCheck: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := core.NewDetector(tr.NumThreads(), tr.NumLocks(), tr.NumVars(), tc.opts)
+			perEvent := allocsPerEvent(tr, func(tr *trace.Trace) {
+				d.ProcessBlock(tr.SoA())
+			})
+			if perEvent > steadyStateLimit {
+				t.Errorf("steady-state WCP T=256 (%s) allocates %.4f allocs/event, want < %v", tc.name, perEvent, steadyStateLimit)
+			}
+			t.Logf("%s: %.5f allocs/event over %d events", tc.name, perEvent, tr.Len())
+		})
+	}
+}
+
 // TestWCPQueueStorageSteadyState pins the flat-ring queue discipline
 // directly: once the rings have grown to the workload's high-water mark,
 // replaying the same event sequence — with all its queue churn — performs

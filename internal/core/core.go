@@ -47,7 +47,13 @@
 //     once Pt dominates the static ancestry clock, and collapses to one
 //     epoch compare while a variable's accesses stay totally ordered
 //     (Lemma C.8); the cached per-thread materialization remains for the
-//     pair-tracking and timestamp-collection paths.
+//     pair-tracking and timestamp-collection paths;
+//   - every clock is windowed (vc.WC): joins, comparisons, copies and
+//     queue records touch only each clock's dirty window, so per-event
+//     clock work scales with how many threads actually communicated, not
+//     with the thread count T, and generation-based join caches collapse
+//     repeated joins of unchanged lock and rule-(a) clocks to one compare
+//     (see vc/window.go and DESIGN.md §5).
 //
 // Reentrant (same-lock nested) acquisitions are accepted and treated as
 // no-ops for synchronization, matching JVM lock semantics; the paper's trace
@@ -176,7 +182,7 @@ type csEntry struct {
 	// (multi-thread traces only; hasCt marks it valid). The storage is
 	// reused across stack pushes, so steady-state locking allocates
 	// nothing.
-	ctAcq  vc.VC
+	ctAcq  vc.WC
 	hasCt  bool
 	reads  varSet
 	writes varSet
@@ -186,8 +192,8 @@ type csEntry struct {
 type threadState struct {
 	n       vc.Clock // Nt, the local clock
 	incNext bool     // previous event was a release (or fork): bump Nt first
-	p       vc.VC    // Pt, the WCP-predecessor clock
-	h       vc.VC    // Ht, the HB clock; h[t] mirrors n
+	p       vc.WC    // Pt, the WCP-predecessor clock
+	h       vc.WC    // Ht, the HB clock; h[t] mirrors n
 	// o is the program-order ancestry clock: what this thread inherited
 	// through fork/join edges. Fork and join order events like thread
 	// order does — a child cannot run before its fork — but that ordering
@@ -196,10 +202,10 @@ type threadState struct {
 	// as a thread's own Nt reaches Ct without entering Pt. Letting it into
 	// Pt would leak pure program-order ancestry to other threads through
 	// Pℓ and the queues as if it were WCP ordering.
-	o vc.VC
+	o vc.WC
 	// eff caches the effective time (Pt ⊔ Ot)[t := Nt]; effOK marks it
 	// current. Every mutation of p, o or n clears effOK.
-	eff   vc.VC
+	eff   vc.WC
 	effOK bool
 	// oZero is true while o adds nothing beyond p — (p ⊔ o) = p — letting
 	// the fused race check skip the ⊔ Ot leg. Trivially true while o is
@@ -209,6 +215,15 @@ type threadState struct {
 	// at fork/join events, so the property is sticky between them.
 	oZero bool
 	stack []csEntry
+	// accR/accW are the per-thread rule-(a) join caches: the last relPair
+	// whose Lr/Lw record was joined into Pt, with the record's generation
+	// at the time. Pt only grows and relTimes generations bump on every
+	// mutation, so a matching generation proves the earlier join still
+	// dominates and the whole rule-(a) join collapses to one compare — the
+	// overwhelmingly common case for the repeated accesses inside one
+	// critical section.
+	accR, accW       *relPair
+	accRGen, accWGen uint32
 }
 
 // pushCS opens a critical section, reusing the storage (variable-set list,
@@ -269,68 +284,83 @@ func (ts *threadState) openDepth(l event.LID) int {
 // detector only promises determinism there.)
 type relTimes struct {
 	ta, tb int32 // threads of the latest / second-latest distinct contributions
-	ha, hb vc.VC // their H-times; ha == nil means no contributions yet
+	ha, hb vc.WC // their H-times; !ha.Ready() means no contributions yet
+	// gen bumps on every add; the per-thread join caches compare it to
+	// prove an earlier join of this record is still current.
+	gen uint32
 }
 
-func (rt *relTimes) add(t int, h vc.VC, width int) {
-	if rt.ha == nil {
+func (rt *relTimes) add(t int, h *vc.WC, width int) {
+	rt.gen++
+	if !rt.ha.Ready() {
 		rt.ta = int32(t)
-		rt.ha = vc.New(width)
+		rt.ha.Init(width)
 		rt.ha.Copy(h)
 		return
 	}
 	if rt.ta != int32(t) {
 		// New latest contributor: the previous latest becomes the runner-up
 		// (reusing its storage), dominating all older contributions.
-		if rt.hb == nil {
-			rt.hb = vc.New(width)
+		if !rt.hb.Ready() {
+			rt.hb.Init(width)
 		}
 		rt.ha, rt.hb = rt.hb, rt.ha
 		rt.tb = rt.ta
 		rt.ta = int32(t)
 	}
-	// The newer H dominates: overwrite.
-	if a := rt.ha; len(a) == 3 && len(h) == 3 {
-		a[0], a[1], a[2] = h[0], h[1], h[2]
+	// The newer H dominates: overwrite (windowed — only the dirty spans of
+	// the two clocks are touched). Width-3 clocks are dense with a static
+	// window and their WC generation is never consumed (rt.gen is the join
+	// caches' key), so the raw overwrite is safe and keeps the tiny-T
+	// unroll inline.
+	if a, hv := rt.ha.VC(), h.VC(); len(a) == 3 && len(hv) == 3 {
+		a[0], a[1], a[2] = hv[0], hv[1], hv[2]
 	} else {
 		rt.ha.Copy(h)
 	}
 }
 
 // joinInto joins every thread's contribution except reader's into dst,
-// reporting whether dst changed.
-func (rt *relTimes) joinInto(dst vc.VC, reader int) bool {
-	if rt == nil || rt.ha == nil {
+// reporting whether dst changed. The join merges only the source clock's
+// dirty window. dst is always a thread's Pt, whose WC generation is never
+// consumed in this package, so the dense width-3 unroll writes the storage
+// raw (static window) and skips the generation bump.
+func (rt *relTimes) joinInto(dst *vc.WC, reader int) bool {
+	if rt == nil || !rt.ha.Ready() {
 		return false
 	}
-	src := rt.ha
+	src := &rt.ha
 	if rt.ta == int32(reader) {
-		if rt.hb == nil {
+		if !rt.hb.Ready() {
 			return false
 		}
-		src = rt.hb
+		src = &rt.hb
 	}
-	if len(src) == 3 && len(dst) == 3 {
+	if sv, dv := src.VC(), dst.VC(); len(sv) == 3 && len(dv) == 3 {
 		changed := false
-		if src[0] > dst[0] {
-			dst[0] = src[0]
+		if sv[0] > dv[0] {
+			dv[0] = sv[0]
 			changed = true
 		}
-		if src[1] > dst[1] {
-			dst[1] = src[1]
+		if sv[1] > dv[1] {
+			dv[1] = sv[1]
 			changed = true
 		}
-		if src[2] > dst[2] {
-			dst[2] = src[2]
+		if sv[2] > dv[2] {
+			dv[2] = sv[2]
 			changed = true
 		}
 		return changed
 	}
-	return dst.JoinChanged(src)
+	return dst.Join(src)
 }
 
 // varBit maps a variable to its bit in the per-lock accessed-variable masks.
 func varBit(x event.VID) uint64 { return 1 << (uint32(x) & 63) }
+
+// wideSpan mirrors vc.SpanScan: dirty spans at most this wide are scanned
+// linearly, wider ones through the dirty bitmap.
+const wideSpan = vc.SpanScan
 
 // denseVarLimit is the variable-universe size up to which a lock's Lr/Lw
 // tables index variables by a dense slice instead of a hash map. Hashing an
@@ -399,14 +429,22 @@ func (ri *relIndex) getOrCreate(x event.VID, nvars int) *relPair {
 // lockState is the per-lock component of the detector state, allocated on
 // first use of the lock.
 type lockState struct {
-	pl vc.VC // Pℓ
-	hl vc.VC // Hℓ
-	// lastRelBy is the thread of the last release of ℓ (-1 before any).
-	// An acquire by the same thread skips the Hℓ/Pℓ joins: the stored
-	// times are its own earlier times, already ⊑ its current clocks.
-	lastRelBy int32
+	pl vc.WC // Pℓ
+	hl vc.WC // Hℓ
+	// gen counts releases of ℓ; joinGen[t] is the value of gen when thread
+	// t last absorbed (or produced) Hℓ/Pℓ. Together they form the
+	// per-thread join cache: an acquire whose joinGen[t] still equals gen
+	// skips the Hℓ/Pℓ joins in O(1) — the stored times are already ⊑ the
+	// thread's clocks, which only grow. This subsumes the earlier
+	// same-thread-reacquire (lastRelBy) fast path: a release records its
+	// own thread as current.
+	gen     uint32
+	joinGen []uint32
 	// acc holds the rule-(a) Lr/Lw records per variable.
 	acc relIndex
+	// nextCompact is the log length at which maybeCompact next recomputes
+	// the cursor minimum, so the O(T) scan is amortized over log growth.
+	nextCompact int
 	// log holds the (producer, acquire C-time, release H-time) records of
 	// ℓ's critical sections, appended once per release; cons[t] is thread
 	// t's drain cursor over it — together they realize Algorithm 1's
@@ -447,8 +485,8 @@ type accessCell struct {
 // exactly those of the pure vector implementation (pinned by
 // TestWCPDefaultModeMatchesVectorCheck).
 type varState struct {
-	readAll  vc.VC
-	writeAll vc.VC
+	readAll  vc.WC
+	writeAll vc.WC
 	wLast    vc.Epoch
 	rLast    vc.Epoch
 	wOrdered bool
@@ -474,7 +512,7 @@ type Detector struct {
 	vars    []varState
 	res     Result
 	queued  int   // current total queue entries (Algorithm 1 accounting)
-	scratch vc.VC // reusable Ce materialization
+	scratch vc.WC // reusable Ce materialization
 	// held is a reusable scratch for the lock context of a race
 	// observation, rebuilt from the CS stack only when a race is found.
 	held []event.LID
@@ -482,6 +520,15 @@ type Detector struct {
 	// when the locks × vars product exceeds denseAccBudget and per-lock
 	// dense tables could add up to unreasonable memory.
 	denseVars int
+	// accCache enables the per-thread rule-(a) join caches: at tiny widths
+	// the joins they skip are a handful of compares, so the cache
+	// bookkeeping would be pure overhead.
+	accCache bool
+	// denseQ selects the fixed-stride queue-record layout: when every
+	// clock is dense (tiny widths, ForceDense) the windowed record headers
+	// would only double the drain's cache traffic for windows that are
+	// always full.
+	denseQ bool
 }
 
 // NewDetector returns a detector for traces with the given numbers of
@@ -493,19 +540,21 @@ func NewDetector(threads, locks, vars int, opts Options) *Detector {
 		threads: make([]threadState, threads),
 		locks:   make([]*lockState, locks),
 		vars:    make([]varState, vars),
-		scratch: vc.New(threads),
+		scratch: vc.NewWC(threads),
 	}
 	d.res.FirstRace = -1
 	if locks == 0 || vars <= denseAccBudget/locks {
 		d.denseVars = vars
 	}
+	d.accCache = threads > 8
+	d.denseQ = d.scratch.Dense()
 	if opts.TrackPairs {
 		d.res.Report = race.NewReport()
 	}
-	ps := vc.NewMatrix(threads, threads)
-	hs := vc.NewMatrix(threads, threads)
-	os := vc.NewMatrix(threads, threads)
-	effs := vc.NewMatrix(threads, threads)
+	ps := vc.NewWCMatrix(threads, threads)
+	hs := vc.NewWCMatrix(threads, threads)
+	os := vc.NewWCMatrix(threads, threads)
+	effs := vc.NewWCMatrix(threads, threads)
 	for t := range d.threads {
 		ts := &d.threads[t]
 		ts.n = 1
@@ -524,9 +573,9 @@ func (d *Detector) lock(l event.LID) *lockState {
 	if ls == nil {
 		n := len(d.threads)
 		ls = &lockState{
-			lastRelBy: -1,
-			cons:      make([]consumer, n),
-			own:       make([]ownQ, n),
+			cons:    make([]consumer, n),
+			own:     make([]ownQ, n),
+			joinGen: make([]uint32, n),
 		}
 		for t := range ls.cons {
 			ls.cons[t].blockT = -1
@@ -537,9 +586,10 @@ func (d *Detector) lock(l event.LID) *lockState {
 }
 
 // maybeCompact discards log records every consumer has passed, once the log
-// is large enough to bother.
+// is large enough to bother; the cursor-minimum scan re-runs only after the
+// log has grown past the previous check's high-water mark.
 func (ls *lockState) maybeCompact() {
-	if len(ls.log.buf) < ringCompactAt {
+	if n := len(ls.log.buf); n < ringCompactAt || n < ls.nextCompact {
 		return
 	}
 	min := ls.cons[0].cur
@@ -549,44 +599,104 @@ func (ls *lockState) maybeCompact() {
 		}
 	}
 	ls.log.compact(min)
+	ls.nextCompact = len(ls.log.buf) + ringCompactAt
 }
 
 // ct materializes Ct = Pt[t := Nt] into the detector's scratch clock. The
-// returned VC is valid until the next call to ct.
-func (d *Detector) ct(t int) vc.VC {
+// returned clock is valid until the next call to ct.
+func (d *Detector) ct(t int) *vc.WC {
 	ts := &d.threads[t]
-	d.scratch.Copy(ts.p)
+	d.scratch.Copy(&ts.p)
 	d.scratch.Set(t, ts.n)
-	return d.scratch
+	return &d.scratch
 }
 
 // effectiveTime materializes (Pt ⊔ Ot)[t := Nt]: the WCP time extended with
 // fork/join ancestry, used for race checking and reported timestamps. The
 // result is cached per thread and recomputed only after Pt, Ot or Nt
-// changed. Callers must treat the returned VC as read-only; it stays valid
-// until the thread's next clock mutation.
-func (d *Detector) effectiveTime(t int) vc.VC {
+// changed. Callers must treat the returned clock as read-only; it stays
+// valid until the thread's next clock mutation.
+func (d *Detector) effectiveTime(t int) *vc.WC {
 	ts := &d.threads[t]
 	if !ts.effOK {
-		ts.eff.Copy(ts.p)
-		ts.eff.Join(ts.o)
+		ts.eff.Copy(&ts.p)
+		ts.eff.Join(&ts.o)
 		ts.eff.Set(t, ts.n)
 		ts.effOK = true
 	}
-	return ts.eff
+	return &ts.eff
 }
 
-// leqCtAt reports v ⊑ Ct without materializing Ct. v is a queue record's
-// clock, always exactly as wide as the thread universe. When the comparison
-// fails it returns the first failing component and the clock Ct must reach
-// there, which the caller memoizes to skip re-comparison until that
-// component has advanced.
-func (d *Detector) leqCtAt(v vc.VC, t int) (comp int, need vc.Clock, ok bool) {
+// leqCtAt reports acq ⊑ Ct without materializing Ct. The record clock r is
+// bucket-compressed (vc.WC.AppendPacked) with the given window — components
+// outside it are zero and trivially ⊑. When the comparison fails it
+// returns a failing component and the clock Ct must reach there, which the
+// caller memoizes to skip re-comparison until that component has advanced.
+func (d *Detector) leqCtAt(r []vc.Clock, lo, hi int, mask uint64, t int) (comp int, need vc.Clock, ok bool) {
+	ts := &d.threads[t]
+	p, n := ts.p.VC(), ts.n
+	if len(r) == hi-lo {
+		// Contiguous record (every dense record and most narrow windowed
+		// ones): straight scan, with the width-3 unroll for tiny T (t < 3
+		// guards against width-3 *windows* inside wider detectors).
+		if lo == 0 && hi == 3 && t < 3 {
+			r, p := r[:3], p[:3]
+			if r[t] > n {
+				return t, r[t], false
+			}
+			if r[0] > p[0] && t != 0 {
+				return 0, r[0], false
+			}
+			if r[1] > p[1] && t != 1 {
+				return 1, r[1], false
+			}
+			if r[2] > p[2] && t != 2 {
+				return 2, r[2], false
+			}
+			return 0, 0, true
+		}
+		if lo <= t && t < hi {
+			if c := r[t-lo]; c > n {
+				return t, c, false
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if c := r[i-lo]; c > p[i] && i != t {
+				return i, c, false
+			}
+		}
+		return 0, 0, true
+	}
+	off := 0
+	it := vc.NewMaskRuns(mask, ts.p.ChunkShift(), lo, hi)
+	for {
+		a, b, more := it.Next()
+		if !more {
+			return 0, 0, true
+		}
+		for i := a; i < b; i++ {
+			c := r[off]
+			off++
+			if c > p[i] && i != t {
+				return i, c, false
+			}
+		}
+		if a <= t && t < b {
+			if c := r[off-(b-t)]; c > n {
+				return t, c, false
+			}
+		}
+	}
+}
+
+// leqCtDense is leqCtAt for the fixed-stride record layout: v is the full
+// acquire clock.
+func (d *Detector) leqCtDense(v vc.VC, t int) (comp int, need vc.Clock, ok bool) {
 	ts := &d.threads[t]
 	if v[t] > ts.n {
 		return t, v[t], false
 	}
-	p := ts.p[:len(v)]
+	p := ts.p.VC()[:len(v)]
 	if len(v) == 3 {
 		if v[0] > p[0] && t != 0 {
 			return 0, v[0], false
@@ -662,12 +772,12 @@ func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Lo
 		us := &d.threads[u]
 		// Fork is an HB edge: H and P flow to the child (P must stay
 		// monotone along HB for rule (c) to compose through the fork).
-		us.h.Join(ts.h)
+		us.h.Join(&ts.h)
 		us.h.Set(u, us.n)
-		us.p.Join(ts.p)
+		us.p.Join(&ts.p)
 		// The parent's own local time is program-order ancestry, not WCP
 		// knowledge: it goes to the child's O clock, never into P.
-		us.o.Join(ts.o)
+		us.o.Join(&ts.o)
 		if ts.n > us.o.Get(t) {
 			us.o.Set(t, ts.n)
 		}
@@ -679,10 +789,10 @@ func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Lo
 	case event.Join:
 		u := int(obj)
 		us := &d.threads[u]
-		ts.h.Join(us.h)
+		ts.h.Join(&us.h)
 		ts.h.Set(t, ts.n)
-		ts.p.Join(us.p)
-		ts.o.Join(us.o)
+		ts.p.Join(&us.p)
+		ts.o.Join(&us.o)
 		if us.n > ts.o.Get(u) {
 			ts.o.Set(u, us.n)
 		}
@@ -713,22 +823,31 @@ func (d *Detector) acquire(t int, l event.LID) {
 		return // reentrant: no synchronization effect
 	}
 	ls := d.lock(l)
-	if ls.hl != nil && ls.lastRelBy != int32(t) {
-		ts.h.Join(ls.hl)             // Line 1
-		if ts.p.JoinChanged(ls.pl) { // Line 2
-			ts.effOK = false
+	// Per-thread join cache: a matching generation proves this thread has
+	// already absorbed (or itself produced) the lock's current Hℓ/Pℓ, whose
+	// times are ⊑ its monotone clocks — the joins are skipped in O(1).
+	if ls.joinGen[t] != ls.gen {
+		ls.joinGen[t] = ls.gen
+		if ls.hl.Ready() {
+			ts.h.Join(&ls.hl)      // Line 1
+			if ts.p.Join(&ls.pl) { // Line 2
+				ts.effOK = false
+			}
 		}
 	}
 	if width := len(d.threads); width > 1 {
-		if top.ctAcq == nil {
-			top.ctAcq = vc.New(width)
+		if !top.ctAcq.Ready() {
+			top.ctAcq.Init(width)
 		}
-		if ca, p := top.ctAcq, ts.p; len(ca) == 3 && len(p) == 3 {
-			ca[0], ca[1], ca[2] = p[0], p[1], p[2]
+		if ca, pv := top.ctAcq.VC(), ts.p.VC(); len(ca) == 3 && len(pv) == 3 {
+			// Dense raw write: the window is static and ctAcq's WC
+			// generation is never consumed.
+			ca[0], ca[1], ca[2] = pv[0], pv[1], pv[2]
+			ca[t] = ts.n
 		} else {
-			top.ctAcq.Copy(ts.p)
+			top.ctAcq.Copy(&ts.p)
+			top.ctAcq.Set(t, ts.n)
 		}
-		top.ctAcq.Set(t, ts.n)
 		top.hasCt = true
 		d.queued += width - 1 // the deferred Acqℓ(t') entries, t' ≠ t
 		if d.queued > d.res.QueueMaxTotal {
@@ -789,7 +908,6 @@ func (d *Detector) release(t int, l event.LID) {
 	// pops from either queue, so iterate to a fixpoint. A stuck cross-
 	// thread head is skipped in O(1) via its blocked-component memo.
 	width := len(d.threads)
-	stride := 1 + 2*width
 	cons, myOwn := &ls.cons[t], &ls.own[t]
 	for {
 		// Only a growth of Pt can unblock further records, so the fixpoint
@@ -799,46 +917,93 @@ func (d *Detector) release(t int, l event.LID) {
 		// H-monotone, so the last popped release time dominates the earlier
 		// ones and the whole run is absorbed into Pt with a single join
 		// when it ends (the join can unblock further records; the enclosing
-		// fixpoint retries).
-		var lastRel vc.VC
+		// fixpoint retries). Records are bucket-compressed and variable-
+		// stride: each header carries the word counts and windows of its
+		// two clocks (see queue.go).
+		var lastRel []vc.Clock
+		lastLo, lastHi := 0, width
+		var lastMask uint64
 		buf, off := ls.log.buf, cons.cur-ls.log.base
-		for off < len(buf) {
-			if int(buf[off]) == t {
-				// The consumer's own record: not part of its Acqℓ/Relℓ
-				// queues (the same-thread rule drains through ownQ).
+		if d.denseQ {
+			// Fixed-stride layout: [producer, acq..., rel...].
+			stride := 1 + 2*width
+			for off < len(buf) {
+				if int(buf[off]) == t {
+					off += stride
+					continue
+				}
+				if cons.blockT >= 0 {
+					have := ts.p.Get(int(cons.blockT))
+					if int(cons.blockT) == t {
+						have = ts.n
+					}
+					if have < cons.blockC {
+						break
+					}
+					cons.blockT = -1
+				}
+				if comp, need, ok := d.leqCtDense(buf[off+1:off+1+width], t); !ok {
+					cons.blockT, cons.blockC = int32(comp), need
+					break
+				}
+				lastRel = buf[off+1+width : off+stride]
 				off += stride
-				continue
-			}
-			if cons.blockT >= 0 {
-				have := ts.p.Get(int(cons.blockT))
-				if int(cons.blockT) == t {
-					have = ts.n
-				}
-				if have < cons.blockC {
-					break // the front record still cannot advance
-				}
 				cons.blockT = -1
+				d.queued -= 2
 			}
-			if comp, need, ok := d.leqCtAt(buf[off+1:off+1+width], t); !ok {
-				cons.blockT, cons.blockC = int32(comp), need
-				break
+		} else {
+			for off < len(buf) {
+				aw, rw := int(buf[off+1]), int(buf[off+2])
+				stride := csHdr + aw + rw
+				if int(buf[off]) == t {
+					// The consumer's own record: not part of its Acqℓ/Relℓ
+					// queues (the same-thread rule drains through ownQ).
+					off += stride
+					continue
+				}
+				if cons.blockT >= 0 {
+					have := ts.p.Get(int(cons.blockT))
+					if int(cons.blockT) == t {
+						have = ts.n
+					}
+					if have < cons.blockC {
+						break // the front record still cannot advance
+					}
+					cons.blockT = -1
+				}
+				alo, ahi := unpackSpan(buf[off+3], width)
+				amask := maskFrom(buf[off+4], buf[off+5])
+				if comp, need, ok := d.leqCtAt(buf[off+csHdr:off+csHdr+aw], alo, ahi, amask, t); !ok {
+					cons.blockT, cons.blockC = int32(comp), need
+					break
+				}
+				lastRel = buf[off+csHdr+aw : off+stride]
+				lastLo, lastHi = unpackSpan(buf[off+6], width)
+				lastMask = maskFrom(buf[off+7], buf[off+8])
+				off += stride
+				cons.blockT = -1
+				d.queued -= 2
 			}
-			lastRel = vc.VC(buf[off+1+width : off+stride])
-			off += stride
-			cons.blockT = -1
-			d.queued -= 2
 		}
 		cons.cur = ls.log.base + off
-		if lastRel != nil && ts.p.JoinChanged(lastRel) {
+		if lastRel != nil && ts.p.JoinPacked(lastRel, lastLo, lastHi, lastMask) {
 			ts.effOK = false
 			pChanged = true
 		}
 		for !myOwn.empty() && myOwn.frontNAcq() <= ts.p.Get(t) {
-			if ts.p.JoinChanged(myOwn.frontH(width)) {
-				ts.effOK = false
-				pChanged = true
+			if d.denseQ {
+				if ts.p.JoinPacked(myOwn.frontDense(width), 0, width, 0) {
+					ts.effOK = false
+					pChanged = true
+				}
+				myOwn.popDense(width)
+			} else {
+				if r, lo, hi, mask := myOwn.front(width); ts.p.JoinPacked(r, lo, hi, mask) {
+					ts.effOK = false
+					pChanged = true
+				}
+				myOwn.pop(width)
 			}
-			myOwn.pop(width)
 			d.queued--
 		}
 		if !pChanged {
@@ -854,18 +1019,18 @@ func (d *Detector) release(t int, l event.LID) {
 		// The dominant shape — a critical section reading and writing one
 		// variable — publishes both records through a single lookup.
 		pair := ls.acc.getOrCreate(rl[0], nvars)
-		pair.r.add(t, ts.h, width)
-		pair.w.add(t, ts.h, width)
+		pair.r.add(t, &ts.h, width)
+		pair.w.add(t, &ts.h, width)
 		b := varBit(rl[0])
 		ls.acc.rMask |= b
 		ls.acc.wMask |= b
 	} else {
 		for _, x := range rl {
-			ls.acc.getOrCreate(x, nvars).r.add(t, ts.h, width)
+			ls.acc.getOrCreate(x, nvars).r.add(t, &ts.h, width)
 			ls.acc.rMask |= varBit(x)
 		}
 		for _, x := range wl {
-			ls.acc.getOrCreate(x, nvars).w.add(t, ts.h, width)
+			ls.acc.getOrCreate(x, nvars).w.add(t, &ts.h, width)
 			ls.acc.wMask |= varBit(x)
 		}
 	}
@@ -875,27 +1040,32 @@ func (d *Detector) release(t int, l event.LID) {
 		d.mergeCS(ts, entry, popTop)
 	}
 
-	// Line 9: remember this release's H and P times for later acquires.
-	if ls.hl == nil {
-		hp := vc.NewMatrix(2, width)
-		ls.hl, ls.pl = hp[0], hp[1]
+	// Line 9: remember this release's H and P times for later acquires, and
+	// bump the lock's generation: every consumer's join cache is now stale
+	// except this thread's own (its times are the ones just stored).
+	if !ls.hl.Ready() {
+		ls.hl.Init(width)
+		ls.pl.Init(width)
 	}
-	if hl, h := ls.hl, ts.h; len(hl) == 3 && len(h) == 3 {
-		pl, p := ls.pl, ts.p
-		hl[0], hl[1], hl[2] = h[0], h[1], h[2]
-		pl[0], pl[1], pl[2] = p[0], p[1], p[2]
+	if hl, hv := ls.hl.VC(), ts.h.VC(); len(hl) == 3 && len(hv) == 3 {
+		// Dense raw write: static windows, and the lock's join cache keys
+		// on ls.gen, not the WC generations.
+		pl, pv := ls.pl.VC(), ts.p.VC()
+		hl[0], hl[1], hl[2] = hv[0], hv[1], hv[2]
+		pl[0], pl[1], pl[2] = pv[0], pv[1], pv[2]
 	} else {
-		ls.hl.Copy(ts.h)
-		ls.pl.Copy(ts.p)
+		ls.hl.Copy(&ts.h)
+		ls.pl.Copy(&ts.p)
 	}
-	ls.lastRelBy = int32(t)
+	ls.gen++
+	ls.joinGen[t] = ls.gen
 
 	// Line 10 (and the deferred Line 3): publish this critical section to
 	// every other thread's queue as one (acquire C-time, release H-time)
 	// record, and to the thread's own same-thread rule-(b) queue, as plain
-	// clock words.
+	// clock words (dirty spans only; see queue.go).
 	if width > 1 {
-		acq := entry.ctAcq
+		acq := &entry.ctAcq
 		if !entry.hasCt {
 			// Release without a matching acquire (ill-formed trace): treat
 			// the release point itself as the acquire, and account the Acqℓ
@@ -903,11 +1073,19 @@ func (d *Detector) release(t int, l event.LID) {
 			acq = d.ct(t)
 			d.queued += width - 1
 		}
-		ls.log.push(t, acq, ts.h)
+		if d.denseQ {
+			ls.log.pushDense(t, acq.VC(), ts.h.VC())
+		} else {
+			ls.log.push(t, acq, &ts.h)
+		}
 		ls.maybeCompact()
 		d.queued += width - 1 // the Relℓ(t') entries, t' ≠ t
 	}
-	myOwn.push(entry.nAcq, ts.h)
+	if d.denseQ {
+		myOwn.pushDense(entry.nAcq, ts.h.VC())
+	} else {
+		myOwn.push(entry.nAcq, &ts.h)
+	}
 	d.queued++
 	if d.queued > d.res.QueueMaxTotal {
 		d.res.QueueMaxTotal = d.queued
@@ -916,8 +1094,9 @@ func (d *Detector) release(t int, l event.LID) {
 		ts.stack = ts.stack[:len(ts.stack)-1]
 	}
 	// A release is a cheap, per-critical-section place to notice that the
-	// thread's ancestry clock has been overtaken by its WCP clock.
-	if !ts.oZero && ts.o.Leq(ts.p) {
+	// thread's ancestry clock has been overtaken by its WCP clock; the
+	// comparison scans only O's dirty window.
+	if !ts.oZero && ts.o.LeqVC(ts.p.VC()) {
 		ts.oZero = true
 	}
 	ts.incNext = true
@@ -940,15 +1119,26 @@ func (d *Detector) mergeCS(ts *threadState, entry *csEntry, entryOnTop bool) {
 	tgt.writes.addAll(&entry.writes)
 }
 
-// read implements procedure read(t, x, L) of Algorithm 1 (Line 11).
+// read implements procedure read(t, x, L) of Algorithm 1 (Line 11). The
+// per-thread join cache (threadState.accW) collapses the repeated rule-(a)
+// joins of an unchanged Lw record — every access after the first inside one
+// critical section — to a pointer-and-generation compare.
 func (d *Detector) read(t int, x event.VID) {
 	ts := &d.threads[t]
 	if stack := ts.stack; len(stack) > 0 {
 		bit := varBit(x)
 		for k := range stack {
 			if ls := d.locks[stack[k].lock]; ls != nil && ls.acc.wMask&bit != 0 {
-				if pair := ls.acc.get(x); pair != nil && pair.w.joinInto(ts.p, t) {
-					ts.effOK = false
+				if pair := ls.acc.get(x); pair != nil {
+					if d.accCache {
+						if pair == ts.accW && pair.w.gen == ts.accWGen {
+							continue // Pt already absorbed this record
+						}
+						ts.accW, ts.accWGen = pair, pair.w.gen
+					}
+					if pair.w.joinInto(&ts.p, t) {
+						ts.effOK = false
+					}
 				}
 			}
 		}
@@ -964,11 +1154,26 @@ func (d *Detector) write(t int, x event.VID) {
 		for k := range stack {
 			if ls := d.locks[stack[k].lock]; ls != nil && (ls.acc.rMask|ls.acc.wMask)&bit != 0 {
 				if pair := ls.acc.get(x); pair != nil {
-					if pair.r.joinInto(ts.p, t) {
-						ts.effOK = false
-					}
-					if pair.w.joinInto(ts.p, t) {
-						ts.effOK = false
+					if d.accCache {
+						if !(pair == ts.accR && pair.r.gen == ts.accRGen) {
+							if pair.r.joinInto(&ts.p, t) {
+								ts.effOK = false
+							}
+							ts.accR, ts.accRGen = pair, pair.r.gen
+						}
+						if !(pair == ts.accW && pair.w.gen == ts.accWGen) {
+							if pair.w.joinInto(&ts.p, t) {
+								ts.effOK = false
+							}
+							ts.accW, ts.accWGen = pair, pair.w.gen
+						}
+					} else {
+						if pair.r.joinInto(&ts.p, t) {
+							ts.effOK = false
+						}
+						if pair.w.joinInto(&ts.p, t) {
+							ts.effOK = false
+						}
 					}
 				}
 			}
@@ -978,34 +1183,72 @@ func (d *Detector) write(t int, x event.VID) {
 }
 
 // leqEff reports v ⊑ (p ⊔ o)[t := n] in one pass, without materializing the
-// effective time. oZero skips the ⊔ o leg (no fork/join ancestry). The t
-// component is compared separately so the loops carry no per-component
-// branch.
-func leqEff(v, p, o vc.VC, t int, n vc.Clock, oZero bool) bool {
-	if v[t] > n {
-		return false
-	}
-	p = p[:len(v)]
-	if oZero {
-		if len(v) == 3 {
-			return !(v[0] > p[0] && t != 0) &&
-				!(v[1] > p[1] && t != 1) &&
-				!(v[2] > p[2] && t != 2)
+// effective time. oZero skips the ⊔ o leg (no fork/join ancestry). Only v's
+// dirty window is scanned: components outside it are zero and trivially ⊑.
+func leqEff(v, p, o *vc.WC, t int, n vc.Clock, oZero bool) bool {
+	vv, pv := v.VC(), p.VC()
+	if v.Dense() {
+		if vv[t] > n {
+			return false
 		}
-		for i, c := range v {
-			if c > p[i] && i != t {
+		pv = pv[:len(vv)]
+		if oZero {
+			if len(vv) == 3 {
+				return !(vv[0] > pv[0] && t != 0) &&
+					!(vv[1] > pv[1] && t != 1) &&
+					!(vv[2] > pv[2] && t != 2)
+			}
+			for i, c := range vv {
+				if c > pv[i] && i != t {
+					return false
+				}
+			}
+			return true
+		}
+		ov := o.VC()[:len(vv)]
+		for i, c := range vv {
+			limit := pv[i]
+			if oc := ov[i]; oc > limit {
+				limit = oc
+			}
+			if c > limit && i != t {
 				return false
 			}
 		}
 		return true
 	}
-	o = o[:len(v)]
-	for i, c := range v {
-		limit := p[i]
-		if oc := o[i]; oc > limit {
-			limit = oc
+	ov := o.VC()
+	lo, hi := v.Span()
+	if hi-lo <= wideSpan {
+		return leqEffSpan(vv, pv, ov, lo, hi, t, n, oZero)
+	}
+	shift := v.ChunkShift()
+	for m := v.Mask(); m != 0; m &= m - 1 {
+		a, b := vc.BucketBounds(m, shift, lo, hi)
+		if !leqEffSpan(vv, pv, ov, a, b, t, n, oZero) {
+			return false
 		}
-		if c > limit && i != t {
+	}
+	return true
+}
+
+// leqEffSpan is leqEff restricted to components [lo,hi).
+func leqEffSpan(vv, pv, ov vc.VC, lo, hi, t int, n vc.Clock, oZero bool) bool {
+	for i := lo; i < hi; i++ {
+		c := vv[i]
+		if i == t {
+			if c > n {
+				return false
+			}
+			continue
+		}
+		limit := pv[i]
+		if !oZero {
+			if oc := ov[i]; oc > limit {
+				limit = oc
+			}
+		}
+		if c > limit {
 			return false
 		}
 	}
@@ -1013,58 +1256,23 @@ func leqEff(v, p, o vc.VC, t int, n vc.Clock, oZero bool) bool {
 }
 
 // effComp returns component i of (p ⊔ o)[t := n] without materializing it.
-func effComp(p, o vc.VC, t int, n vc.Clock, oZero bool, i int) vc.Clock {
+func effComp(p, o *vc.WC, t int, n vc.Clock, oZero bool, i int) vc.Clock {
 	if i == t {
 		return n
 	}
-	c := p[i]
+	c := p.VC()[i]
 	if !oZero {
-		if oc := o[i]; oc > c {
+		if oc := o.VC()[i]; oc > c {
 			c = oc
 		}
 	}
 	return c
 }
 
-// joinEff sets dst to dst ⊔ (p ⊔ o)[t := n] in one pass.
-func joinEff(dst, p, o vc.VC, t int, n vc.Clock, oZero bool) {
-	p = p[:len(dst)]
-	if oZero {
-		if len(dst) == 3 {
-			if c := p[0]; c > dst[0] {
-				dst[0] = c
-			}
-			if c := p[1]; c > dst[1] {
-				dst[1] = c
-			}
-			if c := p[2]; c > dst[2] {
-				dst[2] = c
-			}
-			if n > dst[t] {
-				dst[t] = n
-			}
-			return
-		}
-		for i := range dst {
-			if c := p[i]; c > dst[i] {
-				dst[i] = c
-			}
-		}
-	} else {
-		o = o[:len(dst)]
-		for i := range dst {
-			c := p[i]
-			if oc := o[i]; oc > c {
-				c = oc
-			}
-			if c > dst[i] {
-				dst[i] = c
-			}
-		}
-	}
-	if n > dst[t] {
-		dst[t] = n
-	}
+// joinEff sets dst to dst ⊔ (p ⊔ o)[t := n], merging only the dirty
+// windows of p and o.
+func joinEff(dst, p, o *vc.WC, t int, n vc.Clock, oZero bool) {
+	dst.JoinEff(p, o, t, n, oZero)
 }
 
 // check performs the race check of §3.2: for a read, Wx ⊑ Ce must hold; for
@@ -1078,21 +1286,21 @@ func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
 		// collapse the comparison to one clock compare while the accesses
 		// stay totally ordered (see varState).
 		ts := &d.threads[t]
-		p, o, n, oZero := ts.p, ts.o, ts.n, ts.oZero
+		p, o, n, oZero := &ts.p, &ts.o, ts.n, ts.oZero
 		racyW := false
-		if vs.writeAll != nil {
+		if vs.writeAll.Ready() {
 			if vs.wOrdered && vs.wPure {
 				racyW = vs.wLast.Clock() > effComp(p, o, t, n, oZero, int(vs.wLast.TID()))
 			} else {
-				racyW = !leqEff(vs.writeAll, p, o, t, n, oZero)
+				racyW = !leqEff(&vs.writeAll, p, o, t, n, oZero)
 			}
 		}
 		racy := racyW
-		if isWrite && vs.readAll != nil {
+		if isWrite && vs.readAll.Ready() {
 			if vs.rOrdered && vs.rPure {
 				racy = racy || vs.rLast.Clock() > effComp(p, o, t, n, oZero, int(vs.rLast.TID()))
 			} else {
-				racy = racy || !leqEff(vs.readAll, p, o, t, n, oZero)
+				racy = racy || !leqEff(&vs.readAll, p, o, t, n, oZero)
 			}
 		}
 		if racy {
@@ -1102,8 +1310,8 @@ func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
 			}
 		}
 		if isWrite {
-			if vs.writeAll == nil {
-				vs.writeAll = vc.New(len(d.threads))
+			if !vs.writeAll.Ready() {
+				vs.writeAll.Init(len(d.threads))
 				vs.wOrdered = true
 			} else if racyW {
 				// This write is unordered with an earlier one: the latest
@@ -1112,10 +1320,10 @@ func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
 			}
 			vs.wLast = vc.MakeEpoch(t, n)
 			vs.wPure = oZero
-			joinEff(vs.writeAll, p, o, t, n, oZero)
+			joinEff(&vs.writeAll, p, o, t, n, oZero)
 		} else {
-			if vs.readAll == nil {
-				vs.readAll = vc.New(len(d.threads))
+			if !vs.readAll.Ready() {
+				vs.readAll.Init(len(d.threads))
 				vs.rOrdered = true
 			} else if vs.rOrdered {
 				// rOrdered may only survive if Rx stays dominated by this
@@ -1125,23 +1333,24 @@ func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
 				ordered := vs.rPure &&
 					vs.rLast.Clock() <= effComp(p, o, t, n, oZero, int(vs.rLast.TID()))
 				if !ordered {
-					ordered = leqEff(vs.readAll, p, o, t, n, oZero)
+					ordered = leqEff(&vs.readAll, p, o, t, n, oZero)
 				}
 				vs.rOrdered = ordered
 			}
 			vs.rLast = vc.MakeEpoch(t, n)
 			vs.rPure = oZero
-			joinEff(vs.readAll, p, o, t, n, oZero)
+			joinEff(&vs.readAll, p, o, t, n, oZero)
 		}
 		return
 	}
 	// Pair-tracking path: the per-location cells identify partner locations.
 	now := d.effectiveTime(t)
+	nowV := now.VC()
 	racy := false
 	var ctx race.Ctx
 	scan := func(cells map[event.Loc]*accessCell) {
 		for ploc, c := range cells {
-			if !c.time.Leq(now) {
+			if !c.time.Leq(nowV) {
 				if !racy {
 					ctx = d.raceCtx(t, x)
 				}
@@ -1150,10 +1359,10 @@ func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
 			}
 		}
 	}
-	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
+	if vs.writeAll.Ready() && !vs.writeAll.LeqVC(nowV) {
 		scan(vs.writes)
 	}
-	if isWrite && vs.readAll != nil && !vs.readAll.Leq(now) {
+	if isWrite && vs.readAll.Ready() && !vs.readAll.LeqVC(nowV) {
 		scan(vs.reads)
 	}
 	if racy {
@@ -1164,24 +1373,24 @@ func (d *Detector) check(i, t int, x event.VID, loc event.Loc, isWrite bool) {
 	}
 	// Record this access.
 	n := len(d.threads)
-	var all *vc.VC
+	var all *vc.WC
 	var cells *map[event.Loc]*accessCell
 	if isWrite {
 		all, cells = &vs.writeAll, &vs.writes
 	} else {
 		all, cells = &vs.readAll, &vs.reads
 	}
-	if *all == nil {
-		*all = vc.New(n)
+	if !all.Ready() {
+		all.Init(n)
 		*cells = make(map[event.Loc]*accessCell)
 	}
-	(*all).Join(now)
+	all.Join(now)
 	c, ok := (*cells)[loc]
 	if !ok {
 		c = &accessCell{time: vc.New(n)}
 		(*cells)[loc] = c
 	}
-	c.time.Join(now)
+	c.time.Join(nowV)
 	c.last = i
 }
 

@@ -26,7 +26,7 @@ import (
 func (d *Detector) checkEpoch(i, t int, x event.VID, isWrite bool) {
 	vs := &d.vars[x]
 	ts := &d.threads[t]
-	now := d.effectiveTime(t)
+	now := d.effectiveTime(t).VC()
 	self := vc.MakeEpoch(t, ts.n)
 
 	flag := func() {

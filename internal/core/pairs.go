@@ -79,7 +79,7 @@ func FindRacePairs(tr *trace.Trace) []EventPair {
 			if !tr.Events[f.index].Conflicts(e) {
 				continue
 			}
-			if !now.Leq(f.time) {
+			if !now.LeqVC(f.time) {
 				pairs = append(pairs, EventPair{First: i, Second: f.index})
 			}
 		}

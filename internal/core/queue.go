@@ -10,13 +10,24 @@ import "repro/internal/vc"
 // its own records. This preserves the per-consumer FIFO semantics of the
 // paper's Acqℓ(t)/Relℓ(t) queues exactly (the queues of all consumers
 // receive identical record sequences, fused into pairs because critical
-// sections on one lock never interleave), while storing each record once
-// instead of T−1 times and making a release's publication O(T) words
-// instead of O(T²).
+// sections on one lock never interleave, so the two queues advance in
+// lockstep), while storing each record once instead of T−1 times.
+//
+// Records are *bucket-compressed*: only the clock words covered by each
+// clock's dirty bitmap (vc.WC) are stored, in mask-run order, prefixed by a
+// header carrying the word counts, span bounds and bitmaps. Consumers walk
+// the same mask runs (vc.MaskRuns is the shared definition), so both the
+// log's memory and the drain work are proportional to how many threads a
+// critical section actually communicated with, not to the thread count T —
+// a clock whose support is "my pool plus the main thread" costs a dozen
+// words even at T=1024, where its contiguous span would cost hundreds.
+// Records have variable stride; cursors walk them header by header.
 //
 // The log is pointer-free: drains scan contiguous memory, a pop advances a
 // cursor, and there is nothing for the garbage collector to trace. Records
-// before the slowest cursor are discarded by periodic compaction.
+// before the slowest cursor are discarded by periodic compaction (amortized
+// by a high-water check so the cursor minimum is not recomputed on every
+// release).
 //
 // The same-thread rule-(b) queue (ownQ) stays separate per thread: its
 // entries must remain drainable while a cross-thread record ahead of them
@@ -25,6 +36,53 @@ import "repro/internal/vc"
 // ringCompactAt is the dead-prefix size (in words) past which a ring or log
 // compacts.
 const ringCompactAt = 4096
+
+// csHdr is the header width of a csLog record:
+//
+//	[producer, acqWords, relWords,
+//	 acqSpan, acqMaskLo, acqMaskHi, relSpan, relMaskLo, relMaskHi]
+//
+// followed by acqWords bucket-compressed words of the acquire C-time and
+// relWords of the release H-time. The stride is csHdr+acqWords+relWords.
+const csHdr = 9
+
+// ownHdr is the header width of an ownQ record:
+//
+//	[nAcq, relWords, relSpan, relMaskLo, relMaskHi]
+//
+// followed by the release H-time's bucket-compressed words.
+const ownHdr = 5
+
+// spanPackLimit bounds the clock widths whose spans pack into one word;
+// wider clocks (beyond any realistic thread universe) store the sentinel
+// and fall back to full-width spans.
+const spanPackLimit = 1 << 15
+
+// packSpan packs a dirty span [lo,hi) into one clock word.
+func packSpan(lo, hi int) vc.Clock {
+	if hi >= spanPackLimit {
+		return -1
+	}
+	return vc.Clock(lo | hi<<15)
+}
+
+// unpackSpan undoes packSpan; the sentinel unpacks to the full width.
+func unpackSpan(s vc.Clock, width int) (lo, hi int) {
+	if s < 0 {
+		return 0, width
+	}
+	return int(s) & (spanPackLimit - 1), int(s) >> 15
+}
+
+// maskHalves splits a dirty bitmap into two clock words.
+func maskHalves(m uint64) (lo, hi vc.Clock) {
+	return vc.Clock(int32(uint32(m))), vc.Clock(int32(uint32(m >> 32)))
+}
+
+// maskFrom reassembles a dirty bitmap from its two clock words.
+func maskFrom(lo, hi vc.Clock) uint64 {
+	return uint64(uint32(lo)) | uint64(uint32(hi))<<32
+}
 
 // growSlow reallocates buf with room for need more words; the in-capacity
 // fast path is written out at each push site so it inlines.
@@ -37,20 +95,18 @@ func growSlow(buf []vc.Clock, need int) []vc.Clock {
 	return g
 }
 
-// csLog is the shared per-lock record log. Record layout, stride 1+2·width:
-//
-//	[producer, acq₀ … acq_w₋₁, rel₀ … rel_w₋₁]
-//
-// Consumers address records by absolute word offset since the lock's
-// creation; base is the absolute offset of buf[0], so compaction just
-// advances base.
+// csLog is the shared per-lock record log. Consumers address records by
+// absolute word offset since the lock's creation; base is the absolute
+// offset of buf[0], so compaction just advances base.
 type csLog struct {
 	buf  []vc.Clock
 	base int
 }
 
-// push appends one record.
-func (g *csLog) push(producer int, acq, rel vc.VC) {
+// pushDense appends one fixed-stride record (dense-clock detectors): no
+// header beyond the producer, stride 1+2·width — half the words of the
+// windowed format at tiny widths, which matters for drain cache traffic.
+func (g *csLog) pushDense(producer int, acq, rel vc.VC) {
 	n := len(g.buf)
 	w := len(acq)
 	buf := g.buf
@@ -74,6 +130,64 @@ func (g *csLog) push(producer int, acq, rel vc.VC) {
 	g.buf = buf
 }
 
+// push appends one bucket-compressed record (windowed-clock detectors).
+// Spans that exceed the packSpan sentinel limit are widened to the full
+// width *before* packing, so the writer's mask-run walk clamps exactly as
+// the reader's will after unpackSpan returns the full span.
+func (g *csLog) push(producer int, acq, rel *vc.WC) {
+	alo, ahi := spanOrFull(acq)
+	rlo, rhi := spanOrFull(rel)
+	aw := vc.PackedWords(acq.Mask(), acq.ChunkShift(), alo, ahi)
+	rw := vc.PackedWords(rel.Mask(), rel.ChunkShift(), rlo, rhi)
+	stride := csHdr + aw + rw
+	n := len(g.buf)
+	buf := g.buf
+	if n+stride <= cap(buf) {
+		buf = buf[: n+stride : cap(buf)]
+	} else {
+		buf = growSlow(buf, stride)
+	}
+	buf[n] = vc.Clock(producer)
+	buf[n+1] = vc.Clock(aw)
+	buf[n+2] = vc.Clock(rw)
+	buf[n+3] = packSpan(alo, ahi)
+	buf[n+4], buf[n+5] = maskHalves(acq.Mask())
+	buf[n+6] = packSpan(rlo, rhi)
+	buf[n+7], buf[n+8] = maskHalves(rel.Mask())
+	appendPacked(buf[n+csHdr:n+csHdr+aw], acq, alo, ahi)
+	appendPacked(buf[n+csHdr+aw:n+stride], rel, rlo, rhi)
+	g.buf = buf
+}
+
+// spanOrFull returns the clock's dirty span, widened to the full width
+// when it cannot be represented by packSpan.
+func spanOrFull(w *vc.WC) (lo, hi int) {
+	lo, hi = w.Span()
+	if hi >= spanPackLimit {
+		return 0, w.Width()
+	}
+	return lo, hi
+}
+
+// appendPacked writes w's components into dst in mask-run order over an
+// explicit span (which may be wider than w's own — see spanOrFull).
+func appendPacked(dst []vc.Clock, w *vc.WC, lo, hi int) {
+	if l, h := w.Span(); l == lo && h == hi {
+		w.AppendPacked(dst)
+		return
+	}
+	v := w.VC()
+	off := 0
+	it := vc.NewMaskRuns(w.Mask(), w.ChunkShift(), lo, hi)
+	for {
+		a, b, ok := it.Next()
+		if !ok {
+			return
+		}
+		off += copy(dst[off:], v[a:b])
+	}
+}
+
 // compact discards records below minCur (the slowest consumer cursor).
 func (g *csLog) compact(minCur int) {
 	dead := minCur - g.base
@@ -88,7 +202,7 @@ func (g *csLog) compact(minCur int) {
 // consumer is one thread's view of a lock's log: its drain cursor and the
 // stuck-head memo. blockT/blockC memoize why the front record is stuck: the
 // last failed acq ⊑ Ct check failed at component blockT, which needs to
-// reach blockC. Ct is monotone, so until Ct(blockT) ≥ blockC the full O(T)
+// reach blockC. Ct is monotone, so until Ct(blockT) ≥ blockC the full
 // comparison cannot succeed and the drain loop skips it in O(1) — lazy
 // draining that batches pops until the head can actually advance.
 type consumer struct {
@@ -98,8 +212,8 @@ type consumer struct {
 }
 
 // ownQ is the FIFO of a thread's own completed critical sections on a lock,
-// for the same-thread instance of rule (b): records of 1+T words, the
-// acquire's local clock followed by the release's H-time.
+// for the same-thread instance of rule (b): bucket-compressed records of
+// the acquire's local clock followed by the release H-time.
 type ownQ struct {
 	buf  []vc.Clock
 	head int
@@ -110,13 +224,22 @@ func (q *ownQ) empty() bool { return q.head == len(q.buf) }
 // frontNAcq returns the acquire local time of the front record.
 func (q *ownQ) frontNAcq() vc.Clock { return q.buf[q.head] }
 
-// frontH returns the release H-time of the front record.
-func (q *ownQ) frontH(width int) vc.VC {
+// front returns the release H-time of the front record as bucket-compressed
+// words plus its window.
+func (q *ownQ) front(width int) (r []vc.Clock, lo, hi int, mask uint64) {
+	w := int(q.buf[q.head+1])
+	lo, hi = unpackSpan(q.buf[q.head+2], width)
+	mask = maskFrom(q.buf[q.head+3], q.buf[q.head+4])
+	return q.buf[q.head+ownHdr : q.head+ownHdr+w], lo, hi, mask
+}
+
+// frontDense returns the release H-time of the front fixed-stride record.
+func (q *ownQ) frontDense(width int) vc.VC {
 	return vc.VC(q.buf[q.head+1 : q.head+1+width])
 }
 
-// push appends one record.
-func (q *ownQ) push(nAcq vc.Clock, h vc.VC) {
+// pushDense appends one fixed-stride record: [nAcq, h...], stride 1+width.
+func (q *ownQ) pushDense(nAcq vc.Clock, h vc.VC) {
 	n := len(q.buf)
 	w := len(h)
 	buf := q.buf
@@ -137,9 +260,39 @@ func (q *ownQ) push(nAcq vc.Clock, h vc.VC) {
 	q.buf = buf
 }
 
+// popDense drops the front fixed-stride record.
+func (q *ownQ) popDense(width int) {
+	q.head += 1 + width
+	if q.head >= ringCompactAt && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
+
+// push appends one bucket-compressed record.
+func (q *ownQ) push(nAcq vc.Clock, h *vc.WC) {
+	lo, hi := spanOrFull(h)
+	w := vc.PackedWords(h.Mask(), h.ChunkShift(), lo, hi)
+	stride := ownHdr + w
+	n := len(q.buf)
+	buf := q.buf
+	if n+stride <= cap(buf) {
+		buf = buf[: n+stride : cap(buf)]
+	} else {
+		buf = growSlow(buf, stride)
+	}
+	buf[n] = nAcq
+	buf[n+1] = vc.Clock(w)
+	buf[n+2] = packSpan(lo, hi)
+	buf[n+3], buf[n+4] = maskHalves(h.Mask())
+	appendPacked(buf[n+ownHdr:n+stride], h, lo, hi)
+	q.buf = buf
+}
+
 // pop drops the front record.
 func (q *ownQ) pop(width int) {
-	q.head += 1 + width
+	q.head += ownHdr + int(q.buf[q.head+1])
 	if q.head >= ringCompactAt && q.head*2 >= len(q.buf) {
 		n := copy(q.buf, q.buf[q.head:])
 		q.buf = q.buf[:n]

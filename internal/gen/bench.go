@@ -125,6 +125,70 @@ type synth struct {
 	fillerVar     int
 	burstLeft     int
 	units         int
+	// Name tables, preallocated before emission so the filler hot loop
+	// performs no string formatting: shared-variable names, their per-
+	// thread access locations, pool lock names, and the per-thread
+	// local/own/gap names. Indexed by shared-var index and thread index
+	// (fillerThreads aliases threads, so indices agree).
+	sharedLockName []string
+	sharedVarName  []string
+	sharedRLoc     [][]string // [sharedVar][thread]
+	sharedWLoc     [][]string
+	poolLockName   []string
+	ownVarName     []string // [thread]
+	ownLocName     []string
+	localVarName   []string
+	localRLoc      []string
+	localWLoc      []string
+	gapVarName     []string
+	gapRLoc        []string
+	gapWLoc        []string
+}
+
+// buildNameTables precomputes every name the filler loop will need.
+func (s *synth) buildNameTables() {
+	b := s.bench
+	nLocks := maxInt(1, minInt(sharedVars, b.Locks))
+	s.sharedLockName = make([]string, sharedVars)
+	s.sharedVarName = make([]string, sharedVars)
+	s.sharedRLoc = make([][]string, sharedVars)
+	s.sharedWLoc = make([][]string, sharedVars)
+	for v := 0; v < sharedVars; v++ {
+		s.sharedLockName[v] = fmt.Sprintf("sh%d", v%nLocks)
+		vname := fmt.Sprintf("shared_%d", v)
+		s.sharedVarName[v] = vname
+		s.sharedRLoc[v] = make([]string, len(s.threads))
+		s.sharedWLoc[v] = make([]string, len(s.threads))
+		for ti, t := range s.threads {
+			s.sharedRLoc[v][ti] = fmt.Sprintf("pc.%s.%s.r", vname, t)
+			s.sharedWLoc[v][ti] = fmt.Sprintf("pc.%s.%s.w", vname, t)
+		}
+	}
+	if n := s.lockPool - sharedVars; n > 0 {
+		s.poolLockName = make([]string, n)
+		for i := range s.poolLockName {
+			s.poolLockName[i] = fmt.Sprintf("pool%d", i)
+		}
+	}
+	n := len(s.threads)
+	s.ownVarName = make([]string, n)
+	s.ownLocName = make([]string, n)
+	s.localVarName = make([]string, n)
+	s.localRLoc = make([]string, n)
+	s.localWLoc = make([]string, n)
+	s.gapVarName = make([]string, n)
+	s.gapRLoc = make([]string, n)
+	s.gapWLoc = make([]string, n)
+	for ti, t := range s.threads {
+		s.ownVarName[ti] = "own_" + t
+		s.ownLocName[ti] = "pc.own_" + t
+		s.localVarName[ti] = "local_" + t
+		s.localRLoc[ti] = "pc.local_" + t + ".r"
+		s.localWLoc[ti] = "pc.local_" + t + ".w"
+		s.gapVarName[ti] = "gaplocal_" + t
+		s.gapRLoc[ti] = "pc.gaplocal_" + t + ".r"
+		s.gapWLoc[ti] = "pc.gaplocal_" + t + ".w"
+	}
 }
 
 // Generate produces the benchmark's trace at the given scale (1.0 = the
@@ -150,6 +214,7 @@ func (b Benchmark) Generate(scale float64) *trace.Trace {
 	if s.lockPool > b.Locks {
 		s.lockPool = b.Locks
 	}
+	s.buildNameTables()
 
 	// Main forks the workers.
 	for i := 1; i < b.Threads; i++ {
@@ -260,20 +325,20 @@ func (s *synth) quietGap(gap, siteLo, siteHi int) {
 	for k := siteLo; k < siteHi; k++ {
 		s.b.At(raceLoc(b.Name, k, "a")).Write(r1, raceVar(b.Name, k))
 	}
-	quiet := make([]string, 0, len(s.threads))
-	for _, t := range s.threads {
+	quiet := make([]int, 0, len(s.threads))
+	for ti, t := range s.threads {
 		if t != r1 && t != r2 {
-			quiet = append(quiet, t)
+			quiet = append(quiet, ti)
 		}
 	}
 	if len(quiet) == 0 {
-		quiet = []string{r1} // degenerate tiny-thread case; unused by the table
+		quiet = []int{0} // degenerate tiny-thread case; unused by the table
 	}
 	for i := 0; i < gap; i += 2 {
-		t := quiet[i/2%len(quiet)]
-		v := "gaplocal_" + t
-		s.b.At("pc."+v+".w").Write(t, v)
-		s.b.At("pc."+v+".r").Read(t, v)
+		ti := quiet[i/2%len(quiet)]
+		t := s.threads[ti]
+		s.b.At(s.gapWLoc[ti]).Write(t, s.gapVarName[ti])
+		s.b.At(s.gapRLoc[ti]).Read(t, s.gapVarName[ti])
 	}
 	for k := siteLo; k < siteHi; k++ {
 		s.b.At(raceLoc(b.Name, k, "b")).Write(r2, raceVar(b.Name, k))
@@ -334,10 +399,10 @@ func (s *synth) filler() {
 	s.units++
 	if b.Locks == 0 {
 		// Lock-free benchmark: thread-local computation only.
-		t := s.fillerThreads[s.units%len(s.fillerThreads)]
-		v := "local_" + t
-		s.b.At("pc."+v+".w").Write(t, v)
-		s.b.At("pc."+v+".r").Read(t, v)
+		ti := s.units % len(s.fillerThreads)
+		t := s.fillerThreads[ti]
+		s.b.At(s.localWLoc[ti]).Write(t, s.localVarName[ti])
+		s.b.At(s.localRLoc[ti]).Read(t, s.localVarName[ti])
 		return
 	}
 	// Decide contended vs independent; independent units come in bursts.
@@ -357,16 +422,16 @@ func (s *synth) filler() {
 // contendedUnit cycles every filler thread through a critical section on a
 // fixed (variable, lock) pair: protected, race-free, and each section's
 // conflicting accesses create the WCP rule-(a) edges that let releases
-// drain the rule-(b) queues.
+// drain the rule-(b) queues. All names come from the preallocated tables.
 func (s *synth) contendedUnit() {
 	v := s.fillerVar % sharedVars
 	s.fillerVar++
-	lock := fmt.Sprintf("sh%d", v%maxInt(1, minInt(sharedVars, s.bench.Locks)))
-	vname := fmt.Sprintf("shared_%d", v)
-	for _, t := range s.fillerThreads {
+	lock := s.sharedLockName[v]
+	vname := s.sharedVarName[v]
+	for ti, t := range s.fillerThreads {
 		s.b.Acquire(t, lock)
-		s.b.At(fmt.Sprintf("pc.%s.%s.r", vname, t)).Read(t, vname)
-		s.b.At(fmt.Sprintf("pc.%s.%s.w", vname, t)).Write(t, vname)
+		s.b.At(s.sharedRLoc[v][ti]).Read(t, vname)
+		s.b.At(s.sharedWLoc[v][ti]).Write(t, vname)
 		s.b.Release(t, lock)
 	}
 }
@@ -377,17 +442,17 @@ func (s *synth) contendedUnit() {
 // shared lock (pool exhausted or absent) the entries persist only until the
 // next contended unit on that lock — either way the queue high-water rises.
 func (s *synth) independentUnit() {
-	t := s.fillerThreads[s.units%len(s.fillerThreads)]
+	ti := s.units % len(s.fillerThreads)
+	t := s.fillerThreads[ti]
 	var lock string
 	if s.lockPool > sharedVars {
-		lock = fmt.Sprintf("pool%d", s.lockCursor%(s.lockPool-sharedVars))
+		lock = s.poolLockName[s.lockCursor%(s.lockPool-sharedVars)]
 		s.lockCursor++
 	} else {
 		lock = "sh0"
 	}
-	v := "own_" + t
 	s.b.Acquire(t, lock)
-	s.b.At("pc."+v).Write(t, v)
+	s.b.At(s.ownLocName[ti]).Write(t, s.ownVarName[ti])
 	s.b.Release(t, lock)
 }
 

@@ -1,0 +1,287 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// This file generates the high-thread-count workloads behind the
+// BenchmarkThreadScaling matrix: traces whose interesting parameter is the
+// thread count T (64…1024), the regime a long-running analysis daemon
+// actually sees, which the Table-1 equivalents (T ≤ 14) never reach.
+//
+// Three shapes cover the clock-locality spectrum:
+//
+//   - "pools": worker threads are partitioned into fixed-size pools, each
+//     pool synchronizing only through its own locks and touching only its
+//     own variables (disjoint lock neighborhoods). Every clock's support
+//     stays O(pool size), the best case for windowed clocks.
+//   - "forkjoin": the coordinator forks waves of fresh workers, each wave
+//     does thread-local work and is joined before the next wave starts.
+//     Clock support grows along the wave structure, not with T.
+//   - "hotlock": every worker synchronizes through one global lock. All
+//     clocks converge to full support — the windowed representation's
+//     worst case, which must degrade gracefully to dense behavior.
+//
+// All names are preallocated before emission: the generator hot loop
+// performs no string formatting.
+
+// ThreadScalingConfig parameterizes ThreadScaling.
+type ThreadScalingConfig struct {
+	// Threads is the total thread count T including the coordinator
+	// (thread 0), which forks and joins the workers.
+	Threads int
+	// Events is the approximate trace length (fork/join scaffolding
+	// included).
+	Events int
+	// Shape is "pools" (default), "forkjoin" or "hotlock".
+	Shape string
+	// PoolSize is the number of threads per pool for the pools shape
+	// (default 8).
+	PoolSize int
+	// Waves is the number of fork/join waves for the forkjoin shape
+	// (default 4); each wave forks (T-1)/Waves fresh workers.
+	Waves int
+	// Races sprinkles this many distinct unprotected write-write race
+	// pairs (between neighboring workers) through the trace; 0 keeps it
+	// race-free.
+	Races int
+}
+
+// ThreadScalingShapes lists the supported shapes.
+var ThreadScalingShapes = []string{"pools", "forkjoin", "hotlock"}
+
+// tsNames is the preallocated name universe of one ThreadScaling run.
+type tsNames struct {
+	thread     []string // t0 .. t{T-1}
+	lock       []string // per pool (or the single hot lock)
+	variable   []string // per pool-local variable
+	rloc, wloc []string // per worker: its access locations
+	raceVar    []string // per race site
+	raceALoc   []string
+	raceBLoc   []string
+}
+
+func buildTSNames(cfg ThreadScalingConfig, pools, varsPerPool int) *tsNames {
+	n := &tsNames{
+		thread:   make([]string, cfg.Threads),
+		lock:     make([]string, pools),
+		variable: make([]string, pools*varsPerPool),
+		rloc:     make([]string, cfg.Threads),
+		wloc:     make([]string, cfg.Threads),
+		raceVar:  make([]string, cfg.Races),
+		raceALoc: make([]string, cfg.Races),
+		raceBLoc: make([]string, cfg.Races),
+	}
+	for i := range n.thread {
+		n.thread[i] = fmt.Sprintf("t%d", i)
+	}
+	for i := range n.lock {
+		n.lock[i] = fmt.Sprintf("pool%d.l", i)
+	}
+	for i := range n.variable {
+		n.variable[i] = fmt.Sprintf("pool%d.x%d", i/varsPerPool, i%varsPerPool)
+	}
+	for i := range n.rloc {
+		n.rloc[i] = fmt.Sprintf("pc.t%d.r", i)
+		n.wloc[i] = fmt.Sprintf("pc.t%d.w", i)
+	}
+	for k := 0; k < cfg.Races; k++ {
+		n.raceVar[k] = fmt.Sprintf("tsrace_%d", k)
+		n.raceALoc[k] = fmt.Sprintf("ts.race%d.a", k)
+		n.raceBLoc[k] = fmt.Sprintf("ts.race%d.b", k)
+	}
+	return n
+}
+
+// ThreadScaling generates one thread-scaling trace. Generation is
+// deterministic in the config.
+func ThreadScaling(cfg ThreadScalingConfig) *trace.Trace {
+	if cfg.Threads < 2 {
+		cfg.Threads = 2
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 100 * cfg.Threads
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 8
+	}
+	if cfg.Waves <= 0 {
+		cfg.Waves = 4
+	}
+	switch cfg.Shape {
+	case "", "pools":
+		return tsPools(cfg)
+	case "forkjoin":
+		return tsForkJoin(cfg)
+	case "hotlock":
+		return tsHotLock(cfg)
+	default:
+		panic(fmt.Sprintf("gen.ThreadScaling: unknown shape %q", cfg.Shape))
+	}
+}
+
+// tsCS emits one critical section of worker wi (thread index) on lock l
+// around variable v: acquire, read, write, release — 4 events.
+func tsCS(b *trace.Builder, n *tsNames, wi int, lock, variable string) {
+	t := n.thread[wi]
+	b.Acquire(t, lock)
+	b.At(n.rloc[wi]).Read(t, variable)
+	b.At(n.wloc[wi]).Write(t, variable)
+	b.Release(t, lock)
+}
+
+// tsRace emits race site k as one contiguous unprotected write-write block
+// between workers w1 and w2 (distinct threads, no synchronization between
+// the two accesses).
+func tsRace(b *trace.Builder, n *tsNames, k, w1, w2 int) {
+	b.At(n.raceALoc[k]).Write(n.thread[w1], n.raceVar[k])
+	b.At(n.raceBLoc[k]).Write(n.thread[w2], n.raceVar[k])
+}
+
+// raceDue spaces race sites evenly: site k becomes due at unit
+// (2k+1)·units/(2·races), so all sites land strictly inside the unit loop
+// regardless of rounding.
+func raceDue(k, units, races int) int {
+	if races <= 0 {
+		return 1 << 30
+	}
+	return (2*k + 1) * units / (2 * races)
+}
+
+// tsPools: workers are partitioned into pools of PoolSize threads; each
+// unit cycles one worker through a critical section on its pool's lock and
+// one of the pool's variables. Pools never synchronize with each other
+// after the initial forks.
+func tsPools(cfg ThreadScalingConfig) *trace.Trace {
+	workers := cfg.Threads - 1
+	pools := (workers + cfg.PoolSize - 1) / cfg.PoolSize
+	const varsPerPool = 4
+	n := buildTSNames(cfg, pools, varsPerPool)
+	b := trace.NewBuilder()
+	for i := 1; i < cfg.Threads; i++ {
+		b.Fork(n.thread[0], n.thread[i])
+	}
+	units := (cfg.Events - 2*(cfg.Threads-1)) / 4
+	raced := 0
+	for u := 0; u < units; u++ {
+		wi := 1 + u%workers
+		pool := (wi - 1) / cfg.PoolSize
+		v := (u / workers) % varsPerPool
+		tsCS(b, n, wi, n.lock[pool], n.variable[pool*varsPerPool+v])
+		if raced < cfg.Races && u >= raceDue(raced, units, cfg.Races) && workers > 1 {
+			// Race between wi and a neighboring worker (same pool when it
+			// has one; a cross-pool neighbor races just the same).
+			w2 := wi + 1
+			if w2 > workers {
+				w2 = wi - 1
+			}
+			tsRace(b, n, raced, wi, w2)
+			raced++
+		}
+	}
+	for i := 1; i < cfg.Threads; i++ {
+		b.Join(n.thread[0], n.thread[i])
+	}
+	return b.MustBuild()
+}
+
+// tsForkJoin: the coordinator forks Waves batches of fresh workers; each
+// batch does thread-local critical sections (its own lock universe — one
+// lock per wave shared by the batch, creating intra-wave ordering) and is
+// joined before the next wave.
+func tsForkJoin(cfg ThreadScalingConfig) *trace.Trace {
+	workers := cfg.Threads - 1
+	waves := cfg.Waves
+	if waves > workers {
+		waves = workers
+	}
+	n := buildTSNames(cfg, waves, 1)
+	b := trace.NewBuilder()
+	perWave := workers / waves
+	extra := workers % waves
+	unitsTotal := (cfg.Events - 2*workers) / 4
+	if unitsTotal < workers {
+		unitsTotal = workers
+	}
+	// Race sites can only be emitted in waves with at least two workers;
+	// schedule them over those waves' units so none lands in a
+	// single-worker wave and gets dropped.
+	waveUnits := unitsTotal / waves
+	racyUnits := 0
+	for w := 0; w < waves; w++ {
+		batch := perWave
+		if w < extra {
+			batch++
+		}
+		if batch > 1 {
+			racyUnits += waveUnits
+		}
+	}
+	raced, racySeen := 0, 0
+	next := 1 // next unforked worker thread index
+	for w := 0; w < waves; w++ {
+		batch := perWave
+		if w < extra {
+			batch++
+		}
+		if batch == 0 {
+			continue
+		}
+		lo := next
+		for i := 0; i < batch; i++ {
+			b.Fork(n.thread[0], n.thread[next])
+			next++
+		}
+		// Each wave runs its share of the work, round-robin over the batch.
+		for u := 0; u < waveUnits; u++ {
+			wi := lo + u%batch
+			tsCS(b, n, wi, n.lock[w], n.variable[w])
+			if batch > 1 {
+				if raced < cfg.Races && racySeen >= raceDue(raced, racyUnits, cfg.Races) {
+					w2 := wi + 1
+					if w2 >= lo+batch {
+						w2 = lo
+					}
+					tsRace(b, n, raced, wi, w2)
+					raced++
+				}
+				racySeen++
+			}
+		}
+		for i := lo; i < lo+batch; i++ {
+			b.Join(n.thread[0], n.thread[i])
+		}
+	}
+	return b.MustBuild()
+}
+
+// tsHotLock: every worker synchronizes through one global lock around one
+// global variable — full contention, full-support clocks.
+func tsHotLock(cfg ThreadScalingConfig) *trace.Trace {
+	workers := cfg.Threads - 1
+	n := buildTSNames(cfg, 1, 1)
+	b := trace.NewBuilder()
+	for i := 1; i < cfg.Threads; i++ {
+		b.Fork(n.thread[0], n.thread[i])
+	}
+	units := (cfg.Events - 2*(cfg.Threads-1)) / 4
+	raced := 0
+	for u := 0; u < units; u++ {
+		wi := 1 + u%workers
+		tsCS(b, n, wi, n.lock[0], n.variable[0])
+		if raced < cfg.Races && u >= raceDue(raced, units, cfg.Races) && workers > 1 {
+			w2 := wi + 1
+			if w2 > workers {
+				w2 = 1
+			}
+			tsRace(b, n, raced, wi, w2)
+			raced++
+		}
+	}
+	for i := 1; i < cfg.Threads; i++ {
+		b.Join(n.thread[0], n.thread[i])
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,72 @@
+package gen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hb"
+	"repro/internal/trace"
+)
+
+// TestThreadScalingShapes pins that every shape builds a valid trace with
+// the requested thread count, the requested approximate length, and the
+// requested number of distinct races (found identically by WCP and HB —
+// the race blocks are plain unprotected write-write pairs).
+func TestThreadScalingShapes(t *testing.T) {
+	for _, shape := range gen.ThreadScalingShapes {
+		for _, threads := range []int{8, 64, 256} {
+			t.Run(fmt.Sprintf("%s/T%d", shape, threads), func(t *testing.T) {
+				cfg := gen.ThreadScalingConfig{
+					Threads: threads, Events: 20_000, Shape: shape, Races: 5,
+				}
+				tr := gen.ThreadScaling(cfg)
+				if err := trace.Validate(tr); err != nil {
+					t.Fatalf("invalid trace: %v", err)
+				}
+				if got := tr.NumThreads(); got != threads {
+					t.Fatalf("NumThreads = %d, want %d", got, threads)
+				}
+				if tr.Len() < cfg.Events/2 || tr.Len() > cfg.Events*2 {
+					t.Fatalf("trace length %d far from target %d", tr.Len(), cfg.Events)
+				}
+				wcp := core.Detect(tr).Report.Distinct()
+				hbRaces := hb.Detect(tr).Report.Distinct()
+				if wcp != cfg.Races || hbRaces != cfg.Races {
+					t.Fatalf("races: wcp=%d hb=%d, want %d", wcp, hbRaces, cfg.Races)
+				}
+			})
+		}
+	}
+}
+
+// TestThreadScalingDeterministic pins byte-level determinism: the bench
+// matrix and the differential suites rely on regenerating identical traces.
+func TestThreadScalingDeterministic(t *testing.T) {
+	cfg := gen.ThreadScalingConfig{Threads: 64, Events: 10_000, Shape: "pools", Races: 3}
+	a, b := gen.ThreadScaling(cfg), gen.ThreadScaling(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// TestThreadScalingRaceFree pins that Races=0 generates race-free traces
+// for every shape (the perf matrix must measure clock work, not race
+// bookkeeping).
+func TestThreadScalingRaceFree(t *testing.T) {
+	for _, shape := range gen.ThreadScalingShapes {
+		tr := gen.ThreadScaling(gen.ThreadScalingConfig{Threads: 32, Events: 8_000, Shape: shape})
+		if res := core.DetectOpts(tr, core.Options{}); res.RacyEvents != 0 {
+			t.Errorf("%s: WCP found %d racy events in race-free trace", shape, res.RacyEvents)
+		}
+		if res := hb.DetectOpts(tr, hb.Options{}); res.RacyEvents != 0 {
+			t.Errorf("%s: HB found %d racy events in race-free trace", shape, res.RacyEvents)
+		}
+	}
+}

@@ -38,7 +38,7 @@ func (d *Detector) epochOf(t int) vc.Epoch {
 
 func (d *Detector) readEpoch(i, t int, x event.VID) {
 	vs := &d.evars[x]
-	now := d.ct[t]
+	now := d.ct[t].VC()
 	if vs.shared == nil && vs.r == d.epochOf(t) {
 		return // same-epoch fast path
 	}
@@ -60,7 +60,7 @@ func (d *Detector) readEpoch(i, t int, x event.VID) {
 
 func (d *Detector) writeEpoch(i, t int, x event.VID) {
 	vs := &d.evars[x]
-	now := d.ct[t]
+	now := d.ct[t].VC()
 	if vs.shared == nil && vs.w == d.epochOf(t) {
 		return // same-epoch fast path
 	}

@@ -15,6 +15,22 @@
 // clocks live in one contiguous bank, and the epoch path recycles inflated
 // read vectors through a vc.Arena, so steady-state processing performs
 // near-zero heap allocations per event.
+//
+// It also shares the WCP detector's windowed-clock discipline (vc.WC):
+// thread, lock and per-variable clocks carry dirty windows, so joins and
+// race-check comparisons touch only the components that can differ from
+// zero — work proportional to how many threads actually communicated, not
+// to the thread count. Two generation-based caches sit on top:
+//
+//   - a per-lock join cache (release generation + per-thread last-joined
+//     generation) skips the acquire-side join when the thread has already
+//     absorbed the lock clock's current value;
+//   - a per-variable access cache keyed by (thread, thread-clock
+//     generation, peer-state stamps) replays the outcome of the previous
+//     identical race check in O(1) — the overwhelmingly common case of a
+//     thread accessing the same variable repeatedly between
+//     synchronization events (vector mode without pair tracking; pair
+//     tracking needs the per-location cells and bypasses it).
 package hb
 
 import (
@@ -59,24 +75,63 @@ type cell struct {
 	last int
 }
 
+// accessKey is the per-variable access cache: the identity of the last
+// read (or write) of the variable — thread, the thread clock's generation,
+// and the change stamps of the peer aggregate clocks the check compared
+// against — plus the check's outcome. While all of those still match, the
+// current access is indistinguishable from the cached one: same racy
+// verdict, and the aggregate join is a no-op (the aggregate already
+// absorbed this exact clock), so the whole access costs one compare.
+type accessKey struct {
+	valid          bool
+	racy           bool
+	t              int32
+	tgen           uint32
+	rStamp, wStamp uint32
+}
+
+func (k *accessKey) hit(t int, tgen, rStamp, wStamp uint32) bool {
+	return k.valid && k.t == int32(t) && k.tgen == tgen &&
+		k.rStamp == rStamp && k.wStamp == wStamp
+}
+
 // varState is the per-variable detector state of the full-vector-clock mode.
 type varState struct {
-	readAll  vc.VC // join of all read times (Rx in §3.2)
-	writeAll vc.VC // join of all write times (Wx)
-	reads    map[event.Loc]*cell
-	writes   map[event.Loc]*cell
+	readAll  vc.WC // join of all read times (Rx in §3.2)
+	writeAll vc.WC // join of all write times (Wx)
+	// rStamp/wStamp bump whenever readAll/writeAll grow; lastR/lastW are
+	// the access caches (vector mode without pair tracking only).
+	rStamp, wStamp uint32
+	lastR, lastW   accessKey
+	reads          map[event.Loc]*cell
+	writes         map[event.Loc]*cell
+}
+
+// hbLock is the per-lock state: the windowed clock of the last release
+// plus the join cache — gen counts releases, joinGen[t] is the generation
+// thread t last absorbed (or produced), so a matching generation skips the
+// acquire-side join entirely (the thread's clock only grows).
+type hbLock struct {
+	c       vc.WC
+	gen     uint32
+	joinGen []uint32
 }
 
 // Detector is the streaming HB race detector.
 type Detector struct {
 	opts  Options
 	width int
-	ct    []vc.VC // C_t: current HB time of thread t, one contiguous bank
-	locks []vc.VC // L_ℓ: time of last release of ℓ, allocated on first use
+	ct    []vc.WC   // C_t: current HB time of thread t, one contiguous bank
+	locks []*hbLock // L_ℓ: last-release state of ℓ, allocated on first use
 	vars  []varState
 	evars []ftVar   // epoch-mode per-variable state (fasttrack.go)
 	arena *vc.Arena // recycled storage for inflated read vectors
 	res   Result
+	// cache enables the per-variable access caches: vector mode without
+	// pair tracking, and only at widths where replaying a verdict beats
+	// redoing the compare (tiny-T compares are already a handful of
+	// instructions, and the cache bookkeeping would be pure overhead).
+	cache bool
 	// held tracks each thread's currently-held locks, maintained only in
 	// pair-tracking mode to supply the fingerprint context of race
 	// observations (HB has no critical-section stack of its own).
@@ -90,8 +145,8 @@ func NewDetector(threads, locks, vars int, opts Options) *Detector {
 	d := &Detector{
 		opts:  opts,
 		width: threads,
-		ct:    vc.NewMatrix(threads, threads),
-		locks: make([]vc.VC, locks),
+		ct:    vc.NewWCMatrix(threads, threads),
+		locks: make([]*hbLock, locks),
 		arena: vc.NewArena(threads),
 	}
 	d.res.FirstRace = -1
@@ -107,6 +162,7 @@ func NewDetector(threads, locks, vars int, opts Options) *Detector {
 	for t := range d.ct {
 		d.ct[t].Set(t, 1)
 	}
+	d.cache = !opts.Epoch && d.res.Report == nil && threads > 8
 	return d
 }
 
@@ -173,24 +229,32 @@ func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Lo
 		if d.held != nil {
 			d.held[t] = append(d.held[t], event.LID(obj))
 		}
-		if lv := d.locks[obj]; lv != nil {
-			d.ct[t].Join(lv)
+		// Join cache: a matching generation proves this thread has already
+		// absorbed (or produced) the lock clock's current value.
+		if lk := d.locks[obj]; lk != nil && lk.joinGen[t] != lk.gen {
+			d.ct[t].Join(&lk.c)
+			lk.joinGen[t] = lk.gen
 		}
 	case event.Release:
 		if d.held != nil {
 			d.popHeld(t, event.LID(obj))
 		}
-		if d.locks[obj] == nil {
-			d.locks[obj] = vc.New(d.width)
+		lk := d.locks[obj]
+		if lk == nil {
+			lk = &hbLock{joinGen: make([]uint32, d.width)}
+			lk.c.Init(d.width)
+			d.locks[obj] = lk
 		}
-		d.locks[obj].Copy(d.ct[t])
+		lk.c.Copy(&d.ct[t])
+		lk.gen++
+		lk.joinGen[t] = lk.gen
 		d.ct[t].Set(t, d.ct[t].Get(t)+1)
 	case event.Fork:
 		u := int(obj)
-		d.ct[u].Join(d.ct[t])
+		d.ct[u].Join(&d.ct[t])
 		d.ct[t].Set(t, d.ct[t].Get(t)+1)
 	case event.Join:
-		d.ct[t].Join(d.ct[int(obj)])
+		d.ct[t].Join(&d.ct[int(obj)])
 	case event.Read:
 		if d.opts.Epoch {
 			d.readEpoch(i, t, event.VID(obj))
@@ -220,42 +284,67 @@ func (d *Detector) popHeld(t int, l event.LID) {
 
 func (d *Detector) read(i, t int, x event.VID, loc event.Loc) {
 	vs := &d.vars[x]
-	now := d.ct[t]
-	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
+	now := &d.ct[t]
+	if d.cache {
+		// Access cache: identical thread clock and unchanged write
+		// aggregate ⇒ identical verdict, and the read aggregate has
+		// already absorbed this clock. (The read check ignores readAll, so
+		// its stamp is not part of the key.)
+		if vs.lastR.hit(t, now.Gen(), 0, vs.wStamp) {
+			if vs.lastR.racy {
+				d.flag(i)
+			}
+			return
+		}
+	}
+	racy := vs.writeAll.Ready() && !vs.writeAll.LeqVC(now.VC())
+	if racy {
 		if d.res.Report != nil {
-			if d.checkAgainst(vs.writes, now, i, loc, t, x) {
+			if d.checkAgainst(vs.writes, now.VC(), i, loc, t, x) {
 				d.flag(i)
 			}
 		} else {
 			d.flag(i)
 		}
 	}
-	if vs.readAll == nil {
-		vs.readAll = vc.New(d.width)
+	if !vs.readAll.Ready() {
+		vs.readAll.Init(d.width)
 		if d.res.Report != nil {
 			vs.reads = make(map[event.Loc]*cell)
 		}
 	}
-	vs.readAll.Join(now)
+	if vs.readAll.Join(now) {
+		vs.rStamp++
+	}
 	if d.res.Report != nil {
-		d.record(vs.reads, loc, now, i)
+		d.record(vs.reads, loc, now.VC(), i)
+	} else if d.cache {
+		vs.lastR = accessKey{valid: true, racy: racy, t: int32(t), tgen: now.Gen(), wStamp: vs.wStamp}
 	}
 }
 
 func (d *Detector) write(i, t int, x event.VID, loc event.Loc) {
 	vs := &d.vars[x]
-	now := d.ct[t]
+	now := &d.ct[t]
+	if d.cache {
+		if vs.lastW.hit(t, now.Gen(), vs.rStamp, vs.wStamp) {
+			if vs.lastW.racy {
+				d.flag(i)
+			}
+			return
+		}
+	}
 	racy := false
-	if vs.writeAll != nil && !vs.writeAll.Leq(now) {
+	if vs.writeAll.Ready() && !vs.writeAll.LeqVC(now.VC()) {
 		if d.res.Report != nil {
-			racy = d.checkAgainst(vs.writes, now, i, loc, t, x) || racy
+			racy = d.checkAgainst(vs.writes, now.VC(), i, loc, t, x) || racy
 		} else {
 			racy = true
 		}
 	}
-	if vs.readAll != nil && !vs.readAll.Leq(now) {
+	if vs.readAll.Ready() && !vs.readAll.LeqVC(now.VC()) {
 		if d.res.Report != nil {
-			racy = d.checkAgainst(vs.reads, now, i, loc, t, x) || racy
+			racy = d.checkAgainst(vs.reads, now.VC(), i, loc, t, x) || racy
 		} else {
 			racy = true
 		}
@@ -263,15 +352,19 @@ func (d *Detector) write(i, t int, x event.VID, loc event.Loc) {
 	if racy {
 		d.flag(i)
 	}
-	if vs.writeAll == nil {
-		vs.writeAll = vc.New(d.width)
+	if !vs.writeAll.Ready() {
+		vs.writeAll.Init(d.width)
 		if d.res.Report != nil {
 			vs.writes = make(map[event.Loc]*cell)
 		}
 	}
-	vs.writeAll.Join(now)
+	if vs.writeAll.Join(now) {
+		vs.wStamp++
+	}
 	if d.res.Report != nil {
-		d.record(vs.writes, loc, now, i)
+		d.record(vs.writes, loc, now.VC(), i)
+	} else if d.cache {
+		vs.lastW = accessKey{valid: true, racy: racy, t: int32(t), tgen: now.Gen(), rStamp: vs.rStamp, wStamp: vs.wStamp}
 	}
 }
 

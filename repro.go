@@ -212,6 +212,17 @@ func BenchmarkByName(name string) (Benchmark, bool) { return gen.ByName(name) }
 // RandomTrace generates a well-formed random trace.
 func RandomTrace(cfg RandomTraceConfig) *Trace { return gen.Random(cfg) }
 
+// ThreadScalingConfig parameterizes high-thread-count scenario generation.
+type ThreadScalingConfig = gen.ThreadScalingConfig
+
+// ThreadScalingShapes lists the supported thread-scaling scenario shapes.
+func ThreadScalingShapes() []string { return gen.ThreadScalingShapes }
+
+// ThreadScalingTrace generates a high-thread-count scenario trace (thread
+// pools with disjoint lock neighborhoods, fork/join waves, or one hot
+// global lock).
+func ThreadScalingTrace(cfg ThreadScalingConfig) *Trace { return gen.ThreadScaling(cfg) }
+
 // LowerBoundTrace builds the Figure-8 space-lower-bound trace for bit
 // strings u and v (equal length): the two w(z) events race iff u ≠ v.
 func LowerBoundTrace(u, v []bool) *Trace { return gen.LowerBound(u, v) }
