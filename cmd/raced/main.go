@@ -16,12 +16,18 @@
 //	DELETE /sessions/{id}          abort without reporting
 //	GET    /sessions[/{id}]        session status
 //	POST   /analyze?engines=...    one-shot whole-trace analysis (any format)
+//	POST   /checkpoint             checkpoint all sessions + reports now
+//	GET    /sessions/{id}/snapshot serialized session state (migration handoff)
+//	POST   /sessions/restore       accept a serialized session (body: snapshot)
 //	GET    /reports?engine=&var=&loc=&min_count=&limit=   dedup race classes
 //	GET    /healthz                liveness + drain state
 //	GET    /metrics                counters (Prometheus text format)
 //
 // SIGINT/SIGTERM drain gracefully: in-flight chunks finish, open sessions
-// are finalized into the report store, then the process exits.
+// are finalized into the report store, then the process exits. With
+// -checkpoint-dir set, open sessions are checkpointed instead and a
+// restarted daemon resumes them where the stream left off — the same path
+// that recovers from a crash (kill -9, OOM, power loss).
 package main
 
 import (
@@ -50,6 +56,11 @@ var (
 	window       = flag.Int("window", 0, "window size for the cp/predict engines on /analyze")
 	budget       = flag.Int("budget", 0, "per-window search budget for the predict engine")
 	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight work at shutdown")
+
+	checkpointDir   = flag.String("checkpoint-dir", "", "directory for session/report checkpoints; enables crash recovery and graceful restarts")
+	checkpointEvery = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (<0 disables the timer; POST /checkpoint still works)")
+	compactEvery    = flag.Int("compact-every", 1<<20, "compact session detector state every N events (0 disables)")
+	compactBudget   = flag.Int("compact-budget", 0, "only compact sessions whose state estimate exceeds this many bytes (0 = always)")
 )
 
 func main() {
@@ -77,6 +88,11 @@ func run() error {
 		MaxSessions:    *maxSessions,
 		IdleTimeout:    *idle,
 		Logf:           log.Printf,
+
+		CheckpointDir:      *checkpointDir,
+		CheckpointEvery:    *checkpointEvery,
+		CompactEveryEvents: *compactEvery,
+		CompactBudgetBytes: *compactBudget,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -36,6 +36,9 @@ var (
 	seed    = flag.Int64("seed", 42, "generator seed")
 	chunks  = flag.Int("chunks", 8, "number of chunk requests to split the body into")
 	dump    = flag.String("dump", "", "instead of talking to a daemon, write header.bin and chunkN.bin to this directory (for the README curl walkthrough)")
+
+	stopAfter = flag.Int("stop-after", 0, "stop streaming after this many events without finishing, print the session id, and exit (pair with -resume)")
+	resume    = flag.String("resume", "", "resume streaming an open session by id: the trace is regenerated from the same flags and replayed from the daemon-acknowledged offset")
 )
 
 func main() {
@@ -82,26 +85,51 @@ func run() error {
 	}
 
 	// 1. Open a session: the body is the binary trace header, which sizes
-	// the daemon's per-session detectors up front.
-	var hdr bytes.Buffer
-	if err := traceio.WriteHeader(&hdr, tr.Symbols, 0); err != nil {
-		return err
+	// the daemon's per-session detectors up front. With -resume, the session
+	// already exists (possibly restored from a daemon checkpoint after a
+	// crash); ask the daemon how far it got and replay from there — the
+	// trace is regenerated deterministically from the same seed.
+	var id string
+	from := 0
+	if *resume != "" {
+		id = *resume
+		var st struct {
+			Events uint64 `json:"events"`
+		}
+		if err := post("GET", *addr+"/sessions/"+id, nil, &st); err != nil {
+			return err
+		}
+		from = int(st.Events)
+		if from > len(tr.Events) {
+			return fmt.Errorf("session %s has %d events, more than the %d this seed generates", id, from, len(tr.Events))
+		}
+		fmt.Printf("session %s resumed at event %d\n", id, from)
+	} else {
+		var hdr bytes.Buffer
+		if err := traceio.WriteHeader(&hdr, tr.Symbols, 0); err != nil {
+			return err
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		if err := post("POST", *addr+"/sessions?engines="+*engines, &hdr, &created); err != nil {
+			return err
+		}
+		id = created.ID
+		fmt.Printf("session %s opened (engines=%s)\n", id, *engines)
 	}
-	var created struct {
-		ID string `json:"id"`
-	}
-	if err := post("POST", *addr+"/sessions?engines="+*engines, &hdr, &created); err != nil {
-		return err
-	}
-	fmt.Printf("session %s opened (engines=%s)\n", created.ID, *engines)
 
 	// 2. Stream the event body in chunks. Chunks split on event boundaries
 	// (EncodeEvents writes whole events), and the daemon analyzes each one
 	// incrementally on arrival.
 	start := time.Now()
+	limit := len(tr.Events)
+	if *stopAfter > 0 && *stopAfter < limit {
+		limit = *stopAfter
+	}
 	per := (len(tr.Events) + *chunks - 1) / *chunks
-	for i := 0; i < len(tr.Events); i += per {
-		end := min(i+per, len(tr.Events))
+	for i := from; i < limit; i += per {
+		end := min(i+per, limit)
 		var body bytes.Buffer
 		if err := traceio.EncodeEvents(&body, tr.Events[i:end]); err != nil {
 			return err
@@ -109,10 +137,14 @@ func run() error {
 		var ack struct {
 			Events uint64 `json:"events"`
 		}
-		if err := post("POST", *addr+"/sessions/"+created.ID+"/chunks", &body, &ack); err != nil {
+		if err := post("POST", *addr+"/sessions/"+id+"/chunks", &body, &ack); err != nil {
 			return err
 		}
 		fmt.Printf("  chunk [%6d:%6d) acknowledged, %d events analyzed\n", i, end, ack.Events)
+	}
+	if limit < len(tr.Events) {
+		fmt.Printf("stopping at event %d as requested; resume with -resume %s\n", limit, id)
+		return nil
 	}
 
 	// 3. Finish: the daemon seals the detectors and returns the reports.
@@ -127,7 +159,7 @@ func run() error {
 			DurationMS float64 `json:"duration_ms"`
 		} `json:"results"`
 	}
-	if err := post("POST", *addr+"/sessions/"+created.ID+"/finish", nil, &fin); err != nil {
+	if err := post("POST", *addr+"/sessions/"+id+"/finish", nil, &fin); err != nil {
 		return err
 	}
 	fmt.Printf("session finished: %d events in %v\n", fin.Events, time.Since(start).Round(time.Millisecond))

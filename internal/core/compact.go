@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/vc"
+)
+
+// This file implements whole-detector state compaction for long-lived
+// sessions. The detector's state classes all grow monotonically with the
+// thread/lock/variable universe; compaction retires the parts whose clocks
+// have been dominated by every thread that can still act, which is exactly
+// the state that can never influence another verdict:
+//
+//   - a thread that has been joined and has no open critical section is
+//     dead — its clocks are frozen, it will never drain a queue again, so
+//     its queue cursors stop pinning lock logs and its stack/cache storage
+//     is freed (its P/H/O clocks stay: later joins may still read them);
+//   - a variable whose aggregate access clocks are ⊑ the effective-time
+//     floor (the pointwise minimum over live threads) can never race again
+//     — every future check against it would report "ordered" — so its
+//     state resets to the fresh zero value;
+//   - a lock's rule-(a) release records, and eventually the whole lock,
+//     quiesce the same way once their release times are ⊑ the floor and
+//     the queues are drained; an acquire of a retired lock recreates it
+//     fresh, and the joins that recreation skips are exactly the ones the
+//     dominated times would have made no-ops.
+//
+// None of this touches the queued/QueueMaxTotal accounting: dead threads
+// never drain in an uncompacted run either, so the compacted session's
+// Result trajectory is bit-identical to straight-through analysis — the
+// invariant the differential suites pin.
+
+// floors carries the pointwise minima over live threads of the clock kinds
+// state is compared against: the effective time (race checks), the C-time
+// (rule-(a)/Pℓ joins), and the H-time (Hℓ joins). Any time ⊑ the floor is
+// ⊑ the corresponding clock of every live thread forever, by monotonicity.
+type floors struct {
+	eff vc.VC
+	ct  vc.VC
+	h   vc.VC
+	// live is the number of non-dead threads; with zero live threads the
+	// floors are +∞ and everything is retireable.
+	live int
+}
+
+func (d *Detector) computeFloors() floors {
+	width := len(d.threads)
+	f := floors{eff: vc.New(width), ct: vc.New(width), h: vc.New(width)}
+	for i := 0; i < width; i++ {
+		f.eff[i], f.ct[i], f.h[i] = math.MaxInt32, math.MaxInt32, math.MaxInt32
+	}
+	for t := range d.threads {
+		if d.dead[t] {
+			continue
+		}
+		f.live++
+		ts := &d.threads[t]
+		eff := d.effectiveTime(t).VC()
+		pv := ts.p.VC()
+		hv := ts.h.VC()
+		for i := 0; i < width; i++ {
+			if eff[i] < f.eff[i] {
+				f.eff[i] = eff[i]
+			}
+			c := pv[i]
+			if i == t {
+				c = ts.n
+			}
+			if c < f.ct[i] {
+				f.ct[i] = c
+			}
+			if hv[i] < f.h[i] {
+				f.h[i] = hv[i]
+			}
+		}
+	}
+	return f
+}
+
+// wcDominated reports whether w carries no information above the floor —
+// unready clocks trivially so.
+func wcDominated(w *vc.WC, floor vc.VC) bool {
+	return !w.Ready() || w.LeqVC(floor)
+}
+
+// rtDominated reports whether every contribution of rt is ⊑ the floor.
+// Both stored contributions are checked explicitly rather than relying on
+// ha dominating hb — ill-formed traces can break that monotonicity, and
+// compaction must stay sound even where precision is forfeit.
+func rtDominated(rt *relTimes, floor vc.VC) bool {
+	return wcDominated(&rt.ha, floor) && wcDominated(&rt.hb, floor)
+}
+
+// Compact retires dominated detector state. It is safe at any event
+// boundary and changes no verdict, count, distance, or queue statistic;
+// callers (the engine session's compaction policy) invoke it off the hot
+// path every few million events or when the state-byte estimate crosses a
+// budget.
+func (d *Detector) Compact() {
+	for t := range d.threads {
+		if !d.dead[t] && d.joined[t] && len(d.threads[t].stack) == 0 {
+			d.dead[t] = true
+		}
+	}
+	f := d.computeFloors()
+
+	for t := range d.threads {
+		ts := &d.threads[t]
+		// The rule-(a) join caches key on relTimes generations; compaction
+		// below may reset records to generation zero, which could collide
+		// with a stale cached generation after the record regrows. Dropping
+		// every cache makes any (pointer, gen) pair held after this point
+		// postdate the reset — the next access simply re-joins.
+		ts.accR, ts.accW = nil, nil
+		if d.dead[t] {
+			ts.stack = nil
+			continue
+		}
+		ts.p.Tighten()
+		ts.h.Tighten()
+		ts.o.Tighten()
+		ts.eff.Tighten()
+	}
+
+	for x := range d.vars {
+		vs := &d.vars[x]
+		if !d.varDominated(vs, f.eff) {
+			continue
+		}
+		if vs.readAll.Ready() || vs.writeAll.Ready() || vs.wLast != vc.NoEpoch ||
+			vs.rLast != vc.NoEpoch || vs.reads != nil || vs.writes != nil ||
+			vs.wEpoch != vc.NoEpoch || vs.rEpoch != vc.NoEpoch || vs.rShared != nil ||
+			vs.wOrdered || vs.rOrdered {
+			*vs = varState{}
+		}
+	}
+
+	for l, ls := range d.locks {
+		if ls == nil {
+			continue
+		}
+		if d.compactLock(ls, &f) {
+			d.locks[l] = nil
+		}
+	}
+}
+
+// varDominated reports whether every recorded access time of vs is ⊑ the
+// effective-time floor, so no future access can be unordered against it.
+func (d *Detector) varDominated(vs *varState, floor vc.VC) bool {
+	if !wcDominated(&vs.readAll, floor) || !wcDominated(&vs.writeAll, floor) {
+		return false
+	}
+	if !vs.wLast.LeqVC(floor) || !vs.rLast.LeqVC(floor) {
+		return false
+	}
+	// Epoch-mode state: the same domination argument on the FastTrack
+	// representation.
+	if !vs.wEpoch.LeqVC(floor) || !vs.rEpoch.LeqVC(floor) {
+		return false
+	}
+	if vs.rShared != nil && !vs.rShared.Leq(floor) {
+		return false
+	}
+	// Pair-mode access cells are joins' inputs to readAll/writeAll, so the
+	// aggregate domination above already covers them.
+	return true
+}
+
+// compactLock quiesces one lock's state and reports whether the lock can
+// be retired entirely (recreated fresh on its next acquire).
+func (d *Detector) compactLock(ls *lockState, f *floors) bool {
+	end := ls.log.base + len(ls.log.buf)
+	minLive := -1
+	drained := true
+	for t := range ls.cons {
+		if d.dead[t] {
+			// Dead threads never drain again: park their cursors at the
+			// end of the log and drop their own-queues so neither pins
+			// storage. (The release-path clamp keeps even ill-formed
+			// resurrections deterministic.)
+			ls.cons[t].cur = end
+			ls.cons[t].blockT = -1
+			ls.own[t] = ownQ{}
+			continue
+		}
+		if ls.cons[t].cur < end {
+			drained = false
+		}
+		if minLive < 0 || ls.cons[t].cur < minLive {
+			minLive = ls.cons[t].cur
+		}
+		if !ls.own[t].empty() {
+			drained = false
+		}
+		q := &ls.own[t]
+		if q.head > 0 {
+			n := copy(q.buf, q.buf[q.head:])
+			q.buf = q.buf[:n]
+			q.head = 0
+		}
+		if cap(q.buf) >= 4*ringCompactAt && len(q.buf) < cap(q.buf)/4 {
+			q.buf = append([]vc.Clock(nil), q.buf...)
+		}
+	}
+	if minLive < 0 {
+		minLive = end
+	}
+	ls.log.compactForce(minLive)
+	ls.nextCompact = len(ls.log.buf) + ringCompactAt
+
+	// Quiesce dominated rule-(a) records and recompute the presence masks
+	// from what survives.
+	ls.acc.rMask, ls.acc.wMask = 0, 0
+	busy := 0
+	if ls.acc.dense != nil {
+		for x := range ls.acc.dense {
+			busy += quiescePair(&ls.acc.dense[x], int32(x), &ls.acc, f.ct)
+		}
+	} else if ls.acc.m != nil {
+		for x, pair := range ls.acc.m {
+			if quiescePair(pair, int32(x), &ls.acc, f.ct) == 0 {
+				delete(ls.acc.m, x)
+			} else {
+				busy++
+			}
+		}
+	}
+
+	if busy > 0 || !drained {
+		ls.pl.Tighten()
+		ls.hl.Tighten()
+		return false
+	}
+	if !wcDominated(&ls.hl, f.h) || !wcDominated(&ls.pl, f.ct) {
+		ls.pl.Tighten()
+		ls.hl.Tighten()
+		return false
+	}
+	// The lock is fully quiesced; make sure no live thread still has it
+	// open (its release would publish to the retired state).
+	for t := range d.threads {
+		if d.dead[t] {
+			continue
+		}
+		for i := range d.threads[t].stack {
+			if ls == d.locks[d.threads[t].stack[i].lock] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// quiescePair resets the relTimes of one (lock, variable) record whose
+// contributions are all ⊑ the C-time floor, and folds the survivors into
+// the index masks. It returns the number of live records remaining (0–2).
+func quiescePair(pair *relPair, x int32, ri *relIndex, ctFloor vc.VC) int {
+	live := 0
+	if pair.r.ha.Ready() {
+		if rtDominated(&pair.r, ctFloor) {
+			pair.r = relTimes{}
+		} else {
+			ri.rMask |= 1 << (uint32(x) & 63)
+			live++
+		}
+	}
+	if pair.w.ha.Ready() {
+		if rtDominated(&pair.w, ctFloor) {
+			pair.w = relTimes{}
+		} else {
+			ri.wMask |= 1 << (uint32(x) & 63)
+			live++
+		}
+	}
+	return live
+}
+
+// StateBytes estimates the detector's retained state in bytes: clock
+// storage, queue buffers, rule-(a) records, and per-variable maps. It is
+// an estimate for compaction budgets and soak assertions, not an exact
+// heap measurement.
+func (d *Detector) StateBytes() int {
+	const clockB = 4
+	width := len(d.threads)
+	n := 4 * width * width * clockB // p/h/o/eff banks
+	for t := range d.threads {
+		ts := &d.threads[t]
+		stack := ts.stack[:cap(ts.stack)]
+		for i := range stack {
+			if stack[i].ctAcq.Ready() {
+				n += width * clockB
+			}
+			n += (cap(stack[i].reads.list) + cap(stack[i].writes.list)) * 4
+			n += (len(stack[i].reads.seen) + len(stack[i].writes.seen)) * 8
+		}
+	}
+	for x := range d.vars {
+		vs := &d.vars[x]
+		if vs.readAll.Ready() {
+			n += width * clockB
+		}
+		if vs.writeAll.Ready() {
+			n += width * clockB
+		}
+		n += len(vs.rShared) * clockB
+		n += (len(vs.reads) + len(vs.writes)) * (width*clockB + 24)
+	}
+	for _, ls := range d.locks {
+		if ls == nil {
+			continue
+		}
+		n += cap(ls.log.buf) * clockB
+		n += len(ls.cons) * 12
+		n += len(ls.joinGen) * 4
+		if ls.pl.Ready() {
+			n += width * clockB
+		}
+		if ls.hl.Ready() {
+			n += width * clockB
+		}
+		for t := range ls.own {
+			n += cap(ls.own[t].buf) * clockB
+		}
+		countPair := func(pair *relPair) {
+			for _, rt := range []*relTimes{&pair.r, &pair.w} {
+				if rt.ha.Ready() {
+					n += width * clockB
+				}
+				if rt.hb.Ready() {
+					n += width * clockB
+				}
+			}
+		}
+		if ls.acc.dense != nil {
+			n += len(ls.acc.dense) * 24
+			for x := range ls.acc.dense {
+				countPair(&ls.acc.dense[x])
+			}
+		}
+		for _, pair := range ls.acc.m {
+			n += 48
+			countPair(pair)
+		}
+	}
+	return n
+}

@@ -529,6 +529,13 @@ type Detector struct {
 	// would only double the drain's cache traffic for windows that are
 	// always full.
 	denseQ bool
+	// joined marks threads some other thread has joined; dead marks joined
+	// threads with no open critical sections, whose clocks are frozen
+	// forever. Compaction (compact.go) treats dead threads' queue cursors
+	// as infinitely far ahead and uses the remaining live threads' clocks
+	// as the domination floor for retiring quiesced state.
+	joined []bool
+	dead   []bool
 }
 
 // NewDetector returns a detector for traces with the given numbers of
@@ -541,6 +548,8 @@ func NewDetector(threads, locks, vars int, opts Options) *Detector {
 		locks:   make([]*lockState, locks),
 		vars:    make([]varState, vars),
 		scratch: vc.NewWC(threads),
+		joined:  make([]bool, threads),
+		dead:    make([]bool, threads),
 	}
 	d.res.FirstRace = -1
 	if locks == 0 || vars <= denseAccBudget/locks {
@@ -587,16 +596,24 @@ func (d *Detector) lock(l event.LID) *lockState {
 
 // maybeCompact discards log records every consumer has passed, once the log
 // is large enough to bother; the cursor-minimum scan re-runs only after the
-// log has grown past the previous check's high-water mark.
-func (ls *lockState) maybeCompact() {
+// log has grown past the previous check's high-water mark. Dead threads'
+// cursors are ignored — they will never drain again, so waiting on them
+// would pin the log forever.
+func (d *Detector) maybeCompact(ls *lockState) {
 	if n := len(ls.log.buf); n < ringCompactAt || n < ls.nextCompact {
 		return
 	}
-	min := ls.cons[0].cur
+	min := -1
 	for i := range ls.cons {
-		if ls.cons[i].cur < min {
+		if d.dead[i] {
+			continue
+		}
+		if min < 0 || ls.cons[i].cur < min {
 			min = ls.cons[i].cur
 		}
+	}
+	if min < 0 {
+		min = ls.log.base + len(ls.log.buf)
 	}
 	ls.log.compact(min)
 	ls.nextCompact = len(ls.log.buf) + ringCompactAt
@@ -798,6 +815,7 @@ func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Lo
 		}
 		ts.effOK = false
 		ts.oZero = false
+		d.joined[u] = true
 	}
 
 	if d.opts.CollectTimestamps {
@@ -909,6 +927,15 @@ func (d *Detector) release(t int, l event.LID) {
 	// thread head is skipped in O(1) via its blocked-component memo.
 	width := len(d.threads)
 	cons, myOwn := &ls.cons[t], &ls.own[t]
+	if cons.cur < ls.log.base {
+		// Compaction treats dead threads (joined, no open sections) as
+		// never draining again and truncates past their cursors; if an
+		// ill-formed trace revives such a thread anyway, clamp its cursor
+		// to the surviving records — determinism, not precision, is all
+		// the detector promises off the well-formed model.
+		cons.cur = ls.log.base
+		cons.blockT = -1
+	}
 	for {
 		// Only a growth of Pt can unblock further records, so the fixpoint
 		// re-iterates exactly when a drain join changed it.
@@ -1078,7 +1105,7 @@ func (d *Detector) release(t int, l event.LID) {
 		} else {
 			ls.log.push(t, acq, &ts.h)
 		}
-		ls.maybeCompact()
+		d.maybeCompact(ls)
 		d.queued += width - 1 // the Relℓ(t') entries, t' ≠ t
 	}
 	if d.denseQ {

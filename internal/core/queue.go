@@ -199,6 +199,22 @@ func (g *csLog) compact(minCur int) {
 	g.base = minCur
 }
 
+// compactForce discards records below minCur without the amortization
+// guard, and returns oversized backing storage to the allocator when the
+// live region has shrunk well below it. Whole-detector compaction calls
+// this: unlike the steady-state compact above, it runs off the hot path
+// and wants the memory back now.
+func (g *csLog) compactForce(minCur int) {
+	if dead := minCur - g.base; dead > 0 {
+		n := copy(g.buf, g.buf[dead:])
+		g.buf = g.buf[:n]
+		g.base = minCur
+	}
+	if cap(g.buf) >= 4*ringCompactAt && len(g.buf) < cap(g.buf)/4 {
+		g.buf = append([]vc.Clock(nil), g.buf...)
+	}
+}
+
 // consumer is one thread's view of a lock's log: its drain cursor and the
 // stuck-head memo. blockT/blockC memoize why the front record is stuck: the
 // last failed acq ⊑ Ct check failed at component blockT, which needs to

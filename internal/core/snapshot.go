@@ -1,0 +1,744 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/race"
+	"repro/internal/snap"
+	"repro/internal/vc"
+)
+
+// This file implements the WCP detector's snapshot codec. The payload is
+// canonical: it captures exactly the semantic state — clocks, queues,
+// rule-(a) records, per-variable access state, result counters — and drops
+// everything recomputable (effective-time caches, join-cache pointers,
+// generation counters, clock dirty windows). Restore rebuilds the caches
+// empty and the windows tight, which changes no verdict (dropped windows
+// only cover zero components; dropped caches only force re-joins that are
+// no-ops). Because only canonical state is serialized, snapshotting a
+// just-restored detector reproduces the identical byte stream — the
+// invariant FuzzSnapshotRoundTrip pins.
+
+// Snapshot decode bounds: generous enough for any real session, tight
+// enough that hostile payloads cannot drive unbounded allocation.
+const (
+	maxSnapThreads = 1 << 20
+	maxSnapSyms    = 1 << 26
+	maxSnapWords   = 1 << 27
+	maxSnapCells   = 1 << 24
+)
+
+var errTimestamps = errors.New("core: detectors collecting per-event timestamps are not snapshottable")
+
+// EncodeSnapshot appends the detector's full semantic state to w.
+func (d *Detector) EncodeSnapshot(w *snap.Writer) error {
+	if d.opts.CollectTimestamps {
+		return errTimestamps
+	}
+	var ob byte
+	if d.opts.TrackPairs {
+		ob |= 1
+	}
+	if d.opts.EpochCheck {
+		ob |= 2
+	}
+	w.Byte(ob)
+	w.Uvarint(uint64(len(d.threads)))
+	w.Uvarint(uint64(len(d.locks)))
+	w.Uvarint(uint64(len(d.vars)))
+
+	w.Int(d.res.Events)
+	w.Int(d.res.RacyEvents)
+	w.Int(d.res.FirstRace)
+	w.Int(d.res.QueueMaxTotal)
+	w.Int(d.queued)
+	w.Bool(d.res.Report != nil)
+	if d.res.Report != nil {
+		d.res.Report.EncodeSnapshot(w)
+	}
+
+	for t := range d.threads {
+		ts := &d.threads[t]
+		var fb byte
+		if ts.incNext {
+			fb |= 1
+		}
+		if ts.oZero {
+			fb |= 2
+		}
+		if d.joined[t] {
+			fb |= 4
+		}
+		if d.dead[t] {
+			fb |= 8
+		}
+		w.Byte(fb)
+		w.Int(int(ts.n))
+		w.Sparse(ts.p.VC())
+		w.Sparse(ts.h.VC())
+		w.Sparse(ts.o.VC())
+		w.Uvarint(uint64(len(ts.stack)))
+		for i := range ts.stack {
+			e := &ts.stack[i]
+			w.Int(int(e.lock))
+			w.Int(int(e.nAcq))
+			w.Bool(e.hasCt)
+			if e.hasCt {
+				w.Sparse(e.ctAcq.VC())
+			}
+			encodeVarSet(w, &e.reads)
+			encodeVarSet(w, &e.writes)
+		}
+	}
+
+	for _, ls := range d.locks {
+		if ls == nil {
+			w.Bool(false)
+			continue
+		}
+		w.Bool(true)
+		encodeLock(w, ls)
+	}
+
+	live := 0
+	for x := range d.vars {
+		if !varFresh(&d.vars[x]) {
+			live++
+		}
+	}
+	w.Uvarint(uint64(live))
+	prev := 0
+	for x := range d.vars {
+		vs := &d.vars[x]
+		if varFresh(vs) {
+			continue
+		}
+		w.Uvarint(uint64(x - prev))
+		prev = x
+		encodeVar(w, vs)
+	}
+	return nil
+}
+
+func varFresh(vs *varState) bool {
+	return !vs.readAll.Ready() && !vs.writeAll.Ready() &&
+		vs.wLast == vc.NoEpoch && vs.rLast == vc.NoEpoch &&
+		!vs.wOrdered && !vs.rOrdered && !vs.wPure && !vs.rPure &&
+		vs.reads == nil && vs.writes == nil &&
+		vs.wEpoch == vc.NoEpoch && vs.rEpoch == vc.NoEpoch && vs.rShared == nil
+}
+
+func encodeVarSet(w *snap.Writer, s *varSet) {
+	w.Uvarint(uint64(len(s.list)))
+	for _, x := range s.list {
+		w.Int(int(x))
+	}
+}
+
+func decodeVarSet(rd *snap.Reader, s *varSet, nvars int) error {
+	n, err := rd.Count(nvars)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		v, err := rd.I32()
+		if err != nil {
+			return err
+		}
+		if int(v) < 0 || int(v) >= nvars {
+			return &snap.DecodeError{Reason: "variable id out of range"}
+		}
+		// add() re-establishes the spill index past varSetSpill; the list
+		// was deduplicated at encode time so add keeps the exact order.
+		s.add(event.VID(v))
+	}
+	if len(s.list) != n {
+		return &snap.DecodeError{Reason: "duplicate variable in access set"}
+	}
+	return nil
+}
+
+func encodeWC(w *snap.Writer, c *vc.WC) {
+	if !c.Ready() {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Sparse(c.VC())
+}
+
+// decodeWC restores a clock written by encodeWC into c, initializing it at
+// the given width when present. Set rebuilds the dirty window tightly.
+func decodeWC(rd *snap.Reader, c *vc.WC, width int, tmp vc.VC) error {
+	ok, err := rd.Bool()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	if !c.Ready() {
+		c.Init(width)
+	}
+	return decodeReadyWC(rd, c, tmp)
+}
+
+// decodeReadyWC fills an already-initialized clock from a bare sparse
+// vector.
+func decodeReadyWC(rd *snap.Reader, c *vc.WC, tmp vc.VC) error {
+	tmp.Zero()
+	if err := rd.Sparse(tmp); err != nil {
+		return err
+	}
+	c.Zero()
+	for i, v := range tmp {
+		if v != 0 {
+			c.Set(i, v)
+		}
+	}
+	return nil
+}
+
+func encodeRelTimes(w *snap.Writer, rt *relTimes) {
+	// !ha.Ready() means semantically absent (never contributed, or
+	// quiesced by compaction): encoded as such, so the record's residual
+	// generation counter is canonically dropped.
+	if !rt.ha.Ready() {
+		w.Byte(0)
+		return
+	}
+	if rt.hb.Ready() {
+		w.Byte(2)
+	} else {
+		w.Byte(1)
+	}
+	w.Int(int(rt.ta))
+	w.Sparse(rt.ha.VC())
+	if rt.hb.Ready() {
+		w.Int(int(rt.tb))
+		w.Sparse(rt.hb.VC())
+	}
+}
+
+func decodeRelTimes(rd *snap.Reader, rt *relTimes, width int, tmp vc.VC) error {
+	kind, err := rd.Byte()
+	if err != nil {
+		return err
+	}
+	if kind == 0 {
+		return nil
+	}
+	if kind > 2 {
+		return &snap.DecodeError{Reason: "bad relTimes kind"}
+	}
+	ta, err := rd.I32()
+	if err != nil {
+		return err
+	}
+	if int(ta) < 0 || int(ta) >= width {
+		return &snap.DecodeError{Reason: "relTimes thread out of range"}
+	}
+	rt.ta = ta
+	rt.ha.Init(width)
+	if err := decodeReadyWC(rd, &rt.ha, tmp); err != nil {
+		return err
+	}
+	if kind == 2 {
+		tb, err := rd.I32()
+		if err != nil {
+			return err
+		}
+		if int(tb) < 0 || int(tb) >= width || tb == ta {
+			return &snap.DecodeError{Reason: "relTimes runner-up thread invalid"}
+		}
+		rt.tb = tb
+		rt.hb.Init(width)
+		if err := decodeReadyWC(rd, &rt.hb, tmp); err != nil {
+			return err
+		}
+	}
+	// Restore with a live generation; every join cache restarts empty, so
+	// any generation consistent across resnapshots works. Zero is reserved
+	// for absent records.
+	rt.gen = 1
+	return nil
+}
+
+func encodeLock(w *snap.Writer, ls *lockState) {
+	encodeWC(w, &ls.hl)
+	if ls.hl.Ready() {
+		w.Sparse(ls.pl.VC())
+	}
+	w.Int(ls.nextCompact)
+	w.Int(ls.log.base)
+	w.I32s(ls.log.buf)
+	for t := range ls.cons {
+		w.Uvarint(uint64(ls.cons[t].cur))
+		w.Int(int(ls.cons[t].blockT))
+		w.Int(int(ls.cons[t].blockC))
+	}
+	for t := range ls.own {
+		q := &ls.own[t]
+		w.I32s(q.buf[q.head:])
+	}
+	// Rule-(a) records, sorted by variable for a canonical byte stream.
+	type accEnt struct {
+		x    event.VID
+		pair *relPair
+	}
+	var ents []accEnt
+	if ls.acc.dense != nil {
+		for x := range ls.acc.dense {
+			if p := &ls.acc.dense[x]; p.r.ha.Ready() || p.w.ha.Ready() {
+				ents = append(ents, accEnt{event.VID(x), p})
+			}
+		}
+	} else {
+		for x, p := range ls.acc.m {
+			if p.r.ha.Ready() || p.w.ha.Ready() {
+				ents = append(ents, accEnt{x, p})
+			}
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i].x < ents[j].x })
+	}
+	w.Uvarint(uint64(len(ents)))
+	prev := event.VID(0)
+	for _, e := range ents {
+		w.Uvarint(uint64(e.x - prev))
+		prev = e.x
+		encodeRelTimes(w, &e.pair.r)
+		encodeRelTimes(w, &e.pair.w)
+	}
+}
+
+func (d *Detector) decodeLock(rd *snap.Reader, ls *lockState, tmp vc.VC) error {
+	width := len(d.threads)
+	if err := decodeWC(rd, &ls.hl, width, tmp); err != nil {
+		return err
+	}
+	if ls.hl.Ready() {
+		ls.pl.Init(width)
+		if err := decodeReadyWC(rd, &ls.pl, tmp); err != nil {
+			return err
+		}
+		// One release has happened; restore the release counter to a live
+		// value (join caches are all stale at zero, forcing no-op
+		// re-joins at each thread's next acquire).
+		ls.gen = 1
+	}
+	var err error
+	if ls.nextCompact, err = rd.Int(); err != nil {
+		return err
+	}
+	if ls.log.base, err = rd.Int(); err != nil {
+		return err
+	}
+	if ls.log.buf, err = rd.I32s(maxSnapWords); err != nil {
+		return err
+	}
+	if len(ls.log.buf) == 0 {
+		ls.log.buf = nil
+	}
+	end := ls.log.base + len(ls.log.buf)
+	for t := range ls.cons {
+		cur, err := rd.Uvarint()
+		if err != nil {
+			return err
+		}
+		if int(cur) < ls.log.base || int(cur) > end {
+			return &snap.DecodeError{Reason: "queue cursor outside log"}
+		}
+		ls.cons[t].cur = int(cur)
+		bt, err := rd.I32()
+		if err != nil {
+			return err
+		}
+		if bt < -1 || int(bt) >= width {
+			return &snap.DecodeError{Reason: "blocked component out of range"}
+		}
+		ls.cons[t].blockT = bt
+		if ls.cons[t].blockC, err = rd.I32(); err != nil {
+			return err
+		}
+	}
+	for t := range ls.own {
+		buf, err := rd.I32s(maxSnapWords)
+		if err != nil {
+			return err
+		}
+		if len(buf) > 0 {
+			ls.own[t].buf = buf
+		}
+	}
+	n, err := rd.Count(len(d.vars))
+	if err != nil {
+		return err
+	}
+	x := event.VID(0)
+	for i := 0; i < n; i++ {
+		dx, err := rd.Uvarint()
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			x = event.VID(dx)
+		} else {
+			if dx == 0 {
+				return &snap.DecodeError{Reason: "non-increasing acc variable"}
+			}
+			x += event.VID(dx)
+		}
+		if int(x) >= len(d.vars) {
+			return &snap.DecodeError{Reason: "acc variable out of range"}
+		}
+		pair := ls.acc.getOrCreate(x, d.denseVars)
+		if err := decodeRelTimes(rd, &pair.r, width, tmp); err != nil {
+			return err
+		}
+		if err := decodeRelTimes(rd, &pair.w, width, tmp); err != nil {
+			return err
+		}
+		if !pair.r.ha.Ready() && !pair.w.ha.Ready() {
+			return &snap.DecodeError{Reason: "empty rule-(a) record"}
+		}
+		if pair.r.ha.Ready() {
+			ls.acc.rMask |= varBit(x)
+		}
+		if pair.w.ha.Ready() {
+			ls.acc.wMask |= varBit(x)
+		}
+	}
+	return nil
+}
+
+func encodeVar(w *snap.Writer, vs *varState) {
+	var fb byte
+	if vs.wOrdered {
+		fb |= 1
+	}
+	if vs.rOrdered {
+		fb |= 2
+	}
+	if vs.wPure {
+		fb |= 4
+	}
+	if vs.rPure {
+		fb |= 8
+	}
+	if vs.rShared != nil {
+		fb |= 16
+	}
+	w.Byte(fb)
+	encodeWC(w, &vs.readAll)
+	encodeWC(w, &vs.writeAll)
+	w.Uvarint(uint64(vs.wLast))
+	w.Uvarint(uint64(vs.rLast))
+	w.Uvarint(uint64(vs.wEpoch))
+	w.Uvarint(uint64(vs.rEpoch))
+	if vs.rShared != nil {
+		w.Sparse(vs.rShared)
+	}
+	encodeCells(w, vs.reads)
+	encodeCells(w, vs.writes)
+}
+
+func (d *Detector) decodeVar(rd *snap.Reader, vs *varState, tmp vc.VC) error {
+	width := len(d.threads)
+	fb, err := rd.Byte()
+	if err != nil {
+		return err
+	}
+	if fb >= 32 {
+		return &snap.DecodeError{Reason: "bad variable flags"}
+	}
+	vs.wOrdered = fb&1 != 0
+	vs.rOrdered = fb&2 != 0
+	vs.wPure = fb&4 != 0
+	vs.rPure = fb&8 != 0
+	if err := decodeWC(rd, &vs.readAll, width, tmp); err != nil {
+		return err
+	}
+	if err := decodeWC(rd, &vs.writeAll, width, tmp); err != nil {
+		return err
+	}
+	var e uint64
+	if e, err = rd.Uvarint(); err != nil {
+		return err
+	}
+	vs.wLast = vc.Epoch(e)
+	if e, err = rd.Uvarint(); err != nil {
+		return err
+	}
+	vs.rLast = vc.Epoch(e)
+	if e, err = rd.Uvarint(); err != nil {
+		return err
+	}
+	vs.wEpoch = vc.Epoch(e)
+	if e, err = rd.Uvarint(); err != nil {
+		return err
+	}
+	vs.rEpoch = vc.Epoch(e)
+	if fb&16 != 0 {
+		vs.rShared = vc.New(width)
+		if err := rd.Sparse(vs.rShared); err != nil {
+			return err
+		}
+	}
+	if vs.reads, err = decodeCells(rd, width, tmp); err != nil {
+		return err
+	}
+	if vs.writes, err = decodeCells(rd, width, tmp); err != nil {
+		return err
+	}
+	if varFresh(vs) {
+		// A fresh variable must be omitted from the stream, or snapshotting
+		// the restored detector would not reproduce it byte-identically.
+		return &snap.DecodeError{Reason: "fresh variable encoded"}
+	}
+	return nil
+}
+
+func encodeCells(w *snap.Writer, cells map[event.Loc]*accessCell) {
+	if cells == nil {
+		w.Uvarint(0)
+		w.Bool(false)
+		return
+	}
+	locs := make([]event.Loc, 0, len(cells))
+	for loc := range cells {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	w.Uvarint(uint64(len(locs)))
+	w.Bool(true)
+	prev := event.Loc(0)
+	first := true
+	for _, loc := range locs {
+		if first {
+			w.Int(int(loc))
+			first = false
+		} else {
+			w.Uvarint(uint64(loc - prev))
+		}
+		prev = loc
+		c := cells[loc]
+		w.Int(c.last)
+		w.Sparse(c.time)
+	}
+}
+
+func decodeCells(rd *snap.Reader, width int, tmp vc.VC) (map[event.Loc]*accessCell, error) {
+	n, err := rd.Count(maxSnapCells)
+	if err != nil {
+		return nil, err
+	}
+	present, err := rd.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		if n != 0 {
+			return nil, &snap.DecodeError{Reason: "cells marked absent with entries"}
+		}
+		return nil, nil
+	}
+	cells := make(map[event.Loc]*accessCell, n)
+	loc := event.Loc(0)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			v, err := rd.I32()
+			if err != nil {
+				return nil, err
+			}
+			loc = event.Loc(v)
+		} else {
+			d, err := rd.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if d == 0 {
+				return nil, &snap.DecodeError{Reason: "non-increasing cell location"}
+			}
+			loc += event.Loc(d)
+		}
+		c := &accessCell{time: vc.New(width)}
+		if c.last, err = rd.Int(); err != nil {
+			return nil, err
+		}
+		if err := rd.Sparse(c.time); err != nil {
+			return nil, err
+		}
+		if _, dup := cells[loc]; dup {
+			return nil, &snap.DecodeError{Reason: "duplicate cell location"}
+		}
+		cells[loc] = c
+	}
+	return cells, nil
+}
+
+// DecodeSnapshot reconstructs a detector from a payload written by
+// EncodeSnapshot. Any malformation surfaces as a *snap.DecodeError.
+func DecodeSnapshot(rd *snap.Reader) (*Detector, error) {
+	ob, err := rd.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if ob >= 4 {
+		return nil, &snap.DecodeError{Reason: "bad detector options"}
+	}
+	opts := Options{TrackPairs: ob&1 != 0, EpochCheck: ob&2 != 0}
+	threads, err := rd.Count(maxSnapThreads)
+	if err != nil {
+		return nil, err
+	}
+	if threads == 0 {
+		return nil, &snap.DecodeError{Reason: "zero threads"}
+	}
+	locks, err := rd.Count(maxSnapSyms)
+	if err != nil {
+		return nil, err
+	}
+	vars, err := rd.Count(maxSnapSyms)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDetector(threads, locks, vars, opts)
+	tmp := vc.New(threads)
+
+	if d.res.Events, err = rd.Int(); err != nil {
+		return nil, err
+	}
+	if d.res.RacyEvents, err = rd.Int(); err != nil {
+		return nil, err
+	}
+	if d.res.FirstRace, err = rd.Int(); err != nil {
+		return nil, err
+	}
+	if d.res.QueueMaxTotal, err = rd.Int(); err != nil {
+		return nil, err
+	}
+	if d.queued, err = rd.Int(); err != nil {
+		return nil, err
+	}
+	hasReport, err := rd.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasReport != opts.TrackPairs {
+		return nil, &snap.DecodeError{Reason: "report presence inconsistent with options"}
+	}
+	if hasReport {
+		if d.res.Report, err = race.DecodeSnapshotReport(rd); err != nil {
+			return nil, err
+		}
+	} else {
+		d.res.Report = nil
+	}
+
+	for t := range d.threads {
+		ts := &d.threads[t]
+		fb, err := rd.Byte()
+		if err != nil {
+			return nil, err
+		}
+		if fb >= 16 {
+			return nil, &snap.DecodeError{Reason: "bad thread flags"}
+		}
+		ts.incNext = fb&1 != 0
+		ts.oZero = fb&2 != 0
+		d.joined[t] = fb&4 != 0
+		d.dead[t] = fb&8 != 0
+		if ts.n, err = rd.I32(); err != nil {
+			return nil, err
+		}
+		if err := decodeReadyWC(rd, &ts.p, tmp); err != nil {
+			return nil, err
+		}
+		if err := decodeReadyWC(rd, &ts.h, tmp); err != nil {
+			return nil, err
+		}
+		if err := decodeReadyWC(rd, &ts.o, tmp); err != nil {
+			return nil, err
+		}
+		depth, err := rd.Count(maxSnapCells)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < depth; i++ {
+			l, err := rd.I32()
+			if err != nil {
+				return nil, err
+			}
+			if int(l) < 0 || int(l) >= locks {
+				return nil, &snap.DecodeError{Reason: "stack lock out of range"}
+			}
+			nAcq, err := rd.I32()
+			if err != nil {
+				return nil, err
+			}
+			e := ts.pushCS(event.LID(l), nAcq)
+			if e.hasCt, err = rd.Bool(); err != nil {
+				return nil, err
+			}
+			if e.hasCt {
+				e.ctAcq.Init(threads)
+				if err := decodeReadyWC(rd, &e.ctAcq, tmp); err != nil {
+					return nil, err
+				}
+			}
+			if err := decodeVarSet(rd, &e.reads, vars); err != nil {
+				return nil, err
+			}
+			if err := decodeVarSet(rd, &e.writes, vars); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for l := range d.locks {
+		present, err := rd.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if !present {
+			continue
+		}
+		ls := d.lock(event.LID(l))
+		if err := d.decodeLock(rd, ls, tmp); err != nil {
+			return nil, err
+		}
+	}
+
+	n, err := rd.Count(vars)
+	if err != nil {
+		return nil, err
+	}
+	x := 0
+	for i := 0; i < n; i++ {
+		dx, err := rd.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			x = int(dx)
+		} else {
+			if dx == 0 {
+				return nil, &snap.DecodeError{Reason: "non-increasing variable"}
+			}
+			x += int(dx)
+		}
+		if x >= vars {
+			return nil, &snap.DecodeError{Reason: "variable out of range"}
+		}
+		if err := d.decodeVar(rd, &d.vars[x], tmp); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Options returns the detector's option set (engine restore validates a
+// decoded detector's options against the serialized engine name).
+func (d *Detector) Options() Options { return d.opts }

@@ -233,16 +233,20 @@ func (e wcpEngine) Analyze(tr *trace.Trace) *Result {
 
 // wcpSession holds a WCP detector open across blocks (engine.Session).
 type wcpSession struct {
-	name  string
-	epoch bool
-	d     *core.Detector
-	busy  time.Duration
+	name    string
+	epoch   bool
+	d       *core.Detector
+	busy    time.Duration
+	compact compactState
 }
 
 func (s *wcpSession) ProcessBlock(b *trace.Block) {
 	start := time.Now()
 	s.d.ProcessBlock(b)
 	s.busy += time.Since(start)
+	if s.compact.due(len(b.Kinds)) {
+		s.compact.run(s.d)
+	}
 }
 
 func (s *wcpSession) Events() int { return s.d.Result().Events }
@@ -286,22 +290,31 @@ func (e hbEngine) Analyze(tr *trace.Trace) *Result {
 
 // hbSession holds an HB detector open across blocks (engine.Session).
 type hbSession struct {
-	name  string
-	epoch bool
-	d     *hb.Detector
-	busy  time.Duration
+	name    string
+	epoch   bool
+	d       *hb.Detector
+	busy    time.Duration
+	compact compactState
 }
 
 func (s *hbSession) ProcessBlock(b *trace.Block) {
 	start := time.Now()
 	s.d.ProcessBlock(b)
 	s.busy += time.Since(start)
+	if s.compact.due(len(b.Kinds)) {
+		s.compact.run(s.d)
+	}
 }
 
 func (s *hbSession) Events() int { return s.d.Result().Events }
 
 func (s *hbSession) Finish() *Result {
-	return hbResult(s.name, s.d.Result(), s.epoch, s.busy)
+	r := hbResult(s.name, s.d.Result(), s.epoch, s.busy)
+	// A sealed session keeps its Result but no longer needs the inflated
+	// read vectors; return them to the arena freelist (the stale-session
+	// leak fix — eviction and finish share this path).
+	s.d.Release()
+	return r
 }
 
 func (e hbEngine) NewSession(threads, locks, vars int) Session {

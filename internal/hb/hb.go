@@ -136,6 +136,10 @@ type Detector struct {
 	// pair-tracking mode to supply the fingerprint context of race
 	// observations (HB has no critical-section stack of its own).
 	held [][]event.LID
+	// joined marks threads some other thread has joined. In a well-formed
+	// trace a joined thread emits no further events, so its clock is frozen
+	// and compaction (compact.go) excludes it from the domination floor.
+	joined []bool
 }
 
 // NewDetector returns a detector for traces with the given numbers of
@@ -143,11 +147,12 @@ type Detector struct {
 // header or a prior counting pass).
 func NewDetector(threads, locks, vars int, opts Options) *Detector {
 	d := &Detector{
-		opts:  opts,
-		width: threads,
-		ct:    vc.NewWCMatrix(threads, threads),
-		locks: make([]*hbLock, locks),
-		arena: vc.NewArena(threads),
+		opts:   opts,
+		width:  threads,
+		ct:     vc.NewWCMatrix(threads, threads),
+		locks:  make([]*hbLock, locks),
+		arena:  vc.NewArena(threads),
+		joined: make([]bool, threads),
 	}
 	d.res.FirstRace = -1
 	if opts.Epoch {
@@ -255,6 +260,7 @@ func (d *Detector) stepAt(i int, kind event.Kind, t int, obj int32, loc event.Lo
 		d.ct[t].Set(t, d.ct[t].Get(t)+1)
 	case event.Join:
 		d.ct[t].Join(&d.ct[int(obj)])
+		d.joined[int(obj)] = true
 	case event.Read:
 		if d.opts.Epoch {
 			d.readEpoch(i, t, event.VID(obj))

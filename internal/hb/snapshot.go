@@ -1,0 +1,415 @@
+package hb
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/race"
+	"repro/internal/snap"
+	"repro/internal/vc"
+)
+
+// Snapshot codec for the HB detector. Like internal/core's, the payload is
+// canonical: thread clocks, lock clocks, per-variable access state, held
+// stacks, and the result counters. Join-cache generations, the access
+// caches (lastR/lastW and the change stamps), and clock dirty windows are
+// recomputable and dropped — restore leaves caches cold and windows tight,
+// which costs a few redundant compares and changes no verdict. A snapshot
+// of a just-restored detector is byte-identical to the one it came from.
+
+const (
+	maxSnapThreads = 1 << 20
+	maxSnapSyms    = 1 << 26
+	maxSnapCells   = 1 << 24
+)
+
+// EncodeSnapshot appends the detector's full semantic state to w.
+func (d *Detector) EncodeSnapshot(w *snap.Writer) error {
+	var ob byte
+	if d.opts.TrackPairs {
+		ob |= 1
+	}
+	if d.opts.Epoch {
+		ob |= 2
+	}
+	w.Byte(ob)
+	nvars := len(d.vars)
+	if d.opts.Epoch {
+		nvars = len(d.evars)
+	}
+	w.Uvarint(uint64(d.width))
+	w.Uvarint(uint64(len(d.locks)))
+	w.Uvarint(uint64(nvars))
+
+	w.Int(d.res.Events)
+	w.Int(d.res.RacyEvents)
+	w.Int(d.res.FirstRace)
+	w.Bool(d.res.Report != nil)
+	if d.res.Report != nil {
+		d.res.Report.EncodeSnapshot(w)
+	}
+
+	for t := range d.ct {
+		var fb byte
+		if d.joined[t] {
+			fb |= 1
+		}
+		w.Byte(fb)
+		w.Sparse(d.ct[t].VC())
+		if d.held != nil {
+			held := make([]int32, len(d.held[t]))
+			for i, l := range d.held[t] {
+				held[i] = int32(l)
+			}
+			w.I32s(held)
+		}
+	}
+
+	for _, lk := range d.locks {
+		if lk == nil {
+			w.Bool(false)
+			continue
+		}
+		w.Bool(true)
+		w.Sparse(lk.c.VC())
+	}
+
+	if d.opts.Epoch {
+		live := 0
+		for x := range d.evars {
+			if !evarFresh(&d.evars[x]) {
+				live++
+			}
+		}
+		w.Uvarint(uint64(live))
+		prev := 0
+		for x := range d.evars {
+			vs := &d.evars[x]
+			if evarFresh(vs) {
+				continue
+			}
+			w.Uvarint(uint64(x - prev))
+			prev = x
+			w.Uvarint(uint64(vs.w))
+			w.Uvarint(uint64(vs.r))
+			w.Bool(vs.shared != nil)
+			if vs.shared != nil {
+				w.Sparse(vs.shared.VC())
+			}
+		}
+		return nil
+	}
+
+	live := 0
+	for x := range d.vars {
+		if !hbVarFresh(&d.vars[x]) {
+			live++
+		}
+	}
+	w.Uvarint(uint64(live))
+	prev := 0
+	for x := range d.vars {
+		vs := &d.vars[x]
+		if hbVarFresh(vs) {
+			continue
+		}
+		w.Uvarint(uint64(x - prev))
+		prev = x
+		encodeHBWC(w, &vs.readAll)
+		encodeHBWC(w, &vs.writeAll)
+		encodeHBCells(w, vs.reads)
+		encodeHBCells(w, vs.writes)
+	}
+	return nil
+}
+
+func hbVarFresh(vs *varState) bool {
+	return !vs.readAll.Ready() && !vs.writeAll.Ready() &&
+		vs.reads == nil && vs.writes == nil
+}
+
+func evarFresh(vs *ftVar) bool {
+	return vs.w == vc.NoEpoch && vs.r == vc.NoEpoch && vs.shared == nil
+}
+
+func encodeHBWC(w *snap.Writer, c *vc.WC) {
+	if !c.Ready() {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Sparse(c.VC())
+}
+
+func encodeHBCells(w *snap.Writer, cells map[event.Loc]*cell) {
+	if cells == nil {
+		w.Uvarint(0)
+		w.Bool(false)
+		return
+	}
+	locs := make([]event.Loc, 0, len(cells))
+	for loc := range cells {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	w.Uvarint(uint64(len(locs)))
+	w.Bool(true)
+	prev := event.Loc(0)
+	first := true
+	for _, loc := range locs {
+		if first {
+			w.Int(int(loc))
+			first = false
+		} else {
+			w.Uvarint(uint64(loc - prev))
+		}
+		prev = loc
+		c := cells[loc]
+		w.Int(c.last)
+		w.Sparse(c.time)
+	}
+}
+
+func decodeHBReadyWC(rd *snap.Reader, c *vc.WC, tmp vc.VC) error {
+	tmp.Zero()
+	if err := rd.Sparse(tmp); err != nil {
+		return err
+	}
+	c.Zero()
+	for i, v := range tmp {
+		if v != 0 {
+			c.Set(i, v)
+		}
+	}
+	return nil
+}
+
+func decodeHBCells(rd *snap.Reader, width int) (map[event.Loc]*cell, error) {
+	n, err := rd.Count(maxSnapCells)
+	if err != nil {
+		return nil, err
+	}
+	present, err := rd.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		if n != 0 {
+			return nil, &snap.DecodeError{Reason: "cells marked absent with entries"}
+		}
+		return nil, nil
+	}
+	cells := make(map[event.Loc]*cell, n)
+	loc := event.Loc(0)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			v, err := rd.I32()
+			if err != nil {
+				return nil, err
+			}
+			loc = event.Loc(v)
+		} else {
+			d, err := rd.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if d == 0 {
+				return nil, &snap.DecodeError{Reason: "non-increasing cell location"}
+			}
+			loc += event.Loc(d)
+		}
+		c := &cell{time: vc.New(width)}
+		if c.last, err = rd.Int(); err != nil {
+			return nil, err
+		}
+		if err := rd.Sparse(c.time); err != nil {
+			return nil, err
+		}
+		if _, dup := cells[loc]; dup {
+			return nil, &snap.DecodeError{Reason: "duplicate cell location"}
+		}
+		cells[loc] = c
+	}
+	return cells, nil
+}
+
+// DecodeSnapshot reconstructs a detector from a payload written by
+// EncodeSnapshot. Any malformation surfaces as a *snap.DecodeError.
+func DecodeSnapshot(rd *snap.Reader) (*Detector, error) {
+	ob, err := rd.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if ob >= 4 || ob == 3 {
+		// Epoch mode never tracks pairs.
+		return nil, &snap.DecodeError{Reason: "bad detector options"}
+	}
+	opts := Options{TrackPairs: ob&1 != 0, Epoch: ob&2 != 0}
+	threads, err := rd.Count(maxSnapThreads)
+	if err != nil {
+		return nil, err
+	}
+	if threads == 0 {
+		return nil, &snap.DecodeError{Reason: "zero threads"}
+	}
+	locks, err := rd.Count(maxSnapSyms)
+	if err != nil {
+		return nil, err
+	}
+	vars, err := rd.Count(maxSnapSyms)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDetector(threads, locks, vars, opts)
+	tmp := vc.New(threads)
+
+	if d.res.Events, err = rd.Int(); err != nil {
+		return nil, err
+	}
+	if d.res.RacyEvents, err = rd.Int(); err != nil {
+		return nil, err
+	}
+	if d.res.FirstRace, err = rd.Int(); err != nil {
+		return nil, err
+	}
+	hasReport, err := rd.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if hasReport != (d.res.Report != nil) {
+		return nil, &snap.DecodeError{Reason: "report presence inconsistent with options"}
+	}
+	if hasReport {
+		if d.res.Report, err = race.DecodeSnapshotReport(rd); err != nil {
+			return nil, err
+		}
+	}
+
+	for t := range d.ct {
+		fb, err := rd.Byte()
+		if err != nil {
+			return nil, err
+		}
+		if fb >= 2 {
+			return nil, &snap.DecodeError{Reason: "bad thread flags"}
+		}
+		d.joined[t] = fb&1 != 0
+		if err := decodeHBReadyWC(rd, &d.ct[t], tmp); err != nil {
+			return nil, err
+		}
+		if d.held != nil {
+			held, err := rd.I32s(maxSnapCells)
+			if err != nil {
+				return nil, err
+			}
+			for _, l := range held {
+				if int(l) < 0 || int(l) >= locks {
+					return nil, &snap.DecodeError{Reason: "held lock out of range"}
+				}
+				d.held[t] = append(d.held[t], event.LID(l))
+			}
+		}
+	}
+
+	for l := range d.locks {
+		present, err := rd.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if !present {
+			continue
+		}
+		lk := &hbLock{joinGen: make([]uint32, d.width)}
+		lk.c.Init(d.width)
+		if err := decodeHBReadyWC(rd, &lk.c, tmp); err != nil {
+			return nil, err
+		}
+		// At least one release has happened; gen=1 with cold join caches
+		// forces each thread's next acquire to (no-op) re-join.
+		lk.gen = 1
+		d.locks[l] = lk
+	}
+
+	n, err := rd.Count(vars)
+	if err != nil {
+		return nil, err
+	}
+	x := 0
+	for i := 0; i < n; i++ {
+		dx, err := rd.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			x = int(dx)
+		} else {
+			if dx == 0 {
+				return nil, &snap.DecodeError{Reason: "non-increasing variable"}
+			}
+			x += int(dx)
+		}
+		if x >= vars {
+			return nil, &snap.DecodeError{Reason: "variable out of range"}
+		}
+		if opts.Epoch {
+			vs := &d.evars[x]
+			var e uint64
+			if e, err = rd.Uvarint(); err != nil {
+				return nil, err
+			}
+			vs.w = vc.Epoch(e)
+			if e, err = rd.Uvarint(); err != nil {
+				return nil, err
+			}
+			vs.r = vc.Epoch(e)
+			hasShared, err := rd.Bool()
+			if err != nil {
+				return nil, err
+			}
+			if hasShared {
+				vs.shared = d.arena.Get()
+				if err := rd.Sparse(vs.shared.VC()); err != nil {
+					return nil, err
+				}
+			}
+			if evarFresh(vs) {
+				return nil, &snap.DecodeError{Reason: "fresh variable encoded"}
+			}
+			continue
+		}
+		vs := &d.vars[x]
+		rdy, err := rd.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if rdy {
+			vs.readAll.Init(threads)
+			if err := decodeHBReadyWC(rd, &vs.readAll, tmp); err != nil {
+				return nil, err
+			}
+		}
+		if rdy, err = rd.Bool(); err != nil {
+			return nil, err
+		}
+		if rdy {
+			vs.writeAll.Init(threads)
+			if err := decodeHBReadyWC(rd, &vs.writeAll, tmp); err != nil {
+				return nil, err
+			}
+		}
+		if vs.reads, err = decodeHBCells(rd, threads); err != nil {
+			return nil, err
+		}
+		if vs.writes, err = decodeHBCells(rd, threads); err != nil {
+			return nil, err
+		}
+		if hbVarFresh(vs) {
+			return nil, &snap.DecodeError{Reason: "fresh variable encoded"}
+		}
+	}
+	return d, nil
+}
+
+// Options returns the detector's option set (engine restore validates a
+// decoded detector's options against the serialized engine name).
+func (d *Detector) Options() Options { return d.opts }

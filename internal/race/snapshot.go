@@ -1,0 +1,94 @@
+package race
+
+import (
+	"repro/internal/event"
+	"repro/internal/snap"
+)
+
+// Snapshot limits: a report cannot meaningfully hold more distinct pairs
+// than distinct location pairs, and lock contexts are bounded by nesting
+// depth. These bounds only guard hostile payloads.
+const (
+	maxSnapshotPairs = 1 << 24
+	maxSnapshotLocks = 1 << 16
+)
+
+// EncodeSnapshot appends the report to a snapshot payload: the distinct
+// pairs in first-observation order with their full Info, so a restored
+// report formats byte-identically and keeps accumulating observations
+// exactly as the original would.
+func (r *Report) EncodeSnapshot(w *snap.Writer) {
+	w.Uvarint(uint64(len(r.order)))
+	for _, p := range r.order {
+		info := r.pairs[p]
+		w.Int(int(p.A))
+		w.Int(int(p.B))
+		w.Int(info.Count)
+		w.Int(info.FirstEvent)
+		w.Int(info.MinDistance)
+		w.Int(info.MaxDistance)
+		w.Int(int(info.Var))
+		w.Uvarint(uint64(len(info.Locks)))
+		for _, l := range info.Locks {
+			w.Int(int(l))
+		}
+	}
+}
+
+// DecodeSnapshotReport decodes a report written by EncodeSnapshot.
+func DecodeSnapshotReport(rd *snap.Reader) (*Report, error) {
+	n, err := rd.Count(maxSnapshotPairs)
+	if err != nil {
+		return nil, err
+	}
+	r := NewReport()
+	for i := 0; i < n; i++ {
+		var p Pair
+		var info Info
+		var v int32
+		if v, err = rd.I32(); err != nil {
+			return nil, err
+		}
+		p.A = event.Loc(v)
+		if v, err = rd.I32(); err != nil {
+			return nil, err
+		}
+		p.B = event.Loc(v)
+		if info.Count, err = rd.Int(); err != nil {
+			return nil, err
+		}
+		if info.FirstEvent, err = rd.Int(); err != nil {
+			return nil, err
+		}
+		if info.MinDistance, err = rd.Int(); err != nil {
+			return nil, err
+		}
+		if info.MaxDistance, err = rd.Int(); err != nil {
+			return nil, err
+		}
+		if v, err = rd.I32(); err != nil {
+			return nil, err
+		}
+		info.Var = event.VID(v)
+		nl, err := rd.Count(maxSnapshotLocks)
+		if err != nil {
+			return nil, err
+		}
+		if nl > 0 {
+			info.Locks = make([]event.LID, nl)
+			for j := range info.Locks {
+				if v, err = rd.I32(); err != nil {
+					return nil, err
+				}
+				info.Locks[j] = event.LID(v)
+			}
+		}
+		if _, dup := r.pairs[p]; dup {
+			return nil, &snap.DecodeError{Reason: "duplicate race pair in snapshot"}
+		}
+		ic := info
+		r.pairs[p] = &ic
+		r.order = append(r.order, p)
+	}
+	return r, nil
+}

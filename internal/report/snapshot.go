@@ -1,0 +1,109 @@
+package report
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/snap"
+)
+
+// Snapshot codec for the deduplicated report store. Unlike the detector
+// snapshots this is not a delta: the store is small (one entry per distinct
+// race class), so a checkpoint serializes every entry exactly — counts,
+// observation bracket, first-seen order — and restore reconstructs the
+// entries directly rather than replaying Add calls.
+
+const (
+	maxStoreEntries = 1 << 24
+	maxStoreString  = 1 << 16
+)
+
+// Snapshot writes the store as one snap frame.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sw := snap.NewWriter(w)
+	sw.Varint(s.obs)
+	sw.Uvarint(uint64(len(s.order)))
+	for _, fp := range s.order {
+		e := s.m[fp]
+		sw.String(e.Engine)
+		sw.String(e.LocA)
+		sw.String(e.LocB)
+		sw.String(e.Var)
+		sw.String(e.Locks)
+		sw.Varint(e.Count)
+		sw.Varint(e.Traces)
+		sw.Int(e.MaxDistance)
+		sw.Varint(e.FirstSeen.UnixNano())
+		sw.Varint(e.LastSeen.UnixNano())
+		sw.String(e.FirstSource)
+	}
+	return sw.Close()
+}
+
+// RestoreStore reads one store frame written by Snapshot. Malformed input
+// fails with a *snap.DecodeError.
+func RestoreStore(r io.Reader) (*Store, error) {
+	rd, err := snap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	s := NewStore()
+	if s.obs, err = rd.Varint(); err != nil {
+		return nil, err
+	}
+	n, err := rd.Count(maxStoreEntries)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		e := &Entry{}
+		if e.Engine, err = rd.String(maxStoreString); err != nil {
+			return nil, err
+		}
+		if e.LocA, err = rd.String(maxStoreString); err != nil {
+			return nil, err
+		}
+		if e.LocB, err = rd.String(maxStoreString); err != nil {
+			return nil, err
+		}
+		if e.Var, err = rd.String(maxStoreString); err != nil {
+			return nil, err
+		}
+		if e.Locks, err = rd.String(maxStoreString); err != nil {
+			return nil, err
+		}
+		if e.Count, err = rd.Varint(); err != nil {
+			return nil, err
+		}
+		if e.Traces, err = rd.Varint(); err != nil {
+			return nil, err
+		}
+		if e.MaxDistance, err = rd.Int(); err != nil {
+			return nil, err
+		}
+		first, err := rd.Varint()
+		if err != nil {
+			return nil, err
+		}
+		last, err := rd.Varint()
+		if err != nil {
+			return nil, err
+		}
+		e.FirstSeen = time.Unix(0, first).UTC()
+		e.LastSeen = time.Unix(0, last).UTC()
+		if e.FirstSource, err = rd.String(maxStoreString); err != nil {
+			return nil, err
+		}
+		if _, dup := s.m[e.Fingerprint]; dup {
+			return nil, &snap.DecodeError{Reason: "duplicate store entry"}
+		}
+		s.m[e.Fingerprint] = e
+		s.order = append(s.order, e.Fingerprint)
+	}
+	if err := rd.Close(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -64,6 +64,19 @@ type Config struct {
 	// JanitorPeriod is how often idle sessions are collected. Defaults to
 	// IdleTimeout/4.
 	JanitorPeriod time.Duration
+	// CheckpointDir, when non-empty, enables session durability: open
+	// sessions and the report store are checkpointed there, restored on
+	// startup, and a graceful Close checkpoints instead of finalizing.
+	CheckpointDir string
+	// CheckpointEvery is the periodic checkpoint interval. Defaults to
+	// 30 seconds when CheckpointDir is set; <0 disables the periodic loop
+	// (checkpoints then happen only via POST /checkpoint and Close).
+	CheckpointEvery time.Duration
+	// CompactEveryEvents and CompactBudgetBytes form the compaction policy
+	// installed on every session engine (see engine.CompactPolicy). Both
+	// zero disables compaction.
+	CompactEveryEvents int
+	CompactBudgetBytes int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -86,6 +99,9 @@ func (c *Config) fill() {
 	}
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 30 * time.Second
 	}
 	if c.JanitorPeriod <= 0 {
 		c.JanitorPeriod = c.IdleTimeout / 4
@@ -110,6 +126,8 @@ type Server struct {
 	draining    atomic.Bool
 	janitorStop chan struct{}
 	janitorDone chan struct{}
+	ckptStop    chan struct{}
+	ckptDone    chan struct{}
 
 	// counters (atomics; gauges are read live)
 	eventsIngested   atomic.Uint64
@@ -132,7 +150,12 @@ func New(cfg Config) *Server {
 		start:       time.Now(),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+		ckptStop:    make(chan struct{}),
+		ckptDone:    make(chan struct{}),
 	}
+	// Crash recovery: re-open whatever the previous process checkpointed
+	// before accepting any traffic.
+	s.restoreCheckpoints()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
 	s.mux.HandleFunc("GET /sessions", s.handleListSessions)
@@ -141,6 +164,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /sessions/{id}/finish", s.handleFinish)
 	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleAbort)
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /sessions/{id}/snapshot", s.handleSessionSnapshot)
+	s.mux.HandleFunc("POST /sessions/restore", s.handleSessionRestore)
 	s.mux.HandleFunc("GET /reports", s.handleReports)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -148,6 +174,11 @@ func New(cfg Config) *Server {
 		go s.janitor()
 	} else {
 		close(s.janitorDone)
+	}
+	if cfg.CheckpointDir != "" && cfg.CheckpointEvery > 0 {
+		go s.checkpointLoop()
+	} else {
+		close(s.ckptDone)
 	}
 	return s
 }
@@ -160,11 +191,15 @@ func (s *Server) Store() *report.Store { return s.store }
 
 // Close drains the server: new requests are refused (503), the scheduler
 // finishes every accepted chunk, and still-open sessions are finalized so
-// their races reach the report store. Safe to call once.
+// their races reach the report store. With a CheckpointDir configured,
+// open sessions are checkpointed instead of finalized — a graceful restart
+// and crash recovery share the restore path. Safe to call once.
 func (s *Server) Close(ctx context.Context) error {
 	s.draining.Store(true)
 	close(s.janitorStop)
 	<-s.janitorDone
+	close(s.ckptStop)
+	<-s.ckptDone
 	err := s.sched.Drain(ctx)
 
 	s.mu.Lock()
@@ -174,6 +209,24 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 	s.sessions = make(map[string]*session)
 	s.mu.Unlock()
+	if s.cfg.CheckpointDir != "" {
+		kept := 0
+		for _, sess := range open {
+			// The scheduler is drained, so writing directly is serialized.
+			if cerr := s.checkpointSession(sess); cerr != nil {
+				s.cfg.Logf("raced: shutdown checkpoint of session %s failed, finalizing: %v", sess.id, cerr)
+				sess.finalize(s.store, time.Now())
+				s.dropSessionCheckpoint(sess.id)
+				continue
+			}
+			kept++
+		}
+		s.checkpointStore()
+		if len(open) > 0 {
+			s.cfg.Logf("raced: checkpointed %d open session(s) at shutdown", kept)
+		}
+		return err
+	}
 	for _, sess := range open {
 		sess.finalize(s.store, time.Now())
 	}
@@ -216,6 +269,8 @@ func (s *Server) janitor() {
 				}
 				s.removeSession(sess.id)
 				sess.finalize(s.store, time.Now())
+				s.checkpointStore()
+				s.dropSessionCheckpoint(sess.id)
 				s.sessionsEvicted.Add(1)
 				s.cfg.Logf("raced: evicted idle session %s (%d events)", sess.id, sess.status().Events)
 			})
@@ -432,6 +487,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		engines[i] = se.NewSession(d.Threads, d.Locks, d.Vars)
 	}
 	sess := newSession(id, h, names, engines, time.Now())
+	s.applyCompactPolicy(sess)
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
@@ -512,6 +568,10 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 	err := s.sched.Do(r.Context(), id, func() {
 		s.removeSession(id)
 		results = sess.finalize(s.store, time.Now())
+		// Store checkpoint before the session checkpoint disappears: a crash
+		// between the two re-counts this session's races, never loses them.
+		s.checkpointStore()
+		s.dropSessionCheckpoint(id)
 	})
 	if err != nil {
 		s.shedOrFail(w, err)
@@ -540,6 +600,7 @@ func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.abort()
+	s.dropSessionCheckpoint(id)
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "aborted": true})
 }
 

@@ -129,3 +129,8 @@ func NewMatrix(rows, width int) []VC {
 	}
 	return m
 }
+
+// Free returns the number of clocks currently sitting in the freelist.
+// When every outstanding reference has been dropped, Free equals Allocs —
+// the invariant the session-teardown leak tests pin.
+func (a *Arena) Free() int { return len(a.free) }

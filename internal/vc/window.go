@@ -636,6 +636,36 @@ func (w *WC) leqWide(x VC) bool {
 // Leq reports w ⊑ x for two windowed clocks of the same width.
 func (w *WC) Leq(x *WC) bool { return w.LeqVC(x.v) }
 
+// Tighten recomputes the dirty window from the clock's actual support,
+// shrinking spans and masks that have grown looser than the nonzero
+// components they cover — absorb only ever widens windows, so a long-lived
+// clock that repeatedly joined scattered sources can end up scanning buckets
+// whose components are all zero. Compaction passes call this on long-lived
+// clocks; it is O(width) and does not bump the generation (the content is
+// unchanged). Dense clocks have no window to tighten.
+func (w *WC) Tighten() {
+	if w.dense {
+		return
+	}
+	lo, hi := int32(-1), int32(0)
+	var mask uint64
+	for i, c := range w.v {
+		if c == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = int32(i)
+		}
+		hi = int32(i + 1)
+		mask |= 1 << (uint(i) >> w.shift)
+	}
+	if lo < 0 {
+		w.lo, w.hi, w.mask = 0, 0, 0
+		return
+	}
+	w.lo, w.hi, w.mask = lo, hi, mask
+}
+
 // Clone returns a fresh dense VC equal to w.
 func (w *WC) Clone() VC { return w.v.Clone() }
 

@@ -1,24 +1,29 @@
 #!/usr/bin/env bash
 # Smoke test for the raced daemon: build it, start it, stream a generated
 # trace in with examples/client, assert a deduplicated race report exists,
-# and verify a clean SIGTERM drain. Used by CI; runnable locally too.
+# SIGKILL the daemon mid-session and verify a restarted daemon resumes the
+# session from its checkpoint with an identical report, and finally verify
+# a clean SIGTERM drain. Used by CI; runnable locally too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${RACED_ADDR:-127.0.0.1:7497}"
 OUT="$(mktemp -d)"
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+start_raced() {
+  "$OUT/raced" -addr "$ADDR" -engines wcp,hb \
+    -checkpoint-dir "$OUT/ckpt" -checkpoint-every -1s &
+  PID=$!
+  for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return; fi
+    if [ "$i" = 100 ]; then echo "raced never became healthy" >&2; exit 1; fi
+    sleep 0.1
+  done
+}
 
 go build -o "$OUT/raced" ./cmd/raced
-"$OUT/raced" -addr "$ADDR" -engines wcp,hb &
-PID=$!
-
-# Wait for the daemon to come up.
-for i in $(seq 1 100); do
-  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
-  if [ "$i" = 100 ]; then echo "raced never became healthy" >&2; exit 1; fi
-  sleep 0.1
-done
+start_raced
 
 # Stream a generated trace in; the default seed produces races.
 go run ./examples/client -addr "http://$ADDR" -events 20000 | tee "$OUT/client.log"
@@ -26,12 +31,48 @@ grep -q "session finished" "$OUT/client.log"
 grep -q "race:" "$OUT/client.log"
 
 # The dedup store holds at least one fingerprinted class.
-curl -fsS "http://$ADDR/reports" | tee "$OUT/reports.json" | grep -q '"engine"'
+curl -fsS "http://$ADDR/reports" > "$OUT/reports.json"
+grep -q '"engine"' "$OUT/reports.json"
 # One-shot analysis over the same wire.
 go run ./cmd/tracegen -bench raytracer -scale 0.25 -format binary -o "$OUT/raytracer.bin"
-curl -fsS --data-binary @"$OUT/raytracer.bin" "http://$ADDR/analyze?engines=wcp" | grep -q '"racy_events"'
+curl -fsS --data-binary @"$OUT/raytracer.bin" "http://$ADDR/analyze?engines=wcp" > "$OUT/analyze.json"
+grep -q '"racy_events"' "$OUT/analyze.json"
 # Metrics moved.
-curl -fsS "http://$ADDR/metrics" | grep "raced_events_ingested_total" | grep -qv " 0$"
+curl -fsS "http://$ADDR/metrics" > "$OUT/metrics.txt"
+grep "raced_events_ingested_total" "$OUT/metrics.txt" | grep -qv " 0$"
+
+# --- crash recovery: SIGKILL mid-session, restart, resume, same report ---
+
+# Stream the same trace but stop partway through, leaving the session open.
+go run ./examples/client -addr "http://$ADDR" -events 20000 -stop-after 12000 \
+  | tee "$OUT/partial.log"
+SID="$(grep -o 'session [0-9a-f]* opened' "$OUT/partial.log" | awk '{print $2}')"
+[ -n "$SID" ] || { echo "no session id in partial client log" >&2; exit 1; }
+
+# Force a checkpoint, then kill the daemon the hard way: no drain, no
+# shutdown hook, exactly what a crash leaves behind.
+curl -fsS -X POST "http://$ADDR/checkpoint" > "$OUT/ckpt.json"
+grep -q '"sessions"' "$OUT/ckpt.json"
+kill -KILL "$PID"
+wait "$PID" 2>/dev/null || true
+
+start_raced
+
+# The dedup store survived the crash.
+curl -fsS "http://$ADDR/reports" > "$OUT/reports-recovered.json"
+grep -q '"engine"' "$OUT/reports-recovered.json"
+
+# Resume the interrupted session from the daemon-acknowledged offset and
+# finish it; the trace regenerates deterministically from the same seed.
+go run ./examples/client -addr "http://$ADDR" -events 20000 -resume "$SID" \
+  | tee "$OUT/resume.log"
+grep -q "resumed at event" "$OUT/resume.log"
+grep -q "session finished" "$OUT/resume.log"
+grep -q "race:" "$OUT/resume.log"
+
+# The recovered run's per-engine race counts match the uninterrupted run.
+diff <(grep 'distinct races:' "$OUT/client.log") \
+     <(grep 'distinct races:' "$OUT/resume.log")
 
 # Clean drain on SIGTERM.
 kill -TERM "$PID"
