@@ -35,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -61,6 +63,10 @@ var (
 	checkpointEvery = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (<0 disables the timer; POST /checkpoint still works)")
 	compactEvery    = flag.Int("compact-every", 1<<20, "compact session detector state every N events (0 disables)")
 	compactBudget   = flag.Int("compact-budget", 0, "only compact sessions whose state estimate exceeds this many bytes (0 = always)")
+
+	stateBudget   = flag.Int64("state-budget", 0, "global detector-state budget in bytes: over it, sessions are force-compacted then parked coldest-first (0 disables)")
+	ingestTimeout = flag.Duration("ingest-timeout", time.Minute, "per-request body read deadline (<0 disables)")
+	chaos         = flag.String("chaos", "", "inject connection faults for resilience testing, e.g. 'drop=0.2,trunc=0.1,stall=0.1,flip=0.05,latency=2ms,seed=7' (see internal/faultinject)")
 )
 
 func main() {
@@ -79,7 +85,19 @@ func run() error {
 		}
 	}
 
-	srv := server.New(server.Config{
+	// The chaos injector wraps the listener so every accepted connection
+	// draws a fault plan — drops, stalls, bit flips, truncations — before
+	// the HTTP layer sees a byte. Its counters ride along on /metrics.
+	var inj *faultinject.Injector
+	if *chaos != "" {
+		opts, err := faultinject.ParseSpec(*chaos)
+		if err != nil {
+			return err
+		}
+		inj = faultinject.New(opts)
+	}
+
+	cfg := server.Config{
 		DefaultEngines: names,
 		Engine:         engine.Config{Window: *window, Budget: *budget},
 		Workers:        *workers,
@@ -93,8 +111,24 @@ func run() error {
 		CheckpointEvery:    *checkpointEvery,
 		CompactEveryEvents: *compactEvery,
 		CompactBudgetBytes: *compactBudget,
-	})
+
+		StateBudgetBytes: *stateBudget,
+		IngestTimeout:    *ingestTimeout,
+	}
+	if inj != nil {
+		cfg.ExtraMetrics = inj.Counters.WriteMetrics
+	}
+	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if inj != nil {
+		log.Printf("raced: CHAOS MODE: injecting faults on every connection (%s)", *chaos)
+		ln = inj.WrapListener(ln)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -102,7 +136,7 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("raced: listening on %s (engines=%v)", *addr, names)
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
 		}

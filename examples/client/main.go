@@ -1,7 +1,10 @@
 // Client streams a generated trace into a running raced daemon and prints
-// the deduplicated race report — the wire-level walkthrough of the service
-// API: open a session with a binary trace header, stream the event body in
-// chunks, finish, then query the dedup store.
+// the deduplicated race report — a walkthrough of the service API through
+// the resilient internal/client library: open a session with a binary trace
+// header, stream the event body in sequence-numbered chunks (retried,
+// checksummed, deduplicated server-side), finish, then query the dedup
+// store. Killing the daemon mid-stream and restarting it, or running it
+// with -chaos faults, exercises the client's resume-from-ack path.
 //
 // Start the daemon first, then run the client:
 //
@@ -10,17 +13,17 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/gen"
 	"repro/internal/trace"
 	"repro/internal/traceio"
@@ -49,31 +52,8 @@ func main() {
 	}
 }
 
-// post issues one request and decodes the JSON reply into out (when non-nil).
-func post(method, url string, body io.Reader, out any) error {
-	req, err := http.NewRequest(method, url, body)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(raw))
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(raw, out)
-}
-
 func run() error {
+	ctx := context.Background()
 	tr := gen.Random(gen.RandomConfig{
 		Threads: *threads, Locks: *locks, Vars: *vars,
 		Events: *events, Seed: *seed, ForkJoin: true,
@@ -84,82 +64,58 @@ func run() error {
 		return dumpParts(tr)
 	}
 
-	// 1. Open a session: the body is the binary trace header, which sizes
-	// the daemon's per-session detectors up front. With -resume, the session
-	// already exists (possibly restored from a daemon checkpoint after a
-	// crash); ask the daemon how far it got and replay from there — the
-	// trace is regenerated deterministically from the same seed.
-	var id string
-	from := 0
-	if *resume != "" {
-		id = *resume
-		var st struct {
-			Events uint64 `json:"events"`
-		}
-		if err := post("GET", *addr+"/sessions/"+id, nil, &st); err != nil {
-			return err
-		}
-		from = int(st.Events)
-		if from > len(tr.Events) {
-			return fmt.Errorf("session %s has %d events, more than the %d this seed generates", id, from, len(tr.Events))
-		}
-		fmt.Printf("session %s resumed at event %d\n", id, from)
-	} else {
-		var hdr bytes.Buffer
-		if err := traceio.WriteHeader(&hdr, tr.Symbols, 0); err != nil {
-			return err
-		}
-		var created struct {
-			ID string `json:"id"`
-		}
-		if err := post("POST", *addr+"/sessions?engines="+*engines, &hdr, &created); err != nil {
-			return err
-		}
-		id = created.ID
-		fmt.Printf("session %s opened (engines=%s)\n", id, *engines)
+	cfg := client.Config{
+		BaseURL:     *addr,
+		Engines:     strings.Split(*engines, ","),
+		ChunkEvents: (len(tr.Events) + *chunks - 1) / *chunks,
+		Logf:        log.Printf,
 	}
 
-	// 2. Stream the event body in chunks. Chunks split on event boundaries
-	// (EncodeEvents writes whole events), and the daemon analyzes each one
-	// incrementally on arrival.
+	// 1. Open a session: the trace header sizes the daemon's per-session
+	// detectors up front. With -resume, the session already exists (possibly
+	// restored from a daemon checkpoint after a crash); the client
+	// synchronizes on how far the daemon got, and the deterministic seed
+	// regenerates the identical trace to replay from there.
+	var s *client.Session
+	var err error
+	if *resume != "" {
+		if s, err = client.Resume(ctx, cfg, *resume); err != nil {
+			return err
+		}
+		if s.Acked() > uint64(len(tr.Events)) {
+			return fmt.Errorf("session %s has %d events, more than the %d this seed generates", s.ID(), s.Acked(), len(tr.Events))
+		}
+		fmt.Printf("session %s resumed at event %d\n", s.ID(), s.Acked())
+	} else {
+		if s, err = client.Open(ctx, cfg, tr.Symbols); err != nil {
+			return err
+		}
+		fmt.Printf("session %s opened (engines=%s)\n", s.ID(), *engines)
+	}
+
+	// 2. Stream the event body. The library splits it into chunk requests on
+	// event boundaries, sequence-numbers and checksums each one, and
+	// resumes from the daemon's acknowledged offset after any fault — a
+	// retried chunk is deduplicated server-side, never double-analyzed.
 	start := time.Now()
 	limit := len(tr.Events)
 	if *stopAfter > 0 && *stopAfter < limit {
 		limit = *stopAfter
 	}
-	per := (len(tr.Events) + *chunks - 1) / *chunks
-	for i := from; i < limit; i += per {
-		end := min(i+per, limit)
-		var body bytes.Buffer
-		if err := traceio.EncodeEvents(&body, tr.Events[i:end]); err != nil {
-			return err
-		}
-		var ack struct {
-			Events uint64 `json:"events"`
-		}
-		if err := post("POST", *addr+"/sessions/"+id+"/chunks", &body, &ack); err != nil {
-			return err
-		}
-		fmt.Printf("  chunk [%6d:%6d) acknowledged, %d events analyzed\n", i, end, ack.Events)
+	if err := s.Stream(ctx, tr.Events[:limit], 0); err != nil {
+		return err
 	}
+	fmt.Printf("  %d events acknowledged\n", s.Acked())
 	if limit < len(tr.Events) {
-		fmt.Printf("stopping at event %d as requested; resume with -resume %s\n", limit, id)
+		fmt.Printf("stopping at event %d as requested; resume with -resume %s\n", limit, s.ID())
 		return nil
 	}
 
 	// 3. Finish: the daemon seals the detectors and returns the reports.
-	var fin struct {
-		Events  uint64 `json:"events"`
-		Results []struct {
-			Engine     string  `json:"engine"`
-			RacyEvents int     `json:"racy_events"`
-			Distinct   int     `json:"distinct"`
-			Summary    string  `json:"summary"`
-			Report     string  `json:"report"`
-			DurationMS float64 `json:"duration_ms"`
-		} `json:"results"`
-	}
-	if err := post("POST", *addr+"/sessions/"+id+"/finish", nil, &fin); err != nil {
+	// Finish is idempotent — a retry after a lost reply replays the cached
+	// response.
+	fin, err := s.Finish(ctx)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("session finished: %d events in %v\n", fin.Events, time.Since(start).Round(time.Millisecond))
@@ -185,7 +141,7 @@ func run() error {
 			Traces int64  `json:"traces"`
 		} `json:"reports"`
 	}
-	if err := post("GET", *addr+"/reports?limit=10", nil, &reports); err != nil {
+	if err := client.Reports(ctx, cfg, "limit=10", &reports); err != nil {
 		return err
 	}
 	fmt.Printf("\ndedup store: %d distinct race classes service-wide; first %d:\n",

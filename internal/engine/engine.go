@@ -456,3 +456,17 @@ func Names() []string {
 	sort.Strings(names)
 	return names
 }
+
+// ArenaStats exposes a session's clock-arena accounting when its detector
+// pools vector clocks (the hb engines). Chaos and leak tests use it to
+// assert that sealing a session returned every pooled clock to the
+// freelist: free == allocs after Finish. ok is false for detectors without
+// an arena.
+func ArenaStats(s Session) (allocs, free int, ok bool) {
+	hs, ok := s.(*hbSession)
+	if !ok {
+		return 0, 0, false
+	}
+	a := hs.d.Arena()
+	return a.Allocs(), a.Free(), true
+}

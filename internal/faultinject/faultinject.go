@@ -1,0 +1,390 @@
+// Package faultinject provides composable transport-fault injection for
+// exercising the raced ingestion path under real failure: a net.Listener /
+// net.Conn wrapper and an io.Reader wrapper that drop connections after N
+// bytes, stall mid-transfer, flip bits, truncate streams, and add per-read
+// latency. The same wrappers serve two consumers — the chaos differential
+// test suite wraps in-process listeners deterministically, and the raced
+// daemon's -chaos flag wraps its own listener for soak runs against real
+// clients.
+//
+// Faults are described by a Plan (one connection's fault schedule; the zero
+// Plan injects nothing) and rolled per connection by an Injector, whose
+// Options carry per-mode probabilities and a seed so chaos runs are
+// reproducible. Every fault that actually fires is counted; Counters feeds
+// the daemon's /metrics.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedDrop is the error surfaced by reads and writes on a connection
+// (or reader) whose drop fault has fired. Transport code sees it exactly
+// like a peer resetting the connection.
+var ErrInjectedDrop = errors.New("faultinject: connection dropped")
+
+// Plan is one connection's fault schedule. Byte thresholds count inbound
+// bytes (what the wrapped side reads); a zero field disables that fault, so
+// the zero Plan is a clean connection.
+type Plan struct {
+	// DropAfter closes the transport with ErrInjectedDrop once this many
+	// bytes have been read.
+	DropAfter int64
+	// TruncateAfter makes reads report io.EOF (and, on conns, writes
+	// silently succeed without delivering) once this many bytes have been
+	// read: the stream ends early but cleanly, as a proxy cutting a body
+	// short would leave it.
+	TruncateAfter int64
+	// StallAfter pauses the first read crossing this byte count for
+	// StallFor — a slow peer, not a dead one.
+	StallAfter int64
+	StallFor   time.Duration
+	// FlipBitAt corrupts the stream: the low bit of inbound byte offset
+	// FlipBitAt-1 is inverted (the field is 1-based so zero keeps the zero
+	// Plan clean).
+	FlipBitAt int64
+	// Latency is added to every read, modeling a high-RTT or congested
+	// path.
+	Latency time.Duration
+}
+
+func (p Plan) active() bool { return p != Plan{} }
+
+// Counters tallies faults that actually fired, per mode. All fields are
+// atomics; read them live.
+type Counters struct {
+	Drops     atomic.Uint64
+	Truncates atomic.Uint64
+	Stalls    atomic.Uint64
+	BitFlips  atomic.Uint64
+	Delays    atomic.Uint64 // reads that paid the latency fault
+	Conns     atomic.Uint64 // connections accepted with a non-zero Plan
+}
+
+// Total returns the number of injected faults across all modes (latency
+// delays excluded — they are pervasive by design, not discrete faults).
+func (c *Counters) Total() uint64 {
+	return c.Drops.Load() + c.Truncates.Load() + c.Stalls.Load() + c.BitFlips.Load()
+}
+
+// WriteMetrics emits the counters in Prometheus text format, for the
+// daemon's /metrics endpoint.
+func (c *Counters) WriteMetrics(w io.Writer) {
+	fmt.Fprintf(w, "raced_faults_injected_total %d\n", c.Total())
+	fmt.Fprintf(w, "raced_faults_drops_total %d\n", c.Drops.Load())
+	fmt.Fprintf(w, "raced_faults_truncates_total %d\n", c.Truncates.Load())
+	fmt.Fprintf(w, "raced_faults_stalls_total %d\n", c.Stalls.Load())
+	fmt.Fprintf(w, "raced_faults_bitflips_total %d\n", c.BitFlips.Load())
+	fmt.Fprintf(w, "raced_faults_faulty_conns_total %d\n", c.Conns.Load())
+}
+
+// Options parameterize an Injector: per-connection fault probabilities and
+// the placement window for byte-offset faults. The zero value injects
+// nothing.
+type Options struct {
+	// DropProb, TruncProb, StallProb, FlipProb are independent per-conn
+	// probabilities in [0,1] that the corresponding fault is scheduled.
+	DropProb, TruncProb, StallProb, FlipProb float64
+	// MaxOffset bounds where byte-offset faults land: offsets are drawn
+	// uniformly from [1, MaxOffset]. Defaults to 64 KiB.
+	MaxOffset int64
+	// StallFor is the stall duration when a stall is scheduled. Defaults
+	// to 50ms.
+	StallFor time.Duration
+	// Latency is added to every read of every connection (0 = none).
+	Latency time.Duration
+	// Seed makes the fault schedule reproducible. 0 seeds from 1.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.MaxOffset <= 0 {
+		o.MaxOffset = 64 << 10
+	}
+	if o.StallFor <= 0 {
+		o.StallFor = 50 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// ParseSpec parses the -chaos flag syntax: comma-separated key=value pairs.
+//
+//	drop=0.2,trunc=0.1,stall=0.1,flip=0.05,latency=2ms,stallfor=100ms,maxoff=32768,seed=7
+//
+// Unknown keys are an error; an empty spec is all-zero Options.
+func ParseSpec(spec string) (Options, error) {
+	var o Options
+	if strings.TrimSpace(spec) == "" {
+		o.fill()
+		return o, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found {
+			return o, fmt.Errorf("faultinject: bad spec element %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "drop":
+			o.DropProb, err = parseProb(v)
+		case "trunc":
+			o.TruncProb, err = parseProb(v)
+		case "stall":
+			o.StallProb, err = parseProb(v)
+		case "flip":
+			o.FlipProb, err = parseProb(v)
+		case "latency":
+			o.Latency, err = time.ParseDuration(v)
+		case "stallfor":
+			o.StallFor, err = time.ParseDuration(v)
+		case "maxoff":
+			o.MaxOffset, err = strconv.ParseInt(v, 10, 64)
+		case "seed":
+			o.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return o, fmt.Errorf("faultinject: unknown spec key %q", k)
+		}
+		if err != nil {
+			return o, fmt.Errorf("faultinject: spec %s=%q: %w", k, v, err)
+		}
+	}
+	o.fill()
+	return o, nil
+}
+
+func parseProb(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+// Injector rolls a fault Plan per connection and counts what fires. Safe
+// for concurrent use.
+type Injector struct {
+	opts     Options
+	mu       sync.Mutex
+	rng      *rand.Rand
+	Counters Counters
+}
+
+// New returns an Injector drawing fault plans per Options.
+func New(opts Options) *Injector {
+	opts.fill()
+	return &Injector{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// NextPlan rolls the fault schedule for one connection.
+func (in *Injector) NextPlan() Plan {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var p Plan
+	roll := func(prob float64) (int64, bool) {
+		if prob <= 0 || in.rng.Float64() >= prob {
+			return 0, false
+		}
+		return 1 + in.rng.Int63n(in.opts.MaxOffset), true
+	}
+	if off, ok := roll(in.opts.DropProb); ok {
+		p.DropAfter = off
+	}
+	if off, ok := roll(in.opts.TruncProb); ok {
+		p.TruncateAfter = off
+	}
+	if off, ok := roll(in.opts.StallProb); ok {
+		p.StallAfter = off
+		p.StallFor = in.opts.StallFor
+	}
+	if off, ok := roll(in.opts.FlipProb); ok {
+		p.FlipBitAt = off
+	}
+	p.Latency = in.opts.Latency
+	return p
+}
+
+// WrapListener returns a listener whose accepted connections carry fault
+// plans rolled by the injector.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	plan := l.in.NextPlan()
+	if !plan.active() {
+		return c, nil
+	}
+	l.in.Counters.Conns.Add(1)
+	return NewConn(c, plan, &l.in.Counters), nil
+}
+
+// state is the shared fault-firing logic of the conn and reader wrappers:
+// it walks a Plan against the count of inbound bytes.
+type state struct {
+	plan Plan
+	c    *Counters
+	read int64 // inbound bytes consumed so far
+
+	stalled   atomic.Bool
+	dropped   atomic.Bool
+	truncated atomic.Bool
+}
+
+// discard absorbs counts when the caller passed no Counters, so the fault
+// paths never branch on nil.
+var discard Counters
+
+// before runs pre-read faults: latency, drop/truncate already latched.
+func (s *state) before() error {
+	if s.dropped.Load() {
+		return ErrInjectedDrop
+	}
+	if s.truncated.Load() {
+		return io.EOF
+	}
+	if s.plan.Latency > 0 {
+		time.Sleep(s.plan.Latency)
+		s.c.Delays.Add(1)
+	}
+	return nil
+}
+
+// limit caps a read so byte-offset faults land on exact boundaries.
+func (s *state) limit(n int) int {
+	cap := func(threshold int64) {
+		if threshold > 0 && s.read < threshold && int64(n) > threshold-s.read {
+			n = int(threshold - s.read)
+		}
+	}
+	cap(s.plan.DropAfter)
+	cap(s.plan.TruncateAfter)
+	cap(s.plan.StallAfter)
+	if s.plan.FlipBitAt > 0 {
+		cap(s.plan.FlipBitAt) // split so the flipped byte starts a read
+	}
+	return n
+}
+
+// after applies post-read faults to the n bytes just read into buf. Bytes
+// up to a drop/truncate threshold are still delivered (limit caps reads at
+// the boundary); the fault latches here and the NEXT read surfaces it via
+// before.
+func (s *state) after(buf []byte, n int) {
+	start := s.read
+	s.read += int64(n)
+	if f := s.plan.FlipBitAt; f > 0 && start < f && f <= s.read {
+		buf[f-1-start] ^= 1
+		s.c.BitFlips.Add(1)
+		s.plan.FlipBitAt = 0 // one flip per plan
+	}
+	if t := s.plan.StallAfter; t > 0 && s.read >= t && s.stalled.CompareAndSwap(false, true) {
+		time.Sleep(s.plan.StallFor)
+		s.c.Stalls.Add(1)
+	}
+	if d := s.plan.DropAfter; d > 0 && s.read >= d && s.dropped.CompareAndSwap(false, true) {
+		s.c.Drops.Add(1)
+	}
+	if t := s.plan.TruncateAfter; t > 0 && s.read >= t && s.truncated.CompareAndSwap(false, true) {
+		s.c.Truncates.Add(1)
+	}
+}
+
+// Conn wraps a net.Conn with a fault plan. Faults key off inbound bytes;
+// a fired drop poisons both directions.
+type Conn struct {
+	net.Conn
+	st state
+}
+
+// NewConn wraps c with plan. counters may be nil.
+func NewConn(c net.Conn, plan Plan, counters *Counters) *Conn {
+	if counters == nil {
+		counters = &discard
+	}
+	return &Conn{Conn: c, st: state{plan: plan, c: counters}}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.st.before(); err != nil {
+		if errors.Is(err, ErrInjectedDrop) {
+			c.Conn.Close()
+		}
+		return 0, err
+	}
+	if n := c.st.limit(len(p)); n < len(p) {
+		p = p[:n]
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.st.after(p, n)
+		if c.st.dropped.Load() {
+			// Kill the transport now so the peer notices; the delivered
+			// bytes still reach the caller, the next read fails.
+			c.Conn.Close()
+		}
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.st.dropped.Load() {
+		c.Conn.Close()
+		return 0, ErrInjectedDrop
+	}
+	if c.st.truncated.Load() {
+		return len(p), nil // black-hole the response; the peer sees silence
+	}
+	return c.Conn.Write(p)
+}
+
+// Reader wraps an io.Reader with a fault plan — the in-process form used
+// to feed faulty chunk bodies straight into decoders in tests.
+type Reader struct {
+	r  io.Reader
+	st state
+}
+
+// NewReader wraps r with plan. counters may be nil.
+func NewReader(r io.Reader, plan Plan, counters *Counters) *Reader {
+	if counters == nil {
+		counters = &discard
+	}
+	return &Reader{r: r, st: state{plan: plan, c: counters}}
+}
+
+func (fr *Reader) Read(p []byte) (int, error) {
+	if err := fr.st.before(); err != nil {
+		return 0, err
+	}
+	if n := fr.st.limit(len(p)); n < len(p) {
+		p = p[:n]
+	}
+	n, err := fr.r.Read(p)
+	if n > 0 {
+		fr.st.after(p, n)
+	}
+	return n, err
+}

@@ -1,0 +1,245 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestReaderCleanPlanPassesThrough(t *testing.T) {
+	data := payload(1000)
+	var c Counters
+	got, err := io.ReadAll(NewReader(bytes.NewReader(data), Plan{}, &c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("clean plan altered the stream")
+	}
+	if c.Total() != 0 {
+		t.Fatalf("clean plan fired %d faults", c.Total())
+	}
+}
+
+func TestReaderDropAfter(t *testing.T) {
+	data := payload(1000)
+	var c Counters
+	r := NewReader(bytes.NewReader(data), Plan{DropAfter: 300}, &c)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("want ErrInjectedDrop, got %v", err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("drop-after-300 delivered %d bytes", len(got))
+	}
+	if !bytes.Equal(got, data[:300]) {
+		t.Fatalf("bytes before the drop were altered")
+	}
+	if c.Drops.Load() != 1 {
+		t.Fatalf("drop fired %d times", c.Drops.Load())
+	}
+	// The drop is latched: further reads keep failing.
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("read after drop: %v", err)
+	}
+}
+
+func TestReaderTruncateAfter(t *testing.T) {
+	data := payload(1000)
+	var c Counters
+	got, err := io.ReadAll(NewReader(bytes.NewReader(data), Plan{TruncateAfter: 123}, &c))
+	if err != nil {
+		t.Fatalf("truncation must read as clean EOF, got %v", err)
+	}
+	if len(got) != 123 || !bytes.Equal(got, data[:123]) {
+		t.Fatalf("truncate-after-123 delivered %d bytes", len(got))
+	}
+	if c.Truncates.Load() != 1 {
+		t.Fatalf("truncate fired %d times", c.Truncates.Load())
+	}
+}
+
+func TestReaderFlipBitAt(t *testing.T) {
+	data := payload(1000)
+	var c Counters
+	got, err := io.ReadAll(NewReader(bytes.NewReader(data), Plan{FlipBitAt: 500}, &c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("flip changed the length: %d", len(got))
+	}
+	diff := 0
+	for i := range data {
+		if got[i] != data[i] {
+			diff++
+			if i != 499 {
+				t.Fatalf("flip landed at offset %d, want 499", i)
+			}
+			if got[i] != data[i]^1 {
+				t.Fatalf("byte %d: got %x want %x", i, got[i], data[i]^1)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if c.BitFlips.Load() != 1 {
+		t.Fatalf("flip fired %d times", c.BitFlips.Load())
+	}
+}
+
+func TestReaderStall(t *testing.T) {
+	data := payload(100)
+	var c Counters
+	r := NewReader(bytes.NewReader(data), Plan{StallAfter: 10, StallFor: 30 * time.Millisecond}, &c)
+	start := time.Now()
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("stall must not alter the stream: err=%v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("stall did not pause: %v", d)
+	}
+	if c.Stalls.Load() != 1 {
+		t.Fatalf("stall fired %d times", c.Stalls.Load())
+	}
+}
+
+// TestConnFaults exercises the net.Conn wrapper over a real pipe: the
+// reading side sees exactly the planned fault.
+func TestConnFaults(t *testing.T) {
+	data := payload(4096)
+	send := func(plan Plan, c *Counters) ([]byte, error) {
+		client, server := net.Pipe()
+		faulty := NewConn(server, plan, c)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			client.Write(data)
+			client.Close()
+		}()
+		got, err := io.ReadAll(faulty)
+		faulty.Close()
+		<-done
+		return got, err
+	}
+
+	var c Counters
+	got, err := send(Plan{DropAfter: 1024}, &c)
+	if !errors.Is(err, ErrInjectedDrop) || len(got) != 1024 {
+		t.Fatalf("conn drop: err=%v n=%d", err, len(got))
+	}
+	got, err = send(Plan{TruncateAfter: 77}, &c)
+	if err != nil || len(got) != 77 {
+		t.Fatalf("conn truncate: err=%v n=%d", err, len(got))
+	}
+	got, err = send(Plan{FlipBitAt: 2000}, &c)
+	if err != nil || len(got) != len(data) || got[1999] != data[1999]^1 {
+		t.Fatalf("conn flip: err=%v n=%d", err, len(got))
+	}
+	if c.Drops.Load() != 1 || c.Truncates.Load() != 1 || c.BitFlips.Load() != 1 {
+		t.Fatalf("counters: %+v", c.Total())
+	}
+}
+
+// TestConnWriteAfterDrop pins the poisoned-both-directions contract.
+func TestConnWriteAfterDrop(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	faulty := NewConn(server, Plan{DropAfter: 1}, nil)
+	go client.Write([]byte{1, 2, 3})
+	if _, err := io.ReadAll(faulty); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("read: %v", err)
+	}
+	if _, err := faulty.Write([]byte{9}); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write after drop: %v", err)
+	}
+}
+
+func TestInjectorDeterministicPlans(t *testing.T) {
+	opts := Options{DropProb: 0.5, FlipProb: 0.5, StallProb: 0.3, TruncProb: 0.3, Seed: 42}
+	a, b := New(opts), New(opts)
+	var faults int
+	for i := 0; i < 64; i++ {
+		pa, pb := a.NextPlan(), b.NextPlan()
+		if pa != pb {
+			t.Fatalf("plan %d diverged: %+v vs %+v", i, pa, pb)
+		}
+		if pa.active() {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatalf("no plans scheduled any fault at these probabilities")
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(Options{DropProb: 1, MaxOffset: 8, Seed: 7})
+	wrapped := inj.WrapListener(ln)
+	defer wrapped.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		conn, err := wrapped.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer conn.Close()
+		_, err = io.ReadAll(conn)
+		errc <- err
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write(payload(64))
+	c.Close()
+	if err := <-errc; !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("accepted conn did not drop: %v", err)
+	}
+	if inj.Counters.Conns.Load() != 1 || inj.Counters.Drops.Load() != 1 {
+		t.Fatalf("counters: conns=%d drops=%d", inj.Counters.Conns.Load(), inj.Counters.Drops.Load())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	o, err := ParseSpec("drop=0.2,trunc=0.1,stall=0.3,flip=0.05,latency=2ms,stallfor=100ms,maxoff=32768,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Options{
+		DropProb: 0.2, TruncProb: 0.1, StallProb: 0.3, FlipProb: 0.05,
+		Latency: 2 * time.Millisecond, StallFor: 100 * time.Millisecond,
+		MaxOffset: 32768, Seed: 7,
+	}
+	if o != want {
+		t.Fatalf("got %+v want %+v", o, want)
+	}
+	for _, bad := range []string{"drop=2", "nope=1", "drop", "latency=fast"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+	if o, err := ParseSpec(""); err != nil || o.DropProb != 0 {
+		t.Fatalf("empty spec: %+v %v", o, err)
+	}
+}

@@ -330,6 +330,7 @@ func (s *Server) restoreCheckpoints() {
 			s.cfg.Logf("raced: session limit reached, checkpoint %s not restored", name)
 			continue
 		}
+		s.noteSessionState(sess)
 		s.cfg.Logf("raced: restored session %s (%d events, engines=%v)", sess.id, sess.events, sess.names)
 	}
 }
@@ -372,7 +373,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // session's scheduler key, so it captures a chunk boundary.
 func (s *Server) handleSessionSnapshot(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sess := s.getSession(id)
+	sess := s.liveSession(id)
 	if sess == nil {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
@@ -424,12 +425,11 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if full {
-		s.shed.Add(1)
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.cfg.MaxSessions)
+		s.shed429(w, 5, "session limit (%d) reached", s.cfg.MaxSessions)
 		return
 	}
 	s.sessionsCreated.Add(1)
+	s.noteSessionState(sess)
 	s.cfg.Logf("raced: session %s restored via API (%d events)", sess.id, sess.events)
 	st := sess.status()
 	writeJSON(w, http.StatusOK, map[string]any{"id": sess.id, "events": st.Events, "chunks": st.Chunks})

@@ -191,6 +191,19 @@ func (s *Scheduler) QueueDepth() int {
 	return s.pending
 }
 
+// Workers returns the size of the worker pool.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// QueueCap returns the pending-task queue capacity.
+func (s *Scheduler) QueueCap() int { return s.queueCap }
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // Running returns the number of tasks currently executing.
 func (s *Scheduler) Running() int {
 	s.mu.Lock()

@@ -15,12 +15,15 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -34,6 +37,48 @@ import (
 	"repro/internal/server/sched"
 	"repro/internal/traceio"
 )
+
+// Resilient-chunk protocol headers. A client that declares its chunk's
+// absolute event offset gets idempotent, exactly-once analysis (replays of
+// acknowledged events are skipped); a client that declares a CRC32 gets
+// end-to-end integrity — a request corrupted in transit is rejected with
+// 422 before it can touch detector state, and the client simply resends
+// it. Clients using neither header get the legacy
+// append-exactly-once-or-bust behavior.
+const (
+	// HeaderChunkOffset carries the absolute index of the chunk's first
+	// event within the session's trace.
+	HeaderChunkOffset = "X-Raced-Offset"
+	// HeaderChunkCRC carries a decimal CRC32 (IEEE). It covers
+	// "<offset>:<body>" when HeaderChunkOffset is present and the bare body
+	// otherwise — binding the offset into the checksum means a corrupted
+	// offset header can never misalign the replay-skip logic: the server
+	// recomputes with the offset it parsed, and any disagreement is a 422.
+	HeaderChunkCRC = "X-Raced-Crc32"
+)
+
+// checkCRC verifies the declared checksum, when present, against the
+// request's effective offset and body. A non-nil error is the 422 message.
+func checkCRC(r *http.Request, body []byte, offset uint64, hasOffset bool) error {
+	v := r.Header.Get(HeaderChunkCRC)
+	if v == "" {
+		return nil
+	}
+	want, err := strconv.ParseUint(v, 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad %s header %q", HeaderChunkCRC, v)
+	}
+	h := crc32.NewIEEE()
+	if hasOffset {
+		io.WriteString(h, strconv.FormatUint(offset, 10))
+		io.WriteString(h, ":")
+	}
+	h.Write(body)
+	if got := h.Sum32(); got != uint32(want) {
+		return fmt.Errorf("integrity check failed: computed crc32 %d, header declares %d — resend the request", got, want)
+	}
+	return nil
+}
 
 // Config parameterizes a Server. The zero value picks usable defaults.
 type Config struct {
@@ -77,6 +122,21 @@ type Config struct {
 	// zero disables compaction.
 	CompactEveryEvents int
 	CompactBudgetBytes int
+	// StateBudgetBytes caps the summed detector state across all open
+	// sessions. When the total exceeds it the server degrades gracefully
+	// instead of OOMing: first forced compaction (largest sessions first),
+	// then the coldest sessions are checkpointed and evicted — parked, not
+	// lost: a chunk, status, finish or snapshot request for a parked
+	// session transparently restores it. 0 disables the budget.
+	StateBudgetBytes int64
+	// IngestTimeout bounds reading one request body (header or chunk), so
+	// a stalled peer cannot hold a connection forever. Defaults to 1
+	// minute; <0 disables the deadline.
+	IngestTimeout time.Duration
+	// ExtraMetrics, when non-nil, is appended to the /metrics output —
+	// the daemon uses it to export fault-injection counters in -chaos
+	// soak runs.
+	ExtraMetrics func(io.Writer)
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -106,6 +166,9 @@ func (c *Config) fill() {
 	if c.JanitorPeriod <= 0 {
 		c.JanitorPeriod = c.IdleTimeout / 4
 	}
+	if c.IngestTimeout == 0 {
+		c.IngestTimeout = time.Minute
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -123,11 +186,28 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 
-	draining    atomic.Bool
-	janitorStop chan struct{}
-	janitorDone chan struct{}
-	ckptStop    chan struct{}
-	ckptDone    chan struct{}
+	// finished caches the response of a sealed session so a client that
+	// lost the finish reply can replay the request idempotently.
+	finMu    sync.Mutex
+	finished map[string]sessionFinished
+	finOrder []string
+
+	// parked holds pressure-evicted sessions in serialized form when no
+	// CheckpointDir is configured (with one, the checkpoint file is the
+	// parking spot). stateTotal is the live sum of cached per-session
+	// detector StateBytes, the quantity StateBudgetBytes bounds.
+	parkedMu   sync.Mutex
+	parked     map[string]parkedSession
+	stateTotal atomic.Int64
+
+	draining     atomic.Bool
+	janitorStop  chan struct{}
+	janitorDone  chan struct{}
+	ckptStop     chan struct{}
+	ckptDone     chan struct{}
+	pressureKick chan struct{}
+	pressureStop chan struct{}
+	pressureDone chan struct{}
 
 	// counters (atomics; gauges are read live)
 	eventsIngested   atomic.Uint64
@@ -137,21 +217,32 @@ type Server struct {
 	sessionsEvicted  atomic.Uint64
 	analyses         atomic.Uint64
 	shed             atomic.Uint64
+	chunksReplayed   atomic.Uint64
+	eventsReplayed   atomic.Uint64
+	integrityRejects atomic.Uint64
+	gapRejects       atomic.Uint64
+	sessionsParked   atomic.Uint64
+	sessionsUnparked atomic.Uint64
 }
 
 // New builds a Server and starts its scheduler and idle-session janitor.
 func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		cfg:         cfg,
-		sched:       sched.New(sched.Config{Workers: cfg.Workers, QueueCap: cfg.QueueCap}),
-		store:       report.NewStore(),
-		sessions:    make(map[string]*session),
-		start:       time.Now(),
-		janitorStop: make(chan struct{}),
-		janitorDone: make(chan struct{}),
-		ckptStop:    make(chan struct{}),
-		ckptDone:    make(chan struct{}),
+		cfg:          cfg,
+		sched:        sched.New(sched.Config{Workers: cfg.Workers, QueueCap: cfg.QueueCap}),
+		store:        report.NewStore(),
+		sessions:     make(map[string]*session),
+		finished:     make(map[string]sessionFinished),
+		parked:       make(map[string]parkedSession),
+		start:        time.Now(),
+		janitorStop:  make(chan struct{}),
+		janitorDone:  make(chan struct{}),
+		ckptStop:     make(chan struct{}),
+		ckptDone:     make(chan struct{}),
+		pressureKick: make(chan struct{}, 1),
+		pressureStop: make(chan struct{}),
+		pressureDone: make(chan struct{}),
 	}
 	// Crash recovery: re-open whatever the previous process checkpointed
 	// before accepting any traffic.
@@ -180,6 +271,11 @@ func New(cfg Config) *Server {
 	} else {
 		close(s.ckptDone)
 	}
+	if cfg.StateBudgetBytes > 0 {
+		go s.pressureLoop()
+	} else {
+		close(s.pressureDone)
+	}
 	return s
 }
 
@@ -200,7 +296,24 @@ func (s *Server) Close(ctx context.Context) error {
 	<-s.janitorDone
 	close(s.ckptStop)
 	<-s.ckptDone
+	close(s.pressureStop)
+	<-s.pressureDone
 	err := s.sched.Drain(ctx)
+
+	// In-memory parked sessions are resumable only while this process
+	// lives: finalize them so their races reach the report store.
+	s.parkedMu.Lock()
+	parked := s.parked
+	s.parked = make(map[string]parkedSession)
+	s.parkedMu.Unlock()
+	for id, rec := range parked {
+		sess, rerr := restoreSession(bytes.NewReader(rec.blob), time.Now())
+		if rerr != nil {
+			s.cfg.Logf("raced: parked session %s unrestorable at shutdown: %v", id, rerr)
+			continue
+		}
+		sess.finalize(s.store, time.Now())
+	}
 
 	s.mu.Lock()
 	open := make([]*session, 0, len(s.sessions))
@@ -269,6 +382,7 @@ func (s *Server) janitor() {
 				}
 				s.removeSession(sess.id)
 				sess.finalize(s.store, time.Now())
+				s.noteSessionState(sess)
 				s.checkpointStore()
 				s.dropSessionCheckpoint(sess.id)
 				s.sessionsEvicted.Add(1)
@@ -279,6 +393,7 @@ func (s *Server) janitor() {
 				continue
 			}
 		}
+		s.pruneParked(cutoff)
 	}
 }
 
@@ -327,19 +442,78 @@ func writeDecodeError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, "%v", err)
 }
 
+// retryAfterSecs derives the Retry-After hint from live scheduler pressure
+// instead of a constant: floor seconds plus one second per full round of
+// queued work the pool has ahead of the caller, clamped at a minute. A
+// draining scheduler pins the hint to the floor — the backlog is finishing,
+// the client should retry against the restarted process soon.
+func (s *Server) retryAfterSecs(floor int) int {
+	if s.sched.Draining() {
+		return floor
+	}
+	secs := floor + s.sched.QueueDepth()/max(s.sched.Workers(), 1)
+	return min(secs, 60)
+}
+
+// shed429 sheds one request: 429 with a queue-depth-derived Retry-After.
+func (s *Server) shed429(w http.ResponseWriter, floor int, format string, args ...any) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(floor)))
+	writeError(w, http.StatusTooManyRequests, format, args...)
+}
+
 // shedOrFail maps scheduler admission errors: saturation is 429 with a
 // Retry-After hint, draining is 503.
 func (s *Server) shedOrFail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, sched.ErrSaturated):
-		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "analysis queue saturated, retry later")
+		s.shed429(w, 1, "analysis queue saturated, retry later")
 	case errors.Is(err, sched.ErrDraining), s.draining.Load():
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(1)))
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
+}
+
+// setIngestDeadline bounds how long a request body read may take, so a
+// stalled peer degrades to a timed-out request instead of a pinned
+// connection. Best effort: not every ResponseWriter supports deadlines.
+func (s *Server) setIngestDeadline(w http.ResponseWriter) {
+	if s.cfg.IngestTimeout <= 0 {
+		return
+	}
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Now().Add(s.cfg.IngestTimeout))
+}
+
+// --- finish idempotency cache ---
+
+// finishedCacheCap bounds the replayable-finish cache; oldest entries fall
+// out first. 4096 sealed sessions of headroom is far past any retry window.
+const finishedCacheCap = 4096
+
+// rememberFinished caches a sealed session's finish response so a client
+// whose finish reply was lost in transit can replay the request and get the
+// identical report instead of a 404.
+func (s *Server) rememberFinished(id string, resp sessionFinished) {
+	s.finMu.Lock()
+	defer s.finMu.Unlock()
+	if _, ok := s.finished[id]; !ok {
+		s.finOrder = append(s.finOrder, id)
+	}
+	s.finished[id] = resp
+	for len(s.finOrder) > finishedCacheCap {
+		delete(s.finished, s.finOrder[0])
+		s.finOrder = s.finOrder[1:]
+	}
+}
+
+func (s *Server) recallFinished(id string) (sessionFinished, bool) {
+	s.finMu.Lock()
+	defer s.finMu.Unlock()
+	resp, ok := s.finished[id]
+	return resp, ok
 }
 
 func (s *Server) refuseDraining(w http.ResponseWriter) bool {
@@ -446,7 +620,21 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		makers[i] = se
 	}
 
-	h, err := traceio.ReadHeader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	// Buffer the header body so an optional HeaderChunkCRC can vouch for it
+	// before it shapes detector allocation: a bit flipped inside a symbol
+	// name would otherwise decode cleanly and silently skew every report.
+	s.setIngestDeadline(w)
+	hdrBody, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading session header: %v", err)
+		return
+	}
+	if cerr := checkCRC(r, hdrBody, 0, false); cerr != nil {
+		s.integrityRejects.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "session header %v", cerr)
+		return
+	}
+	h, err := traceio.ReadHeader(bytes.NewReader(hdrBody))
 	if err != nil {
 		writeDecodeError(w, err)
 		return
@@ -474,9 +662,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return len(s.sessions) >= s.cfg.MaxSessions
 	}
 	if atCapacity() {
-		s.shed.Add(1)
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.cfg.MaxSessions)
+		s.shed429(w, 5, "session limit (%d) reached", s.cfg.MaxSessions)
 		return
 	}
 	// Detector allocation (the expensive part) happens outside the sessions
@@ -491,14 +677,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
-		s.shed.Add(1)
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusTooManyRequests, "session limit (%d) reached", s.cfg.MaxSessions)
+		s.shed429(w, 5, "session limit (%d) reached", s.cfg.MaxSessions)
 		return
 	}
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	s.sessionsCreated.Add(1)
+	s.noteSessionState(sess)
 	s.cfg.Logf("raced: session %s opened (engines=%v threads=%d locks=%d vars=%d)",
 		id, names, d.Threads, d.Locks, d.Vars)
 
@@ -510,38 +695,100 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 // handleChunk ingests one chunk of the session's event body. The request
 // holds a scheduler slot while the chunk is decoded and analyzed, so a
 // saturated service pushes back here with 429.
+//
+// The whole body is buffered before any detector sees it: a connection
+// dropped mid-chunk costs nothing — the session stays at its last
+// acknowledged event and the client's resend (with HeaderChunkOffset)
+// replays the prefix idempotently. A HeaderChunkCRC mismatch rejects the
+// chunk with 422 before ingestion, so a body corrupted in transit can never
+// poison detector state; the client just resends.
 func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
 	id := r.PathValue("id")
-	sess := s.getSession(id)
+	sess := s.liveSession(id)
 	if sess == nil {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var added uint64
-	var ingestErr error
-	err := s.sched.Do(r.Context(), id, func() {
-		added, ingestErr = sess.ingest(body, time.Now())
-	})
+
+	var offset uint64
+	var hasOffset bool
+	if v := r.Header.Get(HeaderChunkOffset); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad %s header %q", HeaderChunkOffset, v)
+			return
+		}
+		offset, hasOffset = n, true
+	}
+
+	s.setIngestDeadline(w)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading chunk body: %v", err)
+		return
+	}
+	if cerr := checkCRC(r, body, offset, hasOffset); cerr != nil {
+		s.integrityRejects.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "chunk %v", cerr)
+		return
+	}
+
+	var added, replayed uint64
+	var ingestErr error
+	ingest := func(target *session) error {
+		return s.sched.Do(r.Context(), id, func() {
+			added, replayed, ingestErr = target.ingest(bytes.NewReader(body), offset, hasOffset, time.Now())
+			s.noteSessionState(target)
+		})
+	}
+	if err := ingest(sess); err != nil {
 		s.shedOrFail(w, err)
 		return
 	}
-	s.eventsIngested.Add(added)
-	if ingestErr != nil {
-		if errors.Is(ingestErr, errSessionClosed) {
-			writeError(w, http.StatusConflict, "session %s is closed", id)
-			return
+	if errors.Is(ingestErr, errSessionClosed) {
+		// The session may have been pressure-parked between resolution and
+		// task execution; unpark and retry once on the fresh instance.
+		if fresh := s.liveSession(id); fresh != nil && fresh != sess {
+			sess = fresh
+			if err := ingest(sess); err != nil {
+				s.shedOrFail(w, err)
+				return
+			}
 		}
-		writeDecodeError(w, ingestErr)
+	}
+	s.eventsIngested.Add(added)
+	if replayed > 0 {
+		s.chunksReplayed.Add(1)
+		s.eventsReplayed.Add(replayed)
+	}
+	if ingestErr != nil {
+		var gap *gapError
+		switch {
+		case errors.Is(ingestErr, errSessionClosed):
+			writeError(w, http.StatusConflict, "session %s is closed", id)
+		case errors.As(ingestErr, &gap):
+			// The client is ahead of the ack (a lost chunk, or a resume
+			// against older server state): hand back the acknowledged offset
+			// so it can rewind precisely instead of guessing.
+			s.gapRejects.Add(1)
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  gap.Error(),
+				"events": gap.acked,
+				"gap":    true,
+			})
+		default:
+			writeDecodeError(w, ingestErr)
+		}
 		return
 	}
 	s.chunksIngested.Add(1)
 	st := sess.status()
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "events": st.Events, "chunks": st.Chunks})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "events": st.Events, "chunks": st.Chunks, "replayed": replayed,
+	})
 }
 
 type sessionFinished struct {
@@ -554,59 +801,97 @@ type sessionFinished struct {
 // race reports are folded into the dedup store, and the per-engine results
 // are returned. The finish task runs under the session's scheduler key, so
 // it executes after every already-accepted chunk.
+//
+// Finish is idempotent: the response is built inside the scheduler task and
+// cached, so a client that lost the reply (dropped connection after the
+// server sealed the session) replays the request and receives the identical
+// report instead of a 404/409.
 func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
 	id := r.PathValue("id")
-	sess := s.getSession(id)
+	sess := s.liveSession(id)
 	if sess == nil {
+		if resp, ok := s.recallFinished(id); ok {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
-	var results []*engine.Result
-	err := s.sched.Do(r.Context(), id, func() {
-		s.removeSession(id)
-		results = sess.finalize(s.store, time.Now())
-		// Store checkpoint before the session checkpoint disappears: a crash
-		// between the two re-counts this session's races, never loses them.
-		s.checkpointStore()
-		s.dropSessionCheckpoint(id)
-	})
-	if err != nil {
-		s.shedOrFail(w, err)
-		return
+	// Two attempts: the session can be pressure-parked between resolution
+	// and task execution, in which case the retry runs on the unparked copy.
+	for attempt := 0; attempt < 2; attempt++ {
+		var resp sessionFinished
+		var done bool
+		err := s.sched.Do(r.Context(), id, func() {
+			if cached, ok := s.recallFinished(id); ok {
+				resp, done = cached, true
+				return
+			}
+			s.removeSession(id)
+			results := sess.finalize(s.store, time.Now())
+			s.noteSessionState(sess)
+			if results == nil {
+				return // sealed elsewhere (parked or aborted) — retry resolves it
+			}
+			// Store checkpoint before the session checkpoint disappears: a
+			// crash between the two re-counts this session's races, never
+			// loses them.
+			s.checkpointStore()
+			s.dropSessionCheckpoint(id)
+			st := sess.status()
+			resp = sessionFinished{ID: id, Events: st.Events, Results: make([]engineResult, len(results))}
+			for i, res := range results {
+				resp.Results[i] = renderResult(res, int(st.Events), sess.header)
+			}
+			s.rememberFinished(id, resp)
+			s.sessionsFinished.Add(1)
+			s.cfg.Logf("raced: session %s finished (%d events, %d engines)", id, st.Events, len(results))
+			done = true
+		})
+		if err != nil {
+			s.shedOrFail(w, err)
+			return
+		}
+		if done {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		fresh := s.liveSession(id)
+		if fresh == nil || fresh == sess {
+			break
+		}
+		sess = fresh
 	}
-	if results == nil {
-		writeError(w, http.StatusConflict, "session %s is already closed", id)
-		return
-	}
-	s.sessionsFinished.Add(1)
-	st := sess.status()
-	resp := sessionFinished{ID: id, Events: st.Events, Results: make([]engineResult, len(results))}
-	for i, res := range results {
-		resp.Results[i] = renderResult(res, int(st.Events), sess.header)
-	}
-	s.cfg.Logf("raced: session %s finished (%d events, %d engines)", id, st.Events, len(results))
-	writeJSON(w, http.StatusOK, resp)
+	writeError(w, http.StatusConflict, "session %s is already closed", id)
 }
 
-// handleAbort discards a session without reporting.
+// handleAbort discards a session without reporting. A parked session is
+// aborted by discarding its parking record — no need to restore it first.
 func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess := s.removeSession(id)
 	if sess == nil {
-		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		if !s.dropParked(id) {
+			writeError(w, http.StatusNotFound, "unknown session %q", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "aborted": true})
 		return
 	}
 	sess.abort()
+	s.noteSessionState(sess)
 	s.dropSessionCheckpoint(id)
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "aborted": true})
 }
 
 func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sess := s.getSession(id)
+	// liveSession, not getSession: a client resyncing its send offset after
+	// a fault must see a parked session's acknowledged event count.
+	sess := s.liveSession(id)
 	if sess == nil {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
@@ -748,4 +1033,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "raced_shed_total %d\n", s.shed.Load())
 	fmt.Fprintf(w, "raced_report_classes %d\n", s.store.Len())
 	fmt.Fprintf(w, "raced_report_observations_total %d\n", s.store.Observations())
+	fmt.Fprintf(w, "raced_chunks_replayed_total %d\n", s.chunksReplayed.Load())
+	fmt.Fprintf(w, "raced_events_replayed_total %d\n", s.eventsReplayed.Load())
+	fmt.Fprintf(w, "raced_chunk_integrity_rejects_total %d\n", s.integrityRejects.Load())
+	fmt.Fprintf(w, "raced_chunk_gap_rejects_total %d\n", s.gapRejects.Load())
+	fmt.Fprintf(w, "raced_sessions_pressure_parked_total %d\n", s.sessionsParked.Load())
+	fmt.Fprintf(w, "raced_sessions_unparked_total %d\n", s.sessionsUnparked.Load())
+	fmt.Fprintf(w, "raced_state_bytes %d\n", s.stateTotal.Load())
+	s.parkedMu.Lock()
+	fmt.Fprintf(w, "raced_sessions_parked %d\n", len(s.parked))
+	s.parkedMu.Unlock()
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(w)
+	}
 }

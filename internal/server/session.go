@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/event"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/traceio"
@@ -31,11 +32,13 @@ type session struct {
 	mu         sync.Mutex
 	engines    []engine.Session
 	block      *trace.Block
+	skipBuf    []event.Event // scratch for replay-skip decoding, grown on demand
 	events     uint64
 	chunks     int
 	lastActive time.Time
 	closed     bool
 	failed     error // latched fatal ingest error; chunks are rejected after
+	state      int64 // last measured detector StateBytes sum (see measureState)
 }
 
 func newSession(id string, h traceio.Header, names []string, engines []engine.Session, now time.Time) *session {
@@ -50,21 +53,73 @@ func newSession(id string, h traceio.Header, names []string, engines []engine.Se
 	}
 }
 
+// gapError rejects a chunk whose declared offset is ahead of the events the
+// session has acknowledged: accepting it would silently skip trace events.
+// The acknowledged offset rides along so the client can rewind to it.
+type gapError struct {
+	offset uint64 // chunk's declared first-event index
+	acked  uint64 // events the session has actually analyzed
+}
+
+func (e *gapError) Error() string {
+	return fmt.Sprintf("chunk offset %d is ahead of the session's %d acknowledged events", e.offset, e.acked)
+}
+
 // ingest decodes one chunk body into every engine session. It returns the
 // number of events the chunk added; a decode error is latched — the
 // session's analysis is no longer trustworthy past the corruption — and
 // further chunks are rejected.
-func (s *session) ingest(body io.Reader, now time.Time) (added uint64, err error) {
+//
+// When the chunk declares its absolute offset (hasOffset), ingestion is
+// idempotent: events the session has already acknowledged are decoded and
+// discarded instead of re-analyzed, so a client that retries a chunk after
+// a lost response — or resends a chunk the server half-ingested before a
+// dropped connection — converges on exactly-once analysis. replayed counts
+// the skipped events. An offset beyond the acknowledged count is a gap
+// (*gapError): the client must rewind, never the server guess.
+func (s *session) ingest(body io.Reader, offset uint64, hasOffset bool, now time.Time) (added, replayed uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastActive = now
+	// Stamp activity again at completion: a chunk that takes longer than
+	// the idle timeout to analyze must not make the session look idle, or
+	// the janitor's eviction re-check would still fire between chunks.
+	defer func() { s.lastActive = time.Now() }()
 	if s.closed {
-		return 0, errSessionClosed
+		return 0, 0, errSessionClosed
 	}
 	if s.failed != nil {
-		return 0, s.failed
+		return 0, 0, s.failed
 	}
-	st := traceio.NewEventStream(body, s.header, s.events)
+	if !hasOffset {
+		offset = s.events // legacy append-mode chunk: starts at the ack
+	}
+	if offset > s.events {
+		return 0, 0, &gapError{offset: offset, acked: s.events}
+	}
+	st := traceio.NewEventStream(body, s.header, offset)
+	// Replay skip: decode (and validate) the already-analyzed prefix
+	// without feeding the detectors.
+	for skip := s.events - offset; skip > 0; {
+		if s.skipBuf == nil {
+			s.skipBuf = make([]event.Event, 512)
+		}
+		buf := s.skipBuf
+		if uint64(len(buf)) > skip {
+			buf = buf[:skip]
+		}
+		n, err := st.NextBlock(buf)
+		skip -= uint64(n)
+		replayed += uint64(n)
+		if err == io.EOF {
+			s.chunks++
+			return 0, replayed, nil // chunk lies entirely behind the ack
+		}
+		if err != nil {
+			s.failed = err
+			return 0, replayed, err
+		}
+	}
 	for {
 		n, err := st.NextBlockSoA(s.block)
 		if n > 0 {
@@ -76,11 +131,11 @@ func (s *session) ingest(body io.Reader, now time.Time) (added uint64, err error
 		}
 		if err == io.EOF {
 			s.chunks++
-			return added, nil
+			return added, replayed, nil
 		}
 		if err != nil {
 			s.failed = err
-			return added, err
+			return added, replayed, err
 		}
 	}
 }
@@ -150,6 +205,50 @@ func (s *session) idleSince() time.Time {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastActive
+}
+
+// remeasureState re-sums the engines' StateBytes estimates, caches the
+// total, and returns the change against the previous measurement — the
+// delta the server folds into its global memory accounting. Computing the
+// delta under the session mutex makes concurrent remeasures add up exactly.
+// A closed session measures zero, so sealing a session returns its state to
+// the budget. Engines without a StateBytes estimate contribute nothing.
+func (s *session) remeasureState() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	if !s.closed {
+		for _, es := range s.engines {
+			if cs, ok := es.(engine.CompactableSession); ok {
+				total += int64(cs.StateBytes())
+			}
+		}
+	}
+	delta := total - s.state
+	s.state = total
+	return delta
+}
+
+func (s *session) cachedState() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// compactNow forces immediate state compaction on every engine that
+// supports it — the first escalation step of the server's global memory
+// budget. Must run under the session's scheduler key.
+func (s *session) compactNow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for _, es := range s.engines {
+		if cs, ok := es.(engine.CompactableSession); ok {
+			cs.Compact()
+		}
+	}
 }
 
 var errSessionClosed = fmt.Errorf("session is closed")

@@ -77,4 +77,44 @@ diff <(grep 'distinct races:' "$OUT/client.log") \
 # Clean drain on SIGTERM.
 kill -TERM "$PID"
 wait "$PID"
+
+# --- chaos: rerun the whole stream through a fault-injecting daemon ---
+
+# Every connection draws drops, stalls, bit flips and latency from a seeded
+# schedule; the resilient client retries, resumes from the acknowledged
+# offset, and must land the exact same per-engine race counts as the clean
+# run above.
+# Stalls are near-certain (0.9) so the schedule reliably fires on the
+# client's long-lived connection; drops and flips ride along at lower odds.
+"$OUT/raced" -addr "$ADDR" -engines wcp,hb \
+  -chaos 'drop=0.3,stall=0.9,flip=0.2,latency=1ms,maxoff=16384,seed=7' &
+PID=$!
+for i in $(seq 1 100); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 100 ]; then echo "chaos raced never became healthy" >&2; exit 1; fi
+  sleep 0.1
+done
+
+# Up to three client runs: each must finish with race counts identical to
+# the clean run, and by the end the injector must have fired at least once
+# (a faultless schedule would mean the chaos path tested nothing).
+FIRED=""
+for attempt in 1 2 3; do
+  go run ./examples/client -addr "http://$ADDR" -events 20000 | tee "$OUT/chaos.log"
+  grep -q "session finished" "$OUT/chaos.log"
+  diff <(grep 'distinct races:' "$OUT/client.log") \
+       <(grep 'distinct races:' "$OUT/chaos.log")
+  for i in $(seq 1 20); do
+    if curl -fsS "http://$ADDR/metrics" > "$OUT/chaos-metrics.txt" 2>/dev/null; then break; fi
+    sleep 0.2
+  done
+  if grep "raced_faults_injected_total" "$OUT/chaos-metrics.txt" | grep -qv " 0$"; then
+    FIRED=1
+    break
+  fi
+done
+[ -n "$FIRED" ] || { echo "chaos schedule never injected a fault" >&2; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID"
 echo "raced smoke test passed"
