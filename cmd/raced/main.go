@@ -28,6 +28,18 @@
 // -checkpoint-dir set, open sessions are checkpointed instead and a
 // restarted daemon resumes them where the stream left off — the same path
 // that recovers from a crash (kill -9, OOM, power loss).
+//
+// Fleet mode (see internal/fleet) shards the service across processes:
+//
+//	raced -coordinator -addr :7470
+//	raced -addr :7471 -join http://localhost:7470
+//	raced -addr :7472 -join http://localhost:7470
+//
+// The coordinator serves the same session API, placing each session on a
+// worker via consistent hashing and failing sessions over to survivors
+// when a worker dies; GET /fleet shows membership and placements, and
+// /reports merges every worker's race classes. A worker's SIGTERM leaves
+// the fleet gracefully — its sessions are handed off before the drain.
 package main
 
 import (
@@ -44,8 +56,19 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
+
+// deriveAdvertise turns a listen address into a dialable base URL: a bare
+// ":7477" advertises the loopback address, anything with a host is used
+// as-is.
+func deriveAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
 
 var (
 	addr         = flag.String("addr", ":7477", "listen address")
@@ -67,13 +90,74 @@ var (
 	stateBudget   = flag.Int64("state-budget", 0, "global detector-state budget in bytes: over it, sessions are force-compacted then parked coldest-first (0 disables)")
 	ingestTimeout = flag.Duration("ingest-timeout", time.Minute, "per-request body read deadline (<0 disables)")
 	chaos         = flag.String("chaos", "", "inject connection faults for resilience testing, e.g. 'drop=0.2,trunc=0.1,stall=0.1,flip=0.05,latency=2ms,seed=7' (see internal/faultinject)")
+
+	// Fleet mode (see internal/fleet). -coordinator turns this process into
+	// the fleet front door; -join turns it into a worker of one.
+	coordinator      = flag.Bool("coordinator", false, "run as a fleet coordinator instead of an analysis worker")
+	heartbeatTimeout = flag.Duration("heartbeat-timeout", 3*time.Second, "coordinator: declare a worker failed after this long without a heartbeat")
+	pullEvery        = flag.Duration("pull-every", 10*time.Second, "coordinator: session checkpoint pull interval (<0 disables; failover then replays whole streams)")
+	proxyTimeout     = flag.Duration("proxy-timeout", 2*time.Minute, "coordinator: per proxied request timeout")
+	noRebalance      = flag.Bool("no-rebalance", false, "coordinator: don't migrate sessions onto newly joined workers")
+	join             = flag.String("join", "", "worker: coordinator base URL to register with (e.g. http://localhost:7470)")
+	advertise        = flag.String("advertise", "", "worker: base URL the coordinator should dial for this worker (default derived from -addr)")
+	workerName       = flag.String("worker-name", "", "worker: stable fleet identity (default: the advertise URL)")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	var err error
+	if *coordinator {
+		err = runCoordinator()
+	} else {
+		err = run()
+	}
+	if err != nil {
 		log.Fatal("raced: ", err)
 	}
+}
+
+// runCoordinator serves the fleet front door: the full session API proxied
+// onto registered workers, plus /fleet membership endpoints and a merged
+// /reports view.
+func runCoordinator() error {
+	co := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		HeartbeatTimeout: *heartbeatTimeout,
+		PullEvery:        *pullEvery,
+		ProxyTimeout:     *proxyTimeout,
+		MaxBodyBytes:     *maxBody,
+		NoRebalance:      *noRebalance,
+		Logf:             log.Printf,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: co.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("raced: coordinator listening on %s (heartbeat timeout %v)", *addr, *heartbeatTimeout)
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("raced: coordinator shutting down (timeout %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("raced: http shutdown: %v", err)
+	}
+	return co.Close(dctx)
 }
 
 func run() error {
@@ -143,6 +227,30 @@ func run() error {
 		errc <- nil
 	}()
 
+	// Fleet worker mode: register with the coordinator and heartbeat until
+	// shutdown, which then leaves gracefully — the coordinator migrates this
+	// worker's sessions to survivors before the drain starts.
+	var agent *fleet.Agent
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = deriveAdvertise(*addr)
+		}
+		agent = fleet.StartAgent(fleet.AgentConfig{
+			Coordinator: *join,
+			Advertise:   adv,
+			Name:        *workerName,
+			Load: func() fleet.WorkerLoad {
+				st := srv.Stats()
+				return fleet.WorkerLoad{Sessions: st.Sessions, StateBytes: st.StateBytes, QueueDepth: st.QueueDepth}
+			},
+			Sessions: srv.SessionIDs,
+			Abort:    srv.AbortSession,
+			Logf:     log.Printf,
+		})
+		log.Printf("raced: joining fleet at %s as %s", *join, adv)
+	}
+
 	select {
 	case err := <-errc:
 		return err
@@ -152,6 +260,13 @@ func run() error {
 	log.Printf("raced: shutdown signal received, draining (timeout %v)", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if agent != nil {
+		if err := agent.Leave(dctx); err != nil {
+			log.Printf("raced: fleet leave: %v", err)
+		} else {
+			log.Printf("raced: left the fleet; sessions handed off")
+		}
+	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		log.Printf("raced: http shutdown: %v", err)
 	}

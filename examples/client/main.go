@@ -42,6 +42,9 @@ var (
 
 	stopAfter = flag.Int("stop-after", 0, "stop streaming after this many events without finishing, print the session id, and exit (pair with -resume)")
 	resume    = flag.String("resume", "", "resume streaming an open session by id: the trace is regenerated from the same flags and replayed from the daemon-acknowledged offset")
+
+	coordinator = flag.String("coordinator", "", "stream through a fleet coordinator at this base URL instead of -addr: chunks follow the session's placement and survive worker failover (pairs with scripts/smoke_fleet.sh)")
+	trickle     = flag.Duration("trickle", 0, "pause this long between chunks, keeping the stream open long enough to kill a worker mid-stream")
 )
 
 func main() {
@@ -69,6 +72,16 @@ func run() error {
 		Engines:     strings.Split(*engines, ","),
 		ChunkEvents: (len(tr.Events) + *chunks - 1) / *chunks,
 		Logf:        log.Printf,
+	}
+	if *coordinator != "" {
+		// Fleet mode: the coordinator places the session on a worker and the
+		// client follows that placement. A worker dying mid-stream costs a
+		// failover's worth of retries, not the stream — budget for it.
+		cfg.BaseURL = *coordinator
+		cfg.FollowPlacement = true
+		cfg.RetryBudget = 60
+		cfg.BaseBackoff = 25 * time.Millisecond
+		cfg.MaxBackoff = 2 * time.Second
 	}
 
 	// 1. Open a session: the trace header sizes the daemon's per-session
@@ -102,7 +115,19 @@ func run() error {
 	if *stopAfter > 0 && *stopAfter < limit {
 		limit = *stopAfter
 	}
-	if err := s.Stream(ctx, tr.Events[:limit], 0); err != nil {
+	if *trickle > 0 {
+		// Chunk by chunk with pauses: the slow path a long-lived recording
+		// session looks like, and the window smoke tests use to kill a
+		// worker while the stream is live. Each Stream call resumes from the
+		// acknowledged offset, so a mid-pause failover just replays the tail.
+		for upto := 0; upto < limit; {
+			upto = min(upto+cfg.ChunkEvents, limit)
+			if err := s.Stream(ctx, tr.Events[:upto], 0); err != nil {
+				return err
+			}
+			time.Sleep(*trickle)
+		}
+	} else if err := s.Stream(ctx, tr.Events[:limit], 0); err != nil {
 		return err
 	}
 	fmt.Printf("  %d events acknowledged\n", s.Acked())
@@ -113,8 +138,9 @@ func run() error {
 
 	// 3. Finish: the daemon seals the detectors and returns the reports.
 	// Finish is idempotent — a retry after a lost reply replays the cached
-	// response.
-	fin, err := s.Finish(ctx)
+	// response — and FinishReplay additionally replays the tail if a crash
+	// rolled the session back to a checkpoint after the last chunk.
+	fin, err := s.FinishReplay(ctx, tr.Events, 0)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,12 @@
 //   - Retries back off exponentially with jitter, honor the server's
 //     Retry-After pushback, and are bounded by a per-operation budget; the
 //     budget's end is a typed *TerminalError.
+//   - Pointed at a fleet coordinator (see internal/fleet), the same
+//     machinery survives whole-worker failures: the coordinator restores
+//     the session elsewhere, the resynced ack rewinds to the checkpoint,
+//     and the stream replays the tail. With FollowPlacement the chunk hot
+//     path goes straight to the owning worker and falls back to the
+//     coordinator whenever the placement moves.
 //
 // The zero-config happy path:
 //
@@ -64,6 +70,15 @@ type Config struct {
 	// overrides the computed backoff when larger.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// FollowPlacement, when BaseURL is a fleet coordinator, pins the chunk
+	// hot path directly to the worker the coordinator names in its
+	// X-Raced-Worker response header, skipping the proxy hop. Any failure
+	// on the direct path falls back to the coordinator — which re-resolves
+	// the (possibly failed-over) placement and re-pins — so the worst a
+	// stale pin costs is one extra round trip. Open, finish, abort and
+	// status always go through the coordinator: those are the operations
+	// that move or seal placements.
+	FollowPlacement bool
 	// Logf receives retry/resync diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -116,6 +131,10 @@ type Session struct {
 	cfg   Config
 	id    string
 	acked uint64 // events the server has confirmed analyzed
+	// workerURL is the owning worker's base URL, learned from the
+	// coordinator's X-Raced-Worker header when FollowPlacement is on;
+	// "" routes everything through BaseURL.
+	workerURL string
 }
 
 // EngineResult is one engine's slice of a finish response.
@@ -209,6 +228,10 @@ func Resume(ctx context.Context, cfg Config, id string) (*Session, error) {
 // ID returns the server-assigned session id (for Resume after a restart).
 func (s *Session) ID() string { return s.id }
 
+// Worker returns the owning worker's base URL when FollowPlacement has
+// learned one, "" otherwise.
+func (s *Session) Worker() string { return s.workerURL }
+
 // Acked returns the number of events the server has confirmed analyzed.
 func (s *Session) Acked() uint64 { return s.acked }
 
@@ -276,7 +299,11 @@ func (s *Session) sendChunk(ctx context.Context, offset uint64, events []event.E
 		Replayed uint64 `json:"replayed"`
 	}
 	return s.retry(ctx, "chunk", func(attempt int) (int, error) {
-		status, err := s.roundTrip(ctx, "POST", s.cfg.BaseURL+"/sessions/"+s.id+"/chunks", body.Bytes(), hdr, &ack)
+		base, direct := s.cfg.BaseURL, false
+		if s.cfg.FollowPlacement && s.workerURL != "" {
+			base, direct = s.workerURL, true
+		}
+		status, err := s.roundTrip(ctx, "POST", base+"/sessions/"+s.id+"/chunks", body.Bytes(), hdr, &ack)
 		switch {
 		case err == nil:
 			s.acked = ack.Events
@@ -291,8 +318,23 @@ func (s *Session) sendChunk(ctx context.Context, offset uint64, events []event.E
 				s.acked = ae.Events
 				return status, nil
 			}
+			if direct {
+				// A pinned worker's "closed" is not authoritative for the
+				// fleet: this copy may be a stale leftover of a failover. Ask
+				// the coordinator before declaring the stream dead — status 0
+				// keeps the attempt retryable.
+				s.cfg.Logf("raced client: session %s conflict on pinned worker %s, falling back to coordinator", s.id, base)
+				s.workerURL = ""
+				s.resyncAck(ctx)
+				return 0, err
+			}
 			return status, err // closed/aborted: not retryable
 		default:
+			if direct {
+				// Any direct-path failure unpins: the next attempt goes via
+				// the coordinator, which re-resolves the placement.
+				s.workerURL = ""
+			}
 			// Everything else — transport failure, 5xx, pressure 429, 422
 			// (request corrupted in transit), even a 404 that may be a
 			// corrupted URL — might have landed or might be transit damage.
@@ -319,18 +361,57 @@ func (s *Session) resyncAck(ctx context.Context) {
 	}
 }
 
+// ErrRewound reports that a finish found the server holding fewer
+// acknowledged events than this client streamed: a failover or restart
+// rolled the session back to a checkpoint after the last chunk landed. The
+// local ack has been rewound to the server's count; replay the tail with
+// Stream and finish again — or use FinishReplay, which does both.
+var ErrRewound = errors.New("session rewound to an older checkpoint")
+
 // Finish seals the session and returns the race reports. Finish is
 // idempotent end to end: the server caches the response, so a retry after a
-// lost reply returns the identical report.
+// lost reply returns the identical report. The request carries the client's
+// acknowledged offset as a commit barrier — a server that disagrees (it was
+// restored from an older checkpoint since the last chunk) refuses to seal
+// and the call fails with ErrRewound instead of silently truncating the
+// session.
 func (s *Session) Finish(ctx context.Context) (*FinishResult, error) {
 	var res FinishResult
 	err := s.retry(ctx, "finish", func(attempt int) (int, error) {
-		return s.roundTrip(ctx, "POST", s.cfg.BaseURL+"/sessions/"+s.id+"/finish", nil, nil, &res)
+		hdr := map[string]string{"X-Raced-Offset": strconv.FormatUint(s.acked, 10)}
+		status, rerr := s.roundTrip(ctx, "POST", s.cfg.BaseURL+"/sessions/"+s.id+"/finish", nil, hdr, &res)
+		if status == http.StatusConflict {
+			var ae *apiError
+			if errors.As(rerr, &ae) && ae.Gap {
+				s.cfg.Logf("raced client: session %s finish rewound ack %d -> %d", s.id, s.acked, ae.Events)
+				s.acked = ae.Events
+				return status, fmt.Errorf("%d events lost to a rollback: %w", ae.Events, ErrRewound)
+			}
+		}
+		return status, rerr
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &res, nil
+}
+
+// FinishReplay seals the session like Finish but closes its last loss
+// window: if the finish reports a rollback (ErrRewound), the lost tail is
+// replayed from events — whose first element has absolute index base — and
+// the finish is retried. For a caller that still holds the streamed events
+// this extends the zero-error contract across failovers landing between the
+// final chunk and the finish.
+func (s *Session) FinishReplay(ctx context.Context, events []event.Event, base uint64) (*FinishResult, error) {
+	for attempt := 0; ; attempt++ {
+		fin, err := s.Finish(ctx)
+		if err == nil || attempt >= 4 || !errors.Is(err, ErrRewound) {
+			return fin, err
+		}
+		if serr := s.Stream(ctx, events, base); serr != nil {
+			return nil, serr
+		}
+	}
 }
 
 // Abort discards the session server-side without reporting.
@@ -443,6 +524,16 @@ func (s *Session) roundTrip(ctx context.Context, method, url string, body []byte
 		return 0, err
 	}
 	defer resp.Body.Close()
+	if s.cfg.FollowPlacement {
+		// The coordinator names the owning worker on every proxied response;
+		// adopt it so the chunk hot path can skip the proxy hop. Workers
+		// themselves never send the header, so a direct response leaves the
+		// pin alone.
+		if v := resp.Header.Get("X-Raced-Worker"); v != "" && v != s.workerURL {
+			s.cfg.Logf("raced client: session %s pinned to worker %s", s.id, v)
+			s.workerURL = v
+		}
+	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return 0, fmt.Errorf("reading %s %s response: %w", method, url, err)

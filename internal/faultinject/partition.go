@@ -1,0 +1,155 @@
+package faultinject
+
+// Fleet-level faults. Where faultinject.go corrupts individual connections,
+// a PartitionGate severs a whole node from its peers — the network
+// partition and worker-kill modes the fleet chaos suite drives. It wraps
+// both directions of a node's traffic: its listener (inbound requests fail
+// while blocked) and an http.RoundTripper (outbound requests — heartbeats —
+// fail while blocked), so a blocked worker looks exactly like a machine
+// that fell off the network: established connections die, new ones are
+// refused, and the process itself keeps running obliviously.
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPartitioned is the error surfaced by connections and round trips cut
+// by a PartitionGate.
+var ErrPartitioned = errors.New("faultinject: network partitioned")
+
+// PartitionGate is a switchable network partition. The zero value is an
+// open (healthy) gate; Block severs, Heal restores. Safe for concurrent
+// use.
+type PartitionGate struct {
+	blocked atomic.Bool
+
+	mu    sync.Mutex
+	conns map[*gateConn]struct{}
+
+	// Partitions counts Block transitions; Severed counts connections
+	// killed by them.
+	Partitions atomic.Uint64
+	Severed    atomic.Uint64
+}
+
+// Block severs the node: every tracked live connection is closed and new
+// connections (inbound accepts and outbound round trips) fail with
+// ErrPartitioned until Heal.
+func (g *PartitionGate) Block() {
+	if g.blocked.Swap(true) {
+		return
+	}
+	g.Partitions.Add(1)
+	g.mu.Lock()
+	for c := range g.conns {
+		c.Conn.Close()
+		g.Severed.Add(1)
+	}
+	g.conns = nil
+	g.mu.Unlock()
+}
+
+// Heal reopens the gate.
+func (g *PartitionGate) Heal() { g.blocked.Store(false) }
+
+// Blocked reports whether the partition is active.
+func (g *PartitionGate) Blocked() bool { return g.blocked.Load() }
+
+func (g *PartitionGate) track(c net.Conn) net.Conn {
+	gc := &gateConn{Conn: c, g: g}
+	g.mu.Lock()
+	if g.conns == nil {
+		g.conns = make(map[*gateConn]struct{})
+	}
+	g.conns[gc] = struct{}{}
+	g.mu.Unlock()
+	return gc
+}
+
+func (g *PartitionGate) untrack(gc *gateConn) {
+	g.mu.Lock()
+	delete(g.conns, gc)
+	g.mu.Unlock()
+}
+
+// WrapListener gates a node's inbound side. While blocked, established
+// connections are killed and fresh accepts are closed immediately — the
+// dialer sees a reset, as it would from an unreachable host.
+func (g *PartitionGate) WrapListener(ln net.Listener) net.Listener {
+	return &gateListener{Listener: ln, g: g}
+}
+
+type gateListener struct {
+	net.Listener
+	g *PartitionGate
+}
+
+func (l *gateListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.g.Blocked() {
+			c.Close()
+			l.g.Severed.Add(1)
+			continue // keep accepting: the partition eats connections silently
+		}
+		return l.g.track(c), nil
+	}
+}
+
+// gateConn is a tracked connection: closed by Block, unregistered on Close,
+// and poisoned after the gate blocks so a racing read can't slip through.
+type gateConn struct {
+	net.Conn
+	g *PartitionGate
+}
+
+func (c *gateConn) Read(p []byte) (int, error) {
+	if c.g.Blocked() {
+		c.Conn.Close()
+		return 0, ErrPartitioned
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *gateConn) Write(p []byte) (int, error) {
+	if c.g.Blocked() {
+		c.Conn.Close()
+		return 0, ErrPartitioned
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *gateConn) Close() error {
+	c.g.untrack(c)
+	return c.Conn.Close()
+}
+
+// Transport gates a node's outbound side: an http.RoundTripper that fails
+// every request with ErrPartitioned while blocked. next nil uses
+// http.DefaultTransport.
+func (g *PartitionGate) Transport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &gateTransport{next: next, g: g}
+}
+
+type gateTransport struct {
+	next http.RoundTripper
+	g    *PartitionGate
+}
+
+func (t *gateTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.g.Blocked() {
+		t.g.Severed.Add(1)
+		return nil, ErrPartitioned
+	}
+	return t.next.RoundTrip(req)
+}

@@ -1,0 +1,785 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderWorker is set on coordinator-proxied responses and names the worker
+// currently owning the session, so placement-following clients can send
+// their chunk hot path straight to the worker and re-resolve through the
+// coordinator when the placement moves.
+const HeaderWorker = "X-Raced-Worker"
+
+// HeaderSessionID lets the coordinator choose the session id on a proxied
+// create, which is what makes ring placement deterministic: the id is
+// hashed before any worker is contacted.
+const HeaderSessionID = "X-Raced-Session-Id"
+
+// CoordinatorConfig parameterizes a Coordinator. The zero value picks
+// usable defaults.
+type CoordinatorConfig struct {
+	// HeartbeatTimeout is how long a worker may go without a heartbeat
+	// before it is marked suspect and its sessions are failed over.
+	// Defaults to 3 seconds.
+	HeartbeatTimeout time.Duration
+	// HeartbeatEvery is the cadence advertised to registering workers.
+	// Defaults to HeartbeatTimeout/3.
+	HeartbeatEvery time.Duration
+	// PullEvery is how often the coordinator pulls session checkpoints
+	// from workers — the failover restore source. Defaults to 10 seconds;
+	// <0 disables pulling (failover then replays whole streams from the
+	// retained create headers).
+	PullEvery time.Duration
+	// ProxyTimeout bounds each proxied request. Defaults to 2 minutes.
+	ProxyTimeout time.Duration
+	// MaxBodyBytes caps proxied request bodies. Defaults to 32 MiB.
+	MaxBodyBytes int64
+	// Vnodes is the virtual-node count per worker on the placement ring.
+	Vnodes int
+	// NoRebalance disables session migration onto a newly joined worker.
+	// By default a joining worker receives the open sessions that hash to
+	// it — bounded movement, about 1/N of the fleet's sessions.
+	NoRebalance bool
+	// HTTPClient issues worker requests; defaults to a keep-alive client.
+	HTTPClient *http.Client
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *CoordinatorConfig) fill() {
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 3 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.HeartbeatTimeout / 3
+	}
+	if c.PullEvery == 0 {
+		c.PullEvery = 10 * time.Second
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// placement is the coordinator's record of one session: where it lives,
+// whether it is mid-move, and everything needed to resurrect it on another
+// worker — the latest pulled checkpoint blob and, as the fallback of last
+// resort, the retained create request (header bytes + engines) that can
+// re-open it empty at offset zero for a full client replay.
+type placement struct {
+	id      string
+	worker  string
+	moving  bool
+	engines string // raw ?engines= value from the create request
+	header  []byte // retained create body (binary trace header)
+	blob    []byte // latest pulled session checkpoint
+	blobAt  time.Time
+}
+
+// Coordinator owns session placement across a fleet of raced workers and
+// fronts the whole session API: create/chunk/finish/status are proxied to
+// the owning worker, /reports is merged across workers, and worker
+// heartbeats drive failover. Create with NewCoordinator, serve Handler,
+// stop with Close.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	mux   *http.ServeMux
+	start time.Time
+
+	mu         sync.Mutex
+	workers    map[string]*worker
+	ring       *Ring
+	placements map[string]*placement
+
+	// finished caches proxied finish responses so a replayed finish for a
+	// session whose placement is gone still gets the identical report.
+	finMu    sync.Mutex
+	finished map[string][]byte
+	finOrder []string
+
+	// pendingFailovers counts sessions whose worker is gone and whose
+	// restore hasn't landed — the queue that derives the admission
+	// Retry-After. pendingMigrations counts graceful moves (drain,
+	// rebalance), which never shed admission: their source still serves.
+	pendingFailovers  atomic.Int64
+	pendingMigrations atomic.Int64
+
+	closed      atomic.Bool
+	stop        chan struct{}
+	monitorDone chan struct{}
+	pullDone    chan struct{}
+	moverDone   chan struct{}
+	pullKick    chan struct{}
+	moveQ       chan moveSpec
+
+	// counters
+	proxied          atomic.Uint64
+	sessionsCreated  atomic.Uint64
+	sessionsFinished atomic.Uint64
+	admissionShed    atomic.Uint64
+	workerFailovers  atomic.Uint64
+	sessionsFailed   atomic.Uint64 // sessions failed over (restored elsewhere)
+	sessionsMigrated atomic.Uint64 // graceful moves (drain, rebalance)
+	sessionsLost     atomic.Uint64 // unrecoverable (no blob, no header)
+	sessionsAdopted  atomic.Uint64
+	pullsOK          atomic.Uint64
+	pullsFailed      atomic.Uint64
+	reportMerges     atomic.Uint64
+}
+
+// NewCoordinator builds a Coordinator and starts its heartbeat monitor,
+// checkpoint-pull loop, and session mover.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cfg.fill()
+	c := &Coordinator{
+		cfg:         cfg,
+		workers:     make(map[string]*worker),
+		ring:        NewRing(cfg.Vnodes),
+		placements:  make(map[string]*placement),
+		finished:    make(map[string][]byte),
+		start:       time.Now(),
+		stop:        make(chan struct{}),
+		monitorDone: make(chan struct{}),
+		pullDone:    make(chan struct{}),
+		moverDone:   make(chan struct{}),
+		pullKick:    make(chan struct{}, 1),
+		moveQ:       make(chan moveSpec, 1024),
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /sessions", c.handleCreateSession)
+	c.mux.HandleFunc("GET /sessions/{id}", c.handleSessionStatus)
+	c.mux.HandleFunc("POST /sessions/{id}/chunks", c.handleChunk)
+	c.mux.HandleFunc("POST /sessions/{id}/finish", c.handleFinish)
+	c.mux.HandleFunc("DELETE /sessions/{id}", c.handleAbort)
+	c.mux.HandleFunc("GET /sessions/{id}/snapshot", c.handleSessionSnapshot)
+	c.mux.HandleFunc("GET /reports", c.handleReports)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /fleet", c.handleFleet)
+	c.mux.HandleFunc("POST /fleet/register", c.handleRegister)
+	c.mux.HandleFunc("POST /fleet/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /fleet/leave", c.handleLeave)
+	go c.monitorLoop()
+	go c.moverLoop()
+	if cfg.PullEvery > 0 {
+		go c.pullLoop()
+	} else {
+		close(c.pullDone)
+	}
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the background loops. In-flight proxied requests are the
+// HTTP server's to drain.
+func (c *Coordinator) Close(ctx context.Context) error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	close(c.stop)
+	for _, done := range []chan struct{}{c.monitorDone, c.pullDone, c.moverDone} {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Placements returns a snapshot of session id -> owning worker name.
+func (c *Coordinator) Placements() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.placements))
+	for id, pl := range c.placements {
+		out[id] = pl.worker
+	}
+	return out
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// proxyResult is one forwarded request's outcome.
+type proxyResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forward issues one request to a worker and buffers the response. hdr
+// entries are set verbatim on the outgoing request.
+func (c *Coordinator) forward(ctx context.Context, method, url string, body []byte, hdr map[string]string) (*proxyResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ProxyTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range hdr {
+		if v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading %s %s response: %w", method, url, err)
+	}
+	c.proxied.Add(1)
+	return &proxyResult{status: resp.StatusCode, header: resp.Header, body: raw}, nil
+}
+
+// writeProxied relays a worker response to the client byte for byte. The
+// worker's Retry-After rides along untouched — the owning worker derived it
+// from its own queue depth, and that number, not a coordinator-side guess,
+// is the back-off the client should honor. The owning worker's name is
+// attached for placement-following clients.
+func (c *Coordinator) writeProxied(w http.ResponseWriter, pr *proxyResult, workerName string) {
+	if v := pr.header.Get("Content-Type"); v != "" {
+		w.Header().Set("Content-Type", v)
+	}
+	if v := pr.header.Get("Retry-After"); v != "" {
+		w.Header().Set("Retry-After", v)
+	}
+	if workerName != "" {
+		if url := c.workerURL(workerName); url != "" {
+			w.Header().Set(HeaderWorker, url)
+		}
+	}
+	w.WriteHeader(pr.status)
+	w.Write(pr.body)
+}
+
+func (c *Coordinator) workerURL(name string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if wk := c.workers[name]; wk != nil {
+		return wk.url
+	}
+	return ""
+}
+
+// readBody buffers a capped request body.
+func (c *Coordinator) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// lookupPlacement snapshots one placement under the lock.
+func (c *Coordinator) lookupPlacement(id string) (workerName, workerURL string, moving, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pl := c.placements[id]
+	if pl == nil {
+		return "", "", false, false
+	}
+	url := ""
+	if wk := c.workers[pl.worker]; wk != nil {
+		url = wk.url
+	}
+	return pl.worker, url, pl.moving, true
+}
+
+// admission decides whether a new session may be placed right now. The
+// fleet sheds new work before sacrificing in-flight sessions: with a
+// failover queue outstanding (or no live worker at all), creation is
+// refused with a Retry-After derived from that queue's depth, while chunk
+// traffic for existing sessions keeps flowing.
+func (c *Coordinator) admission() (shed bool, retryAfter int) {
+	pending := int(c.pendingFailovers.Load())
+	c.mu.Lock()
+	healthy := 0
+	for _, wk := range c.workers {
+		if wk.alive() {
+			healthy++
+		}
+	}
+	c.mu.Unlock()
+	if healthy == 0 {
+		return true, min(60, 2+pending/4)
+	}
+	if pending > 0 {
+		return true, min(60, 1+pending/4)
+	}
+	return false, 0
+}
+
+// --- session API (proxied) ---
+
+// handleCreateSession places a new session on the ring and proxies the
+// create to the owning worker. The coordinator chooses the session id so
+// placement is a pure function of (id, ring membership); the create body
+// and engines parameter are retained so the session can be rebuilt from
+// scratch on another worker if it must fail over before any checkpoint was
+// pulled. A worker that refuses (503, draining, or unreachable) degrades
+// the routing, not the request: the next worker clockwise is tried.
+func (c *Coordinator) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if c.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	if shed, retry := c.admission(); shed {
+		c.admissionShed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusServiceUnavailable,
+			"fleet degraded (%d failovers pending): new sessions shed, retry later", c.pendingFailovers.Load())
+		return
+	}
+	body, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	engines := r.URL.Query().Get("engines")
+	id := newID()
+	tried := make(map[string]bool)
+	for {
+		name, url := c.pickWorker(id, tried)
+		if name == "" {
+			c.admissionShed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(min(60, 2+int(c.pendingFailovers.Load())/4)))
+			writeError(w, http.StatusServiceUnavailable, "no worker accepted the session")
+			return
+		}
+		tried[name] = true
+		target := url + "/sessions"
+		if engines != "" {
+			target += "?engines=" + engines
+		}
+		pr, err := c.forward(r.Context(), "POST", target, body, map[string]string{
+			HeaderSessionID: id,
+			"Content-Type":  r.Header.Get("Content-Type"),
+			"X-Raced-Crc32": r.Header.Get("X-Raced-Crc32"),
+		})
+		if err != nil {
+			c.noteProxyFailure(name, err)
+			continue
+		}
+		if pr.status == http.StatusServiceUnavailable {
+			continue // worker draining: degrade routing to the next on the ring
+		}
+		if pr.status >= 200 && pr.status < 300 {
+			c.mu.Lock()
+			c.placements[id] = &placement{id: id, worker: name, engines: engines, header: body}
+			c.mu.Unlock()
+			c.sessionsCreated.Add(1)
+			c.cfg.Logf("fleet: session %s placed on %s", id, name)
+		}
+		c.writeProxied(w, pr, name)
+		return
+	}
+}
+
+// pickWorker walks the ring clockwise from the id's hash, skipping workers
+// already tried and anything not alive.
+func (c *Coordinator) pickWorker(id string, tried map[string]bool) (name, url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = c.ring.OwnerWhere(id, func(n string) bool {
+		wk := c.workers[n]
+		return wk != nil && wk.alive() && !tried[n]
+	})
+	if name == "" {
+		return "", ""
+	}
+	return name, c.workers[name].url
+}
+
+// handleChunk proxies one chunk to the owning worker. A session mid-move is
+// answered 503 without Retry-After — the move completes in well under a
+// second, the client's own jittered backoff is the right cadence. A worker
+// that cannot be reached starts failure detection and the client retries
+// into the post-failover placement.
+func (c *Coordinator) handleChunk(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name, url, moving, ok := c.lookupPlacement(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	if moving || url == "" {
+		writeError(w, http.StatusServiceUnavailable, "session %s is failing over, retry", id)
+		return
+	}
+	body, bok := c.readBody(w, r)
+	if !bok {
+		return
+	}
+	pr, err := c.forward(r.Context(), "POST", url+"/sessions/"+id+"/chunks", body, map[string]string{
+		"Content-Type":   r.Header.Get("Content-Type"),
+		"X-Raced-Offset": r.Header.Get("X-Raced-Offset"),
+		"X-Raced-Crc32":  r.Header.Get("X-Raced-Crc32"),
+	})
+	if err != nil {
+		c.noteProxyFailure(name, err)
+		writeError(w, http.StatusServiceUnavailable, "worker %s unreachable, failover pending: %v", name, err)
+		return
+	}
+	c.writeProxied(w, pr, name)
+}
+
+// handleFinish proxies the finish and, on success, seals the placement:
+// the response is cached so a replayed finish (lost reply, retried through
+// a failover) returns the identical report even after the placement is
+// gone.
+func (c *Coordinator) handleFinish(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name, url, moving, ok := c.lookupPlacement(id)
+	if !ok {
+		if body, cached := c.recallFinished(id); cached {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	if moving || url == "" {
+		writeError(w, http.StatusServiceUnavailable, "session %s is failing over, retry", id)
+		return
+	}
+	pr, err := c.forward(r.Context(), "POST", url+"/sessions/"+id+"/finish", nil, map[string]string{
+		"X-Raced-Offset": r.Header.Get("X-Raced-Offset"),
+	})
+	if err != nil {
+		c.noteProxyFailure(name, err)
+		writeError(w, http.StatusServiceUnavailable, "worker %s unreachable, failover pending: %v", name, err)
+		return
+	}
+	if pr.status >= 200 && pr.status < 300 {
+		c.rememberFinished(id, pr.body)
+		c.mu.Lock()
+		delete(c.placements, id)
+		c.mu.Unlock()
+		c.sessionsFinished.Add(1)
+	}
+	c.writeProxied(w, pr, name)
+}
+
+func (c *Coordinator) handleAbort(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name, url, moving, ok := c.lookupPlacement(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	if moving || url == "" {
+		writeError(w, http.StatusServiceUnavailable, "session %s is failing over, retry", id)
+		return
+	}
+	pr, err := c.forward(r.Context(), "DELETE", url+"/sessions/"+id, nil, nil)
+	if err != nil {
+		c.noteProxyFailure(name, err)
+		writeError(w, http.StatusServiceUnavailable, "worker %s unreachable: %v", name, err)
+		return
+	}
+	if (pr.status >= 200 && pr.status < 300) || pr.status == http.StatusNotFound {
+		c.mu.Lock()
+		delete(c.placements, id)
+		c.mu.Unlock()
+	}
+	c.writeProxied(w, pr, name)
+}
+
+func (c *Coordinator) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name, url, moving, ok := c.lookupPlacement(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	if moving || url == "" {
+		writeError(w, http.StatusServiceUnavailable, "session %s is failing over, retry", id)
+		return
+	}
+	pr, err := c.forward(r.Context(), "GET", url+"/sessions/"+id, nil, nil)
+	if err != nil {
+		c.noteProxyFailure(name, err)
+		writeError(w, http.StatusServiceUnavailable, "worker %s unreachable, failover pending: %v", name, err)
+		return
+	}
+	c.writeProxied(w, pr, name)
+}
+
+func (c *Coordinator) handleSessionSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name, url, moving, ok := c.lookupPlacement(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	if moving || url == "" {
+		writeError(w, http.StatusServiceUnavailable, "session %s is failing over, retry", id)
+		return
+	}
+	pr, err := c.forward(r.Context(), "GET", url+"/sessions/"+id+"/snapshot", nil, nil)
+	if err != nil {
+		c.noteProxyFailure(name, err)
+		writeError(w, http.StatusServiceUnavailable, "worker %s unreachable: %v", name, err)
+		return
+	}
+	c.writeProxied(w, pr, name)
+}
+
+// --- finish idempotency cache ---
+
+const finishedCacheCap = 4096
+
+func (c *Coordinator) rememberFinished(id string, body []byte) {
+	c.finMu.Lock()
+	defer c.finMu.Unlock()
+	if _, ok := c.finished[id]; !ok {
+		c.finOrder = append(c.finOrder, id)
+	}
+	c.finished[id] = body
+	for len(c.finOrder) > finishedCacheCap {
+		delete(c.finished, c.finOrder[0])
+		c.finOrder = c.finOrder[1:]
+	}
+}
+
+func (c *Coordinator) recallFinished(id string) ([]byte, bool) {
+	c.finMu.Lock()
+	defer c.finMu.Unlock()
+	body, ok := c.finished[id]
+	return body, ok
+}
+
+// --- fleet membership handlers ---
+
+// handleRegister admits a worker into the ring (or welcomes one back). The
+// worker's open-session list is reconciled in both directions: sessions the
+// coordinator doesn't know are adopted (the coordinator may have restarted),
+// and sessions the coordinator has since failed over elsewhere are returned
+// as stale for the worker to abort — the split-brain a healed partition
+// leaves behind.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "register: %v", err)
+		return
+	}
+	if req.Name == "" || req.URL == "" {
+		writeError(w, http.StatusBadRequest, "register: name and url are required")
+		return
+	}
+	var stale []string
+	adopted := 0
+	c.mu.Lock()
+	wk := c.workers[req.Name]
+	if wk == nil {
+		wk = &worker{name: req.Name}
+		c.workers[req.Name] = wk
+	}
+	wk.url = req.URL
+	wk.state = workerActive
+	wk.lastBeat = time.Now()
+	wk.load = req.Load
+	wk.epoch++
+	c.ring.Add(req.Name)
+	for _, id := range req.Sessions {
+		pl := c.placements[id]
+		switch {
+		case pl == nil:
+			c.placements[id] = &placement{id: id, worker: req.Name}
+			adopted++
+		case pl.worker != req.Name && !pl.moving:
+			// Owned elsewhere now: the rejoining worker's copy is stale.
+			stale = append(stale, id)
+		}
+	}
+	c.mu.Unlock()
+	if adopted > 0 {
+		c.sessionsAdopted.Add(uint64(adopted))
+		c.kickPull() // fetch restore blobs for adopted sessions promptly
+	}
+	c.cfg.Logf("fleet: worker %s registered (url=%s sessions=%d adopted=%d stale=%d)",
+		req.Name, req.URL, len(req.Sessions), adopted, len(stale))
+	if !c.cfg.NoRebalance {
+		staleSet := make(map[string]bool, len(stale))
+		for _, id := range stale {
+			staleSet[id] = true
+		}
+		c.rebalanceOnto(req.Name, staleSet)
+	}
+	c.retryStalledFailovers()
+	writeJSON(w, http.StatusOK, registerResponse{
+		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+		Stale:       stale,
+	})
+}
+
+// handleHeartbeat refreshes a worker's deadline and load. A heartbeat from
+// a worker the coordinator has declared dead (or never met) is answered
+// 410/404 so the agent re-registers and reconciles.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "heartbeat: %v", err)
+		return
+	}
+	c.mu.Lock()
+	wk := c.workers[req.Name]
+	var state workerState
+	if wk != nil {
+		state = wk.state
+		if state == workerActive || state == workerDraining {
+			wk.lastBeat = time.Now()
+			wk.load = req.Load
+		}
+	}
+	c.mu.Unlock()
+	switch {
+	case wk == nil:
+		writeError(w, http.StatusNotFound, "worker %q is not registered", req.Name)
+	case state == workerSuspect, state == workerDead:
+		writeError(w, http.StatusGone, "worker %q was declared failed; re-register", req.Name)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	}
+}
+
+// --- observability ---
+
+func (c *Coordinator) fleetSnapshot() ([]workerInfo, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	infos := make([]workerInfo, 0, len(c.workers))
+	healthy := 0
+	for _, wk := range c.workers {
+		if wk.alive() {
+			healthy++
+		}
+		infos = append(infos, workerInfo{
+			Name:          wk.name,
+			URL:           wk.url,
+			State:         wk.state.String(),
+			LastBeatMSAgo: now.Sub(wk.lastBeat).Milliseconds(),
+			Load:          wk.load,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, healthy
+}
+
+func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
+	infos, healthy := c.fleetSnapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":            infos,
+		"healthy":            healthy,
+		"placements":         c.Placements(),
+		"pending_failovers":  c.pendingFailovers.Load(),
+		"pending_migrations": c.pendingMigrations.Load(),
+	})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	infos, healthy := c.fleetSnapshot()
+	status, code := "ok", http.StatusOK
+	switch {
+	case c.closed.Load():
+		status, code = "closing", http.StatusServiceUnavailable
+	case healthy == 0:
+		status, code = "no-workers", http.StatusServiceUnavailable
+	case c.pendingFailovers.Load() > 0:
+		status = "degraded"
+	}
+	c.mu.Lock()
+	sessions := len(c.placements)
+	c.mu.Unlock()
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"workers":        len(infos),
+		"healthy":        healthy,
+		"sessions":       sessions,
+		"uptime_seconds": time.Since(c.start).Seconds(),
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	infos, healthy := c.fleetSnapshot()
+	byState := map[string]int{}
+	for _, wi := range infos {
+		byState[wi.State]++
+	}
+	c.mu.Lock()
+	sessions := len(c.placements)
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "fleet_workers %d\n", len(infos))
+	fmt.Fprintf(w, "fleet_workers_healthy %d\n", healthy)
+	for _, st := range []string{"active", "suspect", "draining", "dead"} {
+		fmt.Fprintf(w, "fleet_workers_state{state=%q} %d\n", st, byState[st])
+	}
+	fmt.Fprintf(w, "fleet_sessions_placed %d\n", sessions)
+	fmt.Fprintf(w, "fleet_pending_failovers %d\n", c.pendingFailovers.Load())
+	fmt.Fprintf(w, "fleet_pending_migrations %d\n", c.pendingMigrations.Load())
+	fmt.Fprintf(w, "fleet_proxied_requests_total %d\n", c.proxied.Load())
+	fmt.Fprintf(w, "fleet_sessions_created_total %d\n", c.sessionsCreated.Load())
+	fmt.Fprintf(w, "fleet_sessions_finished_total %d\n", c.sessionsFinished.Load())
+	fmt.Fprintf(w, "fleet_admission_shed_total %d\n", c.admissionShed.Load())
+	fmt.Fprintf(w, "fleet_worker_failovers_total %d\n", c.workerFailovers.Load())
+	fmt.Fprintf(w, "fleet_sessions_failed_over_total %d\n", c.sessionsFailed.Load())
+	fmt.Fprintf(w, "fleet_sessions_migrated_total %d\n", c.sessionsMigrated.Load())
+	fmt.Fprintf(w, "fleet_sessions_lost_total %d\n", c.sessionsLost.Load())
+	fmt.Fprintf(w, "fleet_sessions_adopted_total %d\n", c.sessionsAdopted.Load())
+	fmt.Fprintf(w, "fleet_checkpoint_pulls_total %d\n", c.pullsOK.Load())
+	fmt.Fprintf(w, "fleet_checkpoint_pull_failures_total %d\n", c.pullsFailed.Load())
+	fmt.Fprintf(w, "fleet_report_merges_total %d\n", c.reportMerges.Load())
+}

@@ -1,0 +1,151 @@
+// Package fleet shards the raced service into a failure-tolerant
+// coordinator/worker fleet. A Coordinator owns session placement on a
+// consistent-hash ring of analysis workers, proxies the session API to the
+// owning worker, and merges every worker's /reports into one deduplicated
+// view. Workers are ordinary raced servers running an Agent that registers
+// with the coordinator and sends periodic heartbeats carrying load.
+//
+// The failure story: when a worker misses its heartbeat deadline (or asks
+// for a graceful leave), the coordinator marks it suspect and fails its
+// sessions over to surviving workers by restoring their latest pulled
+// checkpoint — or, when none was pulled yet, by re-creating the session
+// from the retained create request at offset zero. Either way the client's
+// next chunk is answered with the authoritative resumed ack-offset, and
+// internal/client's resume-from-ack + gap-rewind machinery replays the
+// uncheckpointed tail: the client sees latency, never an error. Under
+// partial failure the fleet degrades gracefully — new-session admission is
+// shed with 503 + a queue-derived Retry-After before any in-flight session
+// is sacrificed — and a rejoining worker re-enters the ring with bounded
+// session movement.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is how many virtual nodes each worker contributes to the
+// ring. More vnodes smooth the key distribution; 64 keeps the per-worker
+// imbalance in the low percents without bloating lookups.
+const defaultVnodes = 64
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// worker.
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// Ring is a consistent-hash ring over worker names. Placement depends only
+// on the member set — not on insertion order or any process state — so a
+// restarted coordinator that re-learns the same workers reproduces the
+// identical placement, and adding or removing one worker moves only the
+// keys that hash to its arcs (about 1/N of the keyspace).
+//
+// Ring is not safe for concurrent use; the Coordinator guards it with its
+// own mutex.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by (hash, name)
+	members map[string]bool
+}
+
+// NewRing returns an empty ring; vnodes <= 0 uses the default.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// ringHash is fnv64a strengthened with a murmur3-style finalizer. Bare FNV
+// has weak avalanche on short, similar strings — "w0#1", "w0#2", ... land
+// clustered, which skews arc ownership enough that one worker can end up
+// with half the circle; the final mix spreads the points uniformly.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a worker's virtual nodes. Adding a present member is a no-op.
+func (r *Ring) Add(name string) {
+	if r.members[name] {
+		return
+	}
+	r.members[name] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", name, i)), name: name})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].name < r.points[j].name
+	})
+}
+
+// Remove deletes a worker's virtual nodes. Removing an absent member is a
+// no-op.
+func (r *Ring) Remove(name string) {
+	if !r.members[name] {
+		return
+	}
+	delete(r.members, name)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.name != name {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports ring membership.
+func (r *Ring) Has(name string) bool { return r.members[name] }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the worker owning key: the first virtual node clockwise
+// from the key's hash. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	return r.OwnerWhere(key, nil)
+}
+
+// OwnerWhere returns the first worker clockwise from the key's hash for
+// which ok returns true (nil ok accepts every member). It walks the whole
+// circle once, so distinct eligible workers are tried in a deterministic,
+// key-dependent order — the same order a failover walks when the preferred
+// owner is down. Returns "" when no member is eligible.
+func (r *Ring) OwnerWhere(key string, ok func(name string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if ok == nil || ok(p.name) {
+			return p.name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x", rng.Uint64())
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossInsertionOrder pins the property coordinator
+// restarts rely on: placement is a pure function of the member set, so a
+// coordinator that re-learns the same workers in any order reproduces the
+// identical placement for every session id.
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	members := []string{"w1", "w2", "w3", "w4", "w5"}
+	keys := ringKeys(500, 1)
+
+	a := NewRing(0)
+	for _, m := range members {
+		a.Add(m)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		b := NewRing(0)
+		for _, i := range rng.Perm(len(members)) {
+			b.Add(members[i])
+		}
+		// Churn that cancels out must not change placement either.
+		b.Add("transient")
+		b.Remove("transient")
+		for _, k := range keys {
+			if got, want := b.Owner(k), a.Owner(k); got != want {
+				t.Fatalf("trial %d: Owner(%q) = %q after reordered inserts, want %q", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding one worker to n steals only ~1/(n+1)
+// of the keys, and every stolen key lands on the new worker — nothing
+// shuffles between survivors.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := ringKeys(4000, 3)
+	for n := 1; n <= 6; n++ {
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("w%d", i))
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Owner(k)
+		}
+		r.Add("joiner")
+		moved := 0
+		for _, k := range keys {
+			after := r.Owner(k)
+			if after == before[k] {
+				continue
+			}
+			moved++
+			if after != "joiner" {
+				t.Fatalf("n=%d: key %q moved %q -> %q, not to the joiner", n, k, before[k], after)
+			}
+		}
+		want := float64(len(keys)) / float64(n+1)
+		if f := float64(moved); f > 2*want || f < want/3 {
+			t.Errorf("n=%d: %d of %d keys moved on join, want about %.0f", n, moved, len(keys), want)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a worker relocates exactly the
+// keys it owned; every other placement is untouched.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := ringKeys(4000, 4)
+	r := NewRing(0)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("w2")
+	for _, k := range keys {
+		after := r.Owner(k)
+		if before[k] == "w2" {
+			if after == "w2" || after == "" {
+				t.Fatalf("key %q still owned by removed worker", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved %q -> %q though its owner never left", k, before[k], after)
+		}
+	}
+}
+
+// TestRingOwnerWhereWalksAllMembers: with a filter rejecting the preferred
+// owner, OwnerWhere falls through to the next live member, in an order
+// that is deterministic per key, and returns "" only when nobody passes.
+func TestRingOwnerWhereWalksAllMembers(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	for _, k := range ringKeys(200, 5) {
+		primary := r.Owner(k)
+		seen := map[string]bool{}
+		for len(seen) < 4 {
+			next := r.OwnerWhere(k, func(n string) bool { return !seen[n] })
+			if next == "" {
+				t.Fatalf("key %q: OwnerWhere returned empty with %d members left", k, 4-len(seen))
+			}
+			if len(seen) == 0 && next != primary {
+				t.Fatalf("key %q: unfiltered OwnerWhere %q != Owner %q", k, next, primary)
+			}
+			seen[next] = true
+		}
+		if r.OwnerWhere(k, func(string) bool { return false }) != "" {
+			t.Fatalf("key %q: OwnerWhere with all-reject filter must return empty", k)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("x"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want empty", got)
+	}
+	r.Add("only")
+	for _, k := range ringKeys(50, 6) {
+		if got := r.Owner(k); got != "only" {
+			t.Fatalf("single-member ring Owner(%q) = %q", k, got)
+		}
+	}
+	r.Remove("only")
+	if r.Len() != 0 || r.Owner("x") != "" {
+		t.Fatal("ring not empty after removing the only member")
+	}
+}
+
+// FuzzRingPlacement drives a random membership history and checks the
+// core invariants after every step: owners are always current members,
+// placement is independent of history (a fresh ring with the same member
+// set agrees), and a join moves keys only onto the joiner.
+func FuzzRingPlacement(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 130, 2, 4}, uint64(7))
+	f.Add([]byte{10, 138, 10, 10, 139, 11}, uint64(99))
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint64) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		keys := ringKeys(100, int64(seed%1<<31))
+		r := NewRing(8) // few vnodes: rebuild comparisons stay cheap
+		live := map[string]bool{}
+		for _, op := range ops {
+			name := fmt.Sprintf("w%d", op&0x7f%16)
+			var before map[string]string
+			joining := op&0x80 == 0 && !live[name]
+			if joining {
+				before = make(map[string]string, len(keys))
+				for _, k := range keys {
+					before[k] = r.Owner(k)
+				}
+			}
+			if op&0x80 == 0 {
+				r.Add(name)
+				live[name] = true
+			} else {
+				r.Remove(name)
+				delete(live, name)
+			}
+			if r.Len() != len(live) {
+				t.Fatalf("ring has %d members, expected %d", r.Len(), len(live))
+			}
+			// Rebuild from scratch with the same member set: history must not
+			// matter.
+			fresh := NewRing(8)
+			for m := range live {
+				fresh.Add(m)
+			}
+			for _, k := range keys {
+				got := r.Owner(k)
+				if len(live) == 0 {
+					if got != "" {
+						t.Fatalf("empty ring owns %q -> %q", k, got)
+					}
+					continue
+				}
+				if !live[got] {
+					t.Fatalf("Owner(%q) = %q which is not a member", k, got)
+				}
+				if want := fresh.Owner(k); got != want {
+					t.Fatalf("Owner(%q) = %q, fresh ring says %q: placement depends on history", k, got, want)
+				}
+				if joining && before[k] != "" && got != before[k] && got != name {
+					t.Fatalf("join of %q moved key %q from %q to %q", name, k, before[k], got)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// AgentConfig wires a worker-side Agent to its coordinator and to the local
+// server. The three hooks are funcs rather than an interface so tests can
+// run agents against stub servers.
+type AgentConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Advertise is the base URL the coordinator should dial for this worker.
+	Advertise string
+	// Name is the worker's stable identity; defaults to Advertise.
+	Name string
+	// Every is the heartbeat cadence; the coordinator's register response
+	// overrides it. Defaults to 1 second.
+	Every time.Duration
+	// Load snapshots the local server's load for heartbeats.
+	Load func() WorkerLoad
+	// Sessions lists the local server's open session ids, sent on register
+	// for adoption and stale-copy reconciliation.
+	Sessions func() []string
+	// Abort drops a local session the coordinator says was failed over
+	// elsewhere while this worker was partitioned.
+	Abort func(id string) bool
+	// HTTPClient dials the coordinator; defaults to a 5s-timeout client.
+	HTTPClient *http.Client
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Agent registers a worker with its coordinator and keeps heartbeating
+// until stopped. If the coordinator restarts, or declares this worker dead
+// during a partition, heartbeats start failing and the agent re-registers,
+// reconciling any sessions that were failed over in the meantime. Start
+// with StartAgent; stop silently with Stop, or gracefully with Leave (the
+// coordinator migrates this worker's sessions before Leave returns).
+type Agent struct {
+	cfg     AgentConfig
+	every   atomic.Int64 // nanoseconds; coordinator can retune it
+	stopped atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// StartAgent launches the register+heartbeat loop.
+func StartAgent(cfg AgentConfig) *Agent {
+	if cfg.Name == "" {
+		cfg.Name = cfg.Advertise
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Load == nil {
+		cfg.Load = func() WorkerLoad { return WorkerLoad{} }
+	}
+	if cfg.Sessions == nil {
+		cfg.Sessions = func() []string { return nil }
+	}
+	a := &Agent{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	a.every.Store(int64(cfg.Every))
+	go a.run()
+	return a
+}
+
+// Stop halts the loop without telling the coordinator — from the fleet's
+// point of view this is a crash, and the heartbeat deadline handles it.
+func (a *Agent) Stop() {
+	if !a.stopped.Swap(true) {
+		close(a.stop)
+	}
+	<-a.done
+}
+
+// Leave performs a graceful exit: the coordinator migrates this worker's
+// sessions to survivors before the call returns, then the heartbeat loop is
+// stopped. The worker can then drain and exit without losing anything.
+func (a *Agent) Leave(ctx context.Context) error {
+	body, _ := json.Marshal(registerRequest{Name: a.cfg.Name, URL: a.cfg.Advertise})
+	req, err := http.NewRequestWithContext(ctx, "POST", a.cfg.Coordinator+"/fleet/leave", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// The drain can outlast the heartbeat client's timeout: use a bare
+	// client bounded only by ctx.
+	resp, err := (&http.Client{}).Do(req)
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("leave: coordinator answered %d", resp.StatusCode)
+		}
+	}
+	a.Stop()
+	return err
+}
+
+func (a *Agent) run() {
+	defer close(a.done)
+	registered := false
+	for {
+		if !registered {
+			registered = a.register()
+		} else if !a.heartbeat() {
+			registered = false
+			continue // re-register immediately, not a beat later
+		}
+		wait := time.Duration(a.every.Load())
+		if !registered && wait > time.Second {
+			wait = time.Second // don't sit out long beats while unregistered
+		}
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+func (a *Agent) register() bool {
+	req := registerRequest{
+		Name:     a.cfg.Name,
+		URL:      a.cfg.Advertise,
+		Load:     a.cfg.Load(),
+		Sessions: a.cfg.Sessions(),
+	}
+	var resp registerResponse
+	status, err := a.post("/fleet/register", req, &resp)
+	if err != nil || status != http.StatusOK {
+		a.cfg.Logf("fleet: register with %s failed (status=%d err=%v), retrying", a.cfg.Coordinator, status, err)
+		return false
+	}
+	if resp.HeartbeatMS > 0 {
+		a.every.Store(int64(time.Duration(resp.HeartbeatMS) * time.Millisecond))
+	}
+	for _, id := range resp.Stale {
+		// This copy lost a split brain: the authoritative session now lives
+		// on another worker. Drop it so it can't finalize duplicate reports.
+		if a.cfg.Abort != nil && a.cfg.Abort(id) {
+			a.cfg.Logf("fleet: aborted stale session %s (failed over during partition)", id)
+		}
+	}
+	a.cfg.Logf("fleet: registered with %s as %s", a.cfg.Coordinator, a.cfg.Name)
+	return true
+}
+
+func (a *Agent) heartbeat() bool {
+	req := registerRequest{Name: a.cfg.Name, URL: a.cfg.Advertise, Load: a.cfg.Load()}
+	status, err := a.post("/fleet/heartbeat", req, nil)
+	if err != nil {
+		return false
+	}
+	if status == http.StatusNotFound || status == http.StatusGone {
+		a.cfg.Logf("fleet: coordinator no longer knows us (%d), re-registering", status)
+		return false
+	}
+	return status == http.StatusOK
+}
+
+func (a *Agent) post(path string, body any, out any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest("POST", a.cfg.Coordinator+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

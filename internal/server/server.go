@@ -55,7 +55,30 @@ const (
 	// offset header can never misalign the replay-skip logic: the server
 	// recomputes with the offset it parsed, and any disagreement is a 422.
 	HeaderChunkCRC = "X-Raced-Crc32"
+	// HeaderSessionID, on POST /sessions, names the session to create
+	// instead of letting the server mint an id. A fleet coordinator uses it
+	// so consistent-hash placement can be decided from the id before any
+	// worker is contacted, and so a failed-over session can be re-created
+	// elsewhere under its original identity.
+	HeaderSessionID = "X-Raced-Session-Id"
 )
+
+// validSessionID accepts the ids the server itself mints plus anything a
+// coordinator might reasonably assign: short, URL- and filename-safe.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // checkCRC verifies the declared checksum, when present, against the
 // request's effective offset and body. A non-nil error is the 422 message.
@@ -223,6 +246,11 @@ type Server struct {
 	gapRejects       atomic.Uint64
 	sessionsParked   atomic.Uint64
 	sessionsUnparked atomic.Uint64
+	// arenaLeakedRefs accumulates pooled clock allocations a sealed session
+	// failed to return to its engine arena — always zero unless a detector
+	// leaks; exported so fleet/chaos tests can assert it from outside the
+	// package. See noteArenaAfterSeal.
+	arenaLeakedRefs atomic.Int64
 }
 
 // New builds a Server and starts its scheduler and idle-session janitor.
@@ -667,14 +695,32 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	// Detector allocation (the expensive part) happens outside the sessions
 	// mutex; the limit is re-checked at insertion, so it stays strict.
-	id := newID()
+	id := r.Header.Get(HeaderSessionID)
+	if id != "" {
+		if !validSessionID(id) {
+			writeError(w, http.StatusBadRequest,
+				"bad %s %q: 1-64 characters of [a-zA-Z0-9_-]", HeaderSessionID, id)
+			return
+		}
+	} else {
+		id = newID()
+	}
 	engines := make([]engine.Session, len(makers))
 	for i, se := range makers {
 		engines[i] = se.NewSession(d.Threads, d.Locks, d.Vars)
 	}
 	sess := newSession(id, h, names, engines, time.Now())
 	s.applyCompactPolicy(sess)
+	s.parkedMu.Lock()
+	_, isParked := s.parked[id]
+	s.parkedMu.Unlock()
 	s.mu.Lock()
+	_, exists := s.sessions[id]
+	if exists || isParked {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "session %s already open", id)
+		return
+	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		s.shed429(w, 5, "session limit (%d) reached", s.cfg.MaxSessions)
@@ -811,6 +857,21 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	// An optional offset header makes finish a commit barrier: when the
+	// client's acknowledged count disagrees with the session's — a failover
+	// or restart restored an older checkpoint after the client's last chunk
+	// landed — the finish is refused with the same gap shape as a chunk
+	// rejection, so the client replays the lost tail instead of silently
+	// sealing a truncated session.
+	wantOffset := int64(-1)
+	if v := r.Header.Get("X-Raced-Offset"); v != "" {
+		n, perr := strconv.ParseUint(v, 10, 63)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "bad X-Raced-Offset %q", v)
+			return
+		}
+		wantOffset = int64(n)
+	}
 	sess := s.liveSession(id)
 	if sess == nil {
 		if resp, ok := s.recallFinished(id); ok {
@@ -824,10 +885,15 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 	// and task execution, in which case the retry runs on the unparked copy.
 	for attempt := 0; attempt < 2; attempt++ {
 		var resp sessionFinished
-		var done bool
+		var done, gapped bool
+		var gapEvents uint64
 		err := s.sched.Do(r.Context(), id, func() {
 			if cached, ok := s.recallFinished(id); ok {
 				resp, done = cached, true
+				return
+			}
+			if have := sess.status().Events; wantOffset >= 0 && have != uint64(wantOffset) {
+				gapped, gapEvents = true, have
 				return
 			}
 			s.removeSession(id)
@@ -836,6 +902,7 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 			if results == nil {
 				return // sealed elsewhere (parked or aborted) — retry resolves it
 			}
+			s.noteArenaAfterSeal(sess)
 			// Store checkpoint before the session checkpoint disappears: a
 			// crash between the two re-counts this session's races, never
 			// loses them.
@@ -853,6 +920,15 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		})
 		if err != nil {
 			s.shedOrFail(w, err)
+			return
+		}
+		if gapped {
+			s.gapRejects.Add(1)
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  fmt.Sprintf("session %s has %d acknowledged events, finish expected %d", id, gapEvents, wantOffset),
+				"events": gapEvents,
+				"gap":    true,
+			})
 			return
 		}
 		if done {
@@ -883,6 +959,7 @@ func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.abort()
 	s.noteSessionState(sess)
+	s.noteArenaAfterSeal(sess)
 	s.dropSessionCheckpoint(id)
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "aborted": true})
 }
@@ -1040,6 +1117,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "raced_sessions_pressure_parked_total %d\n", s.sessionsParked.Load())
 	fmt.Fprintf(w, "raced_sessions_unparked_total %d\n", s.sessionsUnparked.Load())
 	fmt.Fprintf(w, "raced_state_bytes %d\n", s.stateTotal.Load())
+	fmt.Fprintf(w, "raced_arena_leaked_refs %d\n", s.arenaLeakedRefs.Load())
 	s.parkedMu.Lock()
 	fmt.Fprintf(w, "raced_sessions_parked %d\n", len(s.parked))
 	s.parkedMu.Unlock()

@@ -1,0 +1,92 @@
+package server
+
+// Fleet-facing introspection: the hooks a fleet.Agent uses to report this
+// worker's load, enumerate its open sessions for coordinator adoption, and
+// drop sessions the coordinator failed over elsewhere.
+
+import (
+	"repro/internal/engine"
+)
+
+// Stats is a point-in-time load snapshot of the server.
+type Stats struct {
+	// Sessions is the number of open (in-memory) sessions; parked sessions
+	// count too — they are paused, not gone.
+	Sessions int
+	// StateBytes is the summed detector-state estimate across open sessions.
+	StateBytes int64
+	// QueueDepth is the scheduler's current backlog.
+	QueueDepth int
+	// Draining reports whether Close has begun.
+	Draining bool
+	// ArenaLeakedRefs is the cumulative count of pooled clock allocations
+	// sealed sessions failed to return; nonzero means a detector leak.
+	ArenaLeakedRefs int64
+}
+
+// Stats returns the server's current load snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	open := len(s.sessions)
+	s.mu.Unlock()
+	s.parkedMu.Lock()
+	open += len(s.parked)
+	s.parkedMu.Unlock()
+	return Stats{
+		Sessions:        open,
+		StateBytes:      s.stateTotal.Load(),
+		QueueDepth:      s.sched.QueueDepth(),
+		Draining:        s.draining.Load(),
+		ArenaLeakedRefs: s.arenaLeakedRefs.Load(),
+	}
+}
+
+// SessionIDs lists every open session id, parked ones included — the list a
+// worker sends on fleet registration so the coordinator can adopt
+// placements after a restart.
+func (s *Server) SessionIDs() []string {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	s.parkedMu.Lock()
+	for id := range s.parked {
+		ids = append(ids, id)
+	}
+	s.parkedMu.Unlock()
+	return ids
+}
+
+// AbortSession discards one session without reporting, the same as
+// DELETE /sessions/{id}: the fleet agent calls it to drop a stale copy the
+// coordinator failed over elsewhere while this worker was partitioned —
+// finalizing it here would double-count its races in the merged view.
+// Returns false when the session isn't open.
+func (s *Server) AbortSession(id string) bool {
+	sess := s.removeSession(id)
+	if sess == nil {
+		return s.dropParked(id)
+	}
+	sess.abort()
+	s.noteSessionState(sess)
+	s.noteArenaAfterSeal(sess)
+	s.dropSessionCheckpoint(id)
+	return true
+}
+
+// noteArenaAfterSeal audits a just-sealed session's engine arenas and
+// accumulates any allocation that was not returned to the freelist. In a
+// single process the chaos tests reach into the session struct for this;
+// across the fleet's process boundary the counter (surfaced in Stats and
+// /metrics) is the observable.
+func (s *Server) noteArenaAfterSeal(sess *session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for _, es := range sess.engines {
+		if allocs, free, ok := engine.ArenaStats(es); ok && allocs != free {
+			s.arenaLeakedRefs.Add(int64(allocs - free))
+		}
+	}
+}
