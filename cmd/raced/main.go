@@ -46,9 +46,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the debug mux below
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -91,6 +93,10 @@ var (
 	ingestTimeout = flag.Duration("ingest-timeout", time.Minute, "per-request body read deadline (<0 disables)")
 	chaos         = flag.String("chaos", "", "inject connection faults for resilience testing, e.g. 'drop=0.2,trunc=0.1,stall=0.1,flip=0.05,latency=2ms,seed=7' (see internal/faultinject)")
 
+	debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this side address (empty disables); CPU profiles carry session= and engine= labels")
+	obsSample = flag.Int("obs-sample", 0, "sample per-block stage timing every Nth decoded block (0 = default 32, <0 disables)")
+	logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+
 	// Fleet mode (see internal/fleet). -coordinator turns this process into
 	// the fleet front door; -join turns it into a worker of one.
 	coordinator      = flag.Bool("coordinator", false, "run as a fleet coordinator instead of an analysis worker")
@@ -103,30 +109,58 @@ var (
 	workerName       = flag.String("worker-name", "", "worker: stable fleet identity (default: the advertise URL)")
 )
 
+// newLogger builds the process logger every component shares. Structured
+// fields (session=, trace=, worker=) make the logs greppable and let a log
+// pipeline join them with /debug/trace output on the trace id.
+func newLogger() *slog.Logger {
+	if *logJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// startDebugServer serves net/http/pprof on its own listener so profiling
+// is never exposed on the public service address. The blank pprof import
+// registers its handlers on http.DefaultServeMux.
+func startDebugServer(logger *slog.Logger) {
+	if *debugAddr == "" {
+		return
+	}
+	go func() {
+		logger.Info("debug server listening", "addr", *debugAddr, "endpoints", "/debug/pprof/")
+		if err := http.ListenAndServe(*debugAddr, http.DefaultServeMux); err != nil {
+			logger.Error("debug server failed", "err", err)
+		}
+	}()
+}
+
 func main() {
 	flag.Parse()
+	logger := newLogger()
+	startDebugServer(logger)
 	var err error
 	if *coordinator {
-		err = runCoordinator()
+		err = runCoordinator(logger)
 	} else {
-		err = run()
+		err = run(logger)
 	}
 	if err != nil {
-		log.Fatal("raced: ", err)
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
 	}
 }
 
 // runCoordinator serves the fleet front door: the full session API proxied
 // onto registered workers, plus /fleet membership endpoints and a merged
 // /reports view.
-func runCoordinator() error {
+func runCoordinator(logger *slog.Logger) error {
 	co := fleet.NewCoordinator(fleet.CoordinatorConfig{
 		HeartbeatTimeout: *heartbeatTimeout,
 		PullEvery:        *pullEvery,
 		ProxyTimeout:     *proxyTimeout,
 		MaxBodyBytes:     *maxBody,
 		NoRebalance:      *noRebalance,
-		Logf:             log.Printf,
+		Logger:           logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: co.Handler()}
 	ln, err := net.Listen("tcp", *addr)
@@ -138,7 +172,7 @@ func runCoordinator() error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("raced: coordinator listening on %s (heartbeat timeout %v)", *addr, *heartbeatTimeout)
+		logger.Info("coordinator listening", "addr", *addr, "heartbeat_timeout", *heartbeatTimeout)
 		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -151,16 +185,16 @@ func runCoordinator() error {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("raced: coordinator shutting down (timeout %v)", *drainTimeout)
+	logger.Info("coordinator shutting down", "timeout", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(dctx); err != nil {
-		log.Printf("raced: http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	return co.Close(dctx)
 }
 
-func run() error {
+func run(logger *slog.Logger) error {
 	names := strings.Split(*engines, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
@@ -189,7 +223,9 @@ func run() error {
 		MaxBodyBytes:   *maxBody,
 		MaxSessions:    *maxSessions,
 		IdleTimeout:    *idle,
-		Logf:           log.Printf,
+		Logger:         logger,
+		Name:           *workerName,
+		ObsSampleEvery: *obsSample,
 
 		CheckpointDir:      *checkpointDir,
 		CheckpointEvery:    *checkpointEvery,
@@ -210,7 +246,7 @@ func run() error {
 		return err
 	}
 	if inj != nil {
-		log.Printf("raced: CHAOS MODE: injecting faults on every connection (%s)", *chaos)
+		logger.Warn("CHAOS MODE: injecting faults on every connection", "spec", *chaos)
 		ln = inj.WrapListener(ln)
 	}
 
@@ -219,7 +255,7 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("raced: listening on %s (engines=%v)", *addr, names)
+		logger.Info("listening", "addr", *addr, "engines", names)
 		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -246,9 +282,9 @@ func run() error {
 			},
 			Sessions: srv.SessionIDs,
 			Abort:    srv.AbortSession,
-			Logf:     log.Printf,
+			Logger:   logger,
 		})
-		log.Printf("raced: joining fleet at %s as %s", *join, adv)
+		logger.Info("joining fleet", "coordinator", *join, "advertise", adv)
 	}
 
 	select {
@@ -257,23 +293,23 @@ func run() error {
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
-	log.Printf("raced: shutdown signal received, draining (timeout %v)", *drainTimeout)
+	logger.Info("shutdown signal received, draining", "timeout", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if agent != nil {
 		if err := agent.Leave(dctx); err != nil {
-			log.Printf("raced: fleet leave: %v", err)
+			logger.Error("fleet leave", "err", err)
 		} else {
-			log.Printf("raced: left the fleet; sessions handed off")
+			logger.Info("left the fleet; sessions handed off")
 		}
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
-		log.Printf("raced: http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := srv.Close(dctx); err != nil {
-		log.Printf("raced: drain: %v", err)
+		logger.Error("drain", "err", err)
 	}
 	st := srv.Store()
-	log.Printf("raced: drained: %d distinct race classes, %d observations", st.Len(), st.Observations())
+	logger.Info("drained", "race_classes", st.Len(), "observations", st.Observations())
 	return nil
 }

@@ -98,12 +98,12 @@ func run() error {
 		if s.Acked() > uint64(len(tr.Events)) {
 			return fmt.Errorf("session %s has %d events, more than the %d this seed generates", s.ID(), s.Acked(), len(tr.Events))
 		}
-		fmt.Printf("session %s resumed at event %d\n", s.ID(), s.Acked())
+		fmt.Printf("session %s resumed at event %d (trace=%s)\n", s.ID(), s.Acked(), s.Trace())
 	} else {
 		if s, err = client.Open(ctx, cfg, tr.Symbols); err != nil {
 			return err
 		}
-		fmt.Printf("session %s opened (engines=%s)\n", s.ID(), *engines)
+		fmt.Printf("session %s opened (engines=%s trace=%s)\n", s.ID(), *engines, s.Trace())
 	}
 
 	// 2. Stream the event body. The library splits it into chunk requests on

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/traceio"
 )
 
@@ -111,15 +112,23 @@ func (c *Config) fill() {
 }
 
 // TerminalError means an operation exhausted its retry budget or hit a
-// non-retryable response; the wrapped Err is the last failure.
+// non-retryable response; the wrapped Err is the last failure. TraceID is
+// the request-trace id the session stamped on every attempt — quote it when
+// filing the failure, GET /debug/trace/{id} on the server (or coordinator)
+// returns the request's server-side timeline.
 type TerminalError struct {
 	Op       string // "open", "chunk", "finish", ...
 	Status   int    // last HTTP status; 0 for transport-level failures
 	Attempts int
+	TraceID  string
 	Err      error
 }
 
 func (e *TerminalError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("raced client: %s failed after %d attempt(s) [trace %s]: %v",
+			e.Op, e.Attempts, e.TraceID, e.Err)
+	}
 	return fmt.Sprintf("raced client: %s failed after %d attempt(s): %v", e.Op, e.Attempts, e.Err)
 }
 
@@ -130,6 +139,7 @@ func (e *TerminalError) Unwrap() error { return e.Err }
 type Session struct {
 	cfg   Config
 	id    string
+	trace string // request-trace id, stamped on every attempt (X-Raced-Trace)
 	acked uint64 // events the server has confirmed analyzed
 	// workerURL is the owning worker's base URL, learned from the
 	// coordinator's X-Raced-Worker header when FollowPlacement is on;
@@ -163,6 +173,7 @@ type Status struct {
 	Events  uint64   `json:"events"`
 	Chunks  int      `json:"chunks"`
 	Engines []string `json:"engines"`
+	Trace   string   `json:"trace,omitempty"`
 	Failed  string   `json:"failed,omitempty"`
 }
 
@@ -186,7 +197,7 @@ func Open(ctx context.Context, cfg Config, syms *event.Symbols) (*Session, error
 	if err := traceio.WriteHeader(&hdr, syms, 0); err != nil {
 		return nil, err
 	}
-	s := &Session{cfg: cfg}
+	s := &Session{cfg: cfg, trace: obs.NewTraceID()}
 	url := cfg.BaseURL + "/sessions"
 	if len(cfg.Engines) > 0 {
 		url += "?engines=" + strings.Join(cfg.Engines, ",")
@@ -212,14 +223,19 @@ func Open(ctx context.Context, cfg Config, syms *event.Symbols) (*Session, error
 // restarted) and synchronizes on the server's acknowledged event count.
 func Resume(ctx context.Context, cfg Config, id string) (*Session, error) {
 	cfg.fill()
-	s := &Session{cfg: cfg, id: id}
+	s := &Session{cfg: cfg, id: id, trace: obs.NewTraceID()}
 	st, err := s.Status(ctx)
 	if err != nil {
 		return nil, err
 	}
 	if st.Failed != "" {
-		return nil, &TerminalError{Op: "resume", Attempts: 1,
+		return nil, &TerminalError{Op: "resume", Attempts: 1, TraceID: s.trace,
 			Err: fmt.Errorf("session %s failed server-side: %s", id, st.Failed)}
+	}
+	if st.Trace != "" {
+		// Keep the trace the session already lives under: the resumed
+		// stream joins the existing timeline instead of starting a new one.
+		s.trace = st.Trace
 	}
 	s.acked = st.Events
 	return s, nil
@@ -227,6 +243,11 @@ func Resume(ctx context.Context, cfg Config, id string) (*Session, error) {
 
 // ID returns the server-assigned session id (for Resume after a restart).
 func (s *Session) ID() string { return s.id }
+
+// Trace returns the session's request-trace id. GET /debug/trace/{id} on
+// the daemon (or the fleet coordinator for the merged cross-worker view)
+// returns every span recorded under it.
+func (s *Session) Trace() string { return s.trace }
 
 // Worker returns the owning worker's base URL when FollowPlacement has
 // learned one, "" otherwise.
@@ -260,7 +281,7 @@ func (s *Session) Stream(ctx context.Context, events []event.Event, base uint64)
 	end := base + uint64(len(events))
 	for s.acked < end {
 		if s.acked < base {
-			return &TerminalError{Op: "stream", Attempts: 1, Err: fmt.Errorf(
+			return &TerminalError{Op: "stream", Attempts: 1, TraceID: s.trace, Err: fmt.Errorf(
 				"server acknowledges %d events but this stream starts at %d: rewind beyond the provided events",
 				s.acked, base)}
 		}
@@ -457,7 +478,7 @@ func (s *Session) retry(ctx context.Context, opName string, op func(attempt int)
 		lastErr, lastStatus = err, status
 		switch status {
 		case http.StatusConflict, http.StatusGone, http.StatusRequestEntityTooLarge:
-			return &TerminalError{Op: opName, Status: status, Attempts: attempt, Err: err}
+			return &TerminalError{Op: opName, Status: status, Attempts: attempt, TraceID: s.trace, Err: err}
 		}
 		if attempt == s.cfg.RetryBudget {
 			break
@@ -467,14 +488,14 @@ func (s *Session) retry(ctx context.Context, opName string, op func(attempt int)
 		if errors.As(err, &ra) && ra.delay > delay {
 			delay = ra.delay
 		}
-		s.cfg.Logf("raced client: %s attempt %d failed (%v), retrying in %v", opName, attempt, err, delay)
+		s.cfg.Logf("raced client: %s attempt %d failed (trace=%s err=%v), retrying in %v", opName, attempt, s.trace, err, delay)
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
-			return &TerminalError{Op: opName, Status: lastStatus, Attempts: attempt, Err: ctx.Err()}
+			return &TerminalError{Op: opName, Status: lastStatus, Attempts: attempt, TraceID: s.trace, Err: ctx.Err()}
 		}
 	}
-	return &TerminalError{Op: opName, Status: lastStatus, Attempts: s.cfg.RetryBudget, Err: lastErr}
+	return &TerminalError{Op: opName, Status: lastStatus, Attempts: s.cfg.RetryBudget, TraceID: s.trace, Err: lastErr}
 }
 
 // backoff is exponential with full jitter on the upper half: base<<attempt
@@ -515,6 +536,9 @@ func (s *Session) roundTrip(ctx context.Context, method, url string, body []byte
 	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return 0, err
+	}
+	if s.trace != "" {
+		req.Header.Set(obs.HeaderTrace, s.trace)
 	}
 	for k, v := range hdr {
 		req.Header.Set(k, v)

@@ -76,15 +76,19 @@ func (c *Counters) Total() uint64 {
 	return c.Drops.Load() + c.Truncates.Load() + c.Stalls.Load() + c.BitFlips.Load()
 }
 
-// WriteMetrics emits the counters in Prometheus text format, for the
-// daemon's /metrics endpoint.
+// WriteMetrics emits the counters in Prometheus text format (HELP/TYPE
+// included, so the output stays valid when merged into a full exposition),
+// for the daemon's /metrics endpoint.
 func (c *Counters) WriteMetrics(w io.Writer) {
-	fmt.Fprintf(w, "raced_faults_injected_total %d\n", c.Total())
-	fmt.Fprintf(w, "raced_faults_drops_total %d\n", c.Drops.Load())
-	fmt.Fprintf(w, "raced_faults_truncates_total %d\n", c.Truncates.Load())
-	fmt.Fprintf(w, "raced_faults_stalls_total %d\n", c.Stalls.Load())
-	fmt.Fprintf(w, "raced_faults_bitflips_total %d\n", c.BitFlips.Load())
-	fmt.Fprintf(w, "raced_faults_faulty_conns_total %d\n", c.Conns.Load())
+	write := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	write("raced_faults_injected_total", "Connection faults injected across all modes.", c.Total())
+	write("raced_faults_drops_total", "Connections dropped mid-stream.", c.Drops.Load())
+	write("raced_faults_truncates_total", "Request bodies truncated.", c.Truncates.Load())
+	write("raced_faults_stalls_total", "Connections stalled.", c.Stalls.Load())
+	write("raced_faults_bitflips_total", "Bytes corrupted in flight.", c.BitFlips.Load())
+	write("raced_faults_faulty_conns_total", "Connections accepted with a non-zero fault plan.", c.Conns.Load())
 }
 
 // Options parameterize an Injector: per-connection fault probabilities and

@@ -8,12 +8,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // HeaderWorker is set on coordinator-proxied responses and names the worker
@@ -54,8 +57,11 @@ type CoordinatorConfig struct {
 	NoRebalance bool
 	// HTTPClient issues worker requests; defaults to a keep-alive client.
 	HTTPClient *http.Client
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs; nil discards them.
+	Logger *slog.Logger
+	// TraceSpanCap bounds the coordinator's in-memory span ring (see
+	// internal/obs.TraceLog). Defaults to obs.DefaultSpanCap.
+	TraceSpanCap int
 }
 
 func (c *CoordinatorConfig) fill() {
@@ -77,8 +83,8 @@ func (c *CoordinatorConfig) fill() {
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 }
 
@@ -91,6 +97,7 @@ type placement struct {
 	id      string
 	worker  string
 	moving  bool
+	trace   string // request-trace id from the create, re-attached on failover
 	engines string // raw ?engines= value from the create request
 	header  []byte // retained create body (binary trace header)
 	blob    []byte // latest pulled session checkpoint
@@ -133,19 +140,28 @@ type Coordinator struct {
 	pullKick    chan struct{}
 	moveQ       chan moveSpec
 
-	// counters
-	proxied          atomic.Uint64
-	sessionsCreated  atomic.Uint64
-	sessionsFinished atomic.Uint64
-	admissionShed    atomic.Uint64
-	workerFailovers  atomic.Uint64
-	sessionsFailed   atomic.Uint64 // sessions failed over (restored elsewhere)
-	sessionsMigrated atomic.Uint64 // graceful moves (drain, rebalance)
-	sessionsLost     atomic.Uint64 // unrecoverable (no blob, no header)
-	sessionsAdopted  atomic.Uint64
-	pullsOK          atomic.Uint64
-	pullsFailed      atomic.Uint64
-	reportMerges     atomic.Uint64
+	// Observability: the coordinator's own registry (fleet_* families,
+	// unlabeled) and span ring. Proxy and failover spans recorded here carry
+	// the target worker's name, so a request's trace survives the death of
+	// the worker that served it — the coordinator's half of the timeline
+	// outlives the worker's.
+	reg      *obs.Registry
+	trace    *obs.TraceLog
+	proxyDur *obs.Histogram
+
+	// counters (registered in newMetrics; fleet_* names are load-bearing)
+	proxied          *obs.Counter
+	sessionsCreated  *obs.Counter
+	sessionsFinished *obs.Counter
+	admissionShed    *obs.Counter
+	workerFailovers  *obs.Counter
+	sessionsFailed   *obs.Counter // sessions failed over (restored elsewhere)
+	sessionsMigrated *obs.Counter // graceful moves (drain, rebalance)
+	sessionsLost     *obs.Counter // unrecoverable (no blob, no header)
+	sessionsAdopted  *obs.Counter
+	pullsOK          *obs.Counter
+	pullsFailed      *obs.Counter
+	reportMerges     *obs.Counter
 }
 
 // NewCoordinator builds a Coordinator and starts its heartbeat monitor,
@@ -165,7 +181,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		moverDone:   make(chan struct{}),
 		pullKick:    make(chan struct{}, 1),
 		moveQ:       make(chan moveSpec, 1024),
+		trace:       obs.NewTraceLog(cfg.TraceSpanCap),
 	}
+	c.newMetrics()
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /sessions", c.handleCreateSession)
 	c.mux.HandleFunc("GET /sessions/{id}", c.handleSessionStatus)
@@ -180,6 +198,8 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	c.mux.HandleFunc("POST /fleet/register", c.handleRegister)
 	c.mux.HandleFunc("POST /fleet/heartbeat", c.handleHeartbeat)
 	c.mux.HandleFunc("POST /fleet/leave", c.handleLeave)
+	c.mux.HandleFunc("GET /debug/trace/{id}", c.handleDebugTrace)
+	c.mux.HandleFunc("GET /debug/sessions/{id}", c.handleDebugSession)
 	go c.monitorLoop()
 	go c.moverLoop()
 	if cfg.PullEvery > 0 {
@@ -268,6 +288,7 @@ func (c *Coordinator) forward(ctx context.Context, method, url string, body []by
 			req.Header.Set(k, v)
 		}
 	}
+	t0 := time.Now()
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -278,6 +299,7 @@ func (c *Coordinator) forward(ctx context.Context, method, url string, body []by
 		return nil, fmt.Errorf("reading %s %s response: %w", method, url, err)
 	}
 	c.proxied.Add(1)
+	c.proxyDur.ObserveSince(t0)
 	return &proxyResult{status: resp.StatusCode, header: resp.Header, body: raw}, nil
 }
 
@@ -307,6 +329,31 @@ func (c *Coordinator) workerURL(name string) string {
 	defer c.mu.Unlock()
 	if wk := c.workers[name]; wk != nil {
 		return wk.url
+	}
+	return ""
+}
+
+// traceIDFrom extracts a well-formed trace id from the request, or "".
+// Invalid ids are dropped rather than rejected: tracing is best-effort and
+// must never fail a request.
+func traceIDFrom(r *http.Request) string {
+	id := r.Header.Get(obs.HeaderTrace)
+	if id == "" || !obs.ValidID(id) {
+		return ""
+	}
+	return id
+}
+
+// traceFor resolves the effective trace id for a request against a session:
+// the id the request carried wins, else the one retained at create time.
+func (c *Coordinator) traceFor(r *http.Request, id string) string {
+	if tr := traceIDFrom(r); tr != "" {
+		return tr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pl := c.placements[id]; pl != nil {
+		return pl.trace
 	}
 	return ""
 }
@@ -386,6 +433,7 @@ func (c *Coordinator) handleCreateSession(w http.ResponseWriter, r *http.Request
 		return
 	}
 	engines := r.URL.Query().Get("engines")
+	traceID := traceIDFrom(r)
 	id := newID()
 	tried := make(map[string]bool)
 	for {
@@ -401,8 +449,10 @@ func (c *Coordinator) handleCreateSession(w http.ResponseWriter, r *http.Request
 		if engines != "" {
 			target += "?engines=" + engines
 		}
+		t0 := time.Now()
 		pr, err := c.forward(r.Context(), "POST", target, body, map[string]string{
 			HeaderSessionID: id,
+			obs.HeaderTrace: traceID,
 			"Content-Type":  r.Header.Get("Content-Type"),
 			"X-Raced-Crc32": r.Header.Get("X-Raced-Crc32"),
 		})
@@ -415,10 +465,12 @@ func (c *Coordinator) handleCreateSession(w http.ResponseWriter, r *http.Request
 		}
 		if pr.status >= 200 && pr.status < 300 {
 			c.mu.Lock()
-			c.placements[id] = &placement{id: id, worker: name, engines: engines, header: body}
+			c.placements[id] = &placement{id: id, worker: name, trace: traceID, engines: engines, header: body}
 			c.mu.Unlock()
 			c.sessionsCreated.Add(1)
-			c.cfg.Logf("fleet: session %s placed on %s", id, name)
+			c.span(obs.Span{Trace: traceID, Session: id, Name: "proxy_create",
+				Worker: name, Start: t0, Duration: time.Since(t0).Seconds()})
+			c.cfg.Logger.Info("session placed", "session", id, "worker", name, "trace", traceID)
 		}
 		c.writeProxied(w, pr, name)
 		return
@@ -460,16 +512,23 @@ func (c *Coordinator) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if !bok {
 		return
 	}
+	traceID := c.traceFor(r, id)
+	t0 := time.Now()
 	pr, err := c.forward(r.Context(), "POST", url+"/sessions/"+id+"/chunks", body, map[string]string{
+		obs.HeaderTrace:  traceID,
 		"Content-Type":   r.Header.Get("Content-Type"),
 		"X-Raced-Offset": r.Header.Get("X-Raced-Offset"),
 		"X-Raced-Crc32":  r.Header.Get("X-Raced-Crc32"),
 	})
 	if err != nil {
 		c.noteProxyFailure(name, err)
+		c.span(obs.Span{Trace: traceID, Session: id, Name: "proxy_chunk", Worker: name,
+			Start: t0, Duration: time.Since(t0).Seconds(), Err: err.Error()})
 		writeError(w, http.StatusServiceUnavailable, "worker %s unreachable, failover pending: %v", name, err)
 		return
 	}
+	c.span(obs.Span{Trace: traceID, Session: id, Name: "proxy_chunk", Worker: name,
+		Start: t0, Duration: time.Since(t0).Seconds()})
 	c.writeProxied(w, pr, name)
 }
 
@@ -493,7 +552,10 @@ func (c *Coordinator) handleFinish(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "session %s is failing over, retry", id)
 		return
 	}
+	traceID := c.traceFor(r, id)
+	t0 := time.Now()
 	pr, err := c.forward(r.Context(), "POST", url+"/sessions/"+id+"/finish", nil, map[string]string{
+		obs.HeaderTrace:  traceID,
 		"X-Raced-Offset": r.Header.Get("X-Raced-Offset"),
 	})
 	if err != nil {
@@ -507,6 +569,8 @@ func (c *Coordinator) handleFinish(w http.ResponseWriter, r *http.Request) {
 		delete(c.placements, id)
 		c.mu.Unlock()
 		c.sessionsFinished.Add(1)
+		c.span(obs.Span{Trace: traceID, Session: id, Name: "proxy_finish", Worker: name,
+			Start: t0, Duration: time.Since(t0).Seconds()})
 	}
 	c.writeProxied(w, pr, name)
 }
@@ -648,8 +712,8 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		c.sessionsAdopted.Add(uint64(adopted))
 		c.kickPull() // fetch restore blobs for adopted sessions promptly
 	}
-	c.cfg.Logf("fleet: worker %s registered (url=%s sessions=%d adopted=%d stale=%d)",
-		req.Name, req.URL, len(req.Sessions), adopted, len(stale))
+	c.cfg.Logger.Info("worker registered", "worker", req.Name, "url", req.URL,
+		"sessions", len(req.Sessions), "adopted", adopted, "stale", len(stale))
 	if !c.cfg.NoRebalance {
 		staleSet := make(map[string]bool, len(stale))
 		for _, id := range stale {
@@ -752,34 +816,167 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// newMetrics wires every fleet-level series into the coordinator's registry.
+// The fleet_* names are scraped by smoke scripts and dashboards — they are
+// load-bearing, do not rename them. The coordinator's own series stay
+// unlabeled; the worker= label belongs exclusively to scraped worker series.
+func (c *Coordinator) newMetrics() {
+	reg := obs.NewRegistry()
+	c.reg = reg
+	c.proxied = reg.Counter("fleet_proxied_requests_total", "Requests forwarded to workers.")
+	c.sessionsCreated = reg.Counter("fleet_sessions_created_total", "Sessions placed on the ring.")
+	c.sessionsFinished = reg.Counter("fleet_sessions_finished_total", "Sessions sealed through the coordinator.")
+	c.admissionShed = reg.Counter("fleet_admission_shed_total", "Session creates refused while the fleet was degraded.")
+	c.workerFailovers = reg.Counter("fleet_worker_failovers_total", "Workers declared failed.")
+	c.sessionsFailed = reg.Counter("fleet_sessions_failed_over_total", "Sessions restored on a survivor after their worker died.")
+	c.sessionsMigrated = reg.Counter("fleet_sessions_migrated_total", "Sessions moved gracefully (drain, rebalance).")
+	c.sessionsLost = reg.Counter("fleet_sessions_lost_total", "Sessions unrecoverable after failure (no checkpoint or create header held).")
+	c.sessionsAdopted = reg.Counter("fleet_sessions_adopted_total", "Sessions adopted from re-registering workers after a coordinator restart.")
+	c.pullsOK = reg.Counter("fleet_checkpoint_pulls_total", "Session checkpoints pulled from workers.")
+	c.pullsFailed = reg.Counter("fleet_checkpoint_pull_failures_total", "Checkpoint pulls that failed.")
+	c.reportMerges = reg.Counter("fleet_report_merges_total", "Merged /reports responses served.")
+	c.proxyDur = reg.Histogram("fleet_proxy_seconds", "Latency of one proxied worker request.", nil)
+
+	reg.GaugeFunc("fleet_workers", "Registered workers.", func() float64 {
+		infos, _ := c.fleetSnapshot()
+		return float64(len(infos))
+	})
+	reg.GaugeFunc("fleet_workers_healthy", "Workers with a fresh heartbeat.", func() float64 {
+		_, healthy := c.fleetSnapshot()
+		return float64(healthy)
+	})
+	for _, st := range []string{"active", "suspect", "draining", "dead"} {
+		st := st
+		reg.GaugeFunc("fleet_workers_state", "Workers by lifecycle state.", func() float64 {
+			infos, _ := c.fleetSnapshot()
+			n := 0
+			for _, wi := range infos {
+				if wi.State == st {
+					n++
+				}
+			}
+			return float64(n)
+		}, obs.Label{Key: "state", Value: st})
+	}
+	reg.GaugeFunc("fleet_sessions_placed", "Sessions with a live placement.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.placements))
+	})
+	reg.GaugeFunc("fleet_pending_failovers", "Failovers queued but not yet restored.", func() float64 {
+		return float64(c.pendingFailovers.Load())
+	})
+	reg.GaugeFunc("fleet_pending_migrations", "Graceful moves in flight.", func() float64 {
+		return float64(c.pendingMigrations.Load())
+	})
+	reg.GaugeFunc("fleet_uptime_seconds", "Seconds since this coordinator started.", func() float64 {
+		return time.Since(c.start).Seconds()
+	})
+}
+
+// handleMetrics serves the coordinator's own registry followed by every live
+// worker's scraped registry, each worker's series re-labeled with
+// worker="name" and merged per family so the output stays a valid exposition
+// (one HELP/TYPE per family even when every worker exports it).
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	infos, healthy := c.fleetSnapshot()
-	byState := map[string]int{}
-	for _, wi := range infos {
-		byState[wi.State]++
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c.reg.WritePrometheus(w)
+
+	type scrape struct {
+		name string
+		url  string
 	}
 	c.mu.Lock()
-	sessions := len(c.placements)
-	c.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "fleet_workers %d\n", len(infos))
-	fmt.Fprintf(w, "fleet_workers_healthy %d\n", healthy)
-	for _, st := range []string{"active", "suspect", "draining", "dead"} {
-		fmt.Fprintf(w, "fleet_workers_state{state=%q} %d\n", st, byState[st])
+	targets := make([]scrape, 0, len(c.workers))
+	for _, wk := range c.workers {
+		if wk.alive() {
+			targets = append(targets, scrape{name: wk.name, url: wk.url})
+		}
 	}
-	fmt.Fprintf(w, "fleet_sessions_placed %d\n", sessions)
-	fmt.Fprintf(w, "fleet_pending_failovers %d\n", c.pendingFailovers.Load())
-	fmt.Fprintf(w, "fleet_pending_migrations %d\n", c.pendingMigrations.Load())
-	fmt.Fprintf(w, "fleet_proxied_requests_total %d\n", c.proxied.Load())
-	fmt.Fprintf(w, "fleet_sessions_created_total %d\n", c.sessionsCreated.Load())
-	fmt.Fprintf(w, "fleet_sessions_finished_total %d\n", c.sessionsFinished.Load())
-	fmt.Fprintf(w, "fleet_admission_shed_total %d\n", c.admissionShed.Load())
-	fmt.Fprintf(w, "fleet_worker_failovers_total %d\n", c.workerFailovers.Load())
-	fmt.Fprintf(w, "fleet_sessions_failed_over_total %d\n", c.sessionsFailed.Load())
-	fmt.Fprintf(w, "fleet_sessions_migrated_total %d\n", c.sessionsMigrated.Load())
-	fmt.Fprintf(w, "fleet_sessions_lost_total %d\n", c.sessionsLost.Load())
-	fmt.Fprintf(w, "fleet_sessions_adopted_total %d\n", c.sessionsAdopted.Load())
-	fmt.Fprintf(w, "fleet_checkpoint_pulls_total %d\n", c.pullsOK.Load())
-	fmt.Fprintf(w, "fleet_checkpoint_pull_failures_total %d\n", c.pullsFailed.Load())
-	fmt.Fprintf(w, "fleet_report_merges_total %d\n", c.reportMerges.Load())
+	c.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+
+	groups := make([][]*obs.ParsedFamily, 0, len(targets))
+	for _, t := range targets {
+		pr, err := c.forward(r.Context(), "GET", t.url+"/metrics", nil, nil)
+		if err != nil || pr.status != http.StatusOK {
+			c.cfg.Logger.Warn("worker metrics scrape failed", "worker", t.name, "err", err)
+			continue
+		}
+		fams, err := obs.ParseExposition(pr.body)
+		if err != nil {
+			c.cfg.Logger.Warn("worker metrics unparseable", "worker", t.name, "err", err)
+			continue
+		}
+		for _, f := range fams {
+			f.Inject("worker", t.name)
+		}
+		groups = append(groups, fams)
+	}
+	if len(groups) > 0 {
+		obs.WriteFamilies(w, obs.MergeFamilies(groups...))
+	}
+}
+
+// span records one coordinator-side span. The Worker field carries the
+// proxied-to worker, so the coordinator's timeline names dead workers long
+// after they stop answering.
+func (c *Coordinator) span(sp obs.Span) { c.trace.Add(sp) }
+
+// mergedSpans gathers spans for one trace or session across the coordinator
+// and every live worker. kind is "trace" or "sessions" (the debug URL path).
+func (c *Coordinator) mergedSpans(ctx context.Context, kind, id string, own []obs.Span) []obs.Span {
+	spans := own
+	c.mu.Lock()
+	urls := make([]string, 0, len(c.workers))
+	for _, wk := range c.workers {
+		if wk.alive() {
+			urls = append(urls, wk.url)
+		}
+	}
+	c.mu.Unlock()
+	for _, url := range urls {
+		pr, err := c.forward(ctx, "GET", url+"/debug/"+kind+"/"+id, nil, nil)
+		if err != nil || pr.status != http.StatusOK {
+			continue
+		}
+		var out struct {
+			Spans []obs.Span `json:"spans"`
+		}
+		if json.Unmarshal(pr.body, &out) == nil {
+			spans = append(spans, out.Spans...)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	return spans
+}
+
+// handleDebugTrace (GET /debug/trace/{id}) returns the fleet-wide view of
+// one request trace: the coordinator's proxy and failover spans plus every
+// live worker's retained spans, ordered by start time. Spans proxied to a
+// worker that has since died survive here — the coordinator's record is the
+// dead worker's obituary.
+func (c *Coordinator) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !obs.ValidID(id) {
+		writeError(w, http.StatusBadRequest, "bad trace id %q", id)
+		return
+	}
+	spans := c.mergedSpans(r.Context(), "trace", id, c.trace.ByTrace(id))
+	writeJSON(w, http.StatusOK, map[string]any{"trace": id, "spans": spans})
+}
+
+// handleDebugSession (GET /debug/sessions/{id}) is the session-keyed
+// equivalent: one session's lifecycle across every worker that ever held it.
+func (c *Coordinator) handleDebugSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !obs.ValidID(id) {
+		writeError(w, http.StatusBadRequest, "bad session id %q", id)
+		return
+	}
+	spans := c.mergedSpans(r.Context(), "sessions", id, c.trace.BySession(id))
+	writeJSON(w, http.StatusOK, map[string]any{"session": id, "spans": spans})
 }

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // moveSpec is one session relocation queued for the mover goroutine. Two
@@ -79,7 +81,7 @@ func (c *Coordinator) runMove(m moveSpec) {
 		}
 		return
 	}
-	blob, header, engines := pl.blob, pl.header, pl.engines
+	blob, header, engines, traceID := pl.blob, pl.header, pl.engines, pl.trace
 	var fromURL string
 	if wk := c.workers[m.from]; wk != nil {
 		fromURL = wk.url
@@ -109,13 +111,13 @@ func (c *Coordinator) runMove(m moveSpec) {
 		case err == nil && pr.status == http.StatusConflict:
 			// Closed or failed ingest: not snapshottable, and not worth
 			// moving — it will finalize where it sits.
-			c.giveUpMove(m, "session %s not snapshottable on %s, leaving in place", m.id, m.from)
+			c.giveUpMove(m, "session not snapshottable, leaving in place", "session", m.id, "worker", m.from)
 			return
 		default:
 			// Source unreachable mid-drain: degrade to failover using
 			// whatever blob the pull loop last captured.
 			if blob == nil && header == nil {
-				c.giveUpMove(m, "session %s: source %s unreachable and no checkpoint held", m.id, m.from)
+				c.giveUpMove(m, "source unreachable and no checkpoint held", "session", m.id, "worker", m.from)
 				return
 			}
 		}
@@ -124,7 +126,7 @@ func (c *Coordinator) runMove(m moveSpec) {
 	target, targetURL := c.pickMoveTarget(m.id, m.from)
 	if target == "" {
 		if m.maxAttempts > 0 && m.attempts >= m.maxAttempts {
-			c.giveUpMove(m, "session %s: no live worker to move to", m.id)
+			c.giveUpMove(m, "no live worker to move to", "session", m.id)
 			return
 		}
 		c.retryMoveLater(m)
@@ -133,11 +135,16 @@ func (c *Coordinator) runMove(m moveSpec) {
 
 	restored := false
 	if blob != nil {
-		pr, err := c.forward(ctx, "POST", targetURL+"/sessions/restore", blob,
-			map[string]string{"Content-Type": "application/octet-stream"})
+		t0 := time.Now()
+		pr, err := c.forward(ctx, "POST", targetURL+"/sessions/restore", blob, map[string]string{
+			obs.HeaderTrace: traceID, // re-attach the create-time trace across the failover
+			"Content-Type":  "application/octet-stream",
+		})
 		switch {
 		case err == nil && pr.status >= 200 && pr.status < 300:
 			restored = true
+			c.span(obs.Span{Trace: traceID, Session: m.id, Name: "failover_restore",
+				Worker: target, Start: t0, Duration: time.Since(t0).Seconds()})
 		case err == nil && pr.status == http.StatusConflict:
 			// Already open there (a previous attempt landed): adopt it.
 			restored = true
@@ -148,7 +155,8 @@ func (c *Coordinator) runMove(m moveSpec) {
 		default:
 			// Blob rejected (corrupt or incompatible): fall through to the
 			// header re-create path below.
-			c.cfg.Logf("fleet: restore of %s on %s rejected (%d), falling back to re-create", m.id, target, pr.status)
+			c.cfg.Logger.Warn("failover restore rejected, falling back to re-create",
+				"session", m.id, "worker", target, "status", pr.status)
 			blob = nil
 		}
 	}
@@ -157,19 +165,24 @@ func (c *Coordinator) runMove(m moveSpec) {
 		if engines != "" {
 			url += "?engines=" + engines
 		}
+		t0 := time.Now()
 		pr, err := c.forward(ctx, "POST", url, header, map[string]string{
 			HeaderSessionID: m.id,
+			obs.HeaderTrace: traceID,
 			"Content-Type":  "application/octet-stream",
 		})
 		switch {
 		case err == nil && (pr.status == http.StatusCreated || pr.status == http.StatusConflict):
 			restored = true // 409: already open there — adopt
+			c.span(obs.Span{Trace: traceID, Session: m.id, Name: "failover_recreate",
+				Worker: target, Start: t0, Duration: time.Since(t0).Seconds()})
 		case err != nil:
 			c.noteProxyFailure(target, err)
 			c.retryMoveLater(m)
 			return
 		default:
-			c.cfg.Logf("fleet: re-create of %s on %s failed (%d): %s", m.id, target, pr.status, pr.body)
+			c.cfg.Logger.Warn("failover re-create failed",
+				"session", m.id, "worker", target, "status", pr.status, "body", string(pr.body))
 		}
 	}
 	if !restored {
@@ -178,14 +191,14 @@ func (c *Coordinator) runMove(m moveSpec) {
 			// nothing to restore from.
 			c.sessionsLost.Add(1)
 			c.dropPlacement(m.id)
-			c.cfg.Logf("fleet: session %s lost — no checkpoint or create header held", m.id)
+			c.cfg.Logger.Error("session lost — no checkpoint or create header held", "session", m.id)
 			if m.done != nil {
 				m.done(false)
 			}
 			return
 		}
 		if m.maxAttempts > 0 && m.attempts >= m.maxAttempts {
-			c.giveUpMove(m, "session %s: move failed after %d attempts", m.id, m.attempts)
+			c.giveUpMove(m, "move failed, giving up", "session", m.id, "attempts", m.attempts)
 			return
 		}
 		c.retryMoveLater(m)
@@ -209,7 +222,8 @@ func (c *Coordinator) runMove(m moveSpec) {
 	} else {
 		c.sessionsFailed.Add(1)
 	}
-	c.cfg.Logf("fleet: session %s moved %s -> %s (attempt %d)", m.id, m.from, target, m.attempts)
+	c.cfg.Logger.Info("session moved",
+		"session", m.id, "from", m.from, "to", target, "attempt", m.attempts, "trace", traceID)
 	if m.done != nil {
 		m.done(true)
 	}
@@ -217,14 +231,14 @@ func (c *Coordinator) runMove(m moveSpec) {
 
 // giveUpMove abandons a move, clearing the moving flag so the session keeps
 // being served wherever it is placed (relevant for drains that could not
-// hand off).
-func (c *Coordinator) giveUpMove(m moveSpec, format string, args ...any) {
+// hand off). args are slog key-value pairs.
+func (c *Coordinator) giveUpMove(m moveSpec, msg string, args ...any) {
 	c.mu.Lock()
 	if cur := c.placements[m.id]; cur != nil {
 		cur.moving = false
 	}
 	c.mu.Unlock()
-	c.cfg.Logf("fleet: "+format, args...)
+	c.cfg.Logger.Warn(msg, args...)
 	if m.done != nil {
 		m.done(false)
 	}
@@ -327,7 +341,8 @@ func (c *Coordinator) failWorker(name, why string) {
 	}
 	c.mu.Unlock()
 	c.workerFailovers.Add(1)
-	c.cfg.Logf("fleet: worker %s failed (%s); failing over %d sessions", name, why, len(ids))
+	c.cfg.Logger.Warn("worker failed, failing over sessions",
+		"worker", name, "why", why, "sessions", len(ids))
 	for _, id := range ids {
 		c.pendingFailovers.Add(1)
 		c.enqueueMove(moveSpec{id: id, from: name, done: func(bool) { c.pendingFailovers.Add(-1) }})
@@ -387,7 +402,7 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	c.mu.Unlock()
-	c.cfg.Logf("fleet: worker %s leaving; migrating %d sessions", req.Name, len(ids))
+	c.cfg.Logger.Info("worker leaving, migrating sessions", "worker", req.Name, "sessions", len(ids))
 
 	var wg sync.WaitGroup
 	var movedMu sync.Mutex
@@ -420,7 +435,7 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 	delete(c.workers, req.Name)
 	c.ring.Remove(req.Name)
 	c.mu.Unlock()
-	c.cfg.Logf("fleet: worker %s left (moved %d/%d sessions)", req.Name, moved, len(ids))
+	c.cfg.Logger.Info("worker left", "worker", req.Name, "moved", moved, "sessions", len(ids))
 	writeJSON(w, http.StatusOK, map[string]any{"moved": moved})
 }
 
@@ -461,7 +476,7 @@ func (c *Coordinator) rebalanceOnto(name string, skip map[string]bool) {
 	if len(moves) == 0 {
 		return
 	}
-	c.cfg.Logf("fleet: rebalancing %d sessions onto %s", len(moves), name)
+	c.cfg.Logger.Info("rebalancing sessions onto joined worker", "sessions", len(moves), "worker", name)
 	for _, m := range moves {
 		c.pendingMigrations.Add(1)
 		m.done = func(bool) { c.pendingMigrations.Add(-1) }

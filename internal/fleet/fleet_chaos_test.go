@@ -205,7 +205,7 @@ func TestChaosFleetWorkerKill(t *testing.T) {
 			}
 			verifyFinish(t, labelf("client %d", c), cfgs[c].Engines, traces[c], fin)
 		}
-		if f.co.sessionsFailed.Load() == 0 {
+		if f.co.sessionsFailed.Value() == 0 {
 			t.Error("kill forced no failover; the chaos window missed")
 		}
 		assertFleetMatchesSingleNode(t, f.url, traces, engines)
@@ -341,7 +341,7 @@ func TestChaosFleetFailoverDuringChunk(t *testing.T) {
 			}
 			verifyFinish(t, labelf("client %d", c), cfgs[c].Engines, traces[c], fin)
 		}
-		if f.co.sessionsFailed.Load() == 0 {
+		if f.co.sessionsFailed.Value() == 0 {
 			t.Error("kill forced no failover; the chaos window missed")
 		}
 		assertFleetMatchesSingleNode(t, f.url, traces, engines)

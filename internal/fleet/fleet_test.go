@@ -9,6 +9,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -20,9 +22,23 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faultinject"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
+
+// testLogger adapts t.Logf into a slog.Logger so fleet internals log through
+// the test runner.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
 
 // Aggressive timing so a full failover (missed deadline -> suspect ->
 // restore) fits inside a unit test.
@@ -77,7 +93,7 @@ func startTestFleet(t *testing.T, n int, gated bool, pullEvery time.Duration) *t
 		HeartbeatEvery:   testHeartbeatEvery,
 		PullEvery:        pullEvery,
 		ProxyTimeout:     5 * time.Second,
-		Logf:             t.Logf,
+		Logger:           testLogger(t),
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -95,7 +111,10 @@ func startTestFleet(t *testing.T, n int, gated bool, pullEvery time.Duration) *t
 
 func (f *testFleet) addWorker() *testWorker {
 	f.t.Helper()
-	srv := server.New(workerServerConfig())
+	name := fmt.Sprintf("w%d", len(f.workers))
+	cfg := workerServerConfig()
+	cfg.Name = name // stamped into spans so merged /debug views attribute work per worker
+	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		f.t.Fatal(err)
@@ -109,7 +128,7 @@ func (f *testFleet) addWorker() *testWorker {
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(wrapped)
 	tw := &testWorker{
-		name: fmt.Sprintf("w%d", len(f.workers)),
+		name: name,
 		url:  "http://" + ln.Addr().String(),
 		srv:  srv, hs: hs, gate: gate,
 	}
@@ -129,7 +148,7 @@ func (f *testFleet) addWorker() *testWorker {
 		},
 		Sessions: srv.SessionIDs,
 		Abort:    srv.AbortSession,
-		Logf:     f.t.Logf,
+		Logger:   testLogger(f.t),
 	})
 	f.workers = append(f.workers, tw)
 	return tw
@@ -298,7 +317,7 @@ func TestFleetFailoverKill(t *testing.T) {
 		verifyFinish(t, fmt.Sprintf("client %d", c), cfgs[c].Engines, traces[c], fin)
 	}
 
-	if f.co.sessionsFailed.Load() == 0 {
+	if f.co.sessionsFailed.Value() == 0 {
 		t.Error("no session failed over: the kill exercised nothing")
 	}
 	for id, w := range f.co.Placements() {
@@ -337,7 +356,7 @@ func TestFleetGracefulDrain(t *testing.T) {
 	if err := leaver.agent.Leave(ctx); err != nil {
 		t.Fatalf("leave: %v", err)
 	}
-	if got := f.co.sessionsMigrated.Load(); got == 0 {
+	if got := f.co.sessionsMigrated.Value(); got == 0 {
 		t.Error("graceful leave migrated no sessions")
 	}
 	for id, w := range f.co.Placements() {
@@ -428,7 +447,7 @@ func TestFleetRetryAfterPropagation(t *testing.T) {
 	co := NewCoordinator(CoordinatorConfig{
 		HeartbeatTimeout: time.Hour, // the stub never heartbeats; keep it alive
 		PullEvery:        -1,
-		Logf:             t.Logf,
+		Logger:           testLogger(t),
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -575,5 +594,133 @@ func TestFleetReportsMerge(t *testing.T) {
 	}
 	if limited.Total != want.Distinct() || limited.Matched != 1 {
 		t.Errorf("limit=1: total=%d matched=%d, want total=%d matched=1", limited.Total, limited.Matched, want.Distinct())
+	}
+}
+
+// TestFleetTracePropagation: the client's one trace id survives a
+// mid-stream worker kill, and the coordinator's merged /debug/trace view
+// stitches the whole timeline together — its own proxy/failover spans name
+// the dead worker (the coordinator's record is the dead worker's obituary;
+// the worker itself is unreachable), and the survivor's restored session
+// contributes spans under the same trace because failover forwards the
+// X-Raced-Trace header with the snapshot.
+func TestFleetTracePropagation(t *testing.T) {
+	f := startTestFleet(t, 2, false, 0)
+	defer f.stop()
+	ctx := context.Background()
+
+	tr := fleetTrace(0)
+	cfg := fleetClientConfig(f.url, false) // proxy mode: every request crosses the coordinator
+	s, err := client.Open(ctx, cfg, tr.Symbols)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	traceID := s.Trace()
+	if !obs.ValidID(traceID) {
+		t.Fatalf("client minted invalid trace id %q", traceID)
+	}
+
+	// Stream 40%, let the pull loop checkpoint it, then kill the owner.
+	if err := s.Stream(ctx, tr.Events[:len(tr.Events)*4/10], 0); err != nil {
+		t.Fatalf("stream (pre-kill): %v", err)
+	}
+	time.Sleep(3 * testPullEvery)
+	victim := f.workerFor(s.ID())
+	var survivor *testWorker
+	for _, w := range f.workers {
+		if w != victim {
+			survivor = w
+		}
+	}
+	victim.kill()
+	if err := s.Stream(ctx, tr.Events, 0); err != nil {
+		t.Fatalf("stream through failover: %v", err)
+	}
+	fin, err := s.FinishReplay(ctx, tr.Events, 0)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	verifyFinish(t, "traced client", cfg.Engines, tr, fin)
+	if f.co.sessionsFailed.Value() == 0 {
+		t.Fatal("no session failed over: the kill exercised nothing")
+	}
+
+	// The merged trace view: one trace id, spans attributed to both the
+	// dead worker and the survivor.
+	resp, err := http.Get(f.url + "/debug/trace/" + traceID)
+	if err != nil {
+		t.Fatalf("debug/trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/trace: %d", resp.StatusCode)
+	}
+	var out struct {
+		Trace string     `json:"trace"`
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != traceID {
+		t.Errorf("debug/trace echoed %q, want %q", out.Trace, traceID)
+	}
+	workers := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, sp := range out.Spans {
+		if sp.Trace != traceID {
+			t.Errorf("span %q carries trace %q, want %q", sp.Name, sp.Trace, traceID)
+		}
+		workers[sp.Worker] = true
+		names[sp.Name] = true
+	}
+	if !workers[victim.name] {
+		t.Errorf("merged trace has no spans attributed to dead worker %s (workers seen: %v)", victim.name, workers)
+	}
+	if !workers[survivor.name] {
+		t.Errorf("merged trace has no spans from surviving worker %s (workers seen: %v)", survivor.name, workers)
+	}
+	for _, want := range []string{"proxy_create", "proxy_chunk", "chunk", "finish"} {
+		if !names[want] {
+			t.Errorf("merged trace missing a %q span (names seen: %v)", want, names)
+		}
+	}
+	if !names["failover_restore"] && !names["failover_recreate"] {
+		t.Errorf("merged trace records no failover span (names seen: %v)", names)
+	}
+
+	// The coordinator's merged /metrics: its own fleet_* series stay
+	// unlabeled, scraped worker series carry worker="...".
+	resp, err = http.Get(f.url + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(raw)
+	if err != nil {
+		t.Fatalf("merged exposition does not parse: %v\n%s", err, raw)
+	}
+	series := make(map[string]bool)
+	var survivorSeries bool
+	for _, fam := range fams {
+		for _, l := range fam.Lines {
+			if series[l.Series()] {
+				t.Errorf("merged exposition renders series %s twice", l.Series())
+			}
+			series[l.Series()] = true
+			if strings.HasPrefix(fam.Name, "raced_") && strings.Contains(l.Labels, `worker="`+survivor.name+`"`) {
+				survivorSeries = true
+			}
+		}
+	}
+	if !survivorSeries {
+		t.Error("merged /metrics carries no worker-labeled raced_* series from the survivor")
+	}
+	if !series["fleet_sessions_failed_over_total"] {
+		t.Error("coordinator's own fleet_sessions_failed_over_total is missing or grew labels")
 	}
 }

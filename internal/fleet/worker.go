@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -34,8 +35,8 @@ type AgentConfig struct {
 	Abort func(id string) bool
 	// HTTPClient dials the coordinator; defaults to a 5s-timeout client.
 	HTTPClient *http.Client
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs; nil discards them.
+	Logger *slog.Logger
 }
 
 // Agent registers a worker with its coordinator and keeps heartbeating
@@ -63,8 +64,8 @@ func StartAgent(cfg AgentConfig) *Agent {
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: 5 * time.Second}
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	if cfg.Load == nil {
 		cfg.Load = func() WorkerLoad { return WorkerLoad{} }
@@ -143,7 +144,8 @@ func (a *Agent) register() bool {
 	var resp registerResponse
 	status, err := a.post("/fleet/register", req, &resp)
 	if err != nil || status != http.StatusOK {
-		a.cfg.Logf("fleet: register with %s failed (status=%d err=%v), retrying", a.cfg.Coordinator, status, err)
+		a.cfg.Logger.Warn("fleet register failed, retrying",
+			"coordinator", a.cfg.Coordinator, "status", status, "err", err)
 		return false
 	}
 	if resp.HeartbeatMS > 0 {
@@ -153,10 +155,10 @@ func (a *Agent) register() bool {
 		// This copy lost a split brain: the authoritative session now lives
 		// on another worker. Drop it so it can't finalize duplicate reports.
 		if a.cfg.Abort != nil && a.cfg.Abort(id) {
-			a.cfg.Logf("fleet: aborted stale session %s (failed over during partition)", id)
+			a.cfg.Logger.Info("aborted stale session (failed over during partition)", "session", id)
 		}
 	}
-	a.cfg.Logf("fleet: registered with %s as %s", a.cfg.Coordinator, a.cfg.Name)
+	a.cfg.Logger.Info("registered with fleet", "coordinator", a.cfg.Coordinator, "worker", a.cfg.Name)
 	return true
 }
 
@@ -167,7 +169,7 @@ func (a *Agent) heartbeat() bool {
 		return false
 	}
 	if status == http.StatusNotFound || status == http.StatusGone {
-		a.cfg.Logf("fleet: coordinator no longer knows us (%d), re-registering", status)
+		a.cfg.Logger.Warn("coordinator no longer knows us, re-registering", "status", status)
 		return false
 	}
 	return status == http.StatusOK

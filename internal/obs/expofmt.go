@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file parses and re-renders the Prometheus text exposition format.
+// The fleet coordinator uses it to scrape each worker's /metrics, inject a
+// worker="name" label into every series, and merge the results into one
+// exposition — the format requires all samples of a family to sit under a
+// single # TYPE line, so naive concatenation of worker outputs is invalid.
+
+// SampleLine is one sample as parsed from an exposition: the (possibly
+// suffixed) sample name, the raw rendered label set, and the raw value
+// text. Values are kept as text so aggregation never reformats floats.
+type SampleLine struct {
+	Name   string // e.g. raced_decode_seconds_bucket
+	Labels string // rendered `{k="v",...}` or ""
+	Value  string
+}
+
+// Series returns the full series identity (name + labels) of the line.
+func (l SampleLine) Series() string { return l.Name + l.Labels }
+
+// ParsedFamily is one metric family from a parsed exposition.
+type ParsedFamily struct {
+	Name  string // family name (without _bucket/_sum/_count suffixes)
+	Help  string
+	Type  string // counter | gauge | histogram | untyped
+	Lines []SampleLine
+}
+
+// sampleBelongs reports whether a sample name belongs to family fam given
+// its type (histograms own the _bucket/_sum/_count suffixed samples).
+func sampleBelongs(fam *ParsedFamily, name string) bool {
+	if name == fam.Name {
+		return true
+	}
+	if fam.Type == TypeHistogram {
+		rest, ok := strings.CutPrefix(name, fam.Name)
+		if ok && (rest == "_bucket" || rest == "_sum" || rest == "_count") {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseExposition parses a text exposition into families, preserving
+// sample order. Unknown or malformed lines yield an error — the parser is
+// for our own output and for scraped workers running the same code, so
+// leniency would only hide bugs.
+func ParseExposition(data []byte) ([]*ParsedFamily, error) {
+	var fams []*ParsedFamily
+	byName := make(map[string]*ParsedFamily)
+	var cur *ParsedFamily
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, rest, ok := strings.Cut(strings.TrimSpace(line[1:]), " ")
+			if !ok {
+				continue
+			}
+			name, text, _ := strings.Cut(rest, " ")
+			switch kind {
+			case "HELP":
+				cur = getFamily(byName, &fams, name)
+				if cur.Help == "" {
+					cur.Help = text
+				}
+			case "TYPE":
+				cur = getFamily(byName, &fams, name)
+				if cur.Type == "" || cur.Type == "untyped" {
+					cur.Type = text
+				}
+			}
+			continue
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if cur == nil || !sampleBelongs(cur, name) {
+			cur = getFamily(byName, &fams, name)
+			if cur.Type == "" {
+				cur.Type = "untyped"
+			}
+		}
+		cur.Lines = append(cur.Lines, SampleLine{Name: name, Labels: labels, Value: value})
+	}
+	return fams, nil
+}
+
+func getFamily(byName map[string]*ParsedFamily, fams *[]*ParsedFamily, name string) *ParsedFamily {
+	if f, ok := byName[name]; ok {
+		return f
+	}
+	f := &ParsedFamily{Name: name}
+	byName[name] = f
+	*fams = append(*fams, f)
+	return f
+}
+
+// splitSample splits `name{labels} value` or `name value`.
+func splitSample(line string) (name, labels, value string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("malformed labels in %q", line)
+		}
+		name = line[:i]
+		labels = line[i : j+1]
+		value = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		name, value, ok = strings.Cut(line, " ")
+		if !ok {
+			return "", "", "", fmt.Errorf("no value in %q", line)
+		}
+		value = strings.TrimSpace(value)
+	}
+	if name == "" || value == "" {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	return name, labels, value, nil
+}
+
+// Inject adds key="value" to every sample line of the family. Existing
+// labels are preserved; the new label is appended inside the braces.
+func (f *ParsedFamily) Inject(key, value string) {
+	for i := range f.Lines {
+		f.Lines[i].Labels = addLabel(f.Lines[i].Labels, key, value)
+	}
+}
+
+// MergeFamilies groups same-named families from several expositions into
+// one list (sorted by family name), concatenating their sample lines. Help
+// and type come from the first group that has them.
+func MergeFamilies(groups ...[]*ParsedFamily) []*ParsedFamily {
+	byName := make(map[string]*ParsedFamily)
+	var out []*ParsedFamily
+	for _, g := range groups {
+		for _, f := range g {
+			m, ok := byName[f.Name]
+			if !ok {
+				m = &ParsedFamily{Name: f.Name, Help: f.Help, Type: f.Type}
+				byName[f.Name] = m
+				out = append(out, m)
+			}
+			if m.Help == "" {
+				m.Help = f.Help
+			}
+			if m.Type == "" || m.Type == "untyped" {
+				m.Type = f.Type
+			}
+			m.Lines = append(m.Lines, f.Lines...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteFamilies renders parsed families back to the exposition format.
+func WriteFamilies(w io.Writer, fams []*ParsedFamily) {
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		typ := f.Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, typ)
+		for _, l := range f.Lines {
+			fmt.Fprintf(w, "%s%s %s\n", l.Name, l.Labels, l.Value)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func registryExposition(t *testing.T) []byte {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("a_total", "A counter.").Add(5)
+	r.Counter("lbl_total", "Labeled.", Label{"engine", "wcp"}).Inc()
+	r.Counter("lbl_total", "Labeled.", Label{"engine", "hb"}).Add(2)
+	r.Gauge("g", "A gauge.").Set(1.5)
+	h := r.Histogram("h_seconds", "A histogram.", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	return buf.Bytes()
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	data := registryExposition(t)
+	fams, err := ParseExposition(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*ParsedFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["a_total"]; f == nil || f.Type != "counter" || f.Help != "A counter." {
+		t.Errorf("a_total parsed wrong: %+v", f)
+	}
+	if f := byName["lbl_total"]; f == nil || len(f.Lines) != 2 {
+		t.Errorf("lbl_total must have 2 series: %+v", f)
+	}
+	f := byName["h_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("h_seconds parsed wrong: %+v", f)
+	}
+	// 2 bounds + +Inf + sum + count = 5 sample lines in one family.
+	if len(f.Lines) != 5 {
+		t.Errorf("h_seconds has %d lines, want 5: %+v", len(f.Lines), f.Lines)
+	}
+	var out bytes.Buffer
+	WriteFamilies(&out, fams)
+	reparsed, err := ParseExposition(out.Bytes())
+	if err != nil {
+		t.Fatalf("re-rendered exposition does not parse: %v", err)
+	}
+	if len(reparsed) != len(fams) {
+		t.Errorf("round trip changed family count: %d -> %d", len(fams), len(reparsed))
+	}
+}
+
+func TestInjectAndMerge(t *testing.T) {
+	w1, err := ParseExposition(registryExposition(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ParseExposition(registryExposition(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range w1 {
+		f.Inject("worker", "w1")
+	}
+	for _, f := range w2 {
+		f.Inject("worker", "w2")
+	}
+	merged := MergeFamilies(w1, w2)
+	var buf bytes.Buffer
+	WriteFamilies(&buf, merged)
+	out := buf.String()
+
+	for _, want := range []string{
+		`a_total{worker="w1"} 5`,
+		`a_total{worker="w2"} 5`,
+		`lbl_total{engine="wcp",worker="w1"} 1`,
+		`h_seconds_bucket{le="+Inf",worker="w2"} 2`,
+		`h_seconds_count{worker="w1"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("merged exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Each family must appear under exactly one TYPE line, with no
+	// duplicate series.
+	if n := strings.Count(out, "# TYPE a_total "); n != 1 {
+		t.Errorf("a_total has %d TYPE lines, want 1", n)
+	}
+	seen := map[string]bool{}
+	for _, f := range merged {
+		for _, l := range f.Lines {
+			if seen[l.Series()] {
+				t.Errorf("duplicate series %s", l.Series())
+			}
+			seen[l.Series()] = true
+		}
+	}
+	// Merged output must itself parse.
+	if _, err := ParseExposition(buf.Bytes()); err != nil {
+		t.Fatalf("merged exposition does not parse: %v", err)
+	}
+}
+
+func TestParseUntypedLines(t *testing.T) {
+	fams, err := ParseExposition([]byte("plain_total 3\nother{a=\"b\"} 1.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2", len(fams))
+	}
+	if fams[0].Type != "untyped" || fams[0].Lines[0].Value != "3" {
+		t.Errorf("plain_total parsed wrong: %+v", fams[0])
+	}
+	if fams[1].Lines[0].Labels != `{a="b"}` {
+		t.Errorf("labels parsed wrong: %+v", fams[1].Lines[0])
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, bad := range []string{"novalue\n", "x{unclosed 3\n"} {
+		if _, err := ParseExposition([]byte(bad)); err == nil {
+			t.Errorf("ParseExposition(%q) must fail", bad)
+		}
+	}
+}

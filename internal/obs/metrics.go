@@ -1,0 +1,354 @@
+// Package obs is the shared observability layer for raced: a typed metrics
+// registry with Prometheus text exposition, a bounded in-memory span ring
+// for request tracing, and a parser for the exposition format so the fleet
+// coordinator can aggregate worker registries under per-worker labels.
+//
+// The design constraint is the ingest hot loop: raced decodes and analyzes
+// tens of millions of events per second, so every instrument that can sit
+// on that path (Counter.Add, Histogram.Observe) is a handful of atomic ops
+// with zero allocations. Allocation happens only at registration time.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key="value" pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Metric family types, matching the Prometheus text format TYPE values.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing uint64. Add/Inc are single atomic
+// ops, safe on hot paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+func (c *Counter) Inc()              { c.v.Add(1) }
+func (c *Counter) Add(n uint64)      { c.v.Add(n) }
+func (c *Counter) Value() uint64     { return c.v.Load() }
+func (c *Counter) write(w io.Writer) { fmt.Fprintf(w, "%d", c.v.Load()) }
+
+// Gauge is a settable float64 (stored as float bits). A gauge registered
+// via GaugeFunc computes its value at scrape time instead.
+type Gauge struct {
+	bits atomic.Uint64
+	fn   func() float64
+}
+
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+func (g *Gauge) write(w io.Writer) { io.WriteString(w, formatFloat(g.Value())) }
+
+// counterFunc is a counter whose value is computed at scrape time — for
+// monotonic totals owned by another subsystem (e.g. the report store).
+type counterFunc struct {
+	fn func() uint64
+}
+
+// Histogram is a fixed-bucket histogram. Observe is a linear scan over the
+// (small, fixed) bound slice plus three atomic ops — no allocation, no lock.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; implicit +Inf last
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DurationBuckets are the default bounds (seconds) for latency histograms:
+// 1µs to ~4s in powers of four, covering a sampled block decode (~µs) up to
+// a stalled checkpoint.
+var DurationBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6,
+	1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
+	1, 4,
+}
+
+// Observe records one value. Zero-alloc and lock-free.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0, in seconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// series is one labeled instance within a family.
+type series struct {
+	labels string // rendered `{k="v",...}` or ""
+	metric any    // *Counter, *Gauge, or *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string
+	series []*series // insertion order; small N, linear lookup
+}
+
+func (f *family) find(labels string) *series {
+	for _, s := range f.series {
+		if s.labels == labels {
+			return s
+		}
+	}
+	return nil
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Lookups are get-or-create: registering the same
+// name+labels twice returns the same instrument, so duplicate series are
+// impossible by construction.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", name, typ, f.typ))
+	}
+	return f
+}
+
+// Counter returns the counter for name+labels, creating it if needed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, TypeCounter)
+	ls := renderLabels(labels)
+	if s := f.find(ls); s != nil {
+		return s.metric.(*Counter)
+	}
+	c := &Counter{}
+	f.series = append(f.series, &series{labels: ls, metric: c})
+	return c
+}
+
+// Gauge returns the settable gauge for name+labels, creating it if needed.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, TypeGauge)
+	ls := renderLabels(labels)
+	if s := f.find(ls); s != nil {
+		return s.metric.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series = append(f.series, &series{labels: ls, metric: g})
+	return g
+}
+
+// CounterFunc registers a counter whose value is read at scrape time from
+// fn — for monotonic totals maintained elsewhere.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, TypeCounter)
+	ls := renderLabels(labels)
+	if s := f.find(ls); s != nil {
+		s.metric = &counterFunc{fn: fn}
+		return
+	}
+	f.series = append(f.series, &series{labels: ls, metric: &counterFunc{fn: fn}})
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, TypeGauge)
+	ls := renderLabels(labels)
+	if s := f.find(ls); s != nil {
+		s.metric.(*Gauge).fn = fn
+		return
+	}
+	f.series = append(f.series, &series{labels: ls, metric: &Gauge{fn: fn}})
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket upper bounds (DurationBuckets if nil).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, TypeHistogram)
+	ls := renderLabels(labels)
+	if s := f.find(ls); s != nil {
+		return s.metric.(*Histogram)
+	}
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+	f.series = append(f.series, &series{labels: ls, metric: h})
+	return h
+}
+
+// WritePrometheus renders every family in the text exposition format:
+// families sorted by name, one # HELP and # TYPE line each, series in
+// registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch m := s.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s ", f.name, s.labels)
+				m.write(w)
+				io.WriteString(w, "\n")
+			case *counterFunc:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, m.fn())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s ", f.name, s.labels)
+				m.write(w)
+				io.WriteString(w, "\n")
+			case *Histogram:
+				writeHistogram(w, f.name, s.labels, m)
+			}
+		}
+	}
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, addLabel(labels, "le", formatFloat(b)), cum)
+	}
+	count := h.count.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, addLabel(labels, "le", "+Inf"), count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+}
+
+// renderLabels renders a label set as `{k="v",...}`, sorted by key, with
+// value escaping per the exposition format. Empty set renders as "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// addLabel appends one more label to an already-rendered label string.
+func addLabel(rendered, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

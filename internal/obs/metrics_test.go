@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "Things.")
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("x_gauge", "A level.")
+	g.Set(2.5)
+	r.GaugeFunc("x_fn", "Computed.", func() float64 { return 7 })
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := `# HELP x_fn Computed.
+# TYPE x_fn gauge
+x_fn 7
+# HELP x_gauge A level.
+# TYPE x_gauge gauge
+x_gauge 2.5
+# HELP x_total Things.
+# TYPE x_total counter
+x_total 4
+`
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help", Label{"engine", "wcp"})
+	b := r.Counter("c_total", "help", Label{"engine", "wcp"})
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := r.Counter("c_total", "help", Label{"engine", "hb"})
+	if a == other {
+		t.Fatal("different labels must be a different series")
+	}
+	a.Inc()
+	other.Add(2)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{`c_total{engine="wcp"} 1`, `c_total{engine="hb"} 2`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE c_total counter") != 1 {
+		t.Errorf("family must have exactly one TYPE line:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("z_seconds", "", nil)
+	c := r.Counter("z_total", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(3e-5)
+		c.Add(17)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe+Add allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "", nil)
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	if h.Count() != 1 || h.Sum() < 0.009 {
+		t.Fatalf("ObserveSince recorded count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "", Label{"k", "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := `e_total{k="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaping: got %q, want substring %q", buf.String(), want)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m_total", "")
+	r.Gauge("m_total", "")
+}

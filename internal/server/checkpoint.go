@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/snap"
 	"repro/internal/traceio"
@@ -188,14 +189,23 @@ func (s *Server) checkpointStore() {
 	}
 	err := writeFileAtomic(filepath.Join(s.cfg.CheckpointDir, storeCkptName), s.store.Snapshot)
 	if err != nil {
-		s.cfg.Logf("raced: report store checkpoint failed: %v", err)
+		s.cfg.Logger.Error("report store checkpoint failed", "err", err)
 	}
 }
 
 // checkpointSession persists one session. Must run under the session's
 // scheduler key so it serializes with chunk ingestion.
 func (s *Server) checkpointSession(sess *session) error {
-	return writeFileAtomic(s.ckptPath(sess.id), sess.snapshotTo)
+	t0 := time.Now()
+	err := writeFileAtomic(s.ckptPath(sess.id), sess.snapshotTo)
+	s.obs.checkpoint.ObserveSince(t0)
+	sp := obs.Span{Trace: sess.trace(""), Session: sess.id, Name: "checkpoint",
+		Start: t0, Duration: time.Since(t0).Seconds()}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	s.obs.span(sp)
+	return err
 }
 
 // dropSessionCheckpoint removes a finished/evicted/aborted session's file.
@@ -207,7 +217,7 @@ func (s *Server) dropSessionCheckpoint(id string) {
 		return
 	}
 	if err := os.Remove(s.ckptPath(id)); err != nil && !os.IsNotExist(err) {
-		s.cfg.Logf("raced: removing checkpoint of session %s: %v", id, err)
+		s.cfg.Logger.Warn("removing session checkpoint failed", "session", id, "err", err)
 	}
 }
 
@@ -233,14 +243,14 @@ func (s *Server) checkpointAll(wait bool) (done int) {
 		err := s.sched.Submit(sess.id, func() {
 			defer wg.Done()
 			if err := s.checkpointSession(sess); err != nil {
-				s.cfg.Logf("raced: checkpoint of session %s failed: %v", sess.id, err)
+				s.cfg.Logger.Error("session checkpoint failed", "session", sess.id, "err", err)
 				return
 			}
 			ok.Add(1)
 		})
 		if err != nil {
 			wg.Done()
-			s.cfg.Logf("raced: checkpoint of session %s not scheduled: %v", sess.id, err)
+			s.cfg.Logger.Warn("session checkpoint not scheduled", "session", sess.id, "err", err)
 		}
 	}
 	if wait {
@@ -273,23 +283,23 @@ func (s *Server) restoreCheckpoints() {
 		return
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		s.cfg.Logf("raced: checkpoint dir: %v", err)
+		s.cfg.Logger.Error("checkpoint dir unusable", "dir", dir, "err", err)
 		return
 	}
 	if f, err := os.Open(filepath.Join(dir, storeCkptName)); err == nil {
 		store, rerr := report.RestoreStore(f)
 		f.Close()
 		if rerr != nil {
-			s.cfg.Logf("raced: report store checkpoint unreadable, starting empty: %v", rerr)
+			s.cfg.Logger.Warn("report store checkpoint unreadable, starting empty", "err", rerr)
 		} else {
 			s.store = store
-			s.cfg.Logf("raced: restored report store (%d classes, %d observations)",
-				store.Len(), store.Observations())
+			s.cfg.Logger.Info("restored report store",
+				"classes", store.Len(), "observations", store.Observations())
 		}
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		s.cfg.Logf("raced: reading checkpoint dir: %v", err)
+		s.cfg.Logger.Error("reading checkpoint dir failed", "dir", dir, "err", err)
 		return
 	}
 	now := time.Now()
@@ -301,24 +311,26 @@ func (s *Server) restoreCheckpoints() {
 		path := filepath.Join(dir, name)
 		f, err := os.Open(path)
 		if err != nil {
-			s.cfg.Logf("raced: opening checkpoint %s: %v", name, err)
+			s.cfg.Logger.Warn("opening checkpoint failed", "checkpoint", name, "err", err)
 			continue
 		}
 		sess, rerr := restoreSession(f, now)
 		f.Close()
 		if rerr != nil {
-			s.cfg.Logf("raced: checkpoint %s unreadable, skipping: %v", name, rerr)
+			s.cfg.Logger.Warn("checkpoint unreadable, skipping", "checkpoint", name, "err", rerr)
 			continue
 		}
 		if sess.id+ckptSuffix != name {
-			s.cfg.Logf("raced: checkpoint %s names session %s, skipping", name, sess.id)
+			s.cfg.Logger.Warn("checkpoint names a different session, skipping",
+				"checkpoint", name, "session", sess.id)
 			continue
 		}
 		d := sess.header.Dims()
 		if d.Threads > s.cfg.MaxThreads || max(d.Locks, d.Vars, d.Locs) > s.cfg.MaxSymbols {
-			s.cfg.Logf("raced: checkpoint %s exceeds configured limits, skipping", name)
+			s.cfg.Logger.Warn("checkpoint exceeds configured limits, skipping", "checkpoint", name)
 			continue
 		}
+		s.instrument(sess)
 		s.applyCompactPolicy(sess)
 		s.mu.Lock()
 		full := len(s.sessions) >= s.cfg.MaxSessions
@@ -327,11 +339,12 @@ func (s *Server) restoreCheckpoints() {
 		}
 		s.mu.Unlock()
 		if full {
-			s.cfg.Logf("raced: session limit reached, checkpoint %s not restored", name)
+			s.cfg.Logger.Warn("session limit reached, checkpoint not restored", "checkpoint", name)
 			continue
 		}
 		s.noteSessionState(sess)
-		s.cfg.Logf("raced: restored session %s (%d events, engines=%v)", sess.id, sess.events, sess.names)
+		s.cfg.Logger.Info("restored session from checkpoint",
+			"session", sess.id, "events", sess.events, "engines", sess.names)
 	}
 }
 
@@ -401,6 +414,7 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
+	tStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	sess, err := restoreSession(body, time.Now())
 	if err != nil {
@@ -412,6 +426,11 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "snapshot exceeds configured limits")
 		return
 	}
+	// A failover restore re-attaches the session's original request trace:
+	// the coordinator forwards the id it recorded at create time, so one
+	// trace id spans the session's life across worker deaths.
+	sess.traceID = traceIDFrom(r)
+	s.instrument(sess)
 	s.applyCompactPolicy(sess)
 	s.mu.Lock()
 	_, exists := s.sessions[sess.id]
@@ -430,7 +449,12 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessionsCreated.Add(1)
 	s.noteSessionState(sess)
-	s.cfg.Logf("raced: session %s restored via API (%d events)", sess.id, sess.events)
+	s.obs.span(obs.Span{
+		Trace: sess.traceID, Session: sess.id, Name: "restore",
+		Start: tStart, Duration: time.Since(tStart).Seconds(), Events: sess.events,
+	})
+	s.cfg.Logger.Info("session restored via API",
+		"session", sess.id, "trace", sess.traceID, "events", sess.events)
 	st := sess.status()
 	writeJSON(w, http.StatusOK, map[string]any{"id": sess.id, "events": st.Events, "chunks": st.Chunks})
 }

@@ -121,8 +121,8 @@ func (s *Server) relievePressure() {
 		}
 	}
 	if freed > 0 {
-		s.cfg.Logf("raced: memory pressure parked %d session(s), state now %d of %d budget bytes",
-			freed, s.stateTotal.Load(), budget)
+		s.cfg.Logger.Warn("memory pressure parked sessions",
+			"parked", freed, "state_bytes", s.stateTotal.Load(), "budget_bytes", budget)
 	}
 }
 
@@ -144,7 +144,7 @@ func (s *Server) parkSession(sess *session) bool {
 				return err
 			})
 			if werr != nil {
-				s.cfg.Logf("raced: parking session %s failed: %v", sess.id, werr)
+				s.cfg.Logger.Error("parking session failed", "session", sess.id, "err", werr)
 				return
 			}
 		} else {
@@ -192,7 +192,7 @@ func (s *Server) unpark(id string) *session {
 	case blob != nil:
 		var err error
 		if sess, err = restoreSession(bytes.NewReader(blob), time.Now()); err != nil {
-			s.cfg.Logf("raced: parked session %s unrestorable: %v", id, err)
+			s.cfg.Logger.Error("parked session unrestorable", "session", id, "err", err)
 			return nil
 		}
 	case s.cfg.CheckpointDir != "":
@@ -203,13 +203,14 @@ func (s *Server) unpark(id string) *session {
 		sess, err = restoreSession(f, time.Now())
 		f.Close()
 		if err != nil || sess.id != id {
-			s.cfg.Logf("raced: checkpoint for session %s unrestorable: %v", id, err)
+			s.cfg.Logger.Error("checkpoint for session unrestorable", "session", id, "err", err)
 			return nil
 		}
 	default:
 		return nil
 	}
 
+	s.instrument(sess)
 	s.applyCompactPolicy(sess)
 	s.mu.Lock()
 	if cur, ok := s.sessions[id]; ok {
@@ -221,7 +222,7 @@ func (s *Server) unpark(id string) *session {
 	s.mu.Unlock()
 	s.sessionsUnparked.Add(1)
 	s.noteSessionState(sess)
-	s.cfg.Logf("raced: unparked session %s (%d events)", id, sess.events)
+	s.cfg.Logger.Info("unparked session", "session", id, "events", sess.events)
 	return sess
 }
 
@@ -264,7 +265,7 @@ func (s *Server) pruneParked(cutoff time.Time) {
 		}
 		sess.finalize(s.store, time.Now())
 		s.sessionsEvicted.Add(1)
-		s.cfg.Logf("raced: evicted stale parked session %s (%d events)", sess.id, sess.events)
+		s.cfg.Logger.Info("evicted stale parked session", "session", sess.id, "events", sess.events)
 	}
 	if len(stale) > 0 {
 		s.checkpointStore()

@@ -115,10 +115,10 @@ func TestChunkReplayIsNoOp(t *testing.T) {
 	if cr := decodeChunkResp(t, raw); cr.Events != 1500 || cr.Replayed != 500 {
 		t.Fatalf("overlap acked events=%d replayed=%d, want 1500/500", cr.Events, cr.Replayed)
 	}
-	if got := s.chunksReplayed.Load(); got != 2 {
+	if got := s.chunksReplayed.Value(); got != 2 {
 		t.Errorf("chunksReplayed = %d, want 2", got)
 	}
-	if got := s.eventsReplayed.Load(); got != 1500 {
+	if got := s.eventsReplayed.Value(); got != 1500 {
 		t.Errorf("eventsReplayed = %d, want 1500", got)
 	}
 
@@ -157,7 +157,7 @@ func TestChunkGapRejected(t *testing.T) {
 	if !gap.Gap || gap.Events != 0 {
 		t.Fatalf("gap response %s: want gap=true events=0", raw)
 	}
-	if got := s.gapRejects.Load(); got != 1 {
+	if got := s.gapRejects.Value(); got != 1 {
 		t.Errorf("gapRejects = %d, want 1", got)
 	}
 
@@ -209,7 +209,7 @@ func TestChunkCRCMismatch(t *testing.T) {
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("offset/CRC disagreement: %d, want 422", resp.StatusCode)
 	}
-	if got := s.integrityRejects.Load(); got != 2 {
+	if got := s.integrityRejects.Value(); got != 2 {
 		t.Errorf("integrityRejects = %d, want 2", got)
 	}
 	if got := tc.sessionEvents(id); got != 0 {
@@ -403,13 +403,13 @@ func TestPressureParksAndUnparksTransparently(t *testing.T) {
 	// The pressure loop can never get under a 1-byte budget, so it parks
 	// every session except the most recently active one (B).
 	deadline := time.Now().Add(10 * time.Second)
-	for s.sessionsParked.Load() == 0 {
+	for s.sessionsParked.Value() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatalf("pressure loop never parked a session (state=%d)", s.stateTotal.Load())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if s.getSession(idA) != nil && s.sessionsParked.Load() > 0 && s.getSession(idB) == nil {
+	if s.getSession(idA) != nil && s.sessionsParked.Value() > 0 && s.getSession(idB) == nil {
 		t.Fatal("pressure parked the most recently active session instead of the coldest")
 	}
 
@@ -417,7 +417,7 @@ func TestPressureParksAndUnparksTransparently(t *testing.T) {
 	if got := tc.sessionEvents(idA); got != uint64(cutA) {
 		t.Fatalf("unparked session at %d events, want %d", got, cutA)
 	}
-	if s.sessionsUnparked.Load() == 0 {
+	if s.sessionsUnparked.Value() == 0 {
 		t.Error("status on a parked session did not bump sessionsUnparked")
 	}
 

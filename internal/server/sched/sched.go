@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 var (
@@ -31,6 +32,19 @@ type Config struct {
 	// QueueCap caps pending (submitted, not yet running) tasks across all
 	// keys; defaults to 4× Workers.
 	QueueCap int
+	// WaitObserve, when non-nil, receives every task's queue wait — the
+	// time between submission and dispatch. Queue *depth* alone cannot
+	// distinguish a deep-but-fast queue from a shallow-but-stuck one; the
+	// wait distribution can. Called on a worker goroutine just before the
+	// task runs; must be cheap and non-blocking.
+	WaitObserve func(time.Duration)
+}
+
+// task is one pending unit of work plus its submission time, so dispatch
+// can report how long it sat in the queue.
+type task struct {
+	fn  func()
+	enq time.Time
 }
 
 // keyQueue is the FIFO of pending tasks of one key. A key with a running
@@ -38,7 +52,7 @@ type Config struct {
 // serialized behind it; the queue is deleted once it is empty and idle.
 type keyQueue struct {
 	key     string
-	tasks   []func()
+	tasks   []task
 	running bool
 	ready   bool // queued in Scheduler.ready
 }
@@ -46,8 +60,9 @@ type keyQueue struct {
 // Scheduler dispatches per-key serial FIFO tasks onto a bounded worker
 // pool. Create with New; Submit from any goroutine.
 type Scheduler struct {
-	workers  int
-	queueCap int
+	workers     int
+	queueCap    int
+	waitObserve func(time.Duration)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -68,9 +83,10 @@ func New(cfg Config) *Scheduler {
 		cfg.QueueCap = 4 * cfg.Workers
 	}
 	s := &Scheduler{
-		workers:  cfg.Workers,
-		queueCap: cfg.QueueCap,
-		keys:     make(map[string]*keyQueue),
+		workers:     cfg.Workers,
+		queueCap:    cfg.QueueCap,
+		waitObserve: cfg.WaitObserve,
+		keys:        make(map[string]*keyQueue),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(s.workers)
@@ -98,7 +114,7 @@ func (s *Scheduler) Submit(key string, fn func()) error {
 		q = &keyQueue{key: key}
 		s.keys[key] = q
 	}
-	q.tasks = append(q.tasks, fn)
+	q.tasks = append(q.tasks, task{fn: fn, enq: time.Now()})
 	s.pending++
 	s.makeReady(q)
 	return nil
@@ -163,15 +179,18 @@ func (s *Scheduler) worker() {
 		q := s.ready[0]
 		s.ready = s.ready[1:]
 		q.ready = false
-		fn := q.tasks[0]
-		q.tasks[0] = nil // allow collection while the task runs
+		tk := q.tasks[0]
+		q.tasks[0] = task{} // allow collection while the task runs
 		q.tasks = q.tasks[1:]
 		q.running = true
 		s.pending--
 		s.running++
 		s.mu.Unlock()
 
-		fn()
+		if s.waitObserve != nil {
+			s.waitObserve(time.Since(tk.enq))
+		}
+		tk.fn()
 
 		s.mu.Lock()
 		s.running--

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/server/sched"
 	"repro/internal/traceio"
@@ -160,8 +162,20 @@ type Config struct {
 	// the daemon uses it to export fault-injection counters in -chaos
 	// soak runs.
 	ExtraMetrics func(io.Writer)
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs; nil discards them.
+	Logger *slog.Logger
+	// Name identifies this instance (the fleet worker name) in trace spans.
+	// Empty for a single-node daemon.
+	Name string
+	// ObsSampleEvery samples per-stage timing (block decode, per-engine
+	// process) on every Nth decoded block, keeping the ingest hot loop free
+	// of time syscalls and allocations between samples. Defaults to 32;
+	// <0 disables stage timing entirely. Per-chunk instruments are always
+	// on.
+	ObsSampleEvery int
+	// TraceSpanCap bounds the in-memory span ring serving /debug/trace and
+	// /debug/sessions. Defaults to obs.DefaultSpanCap.
+	TraceSpanCap int
 }
 
 func (c *Config) fill() {
@@ -192,8 +206,14 @@ func (c *Config) fill() {
 	if c.IngestTimeout == 0 {
 		c.IngestTimeout = time.Minute
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.ObsSampleEvery == 0 {
+		c.ObsSampleEvery = 32
+	}
+	if c.ObsSampleEvery < 0 {
+		c.ObsSampleEvery = 0 // 0 means "never sample" internally
 	}
 }
 
@@ -205,6 +225,7 @@ type Server struct {
 	store *report.Store
 	mux   *http.ServeMux
 	start time.Time
+	obs   *serverObs
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -232,20 +253,22 @@ type Server struct {
 	pressureStop chan struct{}
 	pressureDone chan struct{}
 
-	// counters (atomics; gauges are read live)
-	eventsIngested   atomic.Uint64
-	chunksIngested   atomic.Uint64
-	sessionsCreated  atomic.Uint64
-	sessionsFinished atomic.Uint64
-	sessionsEvicted  atomic.Uint64
-	analyses         atomic.Uint64
-	shed             atomic.Uint64
-	chunksReplayed   atomic.Uint64
-	eventsReplayed   atomic.Uint64
-	integrityRejects atomic.Uint64
-	gapRejects       atomic.Uint64
-	sessionsParked   atomic.Uint64
-	sessionsUnparked atomic.Uint64
+	// counters live in the obs registry (registerMetrics wires them), so
+	// /metrics is a straight registry exposition; gauges are read live at
+	// scrape time via GaugeFuncs.
+	eventsIngested   *obs.Counter
+	chunksIngested   *obs.Counter
+	sessionsCreated  *obs.Counter
+	sessionsFinished *obs.Counter
+	sessionsEvicted  *obs.Counter
+	analyses         *obs.Counter
+	shed             *obs.Counter
+	chunksReplayed   *obs.Counter
+	eventsReplayed   *obs.Counter
+	integrityRejects *obs.Counter
+	gapRejects       *obs.Counter
+	sessionsParked   *obs.Counter
+	sessionsUnparked *obs.Counter
 	// arenaLeakedRefs accumulates pooled clock allocations a sealed session
 	// failed to return to its engine arena — always zero unless a detector
 	// leaks; exported so fleet/chaos tests can assert it from outside the
@@ -256,9 +279,17 @@ type Server struct {
 // New builds a Server and starts its scheduler and idle-session janitor.
 func New(cfg Config) *Server {
 	cfg.fill()
+	o := newServerObs(&cfg)
 	s := &Server{
-		cfg:          cfg,
-		sched:        sched.New(sched.Config{Workers: cfg.Workers, QueueCap: cfg.QueueCap}),
+		cfg: cfg,
+		obs: o,
+		sched: sched.New(sched.Config{
+			Workers:  cfg.Workers,
+			QueueCap: cfg.QueueCap,
+			WaitObserve: func(d time.Duration) {
+				o.queueWait.Observe(d.Seconds())
+			},
+		}),
 		store:        report.NewStore(),
 		sessions:     make(map[string]*session),
 		finished:     make(map[string]sessionFinished),
@@ -272,6 +303,7 @@ func New(cfg Config) *Server {
 		pressureStop: make(chan struct{}),
 		pressureDone: make(chan struct{}),
 	}
+	s.registerMetrics()
 	// Crash recovery: re-open whatever the previous process checkpointed
 	// before accepting any traffic.
 	s.restoreCheckpoints()
@@ -289,6 +321,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /reports", s.handleReports)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleDebugTrace)
+	s.mux.HandleFunc("GET /debug/sessions/{id}", s.handleDebugSession)
 	if cfg.IdleTimeout > 0 {
 		go s.janitor()
 	} else {
@@ -337,7 +371,7 @@ func (s *Server) Close(ctx context.Context) error {
 	for id, rec := range parked {
 		sess, rerr := restoreSession(bytes.NewReader(rec.blob), time.Now())
 		if rerr != nil {
-			s.cfg.Logf("raced: parked session %s unrestorable at shutdown: %v", id, rerr)
+			s.cfg.Logger.Error("parked session unrestorable at shutdown", "session", id, "err", rerr)
 			continue
 		}
 		sess.finalize(s.store, time.Now())
@@ -355,7 +389,7 @@ func (s *Server) Close(ctx context.Context) error {
 		for _, sess := range open {
 			// The scheduler is drained, so writing directly is serialized.
 			if cerr := s.checkpointSession(sess); cerr != nil {
-				s.cfg.Logf("raced: shutdown checkpoint of session %s failed, finalizing: %v", sess.id, cerr)
+				s.cfg.Logger.Error("shutdown checkpoint failed, finalizing", "session", sess.id, "err", cerr)
 				sess.finalize(s.store, time.Now())
 				s.dropSessionCheckpoint(sess.id)
 				continue
@@ -364,7 +398,7 @@ func (s *Server) Close(ctx context.Context) error {
 		}
 		s.checkpointStore()
 		if len(open) > 0 {
-			s.cfg.Logf("raced: checkpointed %d open session(s) at shutdown", kept)
+			s.cfg.Logger.Info("checkpointed open sessions at shutdown", "sessions", kept)
 		}
 		return err
 	}
@@ -372,7 +406,7 @@ func (s *Server) Close(ctx context.Context) error {
 		sess.finalize(s.store, time.Now())
 	}
 	if len(open) > 0 {
-		s.cfg.Logf("raced: finalized %d open session(s) at shutdown", len(open))
+		s.cfg.Logger.Info("finalized open sessions at shutdown", "sessions", len(open))
 	}
 	return err
 }
@@ -414,7 +448,7 @@ func (s *Server) janitor() {
 				s.checkpointStore()
 				s.dropSessionCheckpoint(sess.id)
 				s.sessionsEvicted.Add(1)
-				s.cfg.Logf("raced: evicted idle session %s (%d events)", sess.id, sess.status().Events)
+				s.cfg.Logger.Info("evicted idle session", "session", sess.id, "events", sess.status().Events)
 			})
 			if err != nil {
 				// Saturated or draining: retry at the next tick.
@@ -631,6 +665,8 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
+	tStart := time.Now()
+	traceID := traceIDFrom(r)
 	names := s.engineNames(r)
 	makers := make([]engine.SessionEngine, len(names))
 	for i, name := range names {
@@ -710,6 +746,8 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		engines[i] = se.NewSession(d.Threads, d.Locks, d.Vars)
 	}
 	sess := newSession(id, h, names, engines, time.Now())
+	sess.traceID = traceID
+	s.instrument(sess)
 	s.applyCompactPolicy(sess)
 	s.parkedMu.Lock()
 	_, isParked := s.parked[id]
@@ -730,8 +768,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.sessionsCreated.Add(1)
 	s.noteSessionState(sess)
-	s.cfg.Logf("raced: session %s opened (engines=%v threads=%d locks=%d vars=%d)",
-		id, names, d.Threads, d.Locks, d.Vars)
+	s.obs.span(obs.Span{
+		Trace: traceID, Session: id, Name: "create",
+		Start: tStart, Duration: time.Since(tStart).Seconds(),
+	})
+	s.cfg.Logger.Info("session opened", "session", id, "trace", traceID,
+		"engines", names, "threads", d.Threads, "locks", d.Locks, "vars", d.Vars)
 
 	resp := sessionCreated{ID: id, Engines: names}
 	resp.Dims.Threads, resp.Dims.Locks, resp.Dims.Vars, resp.Dims.Locs = d.Threads, d.Locks, d.Vars, d.Locs
@@ -782,13 +824,24 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	traceID := traceIDFrom(r)
 	var added, replayed uint64
 	var ingestErr error
 	ingest := func(target *session) error {
-		return s.sched.Do(r.Context(), id, func() {
-			added, replayed, ingestErr = target.ingest(bytes.NewReader(body), offset, hasOffset, time.Now())
+		tSub := time.Now()
+		var wait time.Duration
+		err := s.sched.Do(r.Context(), id, func() {
+			wait = time.Since(tSub)
+			added, replayed, ingestErr = target.ingest(bytes.NewReader(body), offset, hasOffset, traceID, time.Now())
 			s.noteSessionState(target)
 		})
+		if err == nil {
+			s.obs.span(obs.Span{
+				Trace: target.trace(traceID), Session: id, Name: "queue_wait",
+				Start: tSub, Duration: wait.Seconds(),
+			})
+		}
+		return err
 	}
 	if err := ingest(sess); err != nil {
 		s.shedOrFail(w, err)
@@ -872,6 +925,7 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		}
 		wantOffset = int64(n)
 	}
+	traceID := traceIDFrom(r)
 	sess := s.liveSession(id)
 	if sess == nil {
 		if resp, ok := s.recallFinished(id); ok {
@@ -884,6 +938,7 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 	// Two attempts: the session can be pressure-parked between resolution
 	// and task execution, in which case the retry runs on the unparked copy.
 	for attempt := 0; attempt < 2; attempt++ {
+		tStart := time.Now()
 		var resp sessionFinished
 		var done, gapped bool
 		var gapEvents uint64
@@ -915,7 +970,12 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 			}
 			s.rememberFinished(id, resp)
 			s.sessionsFinished.Add(1)
-			s.cfg.Logf("raced: session %s finished (%d events, %d engines)", id, st.Events, len(results))
+			s.obs.span(obs.Span{
+				Trace: sess.trace(traceID), Session: id, Name: "finish",
+				Start: tStart, Duration: time.Since(tStart).Seconds(), Events: st.Events,
+			})
+			s.cfg.Logger.Info("session finished", "session", id, "trace", sess.trace(traceID),
+				"events", st.Events, "engines", len(results))
 			done = true
 		})
 		if err != nil {
@@ -1075,6 +1135,10 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz reports the same load picture the fleet registry sees:
+// parked sessions count (they are paused, not gone), detector state bytes
+// and scheduler saturation are all part of "how loaded is this worker", so
+// humans and machines read identical numbers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -1083,44 +1147,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	s.mu.Lock()
-	active := len(s.sessions)
+	open := len(s.sessions)
 	s.mu.Unlock()
+	s.parkedMu.Lock()
+	parked := len(s.parked)
+	s.parkedMu.Unlock()
 	writeJSON(w, code, map[string]any{
-		"status":         status,
-		"sessions":       active,
-		"queue_depth":    s.sched.QueueDepth(),
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"status":          status,
+		"sessions":        open + parked, // what Stats reports to the fleet
+		"sessions_open":   open,
+		"sessions_parked": parked,
+		"state_bytes":     s.stateTotal.Load(),
+		"queue_depth":     s.sched.QueueDepth(),
+		"queue_cap":       s.sched.QueueCap(),
+		"tasks_running":   s.sched.Running(),
+		"workers":         s.sched.Workers(),
+		"draining":        s.draining.Load(),
+		"uptime_seconds":  time.Since(s.start).Seconds(),
 	})
 }
 
+// handleMetrics serves the registry in Prometheus text exposition format.
+// ExtraMetrics (fault-injection counters) is appended after the registry
+// families; its family names are disjoint, so the combined output is a
+// valid exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	active := len(s.sessions)
-	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "raced_events_ingested_total %d\n", s.eventsIngested.Load())
-	fmt.Fprintf(w, "raced_chunks_total %d\n", s.chunksIngested.Load())
-	fmt.Fprintf(w, "raced_analyses_total %d\n", s.analyses.Load())
-	fmt.Fprintf(w, "raced_sessions_active %d\n", active)
-	fmt.Fprintf(w, "raced_sessions_created_total %d\n", s.sessionsCreated.Load())
-	fmt.Fprintf(w, "raced_sessions_finished_total %d\n", s.sessionsFinished.Load())
-	fmt.Fprintf(w, "raced_sessions_evicted_total %d\n", s.sessionsEvicted.Load())
-	fmt.Fprintf(w, "raced_queue_depth %d\n", s.sched.QueueDepth())
-	fmt.Fprintf(w, "raced_tasks_running %d\n", s.sched.Running())
-	fmt.Fprintf(w, "raced_shed_total %d\n", s.shed.Load())
-	fmt.Fprintf(w, "raced_report_classes %d\n", s.store.Len())
-	fmt.Fprintf(w, "raced_report_observations_total %d\n", s.store.Observations())
-	fmt.Fprintf(w, "raced_chunks_replayed_total %d\n", s.chunksReplayed.Load())
-	fmt.Fprintf(w, "raced_events_replayed_total %d\n", s.eventsReplayed.Load())
-	fmt.Fprintf(w, "raced_chunk_integrity_rejects_total %d\n", s.integrityRejects.Load())
-	fmt.Fprintf(w, "raced_chunk_gap_rejects_total %d\n", s.gapRejects.Load())
-	fmt.Fprintf(w, "raced_sessions_pressure_parked_total %d\n", s.sessionsParked.Load())
-	fmt.Fprintf(w, "raced_sessions_unparked_total %d\n", s.sessionsUnparked.Load())
-	fmt.Fprintf(w, "raced_state_bytes %d\n", s.stateTotal.Load())
-	fmt.Fprintf(w, "raced_arena_leaked_refs %d\n", s.arenaLeakedRefs.Load())
-	s.parkedMu.Lock()
-	fmt.Fprintf(w, "raced_sessions_parked %d\n", len(s.parked))
-	s.parkedMu.Unlock()
+	s.obs.reg.WritePrometheus(w)
 	if s.cfg.ExtraMetrics != nil {
 		s.cfg.ExtraMetrics(w)
 	}

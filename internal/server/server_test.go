@@ -351,7 +351,7 @@ func TestIdleSessionEviction(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if got := s.sessionsEvicted.Load(); got != 1 {
+	if got := s.sessionsEvicted.Value(); got != 1 {
 		t.Errorf("sessionsEvicted = %d, want 1", got)
 	}
 	// The races the session had already found reached the store.

@@ -3,11 +3,13 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/traceio"
@@ -29,12 +31,22 @@ type session struct {
 	names   []string // engine names, in request order
 	created time.Time
 
+	// Observability, attached by Server.instrument on every path that makes
+	// the session live (create, restore, unpark). obs may be nil for
+	// sessions materialized outside a server (tests, shutdown finalize);
+	// ingest then skips instrumentation.
+	obs    *serverObs
+	engObs []engineObs // per-engine histogram + pprof label ctx
+	engNS  []int64     // scratch: sampled per-engine nanoseconds this chunk
+
 	mu         sync.Mutex
 	engines    []engine.Session
 	block      *trace.Block
 	skipBuf    []event.Event // scratch for replay-skip decoding, grown on demand
 	events     uint64
 	chunks     int
+	blocks     uint64 // decoded blocks, drives stage-timing sampling
+	traceID    string // adopted from the first request that carries one
 	lastActive time.Time
 	closed     bool
 	failed     error // latched fatal ingest error; chunks are rejected after
@@ -65,6 +77,17 @@ func (e *gapError) Error() string {
 	return fmt.Sprintf("chunk offset %d is ahead of the session's %d acknowledged events", e.offset, e.acked)
 }
 
+// trace resolves the effective trace id for a request: the id the request
+// itself carried wins, else the one the session adopted earlier.
+func (s *session) trace(reqID string) string {
+	if reqID != "" {
+		return reqID
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceID
+}
+
 // ingest decodes one chunk body into every engine session. It returns the
 // number of events the chunk added; a decode error is latched — the
 // session's analysis is no longer trustworthy past the corruption — and
@@ -77,7 +100,7 @@ func (e *gapError) Error() string {
 // dropped connection — converges on exactly-once analysis. replayed counts
 // the skipped events. An offset beyond the acknowledged count is a gap
 // (*gapError): the client must rewind, never the server guess.
-func (s *session) ingest(body io.Reader, offset uint64, hasOffset bool, now time.Time) (added, replayed uint64, err error) {
+func (s *session) ingest(body io.Reader, offset uint64, hasOffset bool, traceID string, now time.Time) (added, replayed uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastActive = now
@@ -90,6 +113,46 @@ func (s *session) ingest(body io.Reader, offset uint64, hasOffset bool, now time
 	}
 	if s.failed != nil {
 		return 0, 0, s.failed
+	}
+	// Adopt the request's trace id: a session restored after a failover has
+	// no id of its own until the client's next chunk re-introduces it.
+	if traceID != "" && s.traceID == "" {
+		s.traceID = traceID
+	}
+	// Stage timing is sampled (every Nth decoded block) so the hot loop
+	// stays free of clock reads between samples; spans are recorded once
+	// per chunk, amortized over thousands of events.
+	o := s.obs
+	var chunkBlocks, sampledBlocks uint64
+	var decNS int64
+	if o != nil {
+		for i := range s.engNS {
+			s.engNS[i] = 0
+		}
+		defer func() {
+			tr := traceID
+			if tr == "" {
+				tr = s.traceID
+			}
+			dur := time.Since(now).Seconds()
+			o.chunkIngest.Observe(dur)
+			sp := obs.Span{Trace: tr, Session: s.id, Name: "chunk",
+				Start: now, Duration: dur, Events: added}
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			o.span(sp)
+			if sampledBlocks > 0 {
+				detail := fmt.Sprintf("sampled %d/%d blocks", sampledBlocks, chunkBlocks)
+				o.span(obs.Span{Trace: tr, Session: s.id, Name: "decode",
+					Start: now, Duration: float64(decNS) / 1e9, Detail: detail})
+				for i := range s.engObs {
+					o.span(obs.Span{Trace: tr, Session: s.id, Name: "process",
+						Engine: s.names[i], Start: now,
+						Duration: float64(s.engNS[i]) / 1e9, Detail: detail})
+				}
+			}
+		}()
 	}
 	if !hasOffset {
 		offset = s.events // legacy append-mode chunk: starts at the ack
@@ -120,22 +183,51 @@ func (s *session) ingest(body io.Reader, offset uint64, hasOffset bool, now time
 			return 0, replayed, err
 		}
 	}
+	if s.engObs != nil {
+		// CPU profiles attribute engine work to session and engine via
+		// goroutine labels; drop them when this worker goroutine moves on.
+		defer pprof.SetGoroutineLabels(unlabeledCtx)
+	}
 	for {
-		n, err := st.NextBlockSoA(s.block)
+		s.blocks++
+		chunkBlocks++
+		sampled := o != nil && o.sampleNs != 0 && s.blocks%o.sampleNs == 0
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
+		}
+		n, derr := st.NextBlockSoA(s.block)
+		if sampled {
+			d := time.Since(t0)
+			o.decode.Observe(d.Seconds())
+			decNS += d.Nanoseconds()
+			sampledBlocks++
+		}
 		if n > 0 {
-			for _, es := range s.engines {
-				es.ProcessBlock(s.block)
+			for i, es := range s.engines {
+				if s.engObs != nil {
+					pprof.SetGoroutineLabels(s.engObs[i].ctx)
+				}
+				if sampled {
+					te := time.Now()
+					es.ProcessBlock(s.block)
+					de := time.Since(te)
+					s.engObs[i].hist.Observe(de.Seconds())
+					s.engNS[i] += de.Nanoseconds()
+				} else {
+					es.ProcessBlock(s.block)
+				}
 			}
 			s.events += uint64(n)
 			added += uint64(n)
 		}
-		if err == io.EOF {
+		if derr == io.EOF {
 			s.chunks++
 			return added, replayed, nil
 		}
-		if err != nil {
-			s.failed = err
-			return added, replayed, err
+		if derr != nil {
+			s.failed = derr
+			return added, replayed, derr
 		}
 	}
 }
@@ -181,6 +273,7 @@ type sessionStatus struct {
 	Chunks     int       `json:"chunks"`
 	Created    time.Time `json:"created"`
 	LastActive time.Time `json:"last_active"`
+	Trace      string    `json:"trace,omitempty"`
 	Failed     string    `json:"failed,omitempty"`
 }
 
@@ -194,6 +287,7 @@ func (s *session) status() sessionStatus {
 		Chunks:     s.chunks,
 		Created:    s.created,
 		LastActive: s.lastActive,
+		Trace:      s.traceID,
 	}
 	if s.failed != nil {
 		st.Failed = s.failed.Error()

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# A/B overhead check for ingest-path observability: BenchmarkIngestObs runs
+# the same chunk ingest with stage timing disabled (off) and at the default
+# every-32nd-block sampling (sampled_32). The budget is 3%; exceeding it
+# prints a warning but never fails the build — perf smoke on shared CI
+# runners is advisory, the authoritative run is a quiet local machine.
+# Knobs: PERF_AB_COUNT (repetitions, default 5), PERF_AB_BENCHTIME
+# (per-measurement benchtime, default 20x).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${PERF_AB_COUNT:-5}"
+BENCHTIME="${PERF_AB_BENCHTIME:-20x}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+go test -run '^$' -bench 'BenchmarkIngestObs' -benchtime "$BENCHTIME" \
+  -count "$COUNT" ./internal/server | tee "$OUT/bench.txt"
+
+# Best-of-N ns/op per variant: min is the least noise-sensitive estimator.
+best() {
+  grep "BenchmarkIngestObs/$1" "$OUT/bench.txt" | awk '{print $3}' | sort -n | head -1
+}
+OFF="$(best off)"
+ON="$(best sampled_32)"
+[ -n "$OFF" ] && [ -n "$ON" ] || { echo "benchmark produced no measurements" >&2; exit 1; }
+
+awk -v off="$OFF" -v on="$ON" 'BEGIN {
+  pct = (on - off) * 100 / off
+  printf "ingest observability overhead: %+.2f%% (off=%.0f ns/op, sampled_32=%.0f ns/op)\n", pct, off, on
+  if (pct > 3) printf "WARNING: overhead %.2f%% exceeds the 3%% budget\n", pct
+}'
+exit 0

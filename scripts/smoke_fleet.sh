@@ -117,4 +117,30 @@ curl -fsS "http://$CO_ADDR/metrics" > "$OUT/metrics.txt"
 grep "fleet_worker_failovers_total" "$OUT/metrics.txt" | grep -qv " 0$"
 grep "fleet_sessions_lost_total 0" "$OUT/metrics.txt"
 
+# --- merged observability: worker-labeled series and the fleet-wide trace ---
+# The coordinator scrapes each worker's registry and injects worker="name"
+# into every scraped series; its merged exposition must carry worker-labeled
+# histogram buckets alongside the coordinator's own (unlabeled) fleet_*
+# families, one TYPE line per family.
+grep 'raced_chunk_ingest_seconds_bucket{' "$OUT/metrics.txt" | grep -q 'worker="' ||
+  { echo "merged /metrics has no worker-labeled ingest histogram" >&2; exit 1; }
+grep 'raced_engine_process_seconds_bucket{' "$OUT/metrics.txt" | grep -q 'engine="wcp"' ||
+  { echo "merged /metrics has no per-engine histogram series" >&2; exit 1; }
+[ "$(grep -c '^# TYPE raced_chunk_ingest_seconds ' "$OUT/metrics.txt")" = 1 ] ||
+  { echo "merged /metrics repeats the raced_chunk_ingest_seconds TYPE line" >&2; exit 1; }
+
+# The kill-case client minted a trace id and printed it at open; the
+# coordinator's merged /debug/trace view must hold that request's timeline.
+# Only the coordinator's own spans are durable here — a worker's ring dies
+# with it, and by this point the kill case and the drain case have each
+# taken a worker down — so assert the proxy record, not worker-side spans
+# (TestFleetTracePropagation pins those deterministically).
+TID="$(grep -o 'trace=[0-9a-f]*' "$OUT/fleet-kill.log" | head -1 | cut -d= -f2)"
+[ -n "$TID" ] || { echo "client printed no trace id in fleet-kill.log" >&2; exit 1; }
+curl -fsS "http://$CO_ADDR/debug/trace/$TID" > "$OUT/trace.json"
+grep -q "\"trace\": \"$TID\"" "$OUT/trace.json" ||
+  { echo "/debug/trace/$TID did not echo the trace id" >&2; cat "$OUT/trace.json" >&2; exit 1; }
+grep -q '"proxy_create"' "$OUT/trace.json" ||
+  { echo "merged trace $TID lacks the coordinator's proxy_create span" >&2; cat "$OUT/trace.json" >&2; exit 1; }
+
 echo "fleet smoke test passed"
