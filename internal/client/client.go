@@ -49,7 +49,13 @@ import (
 
 // Config parameterizes a session client. Only BaseURL is required.
 type Config struct {
-	// BaseURL is the daemon root, e.g. "http://localhost:7477".
+	// BaseURL is the daemon root, e.g. "http://localhost:7477" — or a
+	// comma-separated list of coordinator roots ("http://primary,http://
+	// standby") when the fleet runs a warm standby. The client talks to one
+	// address at a time and rotates to the next on transport failures, 5xx
+	// (a standby answers the session API 503 until it takes over), and 412
+	// (the address turned out to be a fenced zombie), so a coordinator
+	// failover costs a few redirected retries, not an error.
 	BaseURL string
 	// Engines are the engines the session runs; empty uses the server
 	// default.
@@ -137,10 +143,12 @@ func (e *TerminalError) Unwrap() error { return e.Err }
 // Session is one open analysis session. Not safe for concurrent use; one
 // goroutine owns the stream (matching the server's per-session ordering).
 type Session struct {
-	cfg   Config
-	id    string
-	trace string // request-trace id, stamped on every attempt (X-Raced-Trace)
-	acked uint64 // events the server has confirmed analyzed
+	cfg     Config
+	bases   []string // parsed BaseURL list; bases[baseIdx] is current
+	baseIdx int
+	id      string
+	trace   string // request-trace id, stamped on every attempt (X-Raced-Trace)
+	acked   uint64 // events the server has confirmed analyzed
 	// workerURL is the owning worker's base URL, learned from the
 	// coordinator's X-Raced-Worker header when FollowPlacement is on;
 	// "" routes everything through BaseURL.
@@ -187,6 +195,34 @@ type apiError struct {
 
 func (e *apiError) Error() string { return e.Msg }
 
+// splitBases parses the comma-separated BaseURL list.
+func splitBases(s string) []string {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, strings.TrimRight(b, "/"))
+		}
+	}
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	return out
+}
+
+// base is the coordinator address this session currently targets.
+func (s *Session) base() string { return s.bases[s.baseIdx] }
+
+// rotateBase moves to the next configured coordinator. Called on failure
+// shapes that smell like "this coordinator is down, standby, or fenced" —
+// with a single address it is a no-op and the normal backoff applies.
+func (s *Session) rotateBase(opName string) {
+	if len(s.bases) < 2 {
+		return
+	}
+	s.baseIdx = (s.baseIdx + 1) % len(s.bases)
+	s.cfg.Logf("raced client: %s rotating to coordinator %s", opName, s.base())
+}
+
 // Open creates a session: the header (built from syms) sizes the server's
 // detectors. Creation is retried within the budget — creating a session is
 // idempotent from the caller's view since a lost response just leaks an
@@ -197,11 +233,7 @@ func Open(ctx context.Context, cfg Config, syms *event.Symbols) (*Session, error
 	if err := traceio.WriteHeader(&hdr, syms, 0); err != nil {
 		return nil, err
 	}
-	s := &Session{cfg: cfg, trace: obs.NewTraceID()}
-	url := cfg.BaseURL + "/sessions"
-	if len(cfg.Engines) > 0 {
-		url += "?engines=" + strings.Join(cfg.Engines, ",")
-	}
+	s := &Session{cfg: cfg, bases: splitBases(cfg.BaseURL), trace: obs.NewTraceID()}
 	// The checksum lets the server reject a header corrupted in transit
 	// before it sizes detectors from garbage symbol tables.
 	crcHdr := map[string]string{
@@ -211,6 +243,10 @@ func Open(ctx context.Context, cfg Config, syms *event.Symbols) (*Session, error
 		ID string `json:"id"`
 	}
 	if err := s.retry(ctx, "open", func(attempt int) (int, error) {
+		url := s.base() + "/sessions"
+		if len(cfg.Engines) > 0 {
+			url += "?engines=" + strings.Join(cfg.Engines, ",")
+		}
 		return s.roundTrip(ctx, "POST", url, hdr.Bytes(), crcHdr, &created)
 	}); err != nil {
 		return nil, err
@@ -223,7 +259,7 @@ func Open(ctx context.Context, cfg Config, syms *event.Symbols) (*Session, error
 // restarted) and synchronizes on the server's acknowledged event count.
 func Resume(ctx context.Context, cfg Config, id string) (*Session, error) {
 	cfg.fill()
-	s := &Session{cfg: cfg, id: id, trace: obs.NewTraceID()}
+	s := &Session{cfg: cfg, bases: splitBases(cfg.BaseURL), id: id, trace: obs.NewTraceID()}
 	st, err := s.Status(ctx)
 	if err != nil {
 		return nil, err
@@ -261,7 +297,7 @@ func (s *Session) Acked() uint64 { return s.acked }
 func (s *Session) Status(ctx context.Context) (Status, error) {
 	var st Status
 	err := s.retry(ctx, "status", func(attempt int) (int, error) {
-		return s.roundTrip(ctx, "GET", s.cfg.BaseURL+"/sessions/"+s.id, nil, nil, &st)
+		return s.roundTrip(ctx, "GET", s.base()+"/sessions/"+s.id, nil, nil, &st)
 	})
 	if err == nil && st.Events > s.acked {
 		s.acked = st.Events
@@ -320,7 +356,7 @@ func (s *Session) sendChunk(ctx context.Context, offset uint64, events []event.E
 		Replayed uint64 `json:"replayed"`
 	}
 	return s.retry(ctx, "chunk", func(attempt int) (int, error) {
-		base, direct := s.cfg.BaseURL, false
+		base, direct := s.base(), false
 		if s.cfg.FollowPlacement && s.workerURL != "" {
 			base, direct = s.workerURL, true
 		}
@@ -374,7 +410,7 @@ func (s *Session) sendChunk(ctx context.Context, offset uint64, events []event.E
 // Failures are ignored — the ack just stays where it was.
 func (s *Session) resyncAck(ctx context.Context) {
 	var st Status
-	if _, err := s.roundTrip(ctx, "GET", s.cfg.BaseURL+"/sessions/"+s.id, nil, nil, &st); err == nil {
+	if _, err := s.roundTrip(ctx, "GET", s.base()+"/sessions/"+s.id, nil, nil, &st); err == nil {
 		if st.Events != s.acked {
 			s.cfg.Logf("raced client: session %s resynced ack %d -> %d", s.id, s.acked, st.Events)
 		}
@@ -400,7 +436,7 @@ func (s *Session) Finish(ctx context.Context) (*FinishResult, error) {
 	var res FinishResult
 	err := s.retry(ctx, "finish", func(attempt int) (int, error) {
 		hdr := map[string]string{"X-Raced-Offset": strconv.FormatUint(s.acked, 10)}
-		status, rerr := s.roundTrip(ctx, "POST", s.cfg.BaseURL+"/sessions/"+s.id+"/finish", nil, hdr, &res)
+		status, rerr := s.roundTrip(ctx, "POST", s.base()+"/sessions/"+s.id+"/finish", nil, hdr, &res)
 		if status == http.StatusConflict {
 			var ae *apiError
 			if errors.As(rerr, &ae) && ae.Gap {
@@ -438,7 +474,7 @@ func (s *Session) FinishReplay(ctx context.Context, events []event.Event, base u
 // Abort discards the session server-side without reporting.
 func (s *Session) Abort(ctx context.Context) error {
 	return s.retry(ctx, "abort", func(attempt int) (int, error) {
-		return s.roundTrip(ctx, "DELETE", s.cfg.BaseURL+"/sessions/"+s.id, nil, nil, nil)
+		return s.roundTrip(ctx, "DELETE", s.base()+"/sessions/"+s.id, nil, nil, nil)
 	})
 }
 
@@ -446,12 +482,12 @@ func (s *Session) Abort(ctx context.Context) error {
 // /reports query string ("limit=10&engine=wcp"), out the JSON target.
 func Reports(ctx context.Context, cfg Config, rawQuery string, out any) error {
 	cfg.fill()
-	s := &Session{cfg: cfg}
-	url := cfg.BaseURL + "/reports"
-	if rawQuery != "" {
-		url += "?" + rawQuery
-	}
+	s := &Session{cfg: cfg, bases: splitBases(cfg.BaseURL)}
 	return s.retry(ctx, "reports", func(attempt int) (int, error) {
+		url := s.base() + "/reports"
+		if rawQuery != "" {
+			url += "?" + rawQuery
+		}
 		return s.roundTrip(ctx, "GET", url, nil, nil, out)
 	})
 }
@@ -482,6 +518,12 @@ func (s *Session) retry(ctx context.Context, opName string, op func(attempt int)
 		}
 		if attempt == s.cfg.RetryBudget {
 			break
+		}
+		// Failure shapes that point at the coordinator itself — unreachable
+		// (0), erroring or standby (5xx), fenced zombie (412) — try the next
+		// configured coordinator on the following attempt.
+		if status == 0 || status >= 500 || status == http.StatusPreconditionFailed {
+			s.rotateBase(opName)
 		}
 		delay := s.backoff(attempt)
 		var ra *retryAfterError

@@ -30,6 +30,14 @@ const HeaderWorker = "X-Raced-Worker"
 // hashed before any worker is contacted.
 const HeaderSessionID = "X-Raced-Session-Id"
 
+// HeaderEpoch carries the coordinator's fencing epoch on every
+// worker-bound request and on register/heartbeat replies. Workers retain
+// the highest epoch they have seen and answer 412 Precondition Failed to
+// anything lower, so a superseded ("zombie") coordinator can never
+// double-place a session or roll a placement back. Must match the
+// server-side constant of the same value.
+const HeaderEpoch = "X-Raced-Epoch"
+
 // CoordinatorConfig parameterizes a Coordinator. The zero value picks
 // usable defaults.
 type CoordinatorConfig struct {
@@ -62,6 +70,39 @@ type CoordinatorConfig struct {
 	// TraceSpanCap bounds the coordinator's in-memory span ring (see
 	// internal/obs.TraceLog). Defaults to obs.DefaultSpanCap.
 	TraceSpanCap int
+
+	// JournalDir enables the durable placement journal: every placement
+	// create/move/finish, worker membership change, and finished-reply
+	// cache entry is appended to <dir>/journal.log (CRC-framed), with
+	// pulled checkpoint blobs spilled under <dir>/blobs/. A restarted
+	// coordinator replays the journal and resumes proxying in-flight
+	// sessions. Empty disables journaling (state dies with the process;
+	// worker re-registration still reconstructs placements).
+	JournalDir string
+	// CompactEvery is how many journal appends accumulate before the log
+	// is rewritten as a snapshot + tail. Defaults to 1024.
+	CompactEvery int64
+	// StandbyOf makes this coordinator a warm standby: it tails the
+	// primary coordinator at this base URL (its journal plus worker
+	// dual-heartbeats), answers the session API 503, and takes over —
+	// bumping the fencing epoch — when the primary misses its lease.
+	StandbyOf string
+	// LeaseTimeout is how long the standby tolerates failed journal polls
+	// before declaring the primary dead and taking over. Defaults to
+	// 3x HeartbeatTimeout.
+	LeaseTimeout time.Duration
+	// RecoveryGrace is the registration grace window entered after a
+	// journal-less or corrupt-journal start (and after a standby
+	// takeover): placements rebuild from workers' re-register session
+	// reports, rebalancing is held off, and /healthz reports
+	// "recovering". Defaults to 2x HeartbeatTimeout.
+	RecoveryGrace time.Duration
+	// FinishedTTL bounds how long a cached finish reply is retained for
+	// replayed finishes. Defaults to 10 minutes.
+	FinishedTTL time.Duration
+	// FinishedMax caps the finish-reply cache entry count. Defaults to
+	// 4096.
+	FinishedMax int
 }
 
 func (c *CoordinatorConfig) fill() {
@@ -85,6 +126,21 @@ func (c *CoordinatorConfig) fill() {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 1024
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 3 * c.HeartbeatTimeout
+	}
+	if c.RecoveryGrace <= 0 {
+		c.RecoveryGrace = 2 * c.HeartbeatTimeout
+	}
+	if c.FinishedTTL <= 0 {
+		c.FinishedTTL = 10 * time.Minute
+	}
+	if c.FinishedMax <= 0 {
+		c.FinishedMax = finishedCacheCap
 	}
 }
 
@@ -121,8 +177,10 @@ type Coordinator struct {
 
 	// finished caches proxied finish responses so a replayed finish for a
 	// session whose placement is gone still gets the identical report.
+	// Bounded by FinishedMax entries and FinishedTTL age (entries land in
+	// time order, so expiry walks finOrder from the front).
 	finMu    sync.Mutex
-	finished map[string][]byte
+	finished map[string]finishedEntry
 	finOrder []string
 
 	// pendingFailovers counts sessions whose worker is gone and whose
@@ -137,8 +195,27 @@ type Coordinator struct {
 	monitorDone chan struct{}
 	pullDone    chan struct{}
 	moverDone   chan struct{}
+	standbyDone chan struct{}
 	pullKick    chan struct{}
 	moveQ       chan moveSpec
+
+	// Durability & fencing. journal is nil when journaling is disabled.
+	// epoch is the monotonic fencing token persisted in the journal and
+	// stamped on every worker-bound request; workers reject lower epochs,
+	// so a superseded coordinator cannot mutate placements. fenced is set
+	// when a worker rejects our epoch: a newer coordinator exists, stop
+	// serving and let clients fail over to it. standbyMode is true while
+	// tailing a primary (session API answers 503); a takeover flips it.
+	journal     *journal
+	epoch       atomic.Uint64
+	fenced      atomic.Bool
+	standbyMode atomic.Bool
+	standby     *standbyState
+
+	// recoveringUntil, guarded by mu: nonzero during the registration
+	// grace window after a journal-less start or a takeover, while
+	// placements rebuild from worker re-register reports.
+	recoveringUntil time.Time
 
 	// Observability: the coordinator's own registry (fleet_* families,
 	// unlabeled) and span ring. Proxy and failover spans recorded here carry
@@ -162,10 +239,28 @@ type Coordinator struct {
 	pullsOK          *obs.Counter
 	pullsFailed      *obs.Counter
 	reportMerges     *obs.Counter
+
+	journalAppends  *obs.Counter
+	journalCompacts *obs.Counter
+	journalErrors   *obs.Counter
+	journalReplayed *obs.Counter
+	finEvictions    *obs.Counter
+	forwardRetries  *obs.Counter
+	epochRejects    *obs.Counter // our writes rejected by a higher worker fence
+	takeovers       *obs.Counter
+}
+
+// finishedEntry is one cached finish reply with its insertion time.
+type finishedEntry struct {
+	body []byte
+	at   time.Time
 }
 
 // NewCoordinator builds a Coordinator and starts its heartbeat monitor,
-// checkpoint-pull loop, and session mover.
+// checkpoint-pull loop, and session mover. With JournalDir set it replays
+// the durable journal first (resuming in-flight placements), falling back
+// to worker-report reconstruction when the journal is missing or corrupt;
+// with StandbyOf set it starts as a warm standby tailing that primary.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	cfg.fill()
 	c := &Coordinator{
@@ -173,17 +268,30 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		workers:     make(map[string]*worker),
 		ring:        NewRing(cfg.Vnodes),
 		placements:  make(map[string]*placement),
-		finished:    make(map[string][]byte),
+		finished:    make(map[string]finishedEntry),
 		start:       time.Now(),
 		stop:        make(chan struct{}),
 		monitorDone: make(chan struct{}),
 		pullDone:    make(chan struct{}),
 		moverDone:   make(chan struct{}),
+		standbyDone: make(chan struct{}),
 		pullKick:    make(chan struct{}, 1),
 		moveQ:       make(chan moveSpec, 1024),
 		trace:       obs.NewTraceLog(cfg.TraceSpanCap),
 	}
 	c.newMetrics()
+	c.epoch.Store(1)
+	if cfg.JournalDir != "" {
+		c.openAndReplayJournal()
+	}
+	if cfg.StandbyOf != "" {
+		c.standbyMode.Store(true)
+		c.standby = newStandbyState(cfg.StandbyOf)
+		go c.standbyLoop()
+	} else {
+		close(c.standbyDone)
+		c.recordEpoch(c.epoch.Load()) // persist this incarnation's epoch
+	}
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /sessions", c.handleCreateSession)
 	c.mux.HandleFunc("GET /sessions/{id}", c.handleSessionStatus)
@@ -198,6 +306,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	c.mux.HandleFunc("POST /fleet/register", c.handleRegister)
 	c.mux.HandleFunc("POST /fleet/heartbeat", c.handleHeartbeat)
 	c.mux.HandleFunc("POST /fleet/leave", c.handleLeave)
+	c.mux.HandleFunc("GET /fleet/journal", c.handleJournalTail)
 	c.mux.HandleFunc("GET /debug/trace/{id}", c.handleDebugTrace)
 	c.mux.HandleFunc("GET /debug/sessions/{id}", c.handleDebugSession)
 	go c.monitorLoop()
@@ -220,12 +329,15 @@ func (c *Coordinator) Close(ctx context.Context) error {
 		return nil
 	}
 	close(c.stop)
-	for _, done := range []chan struct{}{c.monitorDone, c.pullDone, c.moverDone} {
+	for _, done := range []chan struct{}{c.monitorDone, c.pullDone, c.moverDone, c.standbyDone} {
 		select {
 		case <-done:
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+	}
+	if c.journal != nil {
+		c.journal.close()
 	}
 	return nil
 }
@@ -247,6 +359,244 @@ func newID() string {
 		panic(err) // crypto/rand never fails on supported platforms
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// --- durable journal ---
+
+// openAndReplayJournal restores coordinator state from JournalDir. A
+// missing journal is a cold start; a corrupt one is quarantined and the
+// coordinator enters the registration grace window to rebuild from worker
+// re-register reports instead. Called from NewCoordinator before any
+// request can arrive, so no locks are needed.
+func (c *Coordinator) openAndReplayJournal() {
+	t0 := time.Now()
+	st, records, ok, err := replayJournal(c.cfg.JournalDir)
+	if !ok {
+		c.cfg.Logger.Error("journal corrupt, quarantining and rebuilding from worker reports",
+			"dir", c.cfg.JournalDir, "err", err, "records_salvaged", records)
+		c.journalErrors.Add(1)
+		if qerr := quarantineJournal(c.cfg.JournalDir); qerr != nil {
+			c.cfg.Logger.Error("journal quarantine failed", "err", qerr)
+		}
+		st = newJournalState()
+		records = 0
+	}
+	j, jerr := openJournal(c.cfg.JournalDir)
+	if jerr != nil {
+		// Degrade to journal-less operation: reconstruction still works.
+		c.cfg.Logger.Error("journal unavailable, running without durability", "err", jerr)
+		c.journalErrors.Add(1)
+		return
+	}
+	c.journal = j
+	now := time.Now()
+	for name, url := range st.workers {
+		c.workers[name] = &worker{name: name, url: url, state: workerActive, lastBeat: now}
+		c.ring.Add(name)
+	}
+	for id, jp := range st.placements {
+		pl := &placement{id: id, worker: jp.worker, header: jp.header}
+		if blob := j.readBlob(id); blob != nil {
+			pl.blob = blob
+			pl.blobAt = now
+		}
+		c.placements[id] = pl
+	}
+	for _, id := range j.listBlobs() {
+		if _, live := st.placements[id]; !live {
+			j.dropBlob(id) // orphaned by a drop journaled before the crash
+		}
+	}
+	for id, body := range st.finished {
+		c.finished[id] = finishedEntry{body: body, at: now}
+		c.finOrder = append(c.finOrder, id)
+	}
+	c.epoch.Store(st.epoch + 1) // every incarnation fences its predecessor
+	c.journalReplayed.Add(uint64(records))
+	if records == 0 {
+		// Nothing replayed: either a genuinely fresh install or a lost
+		// journal. Both are served by the grace window — with no prior
+		// state it only defers rebalancing briefly.
+		c.recoveringUntil = now.Add(c.cfg.RecoveryGrace)
+	}
+	c.span(obs.Span{Name: "journal_replay", Start: t0, Duration: time.Since(t0).Seconds(),
+		Events: uint64(records)})
+	c.cfg.Logger.Info("journal replayed",
+		"records", records, "placements", len(c.placements), "workers", len(c.workers),
+		"epoch", c.epoch.Load(), "recovering", !c.recoveringUntil.IsZero())
+}
+
+// recovering reports whether the post-restart registration grace window is
+// still open.
+func (c *Coordinator) recovering() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Now().Before(c.recoveringUntil)
+}
+
+// journalErr accounts a failed journal append. The coordinator keeps
+// serving — losing the journal degrades restart to worker-report
+// reconstruction, which is strictly better than refusing traffic.
+func (c *Coordinator) journalErr(what string, err error) {
+	c.journalErrors.Add(1)
+	c.cfg.Logger.Error("journal append failed", "record", what, "err", err)
+}
+
+func (c *Coordinator) recordPlace(id, workerName string, header []byte) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(func(w *snapWriter) {
+		w.Byte(recPlace)
+		w.String(id)
+		w.String(workerName)
+		w.Bytes(header)
+	}); err != nil {
+		c.journalErr("place", err)
+		return
+	}
+	c.journalAppends.Add(1)
+}
+
+func (c *Coordinator) recordMove(id, workerName string) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(func(w *snapWriter) {
+		w.Byte(recMove)
+		w.String(id)
+		w.String(workerName)
+	}); err != nil {
+		c.journalErr("move", err)
+		return
+	}
+	c.journalAppends.Add(1)
+}
+
+func (c *Coordinator) recordDrop(id string) {
+	if c.journal == nil {
+		return
+	}
+	c.journal.dropBlob(id)
+	if err := c.journal.append(func(w *snapWriter) {
+		w.Byte(recDrop)
+		w.String(id)
+	}); err != nil {
+		c.journalErr("drop", err)
+		return
+	}
+	c.journalAppends.Add(1)
+}
+
+func (c *Coordinator) recordFinish(id string, body []byte) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(func(w *snapWriter) {
+		w.Byte(recFinish)
+		w.String(id)
+		w.Bytes(body)
+	}); err != nil {
+		c.journalErr("finish", err)
+		return
+	}
+	c.journalAppends.Add(1)
+}
+
+func (c *Coordinator) recordWorker(name, url string, up bool) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(func(w *snapWriter) {
+		if up {
+			w.Byte(recWorkerUp)
+			w.String(name)
+			w.String(url)
+		} else {
+			w.Byte(recWorkerDown)
+			w.String(name)
+		}
+	}); err != nil {
+		c.journalErr("worker", err)
+		return
+	}
+	c.journalAppends.Add(1)
+}
+
+func (c *Coordinator) recordEpoch(epoch uint64) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(func(w *snapWriter) {
+		w.Byte(recEpoch)
+		w.Uvarint(epoch)
+	}); err != nil {
+		c.journalErr("epoch", err)
+		return
+	}
+	c.journalAppends.Add(1)
+}
+
+// snapshotState captures current coordinator state in journal form, for
+// compaction and takeover snapshots.
+func (c *Coordinator) snapshotState() *journalState {
+	st := newJournalState()
+	st.epoch = c.epoch.Load()
+	c.mu.Lock()
+	for name, wk := range c.workers {
+		if wk.state != workerDead {
+			st.workers[name] = wk.url
+		}
+	}
+	for id, pl := range c.placements {
+		st.placements[id] = &journalPlacement{worker: pl.worker, header: pl.header}
+	}
+	c.mu.Unlock()
+	c.finMu.Lock()
+	for id, e := range c.finished {
+		st.finished[id] = e.body
+	}
+	c.finMu.Unlock()
+	return st
+}
+
+// maybeCompact rewrites the journal as snapshot + tail once enough appends
+// have accumulated. Called from the monitor loop.
+func (c *Coordinator) maybeCompact() {
+	if c.journal == nil || c.journal.appendsSinceCompact() < c.cfg.CompactEvery {
+		return
+	}
+	t0 := time.Now()
+	if err := c.journal.compact(c.snapshotState()); err != nil {
+		c.journalErrors.Add(1)
+		c.cfg.Logger.Error("journal compaction failed", "err", err)
+		return
+	}
+	c.journalCompacts.Add(1)
+	c.span(obs.Span{Name: "journal_compact", Start: t0, Duration: time.Since(t0).Seconds()})
+	c.cfg.Logger.Info("journal compacted", "took", time.Since(t0))
+}
+
+// handleJournalTail (GET /fleet/journal?gen=G&from=N) serves committed
+// journal bytes to a tailing standby. The generation changes on every
+// compaction; a stale generation gets the whole log from offset zero so
+// the standby rebuilds from the snapshot frame.
+func (c *Coordinator) handleJournalTail(w http.ResponseWriter, r *http.Request) {
+	if c.journal == nil {
+		writeError(w, http.StatusNotFound, "journaling disabled")
+		return
+	}
+	gen, _ := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+	from, _ := strconv.ParseInt(r.URL.Query().Get("from"), 10, 64)
+	data, curGen, next, err := c.journal.readFrom(gen, from)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "journal read: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(headerJournalGen, strconv.FormatUint(curGen, 10))
+	w.Header().Set(headerJournalNext, strconv.FormatInt(next, 10))
+	w.Write(data)
 }
 
 // --- helpers ---
@@ -271,36 +621,74 @@ type proxyResult struct {
 }
 
 // forward issues one request to a worker and buffers the response. hdr
-// entries are set verbatim on the outgoing request.
+// entries are set verbatim on the outgoing request. Every request is
+// stamped with the coordinator's fencing epoch; a worker holding a higher
+// fence answers 412, which marks this coordinator superseded. A transient
+// dial failure gets one jittered retry before the error is surfaced (and
+// counted as a strike by the caller) — the whole session protocol is
+// idempotent, so a duplicate of a request whose response was lost is
+// harmless.
 func (c *Coordinator) forward(ctx context.Context, method, url string, body []byte, hdr map[string]string) (*proxyResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.ProxyTimeout)
 	defer cancel()
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, url, rd)
-	if err != nil {
-		return nil, err
-	}
-	for k, v := range hdr {
-		if v != "" {
-			req.Header.Set(k, v)
+	epoch := strconv.FormatUint(c.epoch.Load(), 10)
+	attempt := func() (*proxyResult, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
 		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range hdr {
+			if v != "" {
+				req.Header.Set(k, v)
+			}
+		}
+		req.Header.Set(HeaderEpoch, epoch)
+		t0 := time.Now()
+		resp, err := c.cfg.HTTPClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+		if err != nil {
+			return nil, fmt.Errorf("reading %s %s response: %w", method, url, err)
+		}
+		c.proxied.Add(1)
+		c.proxyDur.ObserveSince(t0)
+		return &proxyResult{status: resp.StatusCode, header: resp.Header, body: raw}, nil
 	}
-	t0 := time.Now()
-	resp, err := c.cfg.HTTPClient.Do(req)
-	if err != nil {
-		return nil, err
+	pr, err := attempt()
+	if err != nil && ctx.Err() == nil {
+		// One jittered retry: a single dropped SYN during a worker GC
+		// pause must not start the suspect clock.
+		c.forwardRetries.Add(1)
+		select {
+		case <-time.After(10*time.Millisecond + time.Duration(int64(time.Now().UnixNano())%20)*time.Millisecond):
+		case <-ctx.Done():
+			return nil, err
+		}
+		pr, err = attempt()
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
-	if err != nil {
-		return nil, fmt.Errorf("reading %s %s response: %w", method, url, err)
+	if err == nil && pr.status == http.StatusPreconditionFailed {
+		c.noteFenced(url, pr)
 	}
-	c.proxied.Add(1)
-	c.proxyDur.ObserveSince(t0)
-	return &proxyResult{status: resp.StatusCode, header: resp.Header, body: raw}, nil
+	return pr, err
+}
+
+// noteFenced reacts to a worker rejecting our epoch: a coordinator with a
+// higher epoch has taken over. Stop serving — clients fail over to the
+// live coordinator — and stop initiating failovers/moves, which would all
+// be rejected anyway. The process stays up for observability.
+func (c *Coordinator) noteFenced(url string, pr *proxyResult) {
+	c.epochRejects.Add(1)
+	if !c.fenced.Swap(true) {
+		c.cfg.Logger.Error("fenced: a worker holds a higher coordinator epoch; this coordinator is superseded",
+			"worker_url", url, "our_epoch", c.epoch.Load(), "worker_fence", pr.header.Get(HeaderEpoch))
+	}
 }
 
 // writeProxied relays a worker response to the client byte for byte. The
@@ -383,6 +771,24 @@ func (c *Coordinator) lookupPlacement(id string) (workerName, workerURL string, 
 	return pl.worker, url, pl.moving, true
 }
 
+// refuseSessionAPI answers session-API traffic 503 when this coordinator
+// must not serve it: it is a standby (the primary owns placement) or it
+// has been fenced by a successor. Clients configured with a coordinator
+// list rotate to the live one on 503.
+func (c *Coordinator) refuseSessionAPI(w http.ResponseWriter) bool {
+	switch {
+	case c.standbyMode.Load():
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "standby coordinator: primary owns the session API")
+		return true
+	case c.fenced.Load():
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "coordinator superseded (fenced at epoch %d)", c.epoch.Load())
+		return true
+	}
+	return false
+}
+
 // admission decides whether a new session may be placed right now. The
 // fleet sheds new work before sacrificing in-flight sessions: with a
 // failover queue outstanding (or no live worker at all), creation is
@@ -419,6 +825,9 @@ func (c *Coordinator) admission() (shed bool, retryAfter int) {
 func (c *Coordinator) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if c.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, "coordinator is shutting down")
+		return
+	}
+	if c.refuseSessionAPI(w) {
 		return
 	}
 	if shed, retry := c.admission(); shed {
@@ -467,6 +876,7 @@ func (c *Coordinator) handleCreateSession(w http.ResponseWriter, r *http.Request
 			c.mu.Lock()
 			c.placements[id] = &placement{id: id, worker: name, trace: traceID, engines: engines, header: body}
 			c.mu.Unlock()
+			c.recordPlace(id, name, body)
 			c.sessionsCreated.Add(1)
 			c.span(obs.Span{Trace: traceID, Session: id, Name: "proxy_create",
 				Worker: name, Start: t0, Duration: time.Since(t0).Seconds()})
@@ -498,6 +908,9 @@ func (c *Coordinator) pickWorker(id string, tried map[string]bool) (name, url st
 // that cannot be reached starts failure detection and the client retries
 // into the post-failover placement.
 func (c *Coordinator) handleChunk(w http.ResponseWriter, r *http.Request) {
+	if c.refuseSessionAPI(w) {
+		return
+	}
 	id := r.PathValue("id")
 	name, url, moving, ok := c.lookupPlacement(id)
 	if !ok {
@@ -537,6 +950,9 @@ func (c *Coordinator) handleChunk(w http.ResponseWriter, r *http.Request) {
 // a failover) returns the identical report even after the placement is
 // gone.
 func (c *Coordinator) handleFinish(w http.ResponseWriter, r *http.Request) {
+	if c.refuseSessionAPI(w) {
+		return
+	}
 	id := r.PathValue("id")
 	name, url, moving, ok := c.lookupPlacement(id)
 	if !ok {
@@ -568,6 +984,8 @@ func (c *Coordinator) handleFinish(w http.ResponseWriter, r *http.Request) {
 		c.mu.Lock()
 		delete(c.placements, id)
 		c.mu.Unlock()
+		c.recordFinish(id, pr.body)
+		c.recordDrop(id)
 		c.sessionsFinished.Add(1)
 		c.span(obs.Span{Trace: traceID, Session: id, Name: "proxy_finish", Worker: name,
 			Start: t0, Duration: time.Since(t0).Seconds()})
@@ -576,6 +994,9 @@ func (c *Coordinator) handleFinish(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleAbort(w http.ResponseWriter, r *http.Request) {
+	if c.refuseSessionAPI(w) {
+		return
+	}
 	id := r.PathValue("id")
 	name, url, moving, ok := c.lookupPlacement(id)
 	if !ok {
@@ -596,11 +1017,15 @@ func (c *Coordinator) handleAbort(w http.ResponseWriter, r *http.Request) {
 		c.mu.Lock()
 		delete(c.placements, id)
 		c.mu.Unlock()
+		c.recordDrop(id)
 	}
 	c.writeProxied(w, pr, name)
 }
 
 func (c *Coordinator) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	if c.refuseSessionAPI(w) {
+		return
+	}
 	id := r.PathValue("id")
 	name, url, moving, ok := c.lookupPlacement(id)
 	if !ok {
@@ -621,6 +1046,9 @@ func (c *Coordinator) handleSessionStatus(w http.ResponseWriter, r *http.Request
 }
 
 func (c *Coordinator) handleSessionSnapshot(w http.ResponseWriter, r *http.Request) {
+	if c.refuseSessionAPI(w) {
+		return
+	}
 	id := r.PathValue("id")
 	name, url, moving, ok := c.lookupPlacement(id)
 	if !ok {
@@ -650,18 +1078,37 @@ func (c *Coordinator) rememberFinished(id string, body []byte) {
 	if _, ok := c.finished[id]; !ok {
 		c.finOrder = append(c.finOrder, id)
 	}
-	c.finished[id] = body
-	for len(c.finOrder) > finishedCacheCap {
+	c.finished[id] = finishedEntry{body: body, at: time.Now()}
+	for len(c.finOrder) > c.cfg.FinishedMax {
 		delete(c.finished, c.finOrder[0])
 		c.finOrder = c.finOrder[1:]
+		c.finEvictions.Add(1)
 	}
 }
 
 func (c *Coordinator) recallFinished(id string) ([]byte, bool) {
 	c.finMu.Lock()
 	defer c.finMu.Unlock()
-	body, ok := c.finished[id]
-	return body, ok
+	e, ok := c.finished[id]
+	return e.body, ok
+}
+
+// expireFinished drops cached finish replies older than FinishedTTL.
+// Entries land in time order, so the scan stops at the first fresh one.
+// Called from the monitor loop.
+func (c *Coordinator) expireFinished() {
+	cutoff := time.Now().Add(-c.cfg.FinishedTTL)
+	c.finMu.Lock()
+	defer c.finMu.Unlock()
+	for len(c.finOrder) > 0 {
+		id := c.finOrder[0]
+		if e, ok := c.finished[id]; ok && e.at.After(cutoff) {
+			break
+		}
+		delete(c.finished, id)
+		c.finOrder = c.finOrder[1:]
+		c.finEvictions.Add(1)
+	}
 }
 
 // --- fleet membership handlers ---
@@ -682,8 +1129,40 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "register: name and url are required")
 		return
 	}
+	// A standby shadows membership (so a takeover starts with fresh
+	// heartbeat deadlines) but makes no placement decisions: no adoption,
+	// no stale verdicts, no rebalancing — those are the primary's.
+	if c.standbyMode.Load() {
+		c.mu.Lock()
+		wk := c.workers[req.Name]
+		if wk == nil {
+			wk = &worker{name: req.Name}
+			c.workers[req.Name] = wk
+		}
+		wk.url = req.URL
+		wk.state = workerActive
+		wk.lastBeat = time.Now()
+		wk.load = req.Load
+		c.ring.Add(req.Name)
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, registerResponse{
+			HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+			Epoch:       c.epoch.Load(),
+		})
+		return
+	}
+	// During the post-restart grace window the fleet's fencing epoch may
+	// be ahead of the journal-less default: adopt above any fence a
+	// re-registering worker reports, or our own writes would be rejected
+	// by the fence our predecessor raised.
+	if req.Epoch >= c.epoch.Load() && c.recovering() {
+		c.epoch.Store(req.Epoch + 1)
+		c.recordEpoch(req.Epoch + 1)
+		c.cfg.Logger.Info("adopted fencing epoch from worker report",
+			"worker", req.Name, "epoch", req.Epoch+1)
+	}
 	var stale []string
-	adopted := 0
+	var adopted []string
 	c.mu.Lock()
 	wk := c.workers[req.Name]
 	if wk == nil {
@@ -701,20 +1180,24 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case pl == nil:
 			c.placements[id] = &placement{id: id, worker: req.Name}
-			adopted++
+			adopted = append(adopted, id)
 		case pl.worker != req.Name && !pl.moving:
 			// Owned elsewhere now: the rejoining worker's copy is stale.
 			stale = append(stale, id)
 		}
 	}
 	c.mu.Unlock()
-	if adopted > 0 {
-		c.sessionsAdopted.Add(uint64(adopted))
+	c.recordWorker(req.Name, req.URL, true)
+	for _, id := range adopted {
+		c.recordPlace(id, req.Name, nil)
+	}
+	if len(adopted) > 0 {
+		c.sessionsAdopted.Add(uint64(len(adopted)))
 		c.kickPull() // fetch restore blobs for adopted sessions promptly
 	}
 	c.cfg.Logger.Info("worker registered", "worker", req.Name, "url", req.URL,
-		"sessions", len(req.Sessions), "adopted", adopted, "stale", len(stale))
-	if !c.cfg.NoRebalance {
+		"sessions", len(req.Sessions), "adopted", len(adopted), "stale", len(stale))
+	if !c.cfg.NoRebalance && !c.recovering() {
 		staleSet := make(map[string]bool, len(stale))
 		for _, id := range stale {
 			staleSet[id] = true
@@ -725,6 +1208,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, registerResponse{
 		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
 		Stale:       stale,
+		Epoch:       c.epoch.Load(),
 	})
 }
 
@@ -754,7 +1238,9 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	case state == workerSuspect, state == workerDead:
 		writeError(w, http.StatusGone, "worker %q was declared failed; re-register", req.Name)
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		// The ack carries the fencing epoch so every heartbeat cycle
+		// propagates a takeover's new epoch to the whole fleet.
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": c.epoch.Load()})
 	}
 }
 
@@ -799,8 +1285,14 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case c.closed.Load():
 		status, code = "closing", http.StatusServiceUnavailable
+	case c.fenced.Load():
+		status, code = "fenced", http.StatusServiceUnavailable
+	case c.standbyMode.Load():
+		status = "standby"
 	case healthy == 0:
 		status, code = "no-workers", http.StatusServiceUnavailable
+	case c.recovering():
+		status = "recovering"
 	case c.pendingFailovers.Load() > 0:
 		status = "degraded"
 	}
@@ -812,6 +1304,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workers":        len(infos),
 		"healthy":        healthy,
 		"sessions":       sessions,
+		"epoch":          c.epoch.Load(),
 		"uptime_seconds": time.Since(c.start).Seconds(),
 	})
 }
@@ -835,6 +1328,14 @@ func (c *Coordinator) newMetrics() {
 	c.pullsOK = reg.Counter("fleet_checkpoint_pulls_total", "Session checkpoints pulled from workers.")
 	c.pullsFailed = reg.Counter("fleet_checkpoint_pull_failures_total", "Checkpoint pulls that failed.")
 	c.reportMerges = reg.Counter("fleet_report_merges_total", "Merged /reports responses served.")
+	c.journalAppends = reg.Counter("fleet_journal_appends_total", "Records appended to the placement journal.")
+	c.journalCompacts = reg.Counter("fleet_journal_compactions_total", "Journal snapshot+tail rewrites.")
+	c.journalErrors = reg.Counter("fleet_journal_errors_total", "Journal writes or replays that failed (durability degraded, service continues).")
+	c.journalReplayed = reg.Counter("fleet_journal_replay_records_total", "Journal records replayed at startup.")
+	c.finEvictions = reg.Counter("fleet_finished_cache_evictions_total", "Cached finish replies evicted by TTL or capacity.")
+	c.forwardRetries = reg.Counter("fleet_forward_retries_total", "Worker requests retried once after a transient dial failure.")
+	c.epochRejects = reg.Counter("fleet_epoch_rejects_total", "Worker rejections of this coordinator's fencing epoch (a successor exists).")
+	c.takeovers = reg.Counter("fleet_standby_takeovers_total", "Times this coordinator promoted itself from standby to primary.")
 	c.proxyDur = reg.Histogram("fleet_proxy_seconds", "Latency of one proxied worker request.", nil)
 
 	reg.GaugeFunc("fleet_workers", "Registered workers.", func() float64 {
@@ -871,6 +1372,15 @@ func (c *Coordinator) newMetrics() {
 	})
 	reg.GaugeFunc("fleet_uptime_seconds", "Seconds since this coordinator started.", func() float64 {
 		return time.Since(c.start).Seconds()
+	})
+	reg.GaugeFunc("fleet_coordinator_epoch", "This coordinator's fencing epoch (monotonic across incarnations).", func() float64 {
+		return float64(c.epoch.Load())
+	})
+	reg.GaugeFunc("fleet_coordinator_standby", "1 while this coordinator is a warm standby, 0 when primary.", func() float64 {
+		if c.standbyMode.Load() {
+			return 1
+		}
+		return 0
 	})
 }
 

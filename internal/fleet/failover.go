@@ -211,6 +211,7 @@ func (c *Coordinator) runMove(m moveSpec) {
 		cur.moving = false
 	}
 	c.mu.Unlock()
+	c.recordMove(m.id, target)
 	if m.fresh {
 		c.sessionsMigrated.Add(1)
 		// Best-effort: drop the source copy so the drained worker exits
@@ -248,6 +249,7 @@ func (c *Coordinator) dropPlacement(id string) {
 	c.mu.Lock()
 	delete(c.placements, id)
 	c.mu.Unlock()
+	c.recordDrop(id)
 }
 
 // pickMoveTarget walks the ring clockwise from the session's hash for the
@@ -287,6 +289,8 @@ func (c *Coordinator) monitorLoop() {
 			return
 		case <-t.C:
 			c.sweep()
+			c.expireFinished()
+			c.maybeCompact()
 		}
 	}
 }
@@ -295,6 +299,12 @@ func (c *Coordinator) monitorLoop() {
 // failing their sessions over; suspect workers with nothing left placed on
 // them are retired to dead.
 func (c *Coordinator) sweep() {
+	// A standby watches, it doesn't judge: failure detection is the
+	// primary's until a takeover. A fenced coordinator must not start
+	// failovers either — its restores would be rejected anyway.
+	if c.standbyMode.Load() || c.fenced.Load() {
+		return
+	}
 	now := time.Now()
 	c.mu.Lock()
 	var failed []string
@@ -386,6 +396,15 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "leave: %v", err)
 		return
 	}
+	// A standby only forgets the worker; the primary runs the handoff.
+	if c.standbyMode.Load() {
+		c.mu.Lock()
+		delete(c.workers, req.Name)
+		c.ring.Remove(req.Name)
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"moved": 0})
+		return
+	}
 	c.mu.Lock()
 	wk := c.workers[req.Name]
 	if wk == nil {
@@ -435,6 +454,7 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 	delete(c.workers, req.Name)
 	c.ring.Remove(req.Name)
 	c.mu.Unlock()
+	c.recordWorker(req.Name, "", false)
 	c.cfg.Logger.Info("worker left", "worker", req.Name, "moved", moved, "sessions", len(ids))
 	writeJSON(w, http.StatusOK, map[string]any{"moved": moved})
 }
@@ -515,6 +535,9 @@ func (c *Coordinator) pullLoop() {
 }
 
 func (c *Coordinator) pullAll() {
+	if c.standbyMode.Load() || c.fenced.Load() {
+		return
+	}
 	type job struct{ id, worker, url string }
 	c.mu.Lock()
 	jobs := make([]job, 0, len(c.placements))
@@ -547,11 +570,20 @@ func (c *Coordinator) pullAll() {
 			switch pr.status {
 			case http.StatusOK:
 				c.mu.Lock()
+				keep := false
 				if pl := c.placements[j.id]; pl != nil && pl.worker == j.worker && !pl.moving {
 					pl.blob = pr.body
 					pl.blobAt = time.Now()
+					keep = true
 				}
 				c.mu.Unlock()
+				if keep && c.journal != nil {
+					// Spill the checkpoint beside the journal so a restarted
+					// coordinator can restore this session without its worker.
+					if werr := c.journal.writeBlob(j.id, pr.body); werr != nil {
+						c.journalErr("blob", werr)
+					}
+				}
 				c.pullsOK.Add(1)
 			case http.StatusNotFound:
 				// Gone at the source (evicted or aborted out of band).

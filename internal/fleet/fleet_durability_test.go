@@ -1,0 +1,533 @@
+package fleet
+
+// Coordinator durability and fencing chaos differentials: the three
+// recovery paths (journal replay, journal-less reconstruction from worker
+// re-registration, and warm-standby takeover) each hold the suite's
+// standing bar — zero client-visible errors and final reports byte-identical
+// to an uninterrupted single-node run — plus the fencing invariant: once a
+// successor's epoch reaches the workers, not one write from the superseded
+// coordinator is accepted.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestChaosFleetCoordinatorRestartJournal: the coordinator is killed
+// mid-stream and restarted on the same address with its journal intact. The
+// restarted coordinator must resume every in-flight placement from the
+// replayed journal — workers never re-register, clients only see retries.
+func TestChaosFleetCoordinatorRestartJournal(t *testing.T) {
+	before := runtime.NumGoroutine()
+	engines := []string{"wcp", "hb"}
+	const nclients = 3
+	traces := make([]*trace.Trace, nclients)
+	for c := range traces {
+		traces[c] = fleetTrace(c + 60)
+	}
+	func() {
+		f := startTestFleetOpts(t, fleetOpts{
+			workers: 3, journalDir: t.TempDir(), compactEvery: 1 << 30, // no compaction: pure replay
+		})
+		defer f.stop()
+		ctx := context.Background()
+
+		cfgs := make([]client.Config, nclients)
+		sessions := make([]*client.Session, nclients)
+		for c := 0; c < nclients; c++ {
+			cfgs[c] = fleetClientConfig(f.url, c%2 == 1)
+			s, err := client.Open(ctx, cfgs[c], traces[c].Symbols)
+			if err != nil {
+				t.Fatalf("client %d: open: %v", c, err)
+			}
+			sessions[c] = s
+			if err := s.Stream(ctx, traces[c].Events[:len(traces[c].Events)*4/10], 0); err != nil {
+				t.Fatalf("client %d: stream (pre-kill): %v", c, err)
+			}
+		}
+		time.Sleep(3 * testPullEvery)
+
+		var wg sync.WaitGroup
+		fins := make([]*client.FinishResult, nclients)
+		for c := 0; c < nclients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				fins[c] = trickleStream(t, labelf("client %d", c), sessions[c], cfgs[c], traces[c], 15*time.Millisecond)
+			}(c)
+		}
+		time.Sleep(30 * time.Millisecond) // chunks in flight
+		f.killCoordinator()
+		time.Sleep(50 * time.Millisecond) // let retries hit the dead address
+		f.restartCoordinator()
+		wg.Wait()
+		for c, fin := range fins {
+			if fin == nil {
+				t.Fatalf("client %d: no finish result", c)
+			}
+			verifyFinish(t, labelf("client %d", c), cfgs[c].Engines, traces[c], fin)
+		}
+		if f.co.journalReplayed.Value() == 0 {
+			t.Error("restarted coordinator replayed no journal records; the recovery path was not exercised")
+		}
+		if got := f.co.epoch.Load(); got < 2 {
+			t.Errorf("restarted coordinator epoch = %d, want >= 2 (every incarnation fences its predecessor)", got)
+		}
+		if f.co.sessionsAdopted.Value() != 0 {
+			t.Error("journal replay fell back to worker-report adoption; placements were not durable")
+		}
+		assertFleetMatchesSingleNode(t, f.url, traces, engines)
+		assertNoArenaLeaks(t, f.workers)
+	}()
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestChaosFleetCoordinatorJournalLoss: the coordinator is killed
+// mid-stream and its journal deleted before the restart — the disk is gone.
+// The restarted coordinator must rebuild every placement purely from worker
+// re-register session reports inside the recovery grace window, again with
+// zero client-visible errors.
+func TestChaosFleetCoordinatorJournalLoss(t *testing.T) {
+	before := runtime.NumGoroutine()
+	engines := []string{"wcp", "hb"}
+	const nclients = 3
+	traces := make([]*trace.Trace, nclients)
+	for c := range traces {
+		traces[c] = fleetTrace(c + 70)
+	}
+	func() {
+		f := startTestFleetOpts(t, fleetOpts{workers: 3, journalDir: t.TempDir()})
+		defer f.stop()
+		ctx := context.Background()
+
+		cfgs := make([]client.Config, nclients)
+		sessions := make([]*client.Session, nclients)
+		for c := 0; c < nclients; c++ {
+			cfgs[c] = fleetClientConfig(f.url, c%2 == 0)
+			s, err := client.Open(ctx, cfgs[c], traces[c].Symbols)
+			if err != nil {
+				t.Fatalf("client %d: open: %v", c, err)
+			}
+			sessions[c] = s
+			if err := s.Stream(ctx, traces[c].Events[:len(traces[c].Events)/2], 0); err != nil {
+				t.Fatalf("client %d: stream (pre-kill): %v", c, err)
+			}
+		}
+
+		var wg sync.WaitGroup
+		fins := make([]*client.FinishResult, nclients)
+		for c := 0; c < nclients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				fins[c] = trickleStream(t, labelf("client %d", c), sessions[c], cfgs[c], traces[c], 15*time.Millisecond)
+			}(c)
+		}
+		time.Sleep(30 * time.Millisecond)
+		f.killCoordinator()
+		if err := os.RemoveAll(f.journalDir); err != nil {
+			t.Fatalf("deleting journal: %v", err)
+		}
+		f.restartCoordinator()
+		wg.Wait()
+		for c, fin := range fins {
+			if fin == nil {
+				t.Fatalf("client %d: no finish result", c)
+			}
+			verifyFinish(t, labelf("client %d", c), cfgs[c].Engines, traces[c], fin)
+		}
+		if f.co.journalReplayed.Value() != 0 {
+			t.Error("coordinator claims journal records despite the deleted journal")
+		}
+		if f.co.sessionsAdopted.Value() == 0 {
+			t.Error("no sessions adopted from worker reports; reconstruction was not exercised")
+		}
+		assertFleetMatchesSingleNode(t, f.url, traces, engines)
+		assertNoArenaLeaks(t, f.workers)
+	}()
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestChaosFleetStandbyTakeover: a warm standby tails the primary's journal
+// and the workers dual-heartbeat both coordinators. The primary is killed
+// mid-stream; the standby must take over within the lease, and clients
+// configured with the coordinator list must converge on it with zero
+// visible errors and byte-identical reports.
+func TestChaosFleetStandbyTakeover(t *testing.T) {
+	before := runtime.NumGoroutine()
+	engines := []string{"wcp", "hb"}
+	const nclients = 3
+	traces := make([]*trace.Trace, nclients)
+	for c := range traces {
+		traces[c] = fleetTrace(c + 80)
+	}
+	func() {
+		f := startTestFleetOpts(t, fleetOpts{
+			workers: 3, journalDir: t.TempDir(), standby: true,
+			leaseTimeout: 300 * time.Millisecond,
+		})
+		defer f.stop()
+		ctx := context.Background()
+
+		cfgs := make([]client.Config, nclients)
+		sessions := make([]*client.Session, nclients)
+		for c := 0; c < nclients; c++ {
+			cfgs[c] = fleetClientConfig(f.clientBase(), c%2 == 1)
+			s, err := client.Open(ctx, cfgs[c], traces[c].Symbols)
+			if err != nil {
+				t.Fatalf("client %d: open: %v", c, err)
+			}
+			sessions[c] = s
+			if err := s.Stream(ctx, traces[c].Events[:len(traces[c].Events)*4/10], 0); err != nil {
+				t.Fatalf("client %d: stream (pre-kill): %v", c, err)
+			}
+		}
+		time.Sleep(3 * testPullEvery)
+		// The standby must have tailed every placement before the kill, or
+		// the test would exercise the membership-reset path instead.
+		f.wait(func() bool { return len(f.standby.Placements()) == nclients },
+			"standby to tail all placements")
+
+		oldEpoch := f.co.epoch.Load()
+		var wg sync.WaitGroup
+		fins := make([]*client.FinishResult, nclients)
+		for c := 0; c < nclients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				fins[c] = trickleStream(t, labelf("client %d", c), sessions[c], cfgs[c], traces[c], 15*time.Millisecond)
+			}(c)
+		}
+		time.Sleep(30 * time.Millisecond)
+		f.killCoordinator()
+		f.wait(func() bool { return !f.standby.standbyMode.Load() }, "standby takeover")
+		wg.Wait()
+		for c, fin := range fins {
+			if fin == nil {
+				t.Fatalf("client %d: no finish result", c)
+			}
+			verifyFinish(t, labelf("client %d", c), cfgs[c].Engines, traces[c], fin)
+		}
+		if got := f.standby.takeovers.Value(); got != 1 {
+			t.Errorf("standby recorded %d takeovers, want 1", got)
+		}
+		if got := f.standby.epoch.Load(); got <= oldEpoch {
+			t.Errorf("takeover epoch = %d, want > primary's %d", got, oldEpoch)
+		}
+		assertFleetMatchesSingleNode(t, f.standbyURL, traces, engines)
+		assertNoArenaLeaks(t, f.workers)
+	}()
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestChaosFleetFencing: the standby is partitioned from the primary (but
+// not from the workers), takes over, and raises the fleet's epoch — while
+// the old primary stays alive and believes it leads. When the zombie then
+// tries to place a session, every worker must answer 412, the write must
+// not land anywhere, and the zombie must fence itself (session API 503)
+// from that moment on.
+func TestChaosFleetFencing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	engines := []string{"wcp", "hb"}
+	const nclients = 2
+	traces := make([]*trace.Trace, nclients)
+	for c := range traces {
+		traces[c] = fleetTrace(c + 90)
+	}
+	func() {
+		f := startTestFleetOpts(t, fleetOpts{
+			workers: 2, journalDir: t.TempDir(), standby: true, standbyGated: true,
+			pullEvery:    -1, // no pulls: the zombie's first post-fence write is our probe
+			leaseTimeout: 300 * time.Millisecond,
+		})
+		defer f.stop()
+		ctx := context.Background()
+
+		cfgs := make([]client.Config, nclients)
+		sessions := make([]*client.Session, nclients)
+		for c := 0; c < nclients; c++ {
+			cfgs[c] = fleetClientConfig(f.clientBase(), false)
+			s, err := client.Open(ctx, cfgs[c], traces[c].Symbols)
+			if err != nil {
+				t.Fatalf("client %d: open: %v", c, err)
+			}
+			sessions[c] = s
+			if err := s.Stream(ctx, traces[c].Events[:len(traces[c].Events)/2], 0); err != nil {
+				t.Fatalf("client %d: stream: %v", c, err)
+			}
+		}
+		f.wait(func() bool { return len(f.standby.Placements()) == nclients },
+			"standby to tail all placements")
+
+		oldEpoch := f.co.epoch.Load()
+		sessionsBefore := 0
+		for _, w := range f.workers {
+			sessionsBefore += w.srv.Stats().Sessions
+		}
+
+		// Partition the coordinators from each other only: the standby's
+		// journal polls fail, the primary keeps running — the classic
+		// split-brain that fencing exists to make harmless.
+		f.standbyGate.Block()
+		f.wait(func() bool { return !f.standby.standbyMode.Load() }, "partitioned standby takeover")
+		f.standbyGate.Heal()
+		newEpoch := f.standby.epoch.Load()
+		if newEpoch <= oldEpoch {
+			t.Fatalf("takeover epoch %d did not pass the primary's %d", newEpoch, oldEpoch)
+		}
+		// Workers learn the new epoch from the promoted standby's heartbeat
+		// acks; the probe is only meaningful once every fence is raised.
+		f.wait(func() bool {
+			for _, w := range f.workers {
+				if w.srv.CoordinatorEpoch() < newEpoch {
+					return false
+				}
+			}
+			return true
+		}, "workers to raise their epoch fence")
+
+		// The zombie wakes and tries to place a session. Every worker it
+		// asks must answer 412 — the create is proxied through unchanged.
+		resp, err := http.Post(f.url+"/sessions", "application/octet-stream", strings.NewReader("hdr"))
+		if err != nil {
+			t.Fatalf("zombie create: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPreconditionFailed {
+			t.Fatalf("zombie create: status %d, want 412 from the worker fence", resp.StatusCode)
+		}
+		sessionsAfter := 0
+		for _, w := range f.workers {
+			sessionsAfter += w.srv.Stats().Sessions
+		}
+		if sessionsAfter != sessionsBefore {
+			t.Errorf("zombie write landed: worker sessions %d -> %d", sessionsBefore, sessionsAfter)
+		}
+		if !f.co.fenced.Load() {
+			t.Error("old primary did not fence itself after the 412")
+		}
+		if f.co.epochRejects.Value() == 0 {
+			t.Error("old primary counted no epoch rejects")
+		}
+
+		// From here on the zombie refuses the session API outright.
+		resp, err = http.Post(f.url+"/sessions", "application/octet-stream", strings.NewReader("hdr"))
+		if err != nil {
+			t.Fatalf("post-fence create: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("post-fence create: status %d, want 503 (fenced)", resp.StatusCode)
+		}
+		hz, err := http.Get(f.url + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		var hzBody struct {
+			Status string `json:"status"`
+		}
+		json.NewDecoder(hz.Body).Decode(&hzBody)
+		hz.Body.Close()
+		if hz.StatusCode != http.StatusServiceUnavailable || hzBody.Status != "fenced" {
+			t.Errorf("zombie healthz = %d %q, want 503 \"fenced\"", hz.StatusCode, hzBody.Status)
+		}
+
+		// Clients carry on through the live coordinator: the fenced 503
+		// rotates them, the streams complete, and the reports are exact.
+		for c, s := range sessions {
+			fin := trickleStream(t, labelf("client %d", c), s, cfgs[c], traces[c], time.Millisecond)
+			if fin == nil {
+				t.Fatalf("client %d: no finish result", c)
+			}
+			verifyFinish(t, labelf("client %d", c), cfgs[c].Engines, traces[c], fin)
+		}
+		assertFleetMatchesSingleNode(t, f.standbyURL, traces, engines)
+		assertNoArenaLeaks(t, f.workers)
+	}()
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestCoordinatorFinishedCacheBounds pins the finished-reply cache's two
+// bounds: entry-count eviction on insert and TTL expiry from the monitor
+// loop, both counted on fleet_finished_cache_evictions_total.
+func TestCoordinatorFinishedCacheBounds(t *testing.T) {
+	co := NewCoordinator(CoordinatorConfig{
+		HeartbeatTimeout: time.Hour,
+		PullEvery:        -1,
+		FinishedMax:      3,
+		FinishedTTL:      50 * time.Millisecond,
+		Logger:           testLogger(t),
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		co.Close(ctx)
+	}()
+	for i := 0; i < 5; i++ {
+		co.rememberFinished(fmt.Sprintf("s%d", i), []byte(fmt.Sprintf("reply-%d", i)))
+	}
+	for _, gone := range []string{"s0", "s1"} {
+		if _, ok := co.recallFinished(gone); ok {
+			t.Errorf("entry %s survived past FinishedMax=3", gone)
+		}
+	}
+	for _, kept := range []string{"s2", "s3", "s4"} {
+		if _, ok := co.recallFinished(kept); !ok {
+			t.Errorf("entry %s evicted while within FinishedMax", kept)
+		}
+	}
+	if got := co.finEvictions.Value(); got != 2 {
+		t.Errorf("capacity evictions = %d, want 2", got)
+	}
+	time.Sleep(60 * time.Millisecond)
+	co.expireFinished()
+	if _, ok := co.recallFinished("s4"); ok {
+		t.Error("entry s4 survived past FinishedTTL")
+	}
+	if got := co.finEvictions.Value(); got != 5 {
+		t.Errorf("total evictions = %d, want 5 (2 capacity + 3 TTL)", got)
+	}
+}
+
+// dropFirstListener closes the first accepted connection before a byte is
+// served — the shape of a single dropped SYN/RST during a worker GC pause.
+type dropFirstListener struct {
+	net.Listener
+	dropped atomic.Bool
+}
+
+func (l *dropFirstListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil && !l.dropped.Swap(true) {
+		c.Close()
+		return l.Accept()
+	}
+	return c, err
+}
+
+// TestCoordinatorForwardRetry pins the forward path's single jittered
+// retry: one transient connection failure must not surface to the caller
+// (or start the suspect clock), and must be counted.
+func TestCoordinatorForwardRetry(t *testing.T) {
+	co := NewCoordinator(CoordinatorConfig{
+		HeartbeatTimeout: time.Hour,
+		PullEvery:        -1,
+		Logger:           testLogger(t),
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		co.Close(ctx)
+	}()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("pong"))
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(&dropFirstListener{Listener: ln})
+	defer hs.Close()
+
+	pr, err := co.forward(context.Background(), "GET", "http://"+ln.Addr().String()+"/ping", nil, nil)
+	if err != nil {
+		t.Fatalf("forward with one dropped connection: %v", err)
+	}
+	if pr.status != http.StatusOK || string(pr.body) != "pong" {
+		t.Fatalf("forward: status %d body %q", pr.status, pr.body)
+	}
+	if got := co.forwardRetries.Value(); got != 1 {
+		t.Errorf("forward retries = %d, want exactly 1", got)
+	}
+}
+
+// fleetGoldenFamilies is the fleet_* exposition contract, the coordinator
+// counterpart of the server's goldenFamilies list: smoke scripts and
+// dashboards scrape these names.
+var fleetGoldenFamilies = []string{
+	"fleet_proxied_requests_total",
+	"fleet_sessions_created_total",
+	"fleet_sessions_finished_total",
+	"fleet_admission_shed_total",
+	"fleet_worker_failovers_total",
+	"fleet_sessions_failed_over_total",
+	"fleet_sessions_migrated_total",
+	"fleet_sessions_lost_total",
+	"fleet_sessions_adopted_total",
+	"fleet_checkpoint_pulls_total",
+	"fleet_checkpoint_pull_failures_total",
+	"fleet_report_merges_total",
+	"fleet_journal_appends_total",
+	"fleet_journal_compactions_total",
+	"fleet_journal_errors_total",
+	"fleet_journal_replay_records_total",
+	"fleet_finished_cache_evictions_total",
+	"fleet_forward_retries_total",
+	"fleet_epoch_rejects_total",
+	"fleet_standby_takeovers_total",
+	"fleet_proxy_seconds",
+	"fleet_workers",
+	"fleet_workers_healthy",
+	"fleet_workers_state",
+	"fleet_sessions_placed",
+	"fleet_pending_failovers",
+	"fleet_pending_migrations",
+	"fleet_uptime_seconds",
+	"fleet_coordinator_epoch",
+	"fleet_coordinator_standby",
+}
+
+// TestFleetMetricsGoldenFamilies re-parses the coordinator's own exposition
+// and requires every golden fleet_* family present, with the durability
+// gauges carrying live values (epoch >= 1 on a journaled coordinator).
+func TestFleetMetricsGoldenFamilies(t *testing.T) {
+	co := NewCoordinator(CoordinatorConfig{
+		JournalDir:       t.TempDir(),
+		HeartbeatTimeout: time.Hour,
+		PullEvery:        -1,
+		Logger:           testLogger(t),
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		co.Close(ctx)
+	}()
+	var buf bytes.Buffer
+	co.reg.WritePrometheus(&buf)
+	fams, err := obs.ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("coordinator exposition does not parse: %v\n%s", err, buf.Bytes())
+	}
+	present := make(map[string]bool, len(fams))
+	for _, fam := range fams {
+		present[fam.Name] = true
+	}
+	for _, name := range fleetGoldenFamilies {
+		if !present[name] {
+			t.Errorf("golden family %s missing from the coordinator exposition", name)
+		}
+	}
+	if !strings.Contains(buf.String(), "fleet_coordinator_epoch 1") {
+		t.Errorf("fleet_coordinator_epoch should be 1 on a fresh journaled coordinator:\n%s", buf.String())
+	}
+	if co.journalAppends.Value() == 0 {
+		t.Error("journaled coordinator recorded no appends (the epoch record should be one)")
+	}
+}

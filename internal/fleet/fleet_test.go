@@ -69,13 +69,35 @@ type testFleet struct {
 	t       *testing.T
 	co      *Coordinator
 	url     string
+	coAddr  string // coordinator listen address, reused across restarts
+	coCfg   CoordinatorConfig
 	hs      *http.Server
 	gated   bool
 	workers []*testWorker
+
+	journalDir  string
+	standby     *Coordinator
+	standbyURL  string
+	standbyHS   *http.Server
+	standbyGate *faultinject.PartitionGate
 }
 
 func workerServerConfig() server.Config {
 	return server.Config{Workers: 4, QueueCap: 256, IdleTimeout: -1}
+}
+
+// fleetOpts parameterizes the test fleet beyond the common harness knobs:
+// the durable journal, a warm standby coordinator, and a partition gate on
+// the standby's journal polls (the fencing tests' "paused primary" lever).
+type fleetOpts struct {
+	workers      int
+	gated        bool
+	pullEvery    time.Duration // 0 test default, <0 disables
+	journalDir   string        // "" disables journaling
+	standby      bool          // also run a warm standby coordinator
+	standbyGated bool          // route the standby's outbound HTTP through a gate
+	leaseTimeout time.Duration // 0 uses the coordinator default
+	compactEvery int64         // 0 uses the coordinator default
 }
 
 // startTestFleet brings up a coordinator plus n workers and waits until all
@@ -84,29 +106,111 @@ func workerServerConfig() server.Config {
 // the network without killing it. pullEvery 0 uses the test default; <0
 // disables checkpoint pulling so failover must re-create from headers.
 func startTestFleet(t *testing.T, n int, gated bool, pullEvery time.Duration) *testFleet {
+	return startTestFleetOpts(t, fleetOpts{workers: n, gated: gated, pullEvery: pullEvery})
+}
+
+func startTestFleetOpts(t *testing.T, opts fleetOpts) *testFleet {
 	t.Helper()
-	if pullEvery == 0 {
-		pullEvery = testPullEvery
+	if opts.pullEvery == 0 {
+		opts.pullEvery = testPullEvery
 	}
-	co := NewCoordinator(CoordinatorConfig{
+	cfg := CoordinatorConfig{
 		HeartbeatTimeout: testHeartbeatTimeout,
 		HeartbeatEvery:   testHeartbeatEvery,
-		PullEvery:        pullEvery,
+		PullEvery:        opts.pullEvery,
 		ProxyTimeout:     5 * time.Second,
+		JournalDir:       opts.journalDir,
+		LeaseTimeout:     opts.leaseTimeout,
+		CompactEvery:     opts.compactEvery,
 		Logger:           testLogger(t),
-	})
+	}
+	co := NewCoordinator(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hs := &http.Server{Handler: co.Handler()}
 	go hs.Serve(ln)
-	f := &testFleet{t: t, co: co, url: "http://" + ln.Addr().String(), hs: hs, gated: gated}
-	for i := 0; i < n; i++ {
+	f := &testFleet{
+		t: t, co: co, url: "http://" + ln.Addr().String(),
+		coAddr: ln.Addr().String(), coCfg: cfg, hs: hs,
+		gated: opts.gated, journalDir: opts.journalDir,
+	}
+	if opts.standby {
+		sbCfg := cfg
+		sbCfg.StandbyOf = f.url
+		if opts.journalDir != "" {
+			sbCfg.JournalDir = opts.journalDir + "-standby"
+		}
+		if opts.standbyGated {
+			f.standbyGate = &faultinject.PartitionGate{}
+			sbCfg.HTTPClient = &http.Client{Transport: f.standbyGate.Transport(nil)}
+		}
+		f.standby = NewCoordinator(sbCfg)
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.standbyHS = &http.Server{Handler: f.standby.Handler()}
+		go f.standbyHS.Serve(sln)
+		f.standbyURL = "http://" + sln.Addr().String()
+	}
+	for i := 0; i < opts.workers; i++ {
 		f.addWorker()
 	}
-	f.wait(func() bool { return f.healthy() == n }, fmt.Sprintf("%d healthy workers", n))
+	f.wait(func() bool { return f.healthy() == opts.workers }, fmt.Sprintf("%d healthy workers", opts.workers))
 	return f
+}
+
+// coordinators is the address list worker agents register with: the primary
+// plus the warm standby when one runs (the dual-heartbeat).
+func (f *testFleet) coordinators() string {
+	if f.standbyURL != "" {
+		return f.url + "," + f.standbyURL
+	}
+	return f.url
+}
+
+// clientBase is what a failover-aware client should dial: every configured
+// coordinator, primary first.
+func (f *testFleet) clientBase() string { return f.coordinators() }
+
+// killCoordinator simulates a coordinator crash: the listener drops with
+// every open connection and the background loops stop. The journal is
+// whatever the synchronous appends made durable — exactly the crash
+// contract — because appends fsync before the mutating request is answered.
+func (f *testFleet) killCoordinator() {
+	f.t.Helper()
+	f.hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.co.Close(ctx); err != nil {
+		f.t.Errorf("coordinator close: %v", err)
+	}
+}
+
+// restartCoordinator brings a fresh coordinator up on the SAME address with
+// the same config, so clients and worker agents reconnect without being
+// told anything.
+func (f *testFleet) restartCoordinator() {
+	f.t.Helper()
+	co := NewCoordinator(f.coCfg)
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", f.coAddr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			f.t.Fatalf("re-listen on %s: %v", f.coAddr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	hs := &http.Server{Handler: co.Handler()}
+	go hs.Serve(ln)
+	f.co, f.hs = co, hs
 }
 
 func (f *testFleet) addWorker() *testWorker {
@@ -137,7 +241,7 @@ func (f *testFleet) addWorker() *testWorker {
 		hc.Transport = gate.Transport(nil)
 	}
 	tw.agent = StartAgent(AgentConfig{
-		Coordinator: f.url,
+		Coordinator: f.coordinators(),
 		Advertise:   tw.url,
 		Name:        tw.name,
 		Every:       testHeartbeatEvery,
@@ -146,9 +250,11 @@ func (f *testFleet) addWorker() *testWorker {
 			st := srv.Stats()
 			return WorkerLoad{Sessions: st.Sessions, StateBytes: st.StateBytes, QueueDepth: st.QueueDepth}
 		},
-		Sessions: srv.SessionIDs,
-		Abort:    srv.AbortSession,
-		Logger:   testLogger(f.t),
+		Sessions:  srv.SessionIDs,
+		Abort:     srv.AbortSession,
+		Epoch:     srv.CoordinatorEpoch,
+		NoteEpoch: srv.NoteCoordinatorEpoch,
+		Logger:    testLogger(f.t),
 	})
 	f.workers = append(f.workers, tw)
 	return tw
@@ -163,6 +269,16 @@ func (f *testFleet) stop() {
 	defer cancel()
 	if err := f.co.Close(ctx); err != nil {
 		f.t.Errorf("coordinator close: %v", err)
+	}
+	if f.standby != nil {
+		if f.standbyGate != nil {
+			f.standbyGate.Heal() // unblock any in-flight poll so Close can finish
+		}
+		f.standbyHS.Close()
+		if err := f.standby.Close(ctx); err != nil {
+			f.t.Errorf("standby close: %v", err)
+		}
+		f.standby.cfg.HTTPClient.CloseIdleConnections()
 	}
 	for _, w := range f.workers {
 		w.hs.Close()

@@ -1,0 +1,530 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/snap"
+)
+
+// The coordinator's durable journal: an append-only log of placement and
+// membership changes, one snap frame per record, living in
+// <dir>/journal.log with pulled checkpoint blobs spilled beside it under
+// <dir>/blobs/. Every record has set semantics (last write wins per key),
+// so a snapshot followed by a replayed tail converges regardless of how
+// the compaction raced with concurrent appends. The snap codec's CRC
+// framing means a torn final write (power loss mid-append) surfaces as a
+// decode error on the last frame, which replay treats as the end of the
+// log rather than corruption of everything before it.
+//
+// Writes buffer the whole frame in memory and issue a single Write on an
+// O_APPEND handle, so concurrent appenders can never interleave partial
+// frames; a Sync per append makes each acknowledged record durable.
+
+// Journal record types. New types must be added at the end; replay skips
+// nothing, so an unknown type is corruption.
+const (
+	recEpoch      byte = 1 // coordinator epoch bump: epoch
+	recPlace      byte = 2 // placement create/update: id, worker, create header
+	recMove       byte = 3 // placement moved: id, new worker
+	recDrop       byte = 4 // placement gone (finished/aborted/lost): id
+	recFinish     byte = 5 // finished-reply cache entry: id, reply body
+	recWorkerUp   byte = 6 // worker joined/re-registered: name, url
+	recWorkerDown byte = 7 // worker left/died: name
+	recSnapshot   byte = 8 // full-state snapshot (compaction rewrites to one of these)
+)
+
+// Decode bounds: a corrupt length field must not drive a huge allocation.
+const (
+	maxJournalID     = 256
+	maxJournalURL    = 4096
+	maxJournalBlob   = 1 << 28
+	maxJournalCount  = 1 << 20
+	journalFileName  = "journal.log"
+	journalBlobsDir  = "blobs"
+	journalCorruptFn = "journal.corrupt"
+)
+
+// snapWriter keeps the coordinator's journal-record builders terse.
+type snapWriter = snap.Writer
+
+// journalState is the replayable coordinator state a journal encodes. It
+// is the shared shape between startup replay, compaction snapshots, and
+// the standby's shadow copy.
+type journalState struct {
+	epoch      uint64
+	workers    map[string]string // name -> url
+	placements map[string]*journalPlacement
+	finished   map[string][]byte // id -> cached finish reply
+}
+
+type journalPlacement struct {
+	worker string
+	header []byte // original create body, for blobless re-create
+}
+
+func newJournalState() *journalState {
+	return &journalState{
+		workers:    make(map[string]string),
+		placements: make(map[string]*journalPlacement),
+		finished:   make(map[string][]byte),
+	}
+}
+
+// applyRecord decodes one journal frame into st with set semantics.
+func (st *journalState) applyRecord(r *snap.Reader) error {
+	typ, err := r.Byte()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case recEpoch:
+		e, err := r.Uvarint()
+		if err != nil {
+			return err
+		}
+		if e > st.epoch {
+			st.epoch = e
+		}
+	case recPlace:
+		id, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		w, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		hdr, err := r.Bytes(maxJournalBlob)
+		if err != nil {
+			return err
+		}
+		st.placements[id] = &journalPlacement{worker: w, header: hdr}
+	case recMove:
+		id, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		w, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		if pl, ok := st.placements[id]; ok {
+			pl.worker = w
+		} else {
+			st.placements[id] = &journalPlacement{worker: w}
+		}
+	case recDrop:
+		id, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		delete(st.placements, id)
+	case recFinish:
+		id, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		body, err := r.Bytes(maxJournalBlob)
+		if err != nil {
+			return err
+		}
+		st.finished[id] = body
+	case recWorkerUp:
+		name, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		url, err := r.String(maxJournalURL)
+		if err != nil {
+			return err
+		}
+		st.workers[name] = url
+	case recWorkerDown:
+		name, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		delete(st.workers, name)
+	case recSnapshot:
+		return st.applySnapshot(r)
+	default:
+		return fmt.Errorf("journal: unknown record type %d", typ)
+	}
+	return r.Close()
+}
+
+// applySnapshot decodes a compaction snapshot. Snapshots replace workers
+// and merge placements/finished with set semantics (a snapshot is always
+// the first frame of a compacted log, so in practice it initializes).
+func (st *journalState) applySnapshot(r *snap.Reader) error {
+	e, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	if e > st.epoch {
+		st.epoch = e
+	}
+	nw, err := r.Count(maxJournalCount)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nw; i++ {
+		name, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		url, err := r.String(maxJournalURL)
+		if err != nil {
+			return err
+		}
+		st.workers[name] = url
+	}
+	np, err := r.Count(maxJournalCount)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < np; i++ {
+		id, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		w, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		hdr, err := r.Bytes(maxJournalBlob)
+		if err != nil {
+			return err
+		}
+		st.placements[id] = &journalPlacement{worker: w, header: hdr}
+	}
+	nf, err := r.Count(maxJournalCount)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nf; i++ {
+		id, err := r.String(maxJournalID)
+		if err != nil {
+			return err
+		}
+		body, err := r.Bytes(maxJournalBlob)
+		if err != nil {
+			return err
+		}
+		st.finished[id] = body
+	}
+	return r.Close()
+}
+
+// journal is the durable log handle. All methods are safe for concurrent
+// use; the file mutex is independent of the coordinator's state mutex so
+// appends never serialize proxying beyond the write itself.
+type journal struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64  // committed bytes (whole frames only)
+	gen     uint64 // bumped on every compaction; tailing readers resync on change
+	appends int64  // records since the last compaction
+}
+
+// openJournal opens (creating if needed) the journal under dir.
+func openJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(filepath.Join(dir, journalBlobsDir), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journal{dir: dir, f: f, size: st.Size(), gen: 1}, nil
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// append frames one record (built by enc) and durably appends it. The
+// whole frame goes down in a single Write so a concurrent appender can
+// never interleave, and Sync makes it crash-durable before we return.
+func (j *journal) append(enc func(*snap.Writer)) error {
+	var buf bytes.Buffer
+	w := snap.NewWriter(&buf)
+	enc(w)
+	if err := w.Close(); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal closed")
+	}
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size += int64(buf.Len())
+	j.appends++
+	return nil
+}
+
+// appendsSinceCompact reports how many records have landed since the last
+// compaction — the coordinator's monitor loop uses it to decide when to
+// compact.
+func (j *journal) appendsSinceCompact() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends
+}
+
+// compact rewrites the journal as a single snapshot frame of st, bumping
+// the generation so tailing standbys resync from the top. The snapshot is
+// written to a temp file, synced, and renamed over the log — a crash at
+// any point leaves either the old log or the new one, never a mix.
+func (j *journal) compact(st *journalState) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal closed")
+	}
+	var buf bytes.Buffer
+	w := snap.NewWriter(&buf)
+	w.Byte(recSnapshot)
+	encodeSnapshot(w, st)
+	if err := w.Close(); err != nil {
+		return err
+	}
+	path := filepath.Join(j.dir, journalFileName)
+	tmp, err := os.CreateTemp(j.dir, "journal-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f.Close()
+	j.f = f
+	j.size = int64(buf.Len())
+	j.gen++
+	j.appends = 0
+	return nil
+}
+
+func encodeSnapshot(w *snap.Writer, st *journalState) {
+	w.Uvarint(st.epoch)
+	w.Uvarint(uint64(len(st.workers)))
+	for name, url := range st.workers {
+		w.String(name)
+		w.String(url)
+	}
+	w.Uvarint(uint64(len(st.placements)))
+	for id, pl := range st.placements {
+		w.String(id)
+		w.String(pl.worker)
+		w.Bytes(pl.header)
+	}
+	w.Uvarint(uint64(len(st.finished)))
+	for id, body := range st.finished {
+		w.String(id)
+		w.Bytes(body)
+	}
+}
+
+// readFrom returns committed journal bytes starting at offset from, for a
+// tailing standby. If the caller's generation is stale (a compaction
+// happened), it returns the whole log from offset zero and the new
+// generation so the reader rebuilds from the snapshot.
+func (j *journal) readFrom(gen uint64, from int64) (data []byte, curGen uint64, next int64, err error) {
+	j.mu.Lock()
+	size := j.size
+	curGen = j.gen
+	j.mu.Unlock()
+	if gen != curGen || from > size || from < 0 {
+		from = 0
+	}
+	if from == size {
+		return nil, curGen, size, nil
+	}
+	f, err := os.Open(filepath.Join(j.dir, journalFileName))
+	if err != nil {
+		return nil, curGen, from, err
+	}
+	defer f.Close()
+	data = make([]byte, size-from)
+	if _, err := f.ReadAt(data, from); err != nil && err != io.EOF {
+		return nil, curGen, from, err
+	}
+	return data, curGen, size, nil
+}
+
+// replayJournal reads dir's journal into a fresh journalState. A decode
+// error on the final frame (torn tail write) is tolerated: everything
+// before it is returned with ok=true and the file is truncated back to
+// the good prefix so later appends don't land after garbage. A decode
+// error anywhere else, or an unreadable file, returns ok=false with
+// whatever partial state was recovered — the caller falls back to
+// worker-report reconstruction. records counts frames applied.
+// Call before openJournal: the truncation needs exclusive access.
+func replayJournal(dir string) (st *journalState, records int, ok bool, err error) {
+	st = newJournalState()
+	f, err := os.OpenFile(filepath.Join(dir, journalFileName), os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, 0, true, nil // empty journal: clean cold start
+		}
+		return st, 0, false, err
+	}
+	defer f.Close()
+	var good int64 // end offset of the last fully-applied frame
+	for {
+		r, rerr := snap.NewReader(f)
+		if rerr == io.EOF {
+			return st, records, true, nil
+		}
+		if rerr != nil {
+			// A torn final append (crash mid-write) surfaces as a
+			// truncation: the frame's length field promises more bytes
+			// than exist. That is a crash artifact, not corruption —
+			// keep everything before it and cut the tail. Bad magic or a
+			// checksum mismatch is real corruption: fall back to
+			// worker-report reconstruction.
+			if isTruncation(rerr) {
+				if terr := f.Truncate(good); terr != nil {
+					return st, records, false, terr
+				}
+				return st, records, true, nil
+			}
+			return st, records, false, rerr
+		}
+		if aerr := st.applyRecord(r); aerr != nil {
+			return st, records, false, aerr
+		}
+		records++
+		if good, err = f.Seek(0, io.SeekCurrent); err != nil {
+			return st, records, false, err
+		}
+	}
+}
+
+// isTruncation reports whether a frame decode failed because the file
+// ended mid-frame (torn tail) rather than because bytes were damaged.
+func isTruncation(err error) bool {
+	var de *snap.DecodeError
+	return errors.As(err, &de) && strings.HasPrefix(de.Reason, "truncated")
+}
+
+// quarantineJournal moves a corrupt journal aside so reconstruction can
+// start a fresh one while preserving the evidence.
+func quarantineJournal(dir string) error {
+	src := filepath.Join(dir, journalFileName)
+	dst := filepath.Join(dir, journalCorruptFn)
+	os.Remove(dst)
+	return os.Rename(src, dst)
+}
+
+// --- checkpoint blob spill ---
+
+// blobPath returns the on-disk path for a session's pulled checkpoint.
+// Session ids are hex (validated at the API edge), so the name is safe.
+func (j *journal) blobPath(id string) string {
+	return filepath.Join(j.dir, journalBlobsDir, id+".blob")
+}
+
+// writeBlob atomically persists a pulled checkpoint blob.
+func (j *journal) writeBlob(id string, data []byte) error {
+	path := j.blobPath(id)
+	tmp, err := os.CreateTemp(filepath.Dir(path), "blob-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// readBlob loads a spilled checkpoint blob, or nil if none exists.
+func (j *journal) readBlob(id string) []byte {
+	data, err := os.ReadFile(j.blobPath(id))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// dropBlob removes a session's spilled blob (finished/aborted/lost).
+func (j *journal) dropBlob(id string) {
+	os.Remove(j.blobPath(id))
+}
+
+// listBlobs returns the ids of all spilled blobs, for replay to reload.
+func (j *journal) listBlobs() []string {
+	ents, err := os.ReadDir(filepath.Join(j.dir, journalBlobsDir))
+	if err != nil {
+		return nil
+	}
+	ids := make([]string, 0, len(ents))
+	for _, e := range ents {
+		name := e.Name()
+		if id, found := strings.CutSuffix(name, ".blob"); found {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/snap"
+)
+
+func appendPlace(t *testing.T, j *journal, id, worker string, header []byte) {
+	t.Helper()
+	if err := j.append(func(w *snap.Writer) {
+		w.Byte(recPlace)
+		w.String(id)
+		w.String(worker)
+		w.Bytes(header)
+	}); err != nil {
+		t.Fatalf("append place: %v", err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := j.append(func(w *snap.Writer) {
+		w.Byte(recEpoch)
+		w.Uvarint(3)
+	}); err != nil {
+		t.Fatalf("append epoch: %v", err)
+	}
+	if err := j.append(func(w *snap.Writer) {
+		w.Byte(recWorkerUp)
+		w.String("w1")
+		w.String("http://127.0.0.1:1")
+	}); err != nil {
+		t.Fatalf("append worker: %v", err)
+	}
+	appendPlace(t, j, "aa11", "w1", []byte(`{"engines":["hb"]}`))
+	appendPlace(t, j, "bb22", "w1", nil)
+	if err := j.append(func(w *snap.Writer) {
+		w.Byte(recMove)
+		w.String("bb22")
+		w.String("w2")
+	}); err != nil {
+		t.Fatalf("append move: %v", err)
+	}
+	if err := j.append(func(w *snap.Writer) {
+		w.Byte(recFinish)
+		w.String("cc33")
+		w.Bytes([]byte(`{"races":1}`))
+	}); err != nil {
+		t.Fatalf("append finish: %v", err)
+	}
+	if err := j.append(func(w *snap.Writer) {
+		w.Byte(recDrop)
+		w.String("aa11")
+	}); err != nil {
+		t.Fatalf("append drop: %v", err)
+	}
+	if err := j.append(func(w *snap.Writer) {
+		w.Byte(recWorkerDown)
+		w.String("w1")
+	}); err != nil {
+		t.Fatalf("append workerdown: %v", err)
+	}
+	j.close()
+
+	st, records, ok, err := replayJournal(dir)
+	if err != nil || !ok {
+		t.Fatalf("replay: ok=%v err=%v", ok, err)
+	}
+	if records != 8 {
+		t.Fatalf("replayed %d records, want 8", records)
+	}
+	if st.epoch != 3 {
+		t.Fatalf("epoch = %d, want 3", st.epoch)
+	}
+	if len(st.workers) != 0 {
+		t.Fatalf("workers = %v, want empty (w1 came and went)", st.workers)
+	}
+	if len(st.placements) != 1 || st.placements["bb22"] == nil {
+		t.Fatalf("placements = %v, want only bb22", st.placements)
+	}
+	if st.placements["bb22"].worker != "w2" {
+		t.Fatalf("bb22 on %q, want w2 after move", st.placements["bb22"].worker)
+	}
+	if !bytes.Equal(st.finished["cc33"], []byte(`{"races":1}`)) {
+		t.Fatalf("finished cc33 = %q", st.finished["cc33"])
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.close()
+	for i := 0; i < 50; i++ {
+		appendPlace(t, j, "aa11", "w1", []byte("hdr"))
+	}
+	before, _ := os.Stat(filepath.Join(dir, journalFileName))
+
+	st := newJournalState()
+	st.epoch = 7
+	st.workers["w1"] = "http://127.0.0.1:1"
+	st.placements["aa11"] = &journalPlacement{worker: "w1", header: []byte("hdr")}
+	genBefore := j.gen
+	if err := j.compact(st); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if j.gen != genBefore+1 {
+		t.Fatalf("gen = %d, want %d", j.gen, genBefore+1)
+	}
+	after, _ := os.Stat(filepath.Join(dir, journalFileName))
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	if n := j.appendsSinceCompact(); n != 0 {
+		t.Fatalf("appends after compact = %d", n)
+	}
+
+	// Appends after compaction land in the new file and replay on top of
+	// the snapshot.
+	appendPlace(t, j, "bb22", "w1", nil)
+	got, _, ok, err := replayJournal(dir)
+	if err != nil || !ok {
+		t.Fatalf("replay: ok=%v err=%v", ok, err)
+	}
+	if got.epoch != 7 || len(got.placements) != 2 || got.workers["w1"] == "" {
+		t.Fatalf("replayed state = epoch %d placements %v workers %v",
+			got.epoch, got.placements, got.workers)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendPlace(t, j, "aa11", "w1", []byte("hdr"))
+	appendPlace(t, j, "bb22", "w1", []byte("hdr"))
+	j.close()
+
+	// Simulate a crash mid-append: write a frame header that promises more
+	// payload than exists.
+	path := filepath.Join(dir, journalFileName)
+	full, _ := os.Stat(path)
+	var frame bytes.Buffer
+	w := snap.NewWriter(&frame)
+	w.Byte(recPlace)
+	w.String("cc33")
+	w.String("w1")
+	w.Bytes([]byte("hdr"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn := frame.Bytes()[:frame.Len()-6] // cut mid-payload
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(torn)
+	f.Close()
+
+	st, records, ok, err := replayJournal(dir)
+	if err != nil || !ok {
+		t.Fatalf("torn tail should replay clean: ok=%v err=%v", ok, err)
+	}
+	if records != 2 || len(st.placements) != 2 {
+		t.Fatalf("records=%d placements=%v, want the 2 whole frames", records, st.placements)
+	}
+	// The torn bytes must have been cut so future appends are readable.
+	if cur, _ := os.Stat(path); cur.Size() != full.Size() {
+		t.Fatalf("torn tail not truncated: size %d, want %d", cur.Size(), full.Size())
+	}
+}
+
+func TestJournalCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendPlace(t, j, "aa11", "w1", []byte("hdr"))
+	appendPlace(t, j, "bb22", "w1", []byte("hdr"))
+	j.close()
+
+	// Flip a byte inside the FIRST frame's payload: mid-log corruption,
+	// not a torn tail — replay must report it so the coordinator falls
+	// back to reconstruction.
+	path := filepath.Join(dir, journalFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ok, err := replayJournal(dir)
+	if ok || err == nil {
+		t.Fatalf("corruption not detected: ok=%v err=%v", ok, err)
+	}
+	if err := quarantineJournal(dir); err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalCorruptFn)); err != nil {
+		t.Fatalf("no quarantined copy: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt journal still in place: %v", err)
+	}
+}
+
+func TestJournalBlobs(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.close()
+	if err := j.writeBlob("aa11", []byte("checkpoint")); err != nil {
+		t.Fatalf("writeBlob: %v", err)
+	}
+	if got := j.readBlob("aa11"); !bytes.Equal(got, []byte("checkpoint")) {
+		t.Fatalf("readBlob = %q", got)
+	}
+	if ids := j.listBlobs(); len(ids) != 1 || ids[0] != "aa11" {
+		t.Fatalf("listBlobs = %v", ids)
+	}
+	j.dropBlob("aa11")
+	if got := j.readBlob("aa11"); got != nil {
+		t.Fatalf("blob survived drop: %q", got)
+	}
+}
+
+func TestJournalReadFromTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer j.close()
+	appendPlace(t, j, "aa11", "w1", []byte("hdr"))
+	data, gen, next, err := j.readFrom(0, 0) // stale gen 0 -> full resend
+	if err != nil {
+		t.Fatalf("readFrom: %v", err)
+	}
+	if len(data) == 0 || next != int64(len(data)) {
+		t.Fatalf("readFrom: %d bytes, next=%d", len(data), next)
+	}
+	// Tail bytes decode as frames.
+	st := newJournalState()
+	r, err := snap.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode tail: %v", err)
+	}
+	if err := st.applyRecord(r); err != nil {
+		t.Fatalf("apply tail: %v", err)
+	}
+	if st.placements["aa11"] == nil {
+		t.Fatalf("tail did not carry the placement")
+	}
+	// Caught up: nothing more.
+	data2, gen2, next2, err := j.readFrom(gen, next)
+	if err != nil || len(data2) != 0 || gen2 != gen || next2 != next {
+		t.Fatalf("caught-up readFrom: data=%d gen=%d next=%d err=%v", len(data2), gen2, next2, err)
+	}
+	// Compaction bumps gen; a reader at the old gen gets a full resend.
+	if err := j.compact(st); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	data3, gen3, _, err := j.readFrom(gen, next)
+	if err != nil || gen3 != gen+1 || len(data3) == 0 {
+		t.Fatalf("post-compact readFrom: data=%d gen=%d err=%v", len(data3), gen3, err)
+	}
+}

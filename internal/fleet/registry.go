@@ -73,6 +73,11 @@ type registerRequest struct {
 	// coordinator can adopt placements after its own restart and name the
 	// stale copies a rejoining worker must drop.
 	Sessions []string `json:"sessions,omitempty"`
+	// Epoch is the highest coordinator fencing epoch the worker has seen.
+	// A coordinator recovering without its journal adopts an epoch above
+	// every reported fence, or the fence its predecessor raised would
+	// reject all of its writes.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // registerResponse tells the registering worker how to behave: the
@@ -82,4 +87,8 @@ type registerRequest struct {
 type registerResponse struct {
 	HeartbeatMS int64    `json:"heartbeat_ms"`
 	Stale       []string `json:"stale,omitempty"`
+	// Epoch is the coordinator's fencing epoch; the worker raises its
+	// fence to it (never lowers), rejecting writes from older
+	// coordinators from then on.
+	Epoch uint64 `json:"epoch,omitempty"`
 }

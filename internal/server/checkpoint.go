@@ -414,6 +414,9 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
+	if s.refuseFenced(w, r) {
+		return
+	}
 	tStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	sess, err := restoreSession(body, time.Now())

@@ -121,6 +121,7 @@ func (s *Server) registerMetrics() {
 	s.gapRejects = reg.Counter("raced_chunk_gap_rejects_total", "Chunks or finishes rejected because the client is ahead of the ack.")
 	s.sessionsParked = reg.Counter("raced_sessions_pressure_parked_total", "Sessions parked by the memory-pressure ladder.")
 	s.sessionsUnparked = reg.Counter("raced_sessions_unparked_total", "Parked sessions transparently restored on touch.")
+	s.epochRejects = reg.Counter("raced_epoch_rejects_total", "Mutating requests rejected with 412 for carrying a stale coordinator epoch.")
 
 	reg.GaugeFunc("raced_sessions_active", "Open in-memory sessions.", func() float64 {
 		s.mu.Lock()
@@ -152,6 +153,9 @@ func (s *Server) registerMetrics() {
 	})
 	reg.GaugeFunc("raced_uptime_seconds", "Seconds since this process started serving.", func() float64 {
 		return time.Since(s.start).Seconds()
+	})
+	reg.GaugeFunc("raced_coordinator_epoch", "Highest coordinator fencing epoch this worker has seen (0 when single-node).", func() float64 {
+		return float64(s.coordEpoch.Load())
 	})
 	reg.GaugeFunc("raced_report_classes", "Distinct race classes in the dedup store.", func() float64 {
 		return float64(s.store.Len())

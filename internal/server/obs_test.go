@@ -54,6 +54,8 @@ var goldenFamilies = []string{
 	"raced_uptime_seconds",
 	"raced_report_classes",
 	"raced_report_observations_total",
+	"raced_coordinator_epoch",
+	"raced_epoch_rejects_total",
 }
 
 // TestMetricsExposition re-parses /metrics with the same parser the fleet

@@ -63,6 +63,14 @@ const (
 	// worker is contacted, and so a failed-over session can be re-created
 	// elsewhere under its original identity.
 	HeaderSessionID = "X-Raced-Session-Id"
+	// HeaderEpoch carries the coordinator's fencing epoch on proxied
+	// mutating requests. The server keeps the maximum epoch it has ever
+	// seen (heartbeat acks raise it too, via NoteCoordinatorEpoch) and
+	// answers anything lower with 412: a superseded coordinator — a
+	// "zombie" primary whose standby already took over — can never place,
+	// feed, or finish a session here. Requests without the header (direct
+	// single-node clients) are never fenced.
+	HeaderEpoch = "X-Raced-Epoch"
 )
 
 // validSessionID accepts the ids the server itself mints plus anything a
@@ -244,7 +252,11 @@ type Server struct {
 	parked     map[string]parkedSession
 	stateTotal atomic.Int64
 
-	draining     atomic.Bool
+	draining atomic.Bool
+	// coordEpoch is the highest coordinator fencing epoch seen (header or
+	// heartbeat ack); mutating requests stamped with a lower one get 412.
+	coordEpoch atomic.Uint64
+
 	janitorStop  chan struct{}
 	janitorDone  chan struct{}
 	ckptStop     chan struct{}
@@ -269,6 +281,7 @@ type Server struct {
 	gapRejects       *obs.Counter
 	sessionsParked   *obs.Counter
 	sessionsUnparked *obs.Counter
+	epochRejects     *obs.Counter
 	// arenaLeakedRefs accumulates pooled clock allocations a sealed session
 	// failed to return to its engine arena — always zero unless a detector
 	// leaks; exported so fleet/chaos tests can assert it from outside the
@@ -586,6 +599,49 @@ func (s *Server) refuseDraining(w http.ResponseWriter) bool {
 	return false
 }
 
+// NoteCoordinatorEpoch raises the worker's coordinator-epoch fence to e.
+// The fence is monotonic: it never lowers, so once a standby's takeover
+// epoch reaches this worker (heartbeat ack or proxied request), the
+// superseded primary's writes are refused forever.
+func (s *Server) NoteCoordinatorEpoch(e uint64) {
+	for {
+		cur := s.coordEpoch.Load()
+		if e <= cur || s.coordEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// CoordinatorEpoch reports the highest coordinator epoch seen.
+func (s *Server) CoordinatorEpoch() uint64 { return s.coordEpoch.Load() }
+
+// refuseFenced rejects a mutating request stamped (via HeaderEpoch) with a
+// coordinator epoch below the fence. 412 is deliberate: the fleet client
+// treats it as retryable, so a client talking through a zombie coordinator
+// rotates to the live one instead of giving up; the zombie itself fences
+// on seeing it. The current fence rides back in the response header. An
+// absent or malformed header passes — direct clients are never fenced —
+// and a higher epoch advances the fence right here.
+func (s *Server) refuseFenced(w http.ResponseWriter, r *http.Request) bool {
+	v := r.Header.Get(HeaderEpoch)
+	if v == "" {
+		return false
+	}
+	e, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return false
+	}
+	if cur := s.coordEpoch.Load(); e < cur {
+		s.epochRejects.Add(1)
+		w.Header().Set(HeaderEpoch, strconv.FormatUint(cur, 10))
+		writeError(w, http.StatusPreconditionFailed,
+			"coordinator epoch %d is fenced (worker has seen %d)", e, cur)
+		return true
+	}
+	s.NoteCoordinatorEpoch(e)
+	return false
+}
+
 func newID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -663,6 +719,9 @@ type sessionCreated struct {
 // requested engine's detector up front.
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
+		return
+	}
+	if s.refuseFenced(w, r) {
 		return
 	}
 	tStart := time.Now()
@@ -794,6 +853,9 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
+	if s.refuseFenced(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	sess := s.liveSession(id)
 	if sess == nil {
@@ -909,6 +971,9 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
+	if s.refuseFenced(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	// An optional offset header makes finish a commit barrier: when the
 	// client's acknowledged count disagrees with the session's — a failover
@@ -1007,6 +1072,9 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 // handleAbort discards a session without reporting. A parked session is
 // aborted by discarding its parking record — no need to restore it first.
 func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
+	if s.refuseFenced(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	sess := s.removeSession(id)
 	if sess == nil {

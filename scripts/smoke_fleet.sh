@@ -47,7 +47,9 @@ grep -q "session finished" "$OUT/baseline.log"
 kill -TERM "$PID"; wait "$PID"; PID=
 
 # --- bring up the fleet: coordinator + 3 workers ---
-"$OUT/raced" -coordinator -addr "$CO_ADDR" \
+# The journal dir makes the coordinator crash-safe; the two cases at the
+# bottom SIGKILL it and prove both recovery paths.
+"$OUT/raced" -coordinator -addr "$CO_ADDR" -journal-dir "$OUT/journal" \
   -heartbeat-timeout 1s -pull-every 250ms &
 CO_PID=$!
 wait_healthy "http://$CO_ADDR/fleet" # up, even with zero workers yet
@@ -142,5 +144,46 @@ grep -q "\"trace\": \"$TID\"" "$OUT/trace.json" ||
   { echo "/debug/trace/$TID did not echo the trace id" >&2; cat "$OUT/trace.json" >&2; exit 1; }
 grep -q '"proxy_create"' "$OUT/trace.json" ||
   { echo "merged trace $TID lacks the coordinator's proxy_create span" >&2; cat "$OUT/trace.json" >&2; exit 1; }
+
+# --- coordinator kill case: SIGKILL the coordinator mid-stream, restart it,
+# --- and let the journal replay resume the placement. The client only sees
+# --- retries; the report must still match the baseline byte for byte.
+go run ./examples/client -coordinator "http://$CO_ADDR" -events 20000 \
+  -trickle 300ms > "$OUT/co-kill.log" 2>&1 &
+CLIENT=$!
+session_id_from "$OUT/co-kill.log" >/dev/null # placement is journaled by now
+sleep 0.5
+kill -KILL "$CO_PID"
+"$OUT/raced" -coordinator -addr "$CO_ADDR" -journal-dir "$OUT/journal" \
+  -heartbeat-timeout 1s -pull-every 250ms &
+CO_PID=$!
+wait "$CLIENT"
+cat "$OUT/co-kill.log"
+grep -q "session finished" "$OUT/co-kill.log"
+diff <(grep 'distinct races:' "$OUT/baseline.log") \
+     <(grep 'distinct races:' "$OUT/co-kill.log")
+curl -fsS "http://$CO_ADDR/metrics" | grep "fleet_journal_replay_records_total" | grep -qv " 0$" ||
+  { echo "restarted coordinator replayed no journal records" >&2; exit 1; }
+
+# --- coordinator disk-loss case: SIGKILL the coordinator AND delete its
+# --- journal; the restarted coordinator must rebuild the placement from the
+# --- workers' re-register session reports inside the recovery grace window.
+go run ./examples/client -coordinator "http://$CO_ADDR" -events 20000 \
+  -trickle 300ms > "$OUT/co-loss.log" 2>&1 &
+CLIENT=$!
+session_id_from "$OUT/co-loss.log" >/dev/null
+sleep 0.5
+kill -KILL "$CO_PID"
+rm -rf "$OUT/journal"
+"$OUT/raced" -coordinator -addr "$CO_ADDR" -journal-dir "$OUT/journal" \
+  -heartbeat-timeout 1s -pull-every 250ms &
+CO_PID=$!
+wait "$CLIENT"
+cat "$OUT/co-loss.log"
+grep -q "session finished" "$OUT/co-loss.log"
+diff <(grep 'distinct races:' "$OUT/baseline.log") \
+     <(grep 'distinct races:' "$OUT/co-loss.log")
+curl -fsS "http://$CO_ADDR/metrics" | grep "fleet_sessions_adopted_total" | grep -qv " 0$" ||
+  { echo "restarted coordinator adopted no worker-reported sessions" >&2; exit 1; }
 
 echo "fleet smoke test passed"
